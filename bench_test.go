@@ -1,0 +1,243 @@
+// Benchmarks regenerating every figure in the paper's evaluation.
+// One Benchmark function per figure; sub-benchmarks enumerate the
+// figure's series and x-axis points, so
+//
+//	go test -bench=Fig -benchmem
+//
+// prints the full grid. ns/op is per lookup (or per request for the
+// memcached figure) aggregated across all reader goroutines; the
+// Mops/s and kreq/s metrics match the paper's y-axes.
+//
+// cmd/rphash-bench and cmd/mc-benchmark print the same data as
+// aligned tables with medians; EXPERIMENTS.md records those runs.
+package rphash_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rphash/internal/bench"
+	"rphash/internal/mcbench"
+	"rphash/internal/memcache"
+	"rphash/internal/workload"
+)
+
+// paperReaders is the paper's x-axis for figures 1-4.
+var paperReaders = []int{1, 2, 4, 8, 16}
+
+// benchCfg mirrors the paper's table parameters.
+func benchCfg() bench.Config {
+	return bench.Config{
+		Keys:         8192,
+		KeySpace:     16384,
+		SmallBuckets: 8192,
+		LargeBuckets: 16384,
+	}
+}
+
+// runLookups distributes b.N lookups across `readers` goroutines
+// against a preloaded engine, optionally under a continuous resizer,
+// and reports millions of lookups per second.
+func runLookups(b *testing.B, mk func(buckets uint64) bench.Engine, buckets uint64, readers int, resize bool) {
+	b.Helper()
+	cfg := benchCfg()
+	e := mk(buckets)
+	defer e.Close()
+	bench.Preload(e, cfg)
+
+	stopResize := make(chan struct{})
+	var resizeWG sync.WaitGroup
+	if resize {
+		resizeWG.Add(1)
+		go func() {
+			defer resizeWG.Done()
+			for {
+				select {
+				case <-stopResize:
+					return
+				default:
+				}
+				e.Resize(cfg.LargeBuckets)
+				e.Resize(cfg.SmallBuckets)
+			}
+		}()
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / readers
+	if per == 0 {
+		per = 1
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lookup, closeFn := e.NewLookup()
+			if closeFn != nil {
+				defer closeFn()
+			}
+			gen := workload.NewUniform(cfg.KeySpace, uint64(id)+1)
+			for i := 0; i < per; i++ {
+				lookup(gen.Key())
+			}
+		}(r)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if el := b.Elapsed(); el > 0 {
+		b.ReportMetric(float64(per*readers)/el.Seconds()/1e6, "Mlookups/s")
+	}
+	close(stopResize)
+	resizeWG.Wait()
+}
+
+// BenchmarkFig1FixedBaseline — "Results: fixed-size table baseline":
+// RP vs DDDS vs rwlock on a fixed 8k-bucket table.
+func BenchmarkFig1FixedBaseline(b *testing.B) {
+	engines := []struct {
+		name string
+		mk   func(uint64) bench.Engine
+	}{
+		{"RP", bench.NewRPQSBR},
+		{"DDDS", bench.NewDDDS},
+		{"rwlock", bench.NewRWLock},
+	}
+	for _, e := range engines {
+		for _, readers := range paperReaders {
+			b.Run(fmt.Sprintf("%s/readers=%d", e.name, readers), func(b *testing.B) {
+				runLookups(b, e.mk, benchCfg().SmallBuckets, readers, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2ContinuousResize — "Results – continuous resizing":
+// RP vs DDDS while a resizer toggles 8k<->16k.
+func BenchmarkFig2ContinuousResize(b *testing.B) {
+	engines := []struct {
+		name string
+		mk   func(uint64) bench.Engine
+	}{
+		{"RP", bench.NewRPQSBR},
+		{"DDDS", bench.NewDDDS},
+	}
+	for _, e := range engines {
+		for _, readers := range paperReaders {
+			b.Run(fmt.Sprintf("%s/readers=%d", e.name, readers), func(b *testing.B) {
+				runLookups(b, e.mk, benchCfg().SmallBuckets, readers, true)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3RPResizeVsFixed — "Results – our resize versus fixed":
+// RP at fixed 8k, fixed 16k, and continuously resizing.
+func BenchmarkFig3RPResizeVsFixed(b *testing.B) {
+	cfg := benchCfg()
+	cases := []struct {
+		name    string
+		buckets uint64
+		resize  bool
+	}{
+		{"8k", cfg.SmallBuckets, false},
+		{"16k", cfg.LargeBuckets, false},
+		{"resize", cfg.SmallBuckets, true},
+	}
+	for _, c := range cases {
+		for _, readers := range paperReaders {
+			b.Run(fmt.Sprintf("%s/readers=%d", c.name, readers), func(b *testing.B) {
+				runLookups(b, bench.NewRPQSBR, c.buckets, readers, c.resize)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4DDDSResizeVsFixed — "Results – DDDS resize versus
+// fixed".
+func BenchmarkFig4DDDSResizeVsFixed(b *testing.B) {
+	cfg := benchCfg()
+	cases := []struct {
+		name    string
+		buckets uint64
+		resize  bool
+	}{
+		{"8k", cfg.SmallBuckets, false},
+		{"16k", cfg.LargeBuckets, false},
+		{"resize", cfg.SmallBuckets, true},
+	}
+	for _, c := range cases {
+		for _, readers := range paperReaders {
+			b.Run(fmt.Sprintf("%s/readers=%d", c.name, readers), func(b *testing.B) {
+				runLookups(b, bench.NewDDDS, c.buckets, readers, c.resize)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Memcached — "memcached results": requests/second
+// against the mini-memcached over loopback TCP, RP engine vs default
+// global-lock engine, GET and SET. Each b.N iteration is one short
+// closed-loop measurement; kreq/s is the figure's y-axis.
+func BenchmarkFig5Memcached(b *testing.B) {
+	cases := []struct {
+		name   string
+		engine string
+		op     mcbench.Op
+	}{
+		{"RP_GET", "rp", mcbench.GET},
+		{"default_GET", "lock", mcbench.GET},
+		{"default_SET", "lock", mcbench.SET},
+		{"RP_SET", "rp", mcbench.SET},
+	}
+	for _, c := range cases {
+		for _, procs := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/processes=%d", c.name, procs), func(b *testing.B) {
+				var store memcache.Store
+				if c.engine == "rp" {
+					store = memcache.NewRPStore(0)
+				} else {
+					store = memcache.NewLockStore(0)
+				}
+				srv := memcache.NewServer(store, time.Second)
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				go srv.Serve(ln) //nolint:errcheck
+				defer srv.Close()
+				addr := ln.Addr().String()
+				const keys = 10000
+				if err := mcbench.Preload(addr, keys, 100); err != nil {
+					b.Fatal(err)
+				}
+
+				var total float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ops, err := mcbench.Run(mcbench.Config{
+						Addr:            addr,
+						Processes:       procs,
+						ConnsPerProcess: 1,
+						Op:              c.op,
+						Keys:            keys,
+						ValueSize:       100,
+						Duration:        150 * time.Millisecond,
+						Warm:            20 * time.Millisecond,
+						Pipeline:        4,
+						MultiGet:        16,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += ops
+				}
+				b.StopTimer()
+				b.ReportMetric(total/float64(b.N)/1e3, "kreq/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command mc-benchmark load-tests a memcached-protocol server, in the
+// style of the tool the paper uses, and can regenerate the paper's
+// memcached figure in one shot.
+//
+// Point mode (needs a running server, e.g. cmd/memcached):
+//
+//	mc-benchmark -addr 127.0.0.1:11211 -op get -processes 8
+//
+// Figure mode (spins up in-process servers for both engines and
+// sweeps 1..N processes across RP GET / default GET / default SET /
+// RP SET):
+//
+//	mc-benchmark -series -max-processes 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rphash/internal/bench"
+	"rphash/internal/mcbench"
+)
+
+func main() {
+	var (
+		series   = flag.Bool("series", false, "regenerate the paper's memcached figure (in-process servers)")
+		maxProcs = flag.Int("max-processes", 12, "series mode: sweep 1..N processes")
+		addr     = flag.String("addr", "127.0.0.1:11211", "point mode: server address")
+		opStr    = flag.String("op", "get", "point mode: get | set")
+		procs    = flag.Int("processes", 4, "point mode: client process groups")
+		conns    = flag.Int("conns", 2, "connections per process")
+		keys     = flag.Uint64("keys", 10000, "keyspace size")
+		valSize  = flag.Int("value-size", 100, "value payload bytes")
+		duration = flag.Duration("duration", 400*time.Millisecond, "measured interval")
+		warm     = flag.Duration("warm", 50*time.Millisecond, "warmup interval")
+		pipeline = flag.Int("pipeline", 4, "requests in flight per connection")
+		multiget = flag.Int("multiget", 16, "keys per get command (GET runs)")
+		repeats  = flag.Int("repeats", 3, "series mode: runs per point (median)")
+		csv      = flag.Bool("csv", false, "series mode: also emit CSV")
+		preload  = flag.Bool("preload", true, "point mode: preload keyspace first")
+	)
+	flag.Parse()
+
+	if *series {
+		cfg := mcbench.DefaultFigureConfig()
+		cfg.Processes = cfg.Processes[:0]
+		for i := 1; i <= *maxProcs; i++ {
+			cfg.Processes = append(cfg.Processes, i)
+		}
+		cfg.ConnsPerProcess = *conns
+		cfg.Keys = *keys
+		cfg.ValueSize = *valSize
+		cfg.Duration = *duration
+		cfg.Warm = *warm
+		cfg.Pipeline = *pipeline
+		cfg.MultiGet = *multiget
+		cfg.Repeats = *repeats
+
+		fmt.Printf("mc-benchmark: GOMAXPROCS=%d keys=%d value=%dB conns/proc=%d duration=%v\n\n",
+			runtime.GOMAXPROCS(0), *keys, *valSize, *conns, *duration)
+		fig, err := mcbench.Fig5(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mc-benchmark:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFigure(os.Stdout, fig, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "mc-benchmark:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var op mcbench.Op
+	switch *opStr {
+	case "get":
+		op = mcbench.GET
+	case "set":
+		op = mcbench.SET
+	default:
+		fmt.Fprintf(os.Stderr, "mc-benchmark: unknown op %q\n", *opStr)
+		os.Exit(2)
+	}
+	if *preload && op == mcbench.GET {
+		if err := mcbench.Preload(*addr, *keys, *valSize); err != nil {
+			fmt.Fprintln(os.Stderr, "mc-benchmark: preload:", err)
+			os.Exit(1)
+		}
+	}
+	ops, err := mcbench.Run(mcbench.Config{
+		Addr:            *addr,
+		Processes:       *procs,
+		ConnsPerProcess: *conns,
+		Op:              op,
+		Keys:            *keys,
+		ValueSize:       *valSize,
+		Duration:        *duration,
+		Warm:            *warm,
+		Pipeline:        *pipeline,
+		MultiGet:        *multiget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mc-benchmark:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d processes x %d conns: %.0f requests/second\n",
+		op, *procs, *conns, ops)
+}

@@ -1,0 +1,52 @@
+// Command memcached runs the mini-memcached server with a selectable
+// storage engine:
+//
+//	memcached -addr :11211 -engine rp    # relativistic hash table (lock-free GET)
+//	memcached -addr :11211 -engine lock  # stock-style global cache lock
+//
+// The text protocol subset implemented: get/gets, set/add/replace/
+// append/prepend/cas, delete, incr/decr, touch, flush_all, stats,
+// version, verbosity, quit — with noreply, expiry (relative and
+// absolute), CAS, and LRU eviction under -max-bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rphash/internal/memcache"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
+		engine   = flag.String("engine", "rp", "storage engine: rp | lock")
+		maxBytes = flag.Int64("max-bytes", 64<<20, "memory budget in bytes (0 = unlimited)")
+		sweep    = flag.Duration("sweep", time.Second, "expired-item sweep interval (0 = lazy only)")
+		quiet    = flag.Bool("quiet", false, "suppress connection error logs")
+	)
+	flag.Parse()
+
+	var store memcache.Store
+	switch *engine {
+	case "rp":
+		store = memcache.NewRPStore(*maxBytes)
+	case "lock":
+		store = memcache.NewLockStore(*maxBytes)
+	default:
+		fmt.Fprintf(os.Stderr, "memcached: unknown engine %q (want rp or lock)\n", *engine)
+		os.Exit(2)
+	}
+
+	srv := memcache.NewServer(store, *sweep)
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+	log.Printf("memcached: engine=%s addr=%s max-bytes=%d", *engine, *addr, *maxBytes)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("memcached: %v", err)
+	}
+}

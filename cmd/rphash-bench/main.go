@@ -1,0 +1,166 @@
+// Command rphash-bench regenerates the paper's microbenchmark figures
+// (1: fixed-size baseline; 2: continuous resizing; 3: RP resize vs
+// fixed; 4: DDDS resize vs fixed) as text tables, with optional CSV.
+//
+// Usage:
+//
+//	rphash-bench [flags]
+//
+//	-fig N          figure to run (1..4), or 0 for all (default 0)
+//	-duration D     measured interval per point (default 400ms)
+//	-warm D         warmup per point (default 50ms)
+//	-readers LIST   comma-separated reader counts (default 1,2,4,8,16)
+//	-keys N         preloaded elements (default 8192)
+//	-keyspace N     lookup draw space (default 2*keys: 50% hit ratio)
+//	-small N        small/fixed bucket count (default 8192)
+//	-large N        large bucket count (default 16384)
+//	-csv            also emit CSV per figure
+//	-engines LIST   extra fixed-size engines to append to figure 1
+//	                (any of: mutex,sharded,xu,syncmap)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rphash/internal/bench"
+	"rphash/internal/stats"
+)
+
+func main() {
+	var (
+		figN     = flag.Int("fig", 0, "figure to run (1..4); 0 = all")
+		duration = flag.Duration("duration", 400*time.Millisecond, "measured interval per point")
+		warm     = flag.Duration("warm", 50*time.Millisecond, "warmup per point")
+		readers  = flag.String("readers", "1,2,4,8,16", "comma-separated reader counts")
+		keys     = flag.Uint64("keys", 8192, "preloaded elements")
+		keyspace = flag.Uint64("keyspace", 0, "lookup draw space (0 = 2*keys)")
+		small    = flag.Uint64("small", 8192, "small/fixed bucket count")
+		large    = flag.Uint64("large", 16384, "large bucket count")
+		csv      = flag.Bool("csv", false, "also emit CSV")
+		repeats  = flag.Int("repeats", 3, "runs per point (median reported)")
+		extra    = flag.String("engines", "", "extra engines for figure 1 (mutex,sharded,xu,syncmap)")
+		ablation = flag.Bool("ablation", false, "run the ablation suite (A1-A4) instead of the paper figures")
+	)
+	flag.Parse()
+
+	rs, err := parseReaders(*readers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{
+		Readers:      rs,
+		Duration:     *duration,
+		WarmDuration: *warm,
+		Keys:         *keys,
+		KeySpace:     *keyspace,
+		SmallBuckets: *small,
+		LargeBuckets: *large,
+		Repeats:      *repeats,
+	}
+
+	fmt.Printf("rphash-bench: GOMAXPROCS=%d keys=%d small=%d large=%d duration=%v\n\n",
+		runtime.GOMAXPROCS(0), *keys, *small, *large, *duration)
+
+	if *ablation {
+		runAblations(cfg, *csv)
+		return
+	}
+
+	figs := []int{1, 2, 3, 4}
+	if *figN != 0 {
+		figs = []int{*figN}
+	}
+	for _, n := range figs {
+		fig, err := bench.RunFigure(n, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+			os.Exit(2)
+		}
+		if n == 1 && *extra != "" {
+			appendExtraEngines(&fig, *extra, cfg)
+		}
+		if err := bench.WriteFigure(os.Stdout, fig, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runAblations(cfg bench.Config, csv bool) {
+	fmt.Println("== Ablation A1: read-side flavor ==")
+	if err := bench.WriteFigure(os.Stdout, bench.AblationReadFlavor(cfg), csv); err != nil {
+		fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== Ablation A2: unzip grace-period batching ==")
+	fmt.Printf("%-18s %10s %10s %12s %14s %8s %10s\n",
+		"mode", "keys", "buckets", "elapsed", "grace-periods", "passes", "cuts")
+	for _, r := range bench.AblationUnzipBatching(16384, 4096) {
+		fmt.Printf("%-18s %10d %5d->%-5d %12v %14d %8d %10d\n",
+			r.Mode, r.Keys, r.FromBuckets, r.ToBuckets,
+			r.Elapsed.Round(time.Microsecond), r.GracePeriods, r.UnzipPasses, r.UnzipCuts)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation A3: lookup throughput vs load factor ==")
+	if err := bench.WriteFigure(os.Stdout, bench.AblationLoadFactor(cfg, 2), csv); err != nil {
+		fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== Ablation A4: bytes per element (live heap) ==")
+	fmt.Printf("%-24s %10s %14s\n", "table", "keys", "bytes/elem")
+	for _, r := range bench.AblationNodeMemory(1 << 19) {
+		fmt.Printf("%-24s %10d %14.1f\n", r.Table, r.Keys, r.BytesPerElem)
+	}
+}
+
+func parseReaders(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad reader count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no reader counts given")
+	}
+	return out, nil
+}
+
+func appendExtraEngines(fig *stats.Figure, list string, cfg bench.Config) {
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		mk, ok := bench.Builders[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rphash-bench: unknown engine %q (skipped)\n", name)
+			continue
+		}
+		s := stats.Series{Name: name}
+		for _, r := range cfg.Readers {
+			e := mk(cfg.SmallBuckets)
+			bench.Preload(e, cfg)
+			ops := bench.MeasureLookups(e, r, false, cfg)
+			e.Close()
+			s.Add(float64(r), ops/1e6)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+}

@@ -1,0 +1,40 @@
+// Package rphash is a resizable, scalable, concurrent hash table
+// built with relativistic programming — a from-scratch Go
+// reproduction of Triplett, McKenney and Walpole, "Resizable,
+// Scalable, Concurrent Hash Tables via Relativistic Programming"
+// (USENIX ATC 2011).
+//
+// Lookups take no locks, perform no atomic read-modify-write
+// operations, and never retry; they scale linearly with cores. The
+// table can double or halve its bucket count while lookups proceed at
+// full speed: shrinking "zips" sibling chains together, expansion
+// "unzips" interleaved chains with one pointer cut per chain per
+// grace period, and at every intermediate state a reader walking a
+// bucket observes every element that belongs to it.
+//
+// # Quick start
+//
+//	tbl := rphash.NewString[string]()
+//	defer tbl.Close()
+//
+//	tbl.Set("k", "v")
+//	v, ok := tbl.Get("k")       // convenient lookup
+//
+//	h := tbl.NewReadHandle()    // per-goroutine hot-path lookups
+//	defer h.Close()
+//	v, ok = h.Get("k")
+//
+//	tbl.Resize(1 << 16)         // lookups continue, unperturbed
+//
+// Writers (Set, Insert, Replace, Delete, Move, Resize) serialize on
+// an internal mutex; install a Policy (or use DefaultPolicy) to have
+// the table resize itself by load factor.
+//
+// The internal packages contain the full reproduction apparatus: the
+// epoch-based RCU runtime (internal/rcu), the baseline tables the
+// paper compares against (internal/ddds, internal/lockht,
+// internal/xu), a mini-memcached with a relativistic GET fast path
+// (internal/memcache), and the benchmark harness regenerating every
+// figure in the paper's evaluation (internal/bench, cmd/rphash-bench,
+// cmd/mc-benchmark). See DESIGN.md and EXPERIMENTS.md.
+package rphash

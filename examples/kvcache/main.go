@@ -1,0 +1,148 @@
+// kvcache: an expiring in-process cache built on the relativistic
+// table — the memcached-shaped workload from the paper's evaluation,
+// in library form. Readers fetch at full speed with no locks while a
+// writer pool churns entries, TTLs lapse, and the table resizes
+// itself up and down with the population.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rphash"
+)
+
+// entry is an immutable cache record; expired entries read as misses
+// and are reclaimed by a background sweeper.
+type entry struct {
+	value    string
+	expireAt time.Time
+}
+
+// Cache is a tiny TTL cache over rphash.Table.
+type Cache struct {
+	t *rphash.Table[string, entry]
+}
+
+// NewCache builds a cache whose table resizes itself by load factor.
+func NewCache() *Cache {
+	return &Cache{t: rphash.NewString[entry](
+		rphash.WithInitialBuckets(128),
+		rphash.WithPolicy(rphash.Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: 128}),
+	)}
+}
+
+// Get returns the live value. Lock-free; safe during resizes.
+func (c *Cache) Get(k string) (string, bool) {
+	e, ok := c.t.Get(k)
+	if !ok || time.Now().After(e.expireAt) {
+		return "", false
+	}
+	return e.value, true
+}
+
+// Put stores a value with a TTL.
+func (c *Cache) Put(k, v string, ttl time.Duration) {
+	c.t.Set(k, entry{value: v, expireAt: time.Now().Add(ttl)})
+}
+
+// Sweep removes expired entries; run it periodically.
+func (c *Cache) Sweep() int {
+	now := time.Now()
+	var victims []string
+	c.t.Range(func(k string, e entry) bool {
+		if now.After(e.expireAt) {
+			victims = append(victims, k)
+		}
+		return true
+	})
+	for _, k := range victims {
+		if e, ok := c.t.Get(k); ok && now.After(e.expireAt) {
+			c.t.Delete(k)
+		}
+	}
+	return len(victims)
+}
+
+// Stats exposes the underlying table's metrics.
+func (c *Cache) Stats() rphash.Stats { return c.t.Stats() }
+
+func main() {
+	cache := NewCache()
+	defer cache.t.Close()
+
+	stop := make(chan struct{})
+	var hits, misses atomic.Int64
+
+	// Reader pool: hammer the cache while everything else happens.
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			k := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k = (k*1103515245 + 12345) & 0x3fff
+				if _, ok := cache.Get(fmt.Sprintf("sess-%d", k)); ok {
+					hits.Add(1)
+				} else {
+					misses.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Sweeper: reclaim expired sessions every 50ms.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				cache.Sweep()
+			}
+		}
+	}()
+
+	// Writer: three phases — fill, refresh with short TTLs (so the
+	// sweeper shrinks the population), refill. The auto-resize policy
+	// expands and shrinks the table across the phases.
+	fmt.Println("phase 1: fill 16k sessions (table expands itself)")
+	for i := 0; i < 16_384; i++ {
+		cache.Put(fmt.Sprintf("sess-%d", i), fmt.Sprintf("user-%d", i), time.Minute)
+	}
+	fmt.Printf("  %v\n", cache.Stats())
+
+	fmt.Println("phase 2: expire most sessions (sweeper + table shrink)")
+	for i := 0; i < 16_384; i++ {
+		if i%16 != 0 {
+			cache.Put(fmt.Sprintf("sess-%d", i), "short", 10*time.Millisecond)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	fmt.Printf("  %v\n", cache.Stats())
+
+	fmt.Println("phase 3: refill while readers keep running")
+	for i := 0; i < 16_384; i++ {
+		cache.Put(fmt.Sprintf("sess-%d", i), fmt.Sprintf("user-%d-v2", i), time.Minute)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := cache.Stats()
+	fmt.Printf("  %v\n", st)
+	fmt.Printf("readers: %d hits, %d misses — all lock-free, across %d expands and %d shrinks\n",
+		hits.Load(), misses.Load(), st.Expands, st.Shrinks)
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"rphash/internal/core"
+	"rphash/internal/stats"
+	"rphash/internal/xu"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out:
+//
+//	A1  read-side flavor: EBR delimited readers vs QSBR readers —
+//	    what the paper's kernel-RCU read side buys over a userspace
+//	    epoch scheme, per lookup.
+//	A2  unzip batching: one grace period per pass (the paper's
+//	    choice) vs one per cut — resize latency and grace-period
+//	    count for the same expansion.
+//	A3  load factor: fixed-table lookup throughput as chains grow —
+//	    the "why resize at all" motivation (constant-time lookups
+//	    need load kept near 1).
+//	A4  node memory: bytes per element for the unzip table (one next
+//	    pointer) vs the Xu-style table (two next pointers), the
+//	    paper's memory-overhead critique, measured from the live
+//	    heap.
+
+// AblationReadFlavor (A1) measures single-reader and N-reader lookup
+// throughput for both reader flavors on a fixed table.
+func AblationReadFlavor(cfg Config) stats.Figure {
+	cfg.fillDefaults()
+	return stats.Figure{
+		Title:  "Ablation A1: read-side flavor (EBR delimited vs QSBR)",
+		XLabel: "readers",
+		YLabel: "lookups/second (millions)",
+		Series: []stats.Series{
+			measureSeries("RP-ebr", func() Engine { return NewRP(cfg.SmallBuckets) }, false, cfg),
+			measureSeries("RP-qsbr", func() Engine { return NewRPQSBR(cfg.SmallBuckets) }, false, cfg),
+		},
+	}
+}
+
+// UnzipBatchingResult is one row of ablation A2.
+type UnzipBatchingResult struct {
+	Mode         string
+	Keys         uint64
+	FromBuckets  uint64
+	ToBuckets    uint64
+	Elapsed      time.Duration
+	GracePeriods uint64
+	UnzipPasses  uint64
+	UnzipCuts    uint64
+}
+
+// AblationUnzipBatching (A2) expands a table once in each mode and
+// reports resize latency and grace-period counts.
+func AblationUnzipBatching(keys, buckets uint64) []UnzipBatchingResult {
+	if keys == 0 {
+		keys = 16384
+	}
+	if buckets == 0 {
+		buckets = 4096
+	}
+	var out []UnzipBatchingResult
+	for _, mode := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"batched (paper)", nil},
+		{"grace-per-cut", []core.Option{core.WithUnzipGracePerCut()}},
+	} {
+		opts := append([]core.Option{core.WithInitialBuckets(buckets)}, mode.opts...)
+		t := core.NewUint64[int](opts...)
+		for i := uint64(0); i < keys; i++ {
+			t.Set(i, int(i))
+		}
+		// A background reader population makes grace periods real.
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			h := t.NewReadHandle()
+			defer h.Close()
+			var k uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k++
+				h.Get(k % keys)
+			}
+		}()
+
+		gpBefore := t.Domain().Stats().GracePeriods
+		start := time.Now()
+		t.ExpandOnce()
+		elapsed := time.Since(start)
+		gpAfter := t.Domain().Stats().GracePeriods
+		st := t.Stats()
+		close(stop)
+		<-done
+		out = append(out, UnzipBatchingResult{
+			Mode:         mode.name,
+			Keys:         keys,
+			FromBuckets:  buckets,
+			ToBuckets:    buckets * 2,
+			Elapsed:      elapsed,
+			GracePeriods: gpAfter - gpBefore,
+			UnzipPasses:  st.UnzipPasses,
+			UnzipCuts:    st.UnzipCuts,
+		})
+		t.Close()
+	}
+	return out
+}
+
+// AblationLoadFactor (A3) sweeps elements-per-bucket on a fixed-size
+// table and reports lookup throughput at a fixed reader count.
+func AblationLoadFactor(cfg Config, readers int) stats.Figure {
+	cfg.fillDefaults()
+	fig := stats.Figure{
+		Title:  "Ablation A3: lookup throughput vs load factor (fixed table)",
+		XLabel: "load factor",
+		YLabel: "lookups/second (millions)",
+	}
+	s := stats.Series{Name: "RP"}
+	const buckets = 4096
+	for _, load := range []uint64{1, 2, 4, 8, 16} {
+		c := cfg
+		c.Keys = buckets * load
+		c.KeySpace = 2 * c.Keys
+		c.SmallBuckets = buckets
+		e := NewRPQSBR(buckets)
+		Preload(e, c)
+		ops := MeasureLookups(e, readers, false, c)
+		e.Close()
+		s.Add(float64(load), ops/1e6)
+	}
+	fig.Series = []stats.Series{s}
+	return fig
+}
+
+// NodeMemoryResult is one row of ablation A4.
+type NodeMemoryResult struct {
+	Table        string
+	Keys         int
+	BytesPerElem float64
+}
+
+// AblationNodeMemory (A4) measures live-heap bytes per element for
+// the single-pointer unzip table versus the two-pointer Xu table.
+func AblationNodeMemory(keys int) []NodeMemoryResult {
+	if keys <= 0 {
+		keys = 1 << 20
+	}
+	measure := func(name string, build func() (insert func(uint64), close func())) NodeMemoryResult {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		insert, closeFn := build()
+		for i := 0; i < keys; i++ {
+			insert(uint64(i))
+		}
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		res := NodeMemoryResult{
+			Table:        name,
+			Keys:         keys,
+			BytesPerElem: float64(after.HeapAlloc-before.HeapAlloc) / float64(keys),
+		}
+		closeFn()
+		return res
+	}
+
+	var out []NodeMemoryResult
+	{
+		var t *core.Table[uint64, int]
+		out = append(out, measure("RP unzip (1 next ptr)", func() (func(uint64), func()) {
+			t = core.NewUint64[int](core.WithInitialBuckets(uint64(keys)))
+			return func(k uint64) { t.Set(k, 0) }, t.Close
+		}))
+	}
+	{
+		var t *xu.Table[uint64, int]
+		out = append(out, measure("Xu two-pointer", func() (func(uint64), func()) {
+			t = xu.NewUint64[int](uint64(keys))
+			return func(k uint64) { t.Set(k, 0) }, t.Close
+		}))
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationReadFlavor(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Readers = []int{1}
+	cfg.Duration = 15 * time.Millisecond
+	cfg.Repeats = 1
+	fig := AblationReadFlavor(cfg)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Fatalf("series %q = %+v", s.Name, s.Points)
+		}
+	}
+}
+
+func TestAblationUnzipBatching(t *testing.T) {
+	rows := AblationUnzipBatching(2048, 256)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	batched, perCut := rows[0], rows[1]
+	if batched.Mode == perCut.Mode {
+		t.Fatal("modes not distinct")
+	}
+	// Per-cut mode must pay at least as many grace periods as cuts;
+	// batched mode pays roughly one per pass (ddof: +1 for publish).
+	if perCut.GracePeriods < perCut.UnzipCuts {
+		t.Fatalf("per-cut: %d grace periods for %d cuts", perCut.GracePeriods, perCut.UnzipCuts)
+	}
+	if batched.GracePeriods > batched.UnzipPasses+2 {
+		t.Fatalf("batched: %d grace periods for %d passes", batched.GracePeriods, batched.UnzipPasses)
+	}
+	if batched.GracePeriods >= perCut.GracePeriods {
+		t.Fatalf("batching did not reduce grace periods: %d vs %d",
+			batched.GracePeriods, perCut.GracePeriods)
+	}
+}
+
+func TestAblationLoadFactor(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Duration = 10 * time.Millisecond
+	cfg.Repeats = 1
+	fig := AblationLoadFactor(cfg, 1)
+	if len(fig.Series) != 1 || len(fig.Series[0].Points) != 5 {
+		t.Fatalf("unexpected shape: %+v", fig.Series)
+	}
+	pts := fig.Series[0].Points
+	// Deep chains must not be faster than shallow ones (allowing
+	// noise, compare the extremes with slack).
+	if pts[len(pts)-1].Y > pts[0].Y*1.5 {
+		t.Fatalf("load-16 throughput %v suspiciously above load-1 %v",
+			pts[len(pts)-1].Y, pts[0].Y)
+	}
+}
+
+func TestAblationNodeMemory(t *testing.T) {
+	rows := AblationNodeMemory(1 << 14)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	rp, xuRow := rows[0], rows[1]
+	if rp.BytesPerElem <= 0 || xuRow.BytesPerElem <= 0 {
+		t.Fatalf("non-positive byte measurements: %+v", rows)
+	}
+	// The Xu node carries an extra next pointer (and its table a
+	// second bucket array lifetime); it must not be smaller.
+	if xuRow.BytesPerElem < rp.BytesPerElem {
+		t.Fatalf("Xu table (%0.1f B/elem) smaller than RP (%0.1f B/elem)",
+			xuRow.BytesPerElem, rp.BytesPerElem)
+	}
+}

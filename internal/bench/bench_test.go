@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyCfg keeps harness self-tests fast.
+func tinyCfg() Config {
+	return Config{
+		Readers:      []int{1, 2},
+		Duration:     30 * time.Millisecond,
+		WarmDuration: 5 * time.Millisecond,
+		Keys:         512,
+		KeySpace:     1024,
+		SmallBuckets: 256,
+		LargeBuckets: 512,
+	}
+}
+
+func TestAllEnginesBasicContract(t *testing.T) {
+	for name, mk := range Builders {
+		t.Run(name, func(t *testing.T) {
+			e := mk(64)
+			defer e.Close()
+			if e.Name() == "" {
+				t.Fatal("empty engine name")
+			}
+			e.Set(1, 10)
+			e.Set(2, 20)
+			lookup, closeFn := e.NewLookup()
+			if !lookup(1) || !lookup(2) {
+				t.Fatal("preloaded keys not found")
+			}
+			if lookup(999) {
+				t.Fatal("absent key found")
+			}
+			e.Delete(1)
+			if lookup(1) {
+				t.Fatal("deleted key still found")
+			}
+			// Release the reader before resizing from the same
+			// goroutine: a QSBR reader that has stopped looking up
+			// is exactly the reader a grace period must wait out
+			// (calling Resize while holding one would self-deadlock,
+			// as in kernel QSBR).
+			if closeFn != nil {
+				closeFn()
+			}
+			e.Resize(128)
+			lookup2, closeFn2 := e.NewLookup()
+			if closeFn2 != nil {
+				defer closeFn2()
+			}
+			if !lookup2(2) {
+				t.Fatal("key lost across Resize")
+			}
+		})
+	}
+}
+
+func TestMeasureLookupsProducesThroughput(t *testing.T) {
+	cfg := tinyCfg()
+	e := NewRP(cfg.SmallBuckets)
+	defer e.Close()
+	Preload(e, cfg)
+	ops := MeasureLookups(e, 2, false, cfg)
+	if ops <= 0 {
+		t.Fatalf("throughput = %v, want > 0", ops)
+	}
+}
+
+func TestMeasureLookupsWithResize(t *testing.T) {
+	cfg := tinyCfg()
+	for _, name := range []string{"rp", "ddds"} {
+		e := Builders[name](cfg.SmallBuckets)
+		Preload(e, cfg)
+		ops := MeasureLookups(e, 2, true, cfg)
+		e.Close()
+		if ops <= 0 {
+			t.Fatalf("%s: throughput under resize = %v", name, ops)
+		}
+	}
+}
+
+func TestRunFigureDispatch(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Readers = []int{1}
+	cfg.Duration = 10 * time.Millisecond
+	for n := 1; n <= NumMicrobenchFigs; n++ {
+		fig, err := RunFigure(n, cfg)
+		if err != nil {
+			t.Fatalf("RunFigure(%d): %v", n, err)
+		}
+		if len(fig.Series) < 2 {
+			t.Fatalf("figure %d has %d series", n, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 1 {
+				t.Fatalf("figure %d series %q has %d points, want 1", n, s.Name, len(s.Points))
+			}
+			if s.Points[0].Y <= 0 {
+				t.Fatalf("figure %d series %q measured %v Mops", n, s.Name, s.Points[0].Y)
+			}
+		}
+	}
+	if _, err := RunFigure(99, cfg); err == nil {
+		t.Fatal("RunFigure(99) should fail")
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Readers = []int{1}
+	cfg.Duration = 10 * time.Millisecond
+	fig, err := RunFigure(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, fig, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "RP") || !strings.Contains(out, "rwlock") {
+		t.Fatalf("rendered figure missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "x,RP") {
+		t.Fatalf("CSV section missing:\n%s", out)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SmallBuckets != 8192 || cfg.LargeBuckets != 16384 {
+		t.Fatalf("resize endpoints %d/%d, paper uses 8k/16k", cfg.SmallBuckets, cfg.LargeBuckets)
+	}
+	want := []int{1, 2, 4, 8, 16}
+	if len(cfg.Readers) != len(want) {
+		t.Fatalf("readers = %v, paper sweeps %v", cfg.Readers, want)
+	}
+	for i, r := range want {
+		if cfg.Readers[i] != r {
+			t.Fatalf("readers = %v, paper sweeps %v", cfg.Readers, want)
+		}
+	}
+}

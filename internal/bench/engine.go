@@ -1,0 +1,211 @@
+// Package bench is the microbenchmark harness that regenerates the
+// paper's evaluation figures 1–4 (fixed-size baseline, continuous
+// resize, RP resize-vs-fixed, DDDS resize-vs-fixed). It drives any
+// hash-table implementation through the Engine interface with
+// per-reader key streams and per-reader counters, and renders the
+// results as the same series the paper plots.
+package bench
+
+import (
+	"sync"
+
+	"rphash/internal/core"
+	"rphash/internal/ddds"
+	"rphash/internal/lockht"
+	"rphash/internal/xu"
+)
+
+// Lookup is a per-goroutine lookup function: each reader goroutine
+// obtains its own (tables with registered readers need one handle per
+// goroutine).
+type Lookup func(k uint64) bool
+
+// Engine abstracts a table implementation for the harness.
+type Engine interface {
+	// Name labels the series.
+	Name() string
+	// NewLookup returns a per-goroutine lookup function and a release
+	// function (may be nil).
+	NewLookup() (Lookup, func())
+	// Set upserts a key (preload and writer churn).
+	Set(k uint64, v int)
+	// Delete removes a key.
+	Delete(k uint64)
+	// Resize retargets the bucket count.
+	Resize(n uint64)
+	// Close releases the engine.
+	Close()
+}
+
+// ---- RP (the paper's algorithm; internal/core) ----
+
+type rpEngine struct{ t *core.Table[uint64, int] }
+
+// NewRP builds the relativistic-table engine with the given initial
+// bucket count.
+func NewRP(buckets uint64) Engine {
+	return &rpEngine{t: core.NewUint64[int](core.WithInitialBuckets(buckets))}
+}
+
+func (e *rpEngine) Name() string { return "RP" }
+func (e *rpEngine) NewLookup() (Lookup, func()) {
+	h := e.t.NewReadHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *rpEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *rpEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *rpEngine) Close()              { e.t.Close() }
+
+// ---- RP with QSBR readers (kernel-RCU read-side cost model) ----
+
+type rpQSBREngine struct{ t *core.Table[uint64, int] }
+
+// NewRPQSBR builds the relativistic-table engine with
+// quiescent-state-based readers: zero read-side synchronization per
+// lookup, quiescent states announced every 64 lookups. This matches
+// the read-side cost of the paper's kernel-module benchmark, where
+// rcu_read_lock is free.
+func NewRPQSBR(buckets uint64) Engine {
+	return &rpQSBREngine{t: core.NewUint64[int](core.WithInitialBuckets(buckets))}
+}
+
+func (e *rpQSBREngine) Name() string { return "RP-qsbr" }
+func (e *rpQSBREngine) NewLookup() (Lookup, func()) {
+	h := e.t.NewQSBRHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpQSBREngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *rpQSBREngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *rpQSBREngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *rpQSBREngine) Close()              { e.t.Close() }
+
+// ---- DDDS baseline ----
+
+type dddsEngine struct{ t *ddds.Table[uint64, int] }
+
+// NewDDDS builds the DDDS-style baseline engine.
+func NewDDDS(buckets uint64) Engine {
+	return &dddsEngine{t: ddds.NewUint64[int](buckets)}
+}
+
+func (e *dddsEngine) Name() string { return "DDDS" }
+func (e *dddsEngine) NewLookup() (Lookup, func()) {
+	return func(k uint64) bool {
+		_, ok := e.t.Get(k)
+		return ok
+	}, nil
+}
+func (e *dddsEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *dddsEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *dddsEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *dddsEngine) Close()              { e.t.Close() }
+
+// ---- lock-based baselines ----
+
+type lockEngine struct {
+	name string
+	t    *lockht.Table[uint64, int]
+}
+
+// NewRWLock builds the global reader-writer-lock baseline (the
+// paper's "rwlock" curve).
+func NewRWLock(buckets uint64) Engine {
+	return &lockEngine{name: "rwlock", t: lockht.NewUint64[int](lockht.RWLock, buckets)}
+}
+
+// NewMutex builds the global-mutex baseline.
+func NewMutex(buckets uint64) Engine {
+	return &lockEngine{name: "mutex", t: lockht.NewUint64[int](lockht.Mutex, buckets)}
+}
+
+// NewSharded builds the per-bucket-lock baseline (fine-grained
+// locking ablation).
+func NewSharded(buckets uint64) Engine {
+	return &lockEngine{name: "sharded", t: lockht.NewUint64[int](lockht.Sharded, buckets)}
+}
+
+func (e *lockEngine) Name() string { return e.name }
+func (e *lockEngine) NewLookup() (Lookup, func()) {
+	return func(k uint64) bool {
+		_, ok := e.t.Get(k)
+		return ok
+	}, nil
+}
+func (e *lockEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *lockEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *lockEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *lockEngine) Close()              { e.t.Close() }
+
+// ---- Xu-style two-pointer table (ablation) ----
+
+type xuEngine struct{ t *xu.Table[uint64, int] }
+
+// NewXu builds the Herbert-Xu-style two-pointer engine.
+func NewXu(buckets uint64) Engine {
+	return &xuEngine{t: xu.NewUint64[int](buckets)}
+}
+
+func (e *xuEngine) Name() string { return "xu" }
+func (e *xuEngine) NewLookup() (Lookup, func()) {
+	r := e.t.Domain().Register()
+	tbl := e.t
+	return func(k uint64) bool {
+		r.Lock()
+		_, ok := lookupXu(tbl, k)
+		r.Unlock()
+		return ok
+	}, r.Close
+}
+func (e *xuEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *xuEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *xuEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *xuEngine) Close()              { e.t.Close() }
+
+// lookupXu calls Get without the pooled read section (the caller
+// already holds one); xu.Table.Get would nest harmlessly, so this is
+// purely to keep hot-path costs comparable across engines.
+func lookupXu(t *xu.Table[uint64, int], k uint64) (int, bool) {
+	return t.Get(k)
+}
+
+// ---- sync.Map (standard-library comparator; repo extension) ----
+
+type syncMapEngine struct {
+	m sync.Map
+}
+
+// NewSyncMap builds a sync.Map-backed engine. sync.Map has no notion
+// of buckets; Resize is a no-op. It is included as a familiar
+// reference curve, not a paper baseline.
+func NewSyncMap(uint64) Engine { return &syncMapEngine{} }
+
+func (e *syncMapEngine) Name() string { return "sync.Map" }
+func (e *syncMapEngine) NewLookup() (Lookup, func()) {
+	return func(k uint64) bool {
+		_, ok := e.m.Load(k)
+		return ok
+	}, nil
+}
+func (e *syncMapEngine) Set(k uint64, v int) { e.m.Store(k, v) }
+func (e *syncMapEngine) Delete(k uint64)     { e.m.Delete(k) }
+func (e *syncMapEngine) Resize(uint64)       {}
+func (e *syncMapEngine) Close()              {}
+
+// Builders maps engine names to constructors, for the CLI.
+var Builders = map[string]func(buckets uint64) Engine{
+	"rp":      NewRP,
+	"rpqsbr":  NewRPQSBR,
+	"ddds":    NewDDDS,
+	"rwlock":  NewRWLock,
+	"mutex":   NewMutex,
+	"sharded": NewSharded,
+	"xu":      NewXu,
+	"syncmap": NewSyncMap,
+}

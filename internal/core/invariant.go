@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// checkInvariants validates the table's structural invariants. It is
+// test infrastructure, callable at any point — including between
+// unzip passes via testHookAfterUnzipPass — because the invariants it
+// checks are exactly the ones the algorithm must preserve at every
+// intermediate step:
+//
+//  1. Home reachability: every element is reachable by walking the
+//     chain of its home bucket in the current array (the paper's
+//     consistency definition: buckets are supersets, never subsets).
+//  2. No chain cycles (walks terminate within the element count).
+//  3. Hash integrity: node.hash equals hash(node.key).
+//  4. Count integrity: the number of distinct home-reachable elements
+//     equals Len().
+//
+// It runs inside one read-side critical section.
+func (t *Table[K, V]) checkInvariants() error {
+	var err error
+	t.dom.Read(func() {
+		ht := t.ht.Load()
+		total := t.count.Load()
+		limit := int(total) + len(ht.slot) + 8 // cycle bound per walk
+
+		seen := make(map[*node[K, V]]struct{}, total)
+		for i := range ht.slot {
+			steps := 0
+			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
+				if steps++; steps > limit {
+					err = fmt.Errorf("bucket %d: walk exceeded %d steps; cycle or stray link", i, limit)
+					return
+				}
+				if n.hash != t.hash(n.key) {
+					err = fmt.Errorf("bucket %d: node key %v has stale hash", i, n.key)
+					return
+				}
+				if n.hash&ht.mask == uint64(i) {
+					seen[n] = struct{}{}
+				}
+				// Foreign nodes are allowed mid-unzip; their own home
+				// walk accounts for them.
+			}
+		}
+		if int64(len(seen)) != total {
+			err = fmt.Errorf("home-reachable elements = %d, count = %d", len(seen), total)
+			return
+		}
+		// Every seen node must be found by an ordinary lookup too
+		// (reachability implies the lookup predicate matches).
+		for n := range seen {
+			found := false
+			for m := ht.bucketFor(n.hash).Load(); m != nil; m = m.next.Load() {
+				if m == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				err = fmt.Errorf("node %v not reachable from home bucket", n.key)
+				return
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,113 @@
+package core
+
+import "rphash/internal/rcu"
+
+// Get returns the value for key k. It is completely
+// synchronization-free on the read side: no locks, no atomic
+// read-modify-writes, no retries — a pooled delimited reader plus a
+// chain walk. Safe to call concurrently with any writer operation,
+// including resizes.
+//
+// Hot loops should prefer a ReadHandle, which avoids the pooled
+// reader round-trip.
+func (t *Table[K, V]) Get(k K) (V, bool) {
+	var v V
+	var ok bool
+	t.dom.Read(func() {
+		v, ok = t.lookup(k)
+	})
+	return v, ok
+}
+
+// Contains reports whether k is present.
+func (t *Table[K, V]) Contains(k K) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// lookup walks the chain for k. The caller must be inside a read-side
+// critical section of t's domain.
+func (t *Table[K, V]) lookup(k K) (V, bool) {
+	h := t.hash(k)
+	ht := t.ht.Load()
+	for n := ht.bucketFor(h).Load(); n != nil; n = n.next.Load() {
+		// During resizes chains are imprecise supersets: foreign
+		// nodes (same parent bucket, different child) may appear.
+		// Comparing hash then key filters them, exactly as the paper
+		// prescribes.
+		if n.hash == h && n.key == k {
+			return *n.val.Load(), true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Range calls fn for every element until fn returns false. The whole
+// traversal runs inside one read-side critical section, so it holds
+// up grace periods; keep fn short or use RangeChunked for large
+// tables with concurrent writers.
+//
+// Semantics under concurrency: an element present for the entire
+// traversal is visited at least once; elements inserted or deleted
+// concurrently may or may not appear. While an expansion is
+// unzipping, chains transiently contain foreign nodes; Range filters
+// them by home bucket so no element is visited twice (a key being
+// Moved is two distinct elements for this purpose and may appear
+// under both keys).
+func (t *Table[K, V]) Range(fn func(K, V) bool) {
+	t.dom.Read(func() {
+		ht := t.ht.Load()
+		for i := range ht.slot {
+			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
+				if n.hash&ht.mask != uint64(i) {
+					continue // foreign node mid-unzip; its home bucket reports it
+				}
+				if !fn(n.key, *n.val.Load()) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// Keys returns a snapshot of the keys (order unspecified).
+func (t *Table[K, V]) Keys() []K {
+	out := make([]K, 0, t.Len())
+	t.Range(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// ReadHandle is a per-goroutine lookup handle backed by a registered
+// reader. It is not safe for concurrent use; create one per reading
+// goroutine and Close it when done.
+type ReadHandle[K comparable, V any] struct {
+	t *Table[K, V]
+	r *rcu.Reader
+}
+
+// NewReadHandle registers a reader for lookup hot paths.
+func (t *Table[K, V]) NewReadHandle() *ReadHandle[K, V] {
+	return &ReadHandle[K, V]{t: t, r: t.dom.Register()}
+}
+
+// Get is the hot-path lookup: two reader-local atomic stores around a
+// chain walk.
+func (h *ReadHandle[K, V]) Get(k K) (V, bool) {
+	h.r.Lock()
+	v, ok := h.t.lookup(k)
+	h.r.Unlock()
+	return v, ok
+}
+
+// Contains reports presence via the handle's reader.
+func (h *ReadHandle[K, V]) Contains(k K) bool {
+	_, ok := h.Get(k)
+	return ok
+}
+
+// Close deregisters the handle's reader.
+func (h *ReadHandle[K, V]) Close() { h.r.Close() }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMoveBasic(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(1, 100)
+	if !tbl.Move(1, 2) {
+		t.Fatal("Move(1,2) failed")
+	}
+	if _, ok := tbl.Get(1); ok {
+		t.Fatal("old key still present after Move")
+	}
+	if v, ok := tbl.Get(2); !ok || v != 100 {
+		t.Fatalf("new key = %d,%v want 100,true", v, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestMoveFailureModes(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(1, 100)
+	tbl.Set(2, 200)
+	if tbl.Move(3, 4) {
+		t.Fatal("Move of absent key succeeded")
+	}
+	if tbl.Move(1, 2) {
+		t.Fatal("Move onto existing key succeeded")
+	}
+	if v, _ := tbl.Get(2); v != 200 {
+		t.Fatal("failed Move corrupted target")
+	}
+	if !tbl.Move(1, 1) {
+		t.Fatal("self-Move of present key should succeed")
+	}
+	if tbl.Move(99, 99) {
+		t.Fatal("self-Move of absent key should fail")
+	}
+}
+
+// TestMoveNeverAbsent checks the paper's atomic-move property as it
+// is actually guaranteed: for a single Move(A,B), a reader that
+// misses A and then probes B must find the value — the destination
+// copy is published before the source is unlinked, and with
+// sequentially consistent atomics a reader that observed the unlink
+// must subsequently observe the earlier publish. Each round uses a
+// fresh key pair and performs exactly one move, so the pair of probes
+// cannot straddle two moves (sequential probes are not a snapshot;
+// see Move's doc comment).
+func TestMoveNeverAbsent(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(8))
+	const val = 777
+	const rounds = 3000
+
+	var round atomic.Int64 // current round index; -1 = done
+	keyA := func(r int64) uint64 { return uint64(2 * r) }
+	keyB := func(r int64) uint64 { return uint64(2*r + 1) }
+
+	tbl.Set(keyA(0), val)
+
+	stop := make(chan struct{})
+	var absent atomic.Int64
+	var wrong atomic.Int64
+	var probes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := tbl.NewReadHandle()
+			defer h.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := round.Load()
+				vA, okA := h.Get(keyA(r))
+				vB, okB := h.Get(keyB(r))
+				if round.Load() != r {
+					continue // round rolled over mid-probe; not a valid sample
+				}
+				probes.Add(1)
+				if !okA && !okB {
+					absent.Add(1)
+				}
+				if (okA && vA != val) || (okB && vB != val) {
+					wrong.Add(1)
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(800 * time.Millisecond)
+	r := int64(0)
+	for ; r < rounds && time.Now().Before(deadline); r++ {
+		if !tbl.Move(keyA(r), keyB(r)) {
+			t.Fatalf("round %d: Move A->B failed", r)
+		}
+		// Set up the next round before advancing the round index so
+		// readers never probe an un-populated pair.
+		tbl.Set(keyA(r+1), val)
+		round.Store(r + 1)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := absent.Load(); n != 0 {
+		t.Fatalf("value observed absent under both keys %d times across %d rounds (%d probes)",
+			n, r, probes.Load())
+	}
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("wrong value observed %d times", n)
+	}
+	if probes.Load() == 0 {
+		t.Fatal("no valid probe samples collected")
+	}
+}
+
+// TestMoveAcrossResize: moves interleaved with resizes stay correct.
+func TestMoveDuringResizeChurn(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(16))
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		tbl.Set(i, int(i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.ExpandOnce()
+			tbl.ShrinkOnce()
+		}
+	}()
+	for i := uint64(0); i < n; i++ {
+		if !tbl.Move(i, i+10000) {
+			t.Errorf("Move(%d) failed", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tbl.Get(i + 10000); !ok || v != int(i) {
+			t.Fatalf("moved key %d = %d,%v", i+10000, v, ok)
+		}
+		if _, ok := tbl.Get(i); ok {
+			t.Fatalf("source key %d still present", i)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import "rphash/internal/hashfn"
+
+// maybeAutoResize checks the load factor against the policy
+// watermarks after a mutation and, if crossed, starts a background
+// resize. At most one auto-resize runs at a time per direction
+// trigger; the resize itself still serializes on t.mu with all
+// writers.
+func (t *Table[K, V]) maybeAutoResize() {
+	p := t.policy
+	if p.MaxLoad <= 0 && p.MinLoad <= 0 {
+		return
+	}
+	count := float64(t.count.Load())
+	nbuckets := float64(t.ht.Load().size())
+
+	if p.MaxLoad > 0 && count > p.MaxLoad*nbuckets {
+		if t.grow.pending.CompareAndSwap(false, true) {
+			go func() {
+				defer t.grow.pending.Store(false)
+				t.autoResizeTarget()
+				t.stats.autoGrows.Add(1)
+			}()
+		}
+		return
+	}
+	if p.MinLoad > 0 && nbuckets > float64(p.MinBuckets) && count < p.MinLoad*nbuckets {
+		if t.shrink.pending.CompareAndSwap(false, true) {
+			go func() {
+				defer t.shrink.pending.Store(false)
+				t.autoResizeTarget()
+				t.stats.autoShrinks.Add(1)
+			}()
+		}
+	}
+}
+
+// autoResizeTarget resizes toward a mid-band load factor so small
+// oscillations around a watermark do not thrash.
+func (t *Table[K, V]) autoResizeTarget() {
+	p := t.policy
+	count := uint64(t.count.Load())
+	if count == 0 {
+		t.Resize(p.MinBuckets)
+		return
+	}
+	// Aim for the geometric middle of the band, defaulting to 1.0
+	// element/bucket when only one watermark is set.
+	target := 1.0
+	switch {
+	case p.MaxLoad > 0 && p.MinLoad > 0:
+		target = p.MaxLoad / 2
+	case p.MaxLoad > 0:
+		target = p.MaxLoad / 2
+	case p.MinLoad > 0:
+		target = p.MinLoad * 2
+	}
+	want := hashfn.NextPowerOfTwo(uint64(float64(count)/target + 1))
+	t.Resize(want)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// waitBuckets polls until the table reaches want buckets or times out.
+func waitBuckets(t *testing.T, tbl *Table[uint64, int], cond func(int) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(tbl.Buckets()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("auto-resize did not reach target; buckets=%d len=%d", tbl.Buckets(), tbl.Len())
+}
+
+// waitAutoIdle waits for any background auto-resize to finish so the
+// test can close the table safely.
+func waitAutoIdle(tbl *Table[uint64, int]) {
+	for tbl.grow.pending.Load() || tbl.shrink.pending.Load() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAutoExpand(t *testing.T) {
+	tbl := NewUint64[int](WithInitialBuckets(8),
+		WithPolicy(Policy{MaxLoad: 2, MinBuckets: 8}))
+	defer tbl.Close()
+	defer waitAutoIdle(tbl)
+
+	for i := uint64(0); i < 256; i++ {
+		tbl.Set(i, int(i))
+	}
+	waitBuckets(t, tbl, func(b int) bool { return b >= 128 })
+	for i := uint64(0); i < 256; i++ {
+		if _, ok := tbl.Get(i); !ok {
+			t.Fatalf("key %d lost during auto-expansion", i)
+		}
+	}
+	if tbl.Stats().AutoGrows == 0 {
+		t.Fatal("AutoGrows counter did not advance")
+	}
+}
+
+func TestAutoShrink(t *testing.T) {
+	tbl := NewUint64[int](WithInitialBuckets(1024),
+		WithPolicy(Policy{MinLoad: 0.25, MinBuckets: 16}))
+	defer tbl.Close()
+	defer waitAutoIdle(tbl)
+
+	for i := uint64(0); i < 64; i++ {
+		tbl.Set(i, int(i))
+	}
+	for i := uint64(0); i < 60; i++ {
+		tbl.Delete(i)
+	}
+	waitBuckets(t, tbl, func(b int) bool { return b <= 64 })
+	if got := tbl.Buckets(); got < 16 {
+		t.Fatalf("shrank below MinBuckets: %d", got)
+	}
+	for i := uint64(60); i < 64; i++ {
+		if _, ok := tbl.Get(i); !ok {
+			t.Fatalf("key %d lost during auto-shrink", i)
+		}
+	}
+}
+
+func TestNoAutoResizeWithoutPolicy(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(8))
+	for i := uint64(0); i < 10000; i++ {
+		tbl.Set(i, int(i))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := tbl.Buckets(); got != 8 {
+		t.Fatalf("table auto-resized without a policy: buckets=%d", got)
+	}
+}
+
+func TestDefaultPolicySane(t *testing.T) {
+	p := DefaultPolicy()
+	if p.MaxLoad <= p.MinLoad || p.MinBuckets == 0 {
+		t.Fatalf("DefaultPolicy inconsistent: %+v", p)
+	}
+}
+
+func TestAutoResizeUnderChurn(t *testing.T) {
+	tbl := NewUint64[int](WithInitialBuckets(16),
+		WithPolicy(Policy{MaxLoad: 4, MinLoad: 0.1, MinBuckets: 16}))
+	defer tbl.Close()
+	defer waitAutoIdle(tbl)
+
+	// Grow phase.
+	for i := uint64(0); i < 5000; i++ {
+		tbl.Set(i, int(i))
+	}
+	waitBuckets(t, tbl, func(b int) bool { return b >= 1024 })
+	// Shrink phase.
+	for i := uint64(0); i < 4990; i++ {
+		tbl.Delete(i)
+	}
+	waitBuckets(t, tbl, func(b int) bool { return b <= 256 })
+	for i := uint64(4990); i < 5000; i++ {
+		if _, ok := tbl.Get(i); !ok {
+			t.Fatalf("survivor key %d lost", i)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQSBRHandleBasic(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(5, 50)
+	h := tbl.NewQSBRHandle()
+	defer h.Close()
+	if v, ok := h.Get(5); !ok || v != 50 {
+		t.Fatalf("QSBR Get = %d,%v", v, ok)
+	}
+	if _, ok := h.Get(6); ok {
+		t.Fatal("QSBR Get found absent key")
+	}
+}
+
+// TestQSBRHandleDoesNotStallWriters: the handle quiesces every
+// `period` lookups, so a busy QSBR reader must not block resizes.
+func TestQSBRHandleDoesNotStallWriters(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(64))
+	fill(tbl, 512)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tbl.NewQSBRHandle()
+		defer h.Close()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Get(i % 512)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		tbl.Resize(1024)
+		tbl.Resize(64)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("resize stalled behind a busy QSBR reader")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestQSBRHandleCorrectDuringResize mirrors the torture test with the
+// zero-synchronization read path.
+func TestQSBRHandleCorrectDuringResize(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(64))
+	const stable = 1024
+	fill(tbl, stable)
+
+	stop := make(chan struct{})
+	var misses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := tbl.NewQSBRHandle()
+			defer h.Close()
+			k := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k = (k*6364136223846793005 + 1442695040888963407)
+				if v, ok := h.Get(k % stable); !ok || v != int(k%stable) {
+					misses.Add(1)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	deadline := time.Now().Add(1 * time.Second)
+	for time.Now().Before(deadline) {
+		tbl.Resize(1024)
+		tbl.Resize(64)
+	}
+	close(stop)
+	wg.Wait()
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d QSBR lookups missed stable keys during resizing", n)
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQSBRExplicitQuiesce: an idle handle stalls writers until it
+// quiesces explicitly.
+func TestQSBRExplicitQuiesce(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(1, 1)
+	h := tbl.NewQSBRHandle()
+	defer h.Close()
+	h.Get(1) // inside a critical span now (period not yet reached)
+
+	done := make(chan struct{})
+	go func() {
+		tbl.Domain().Synchronize()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("grace period completed with a non-quiescent QSBR handle")
+	case <-time.After(50 * time.Millisecond):
+	}
+	h.Quiesce()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("grace period never completed after Quiesce")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickModelEquivalence drives the table with random operation
+// sequences — including resizes at arbitrary points — and checks that
+// it behaves exactly like a map[uint64]int.
+func TestQuickModelEquivalence(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  int32
+	}
+	check := func(ops []op) bool {
+		tbl := NewUint64[int](WithInitialBuckets(4))
+		defer tbl.Close()
+		model := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.Key % 512)
+			v := int(o.Val)
+			switch o.Kind % 8 {
+			case 0, 1: // Set (weighted)
+				_, existed := model[k]
+				inserted := tbl.Set(k, v)
+				if inserted == existed {
+					return false
+				}
+				model[k] = v
+			case 2: // Insert
+				_, existed := model[k]
+				if tbl.Insert(k, v) == existed {
+					return false
+				}
+				if !existed {
+					model[k] = v
+				}
+			case 3: // Replace
+				_, existed := model[k]
+				if tbl.Replace(k, v) != existed {
+					return false
+				}
+				if existed {
+					model[k] = v
+				}
+			case 4: // Delete
+				_, existed := model[k]
+				if tbl.Delete(k) != existed {
+					return false
+				}
+				delete(model, k)
+			case 5: // Get
+				wantV, want := model[k]
+				gotV, got := tbl.Get(k)
+				if got != want || (got && gotV != wantV) {
+					return false
+				}
+			case 6: // Expand
+				tbl.ExpandOnce()
+			case 7: // Shrink
+				tbl.ShrinkOnce()
+			}
+		}
+		if tbl.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			if got, ok := tbl.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		// Range agreement, too.
+		seen := map[uint64]int{}
+		tbl.Range(func(k uint64, v int) bool { seen[k] = v; return true })
+		if len(seen) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if seen[k] != v {
+				return false
+			}
+		}
+		return tbl.checkInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMoveModel verifies Move against the model: rename-if-
+// absent-target semantics.
+func TestQuickMoveModel(t *testing.T) {
+	type op struct {
+		From, To uint8
+		Seed     int16
+	}
+	check := func(ops []op) bool {
+		tbl := NewUint64[int](WithInitialBuckets(8))
+		defer tbl.Close()
+		model := map[uint64]int{}
+		for i, o := range ops {
+			from, to := uint64(o.From%64), uint64(o.To%64)
+			if i%3 == 0 { // keep populating
+				tbl.Set(from, int(o.Seed))
+				model[from] = int(o.Seed)
+			}
+			_, hasFrom := model[from]
+			_, hasTo := model[to]
+			want := hasFrom && (!hasTo || from == to)
+			if got := tbl.Move(from, to); got != want {
+				return false
+			}
+			if want && from != to {
+				model[to] = model[from]
+				delete(model, from)
+			}
+		}
+		if tbl.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := tbl.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return tbl.checkInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickResizeSequence: any sequence of power-of-two targets must
+// leave contents intact and land on the rounded target.
+func TestQuickResizeSequence(t *testing.T) {
+	check := func(targets []uint16, n uint8) bool {
+		tbl := NewUint64[int](WithInitialBuckets(2))
+		defer tbl.Close()
+		keys := uint64(n)%200 + 10
+		for i := uint64(0); i < keys; i++ {
+			tbl.Set(i, int(i))
+		}
+		for _, raw := range targets {
+			target := uint64(raw)%4096 + 1
+			tbl.Resize(target)
+			if tbl.Len() != int(keys) {
+				return false
+			}
+		}
+		for i := uint64(0); i < keys; i++ {
+			if v, ok := tbl.Get(i); !ok || v != int(i) {
+				return false
+			}
+		}
+		return tbl.checkInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

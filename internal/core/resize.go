@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"rphash/internal/hashfn"
+)
+
+// Resize grows or shrinks the table to n buckets (rounded up to a
+// power of two, floored at the policy minimum). It proceeds in
+// factor-of-two steps, each a complete zip or unzip with its own
+// grace periods, so lookups remain synchronization-free and correct
+// throughout. Resize serializes with all other writers.
+func (t *Table[K, V]) Resize(n uint64) {
+	n = hashfn.NextPowerOfTwo(max(n, t.policy.MinBuckets))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		cur := t.ht.Load().size()
+		switch {
+		case cur < n:
+			t.expandLocked()
+		case cur > n:
+			t.shrinkLocked()
+		default:
+			return
+		}
+	}
+}
+
+// shrinkLocked halves the bucket count: the paper's "zip". Steps
+// (slide titles in quotes):
+//
+//  1. "Initialize new buckets": each new bucket j adopts old chain j.
+//  2. "Link old chains": the tail of old chain j is linked to the
+//     head of old chain j+m (published store). Readers still on the
+//     old array see bucket j grow a foreign suffix — a harmless
+//     superset. Readers of old bucket j+m are untouched.
+//  3. "Publish new buckets": swap in the half-size array.
+//  4. "Wait for readers": after one grace period no reader can hold
+//     the old array.
+//  5. "Reclaim": the old array is garbage; Go's GC collects it.
+func (t *Table[K, V]) shrinkLocked() {
+	old := t.ht.Load()
+	oldSize := old.size()
+	if oldSize <= t.policy.MinBuckets || oldSize == 1 {
+		return
+	}
+	newSize := oldSize / 2
+	nb := newBuckets[K, V](newSize)
+
+	for j := uint64(0); j < newSize; j++ {
+		low := old.slot[j].Load()
+		high := old.slot[j+newSize].Load()
+		if low == nil {
+			nb.slot[j].Store(high)
+			continue
+		}
+		nb.slot[j].Store(low)
+		if high == nil {
+			continue
+		}
+		tail := low
+		for next := tail.next.Load(); next != nil; next = tail.next.Load() {
+			tail = next
+		}
+		tail.next.Store(high) // link: old-array readers see a superset
+	}
+
+	t.ht.Store(nb)      // publish
+	t.dom.Synchronize() // wait for readers; old array now unreachable
+	t.stats.shrinks.Add(1)
+}
+
+// expandLocked doubles the bucket count: the paper's "unzip".
+//
+//  1. "Initialize new buckets": child buckets b and b+m point at the
+//     first node of parent chain b that belongs to them. Chains stay
+//     interleaved ("zipped"); each child head is a superset of the
+//     child bucket.
+//  2. "Publish new buckets", then "Wait for readers": after one grace
+//     period every reader indexes the new, doubled array.
+//  3. "Unzip one step" / "Wait for readers", repeated: each pass
+//     makes at most one cut per parent chain — redirecting one
+//     pointer to skip a run of nodes that belong to the sibling
+//     child — then waits a grace period before the next pass. The
+//     grace period guarantees no reader is positioned inside a run
+//     that the next cut would detach from its traversal.
+func (t *Table[K, V]) expandLocked() {
+	old := t.ht.Load()
+	oldSize := old.size()
+	newSize := oldSize * 2
+	nb := newBuckets[K, V](newSize)
+
+	// Step 1: point each child bucket into the parent chain.
+	for i := uint64(0); i < oldSize; i++ {
+		var lowSet, highSet bool
+		for n := old.slot[i].Load(); n != nil && !(lowSet && highSet); n = n.next.Load() {
+			child := n.hash & nb.mask
+			if child == i && !lowSet {
+				nb.slot[i].Store(n)
+				lowSet = true
+			} else if child == i+oldSize && !highSet {
+				nb.slot[i+oldSize].Store(n)
+				highSet = true
+			}
+		}
+	}
+
+	// Step 2: publish and wait. After this grace period no reader
+	// walks a chain via the old array's (coarser) mask.
+	t.ht.Store(nb)
+	t.dom.Synchronize()
+
+	// Step 3: unzip passes. Cuts on different parent chains are
+	// independent, so each pass batches one cut per parent and the
+	// batch shares a single grace period — the paper's batching.
+	// (With WithUnzipGracePerCut — ablation only — each cut pays its
+	// own grace period, quantifying what batching buys.)
+	for pass := 1; ; pass++ {
+		cuts := 0
+		for i := uint64(0); i < oldSize; i++ {
+			c := t.unzipStep(nb, i, oldSize)
+			cuts += c
+			if c > 0 && t.unzipPerCutGrace {
+				t.dom.Synchronize()
+			}
+		}
+		if cuts == 0 {
+			break
+		}
+		if !t.unzipPerCutGrace {
+			t.dom.Synchronize()
+		}
+		t.stats.unzipPasses.Add(1)
+		t.stats.unzipCuts.Add(uint64(cuts))
+		if t.testHookAfterUnzipPass != nil {
+			t.testHookAfterUnzipPass(pass)
+		}
+	}
+	t.stats.expands.Add(1)
+}
+
+// unzipStep performs at most one unzip cut for the chain pair that
+// parent bucket `parent` split into (children a = parent and
+// b = parent+oldSize). It returns the number of cuts made (0 or 1).
+//
+// The cut point is re-derived from the bucket heads each pass, which
+// makes every pass self-validating:
+//
+//   - Find s, the first node reachable from BOTH child heads (the
+//     chains are suffix-sharing, so this is the classic
+//     align-lengths-then-lockstep walk).
+//   - s belongs to child `owner`. The *other* child's chain reaches s
+//     through its predecessor p. Readers of `owner` still need s's
+//     run; readers of `other` do not.
+//   - Let r be the last node of the owner-run starting at s. Cut by
+//     publishing p.next = r.next, detaching the run from `other`'s
+//     traversal only.
+//
+// Safety: p is in `other`'s exclusive prefix, so owner-readers never
+// pass through p — the cut is invisible to them. Other-readers that
+// entered before the cut may already be inside the s..r run; they
+// continue through it into nodes they still need. The caller's grace
+// period between passes guarantees that by the time the *next* cut
+// redirects a pointer inside this run, those readers are gone.
+func (t *Table[K, V]) unzipStep(nb *buckets[K, V], parent, oldSize uint64) int {
+	a, b := parent, parent+oldSize
+	headA := nb.slot[a].Load()
+	headB := nb.slot[b].Load()
+	if headA == nil || headB == nil {
+		return 0 // one child empty: nothing shared
+	}
+
+	lenA, lenB := chainLen(headA), chainLen(headB)
+	pA, pB := headA, headB
+	var prevA, prevB *node[K, V]
+	for ; lenA > lenB; lenA-- {
+		prevA, pA = pA, pA.next.Load()
+	}
+	for ; lenB > lenA; lenB-- {
+		prevB, pB = pB, pB.next.Load()
+	}
+	for pA != pB {
+		prevA, pA = pA, pA.next.Load()
+		prevB, pB = pB, pB.next.Load()
+	}
+	s := pA
+	if s == nil {
+		return 0 // chains disjoint: fully unzipped
+	}
+
+	owner := s.hash & nb.mask
+	// The cut happens on the chain that does NOT own s.
+	var prev *node[K, V]
+	var headSlot uint64
+	if owner == a {
+		prev, headSlot = prevB, b
+	} else {
+		prev, headSlot = prevA, a
+	}
+
+	// r = last node of the run of owner-nodes starting at s.
+	r := s
+	for {
+		next := r.next.Load()
+		if next == nil || next.hash&nb.mask != owner {
+			break
+		}
+		r = next
+	}
+	after := r.next.Load()
+	if prev == nil {
+		// Cannot occur while heads are initialized to own-bucket
+		// nodes, but handle it so the step stays self-contained.
+		nb.slot[headSlot].Store(after)
+	} else {
+		prev.next.Store(after)
+	}
+	return 1
+}
+
+func chainLen[K comparable, V any](n *node[K, V]) int {
+	l := 0
+	for ; n != nil; n = n.next.Load() {
+		l++
+	}
+	return l
+}
+
+// ExpandOnce doubles the table once (exported for tests and the
+// benchmark driver's precise 8k<->16k toggling).
+func (t *Table[K, V]) ExpandOnce() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expandLocked()
+}
+
+// ShrinkOnce halves the table once (no-op at the policy floor).
+func (t *Table[K, V]) ShrinkOnce() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shrinkLocked()
+}
+
+// String describes the table shape for debugging.
+func (t *Table[K, V]) String() string {
+	return fmt.Sprintf("core.Table{len=%d buckets=%d}", t.Len(), t.Buckets())
+}

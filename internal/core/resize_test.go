@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+
+	"rphash/internal/rcu"
+)
+
+func fill(tbl *Table[uint64, int], n uint64) {
+	for i := uint64(0); i < n; i++ {
+		tbl.Set(i, int(i))
+	}
+}
+
+func verifyAll(t *testing.T, tbl *Table[uint64, int], n uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v after resize", i, v, ok)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandPreservesContents(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(4))
+	fill(tbl, 1000)
+	for tbl.Buckets() < 1024 {
+		tbl.ExpandOnce()
+		verifyAll(t, tbl, 1000)
+	}
+}
+
+func TestShrinkPreservesContents(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(1024))
+	fill(tbl, 1000)
+	for tbl.Buckets() > 1 {
+		tbl.ShrinkOnce()
+		verifyAll(t, tbl, 1000)
+	}
+	if tbl.Buckets() != 1 {
+		t.Fatalf("Buckets = %d, want 1", tbl.Buckets())
+	}
+}
+
+func TestResizeJumps(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(8))
+	fill(tbl, 500)
+	for _, target := range []uint64{512, 16, 2048, 1, 64} {
+		tbl.Resize(target)
+		if got := uint64(tbl.Buckets()); got != target {
+			t.Fatalf("Resize(%d): Buckets = %d", target, got)
+		}
+		verifyAll(t, tbl, 500)
+	}
+}
+
+func TestResizeRoundsUp(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(8))
+	tbl.Resize(100)
+	if got := tbl.Buckets(); got != 128 {
+		t.Fatalf("Resize(100): Buckets = %d, want 128", got)
+	}
+}
+
+func TestResizeEmptyTable(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(4))
+	tbl.Resize(64)
+	tbl.Resize(1)
+	tbl.Resize(16)
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tbl.Len())
+	}
+	tbl.Set(3, 3)
+	if v, ok := tbl.Get(3); !ok || v != 3 {
+		t.Fatalf("Get after empty resizes = %d,%v", v, ok)
+	}
+}
+
+func TestShrinkFloorsAtMinBuckets(t *testing.T) {
+	tbl := NewUint64[int](WithInitialBuckets(64), WithPolicy(Policy{MinBuckets: 16}))
+	defer tbl.Close()
+	tbl.Resize(1)
+	if got := tbl.Buckets(); got != 16 {
+		t.Fatalf("Buckets = %d, want policy floor 16", got)
+	}
+}
+
+// TestExpandAllKeysOneBucket: adversarial hash puts every key into
+// bucket 0; the sibling child is empty, so unzip must terminate with
+// zero cuts on most parents and the chain must stay intact.
+func TestExpandAllKeysOneBucket(t *testing.T) {
+	tbl := New[uint64, int](func(uint64) uint64 { return 0 })
+	defer tbl.Close()
+	for i := uint64(0); i < 50; i++ {
+		tbl.Set(i, int(i))
+	}
+	tbl.ExpandOnce()
+	tbl.ExpandOnce()
+	for i := uint64(0); i < 50; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpandAlternatingChain: a hash crafted so one parent chain
+// alternates children every node — the worst case for unzip (one run
+// per node, maximum passes).
+func TestExpandAlternatingChain(t *testing.T) {
+	// With 1 initial bucket and this hash, keys alternate between
+	// child buckets 0 and 1 after one expansion.
+	tbl := New[uint64, int](func(k uint64) uint64 { return k }, WithInitialBuckets(1))
+	defer tbl.Close()
+	const n = 16
+	for i := uint64(0); i < n; i++ {
+		tbl.Set(i, int(i))
+	}
+	before := tbl.Stats()
+	tbl.ExpandOnce()
+	after := tbl.Stats()
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if after.UnzipCuts <= before.UnzipCuts {
+		t.Fatal("alternating chain expansion should require unzip cuts")
+	}
+	if after.UnzipPasses <= before.UnzipPasses {
+		t.Fatal("alternating chain expansion should require multiple passes")
+	}
+}
+
+// TestUnzipInvariantEveryPass uses the test hook to assert, after
+// every single unzip pass (i.e. in the states concurrent readers
+// actually observe), that every element is still reachable from its
+// home bucket.
+func TestUnzipInvariantEveryPass(t *testing.T) {
+	tbl := New[uint64, int](func(k uint64) uint64 { return k }, WithInitialBuckets(2))
+	defer tbl.Close()
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		tbl.Set(i, int(i))
+	}
+	passes := 0
+	tbl.testHookAfterUnzipPass = func(pass int) {
+		passes++
+		if err := tbl.checkInvariants(); err != nil {
+			t.Errorf("invariant violated after unzip pass %d: %v", pass, err)
+		}
+		// Every key must be individually findable mid-unzip.
+		for i := uint64(0); i < n; i += 7 {
+			if _, ok := tbl.Get(i); !ok {
+				t.Errorf("key %d unreachable after unzip pass %d", i, pass)
+			}
+		}
+	}
+	for tbl.Buckets() < 64 {
+		tbl.ExpandOnce()
+	}
+	if passes == 0 {
+		t.Fatal("test hook never ran; unzip made no passes")
+	}
+}
+
+// TestExpandUsesGracePeriods: each unzip pass must be separated by a
+// grace period — count them via the domain.
+func TestExpandUsesGracePeriods(t *testing.T) {
+	dom := rcu.NewDomain()
+	defer dom.Close()
+	tbl := New[uint64, int](func(k uint64) uint64 { return k },
+		WithInitialBuckets(1), WithDomain(dom))
+	for i := uint64(0); i < 32; i++ {
+		tbl.Set(i, int(i))
+	}
+	before := dom.Stats().GracePeriods
+	tbl.ExpandOnce()
+	after := dom.Stats().GracePeriods
+	passes := tbl.Stats().UnzipPasses
+	// One grace period after publish + one per cutting pass.
+	if after-before < passes+1 {
+		t.Fatalf("grace periods %d..%d do not cover publish + %d passes",
+			before, after, passes)
+	}
+}
+
+// TestShrinkThenExpandRoundTrip stresses repeated direction changes.
+func TestShrinkExpandRoundTrips(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(256))
+	fill(tbl, 2000)
+	for round := 0; round < 4; round++ {
+		tbl.Resize(16)
+		verifyAll(t, tbl, 2000)
+		tbl.Resize(512)
+		verifyAll(t, tbl, 2000)
+	}
+}
+
+// TestMutationsBetweenResizes interleaves updates with resizes to
+// catch stale-array bugs in the writer paths.
+func TestMutationsBetweenResizes(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(4))
+	live := map[uint64]int{}
+	k := uint64(0)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 50; i++ {
+			tbl.Set(k, int(k))
+			live[k] = int(k)
+			k++
+		}
+		if round%3 == 0 {
+			for del := k - 25; del < k; del += 3 {
+				tbl.Delete(del)
+				delete(live, del)
+			}
+		}
+		if round%2 == 0 {
+			tbl.ExpandOnce()
+		} else {
+			tbl.ShrinkOnce()
+		}
+		if tbl.Len() != len(live) {
+			t.Fatalf("round %d: Len = %d, want %d", round, tbl.Len(), len(live))
+		}
+	}
+	for key, want := range live {
+		if v, ok := tbl.Get(key); !ok || v != want {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", key, v, ok, want)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// tableStats holds the table's internal counters.
+type tableStats struct {
+	inserts     atomic.Uint64
+	deletes     atomic.Uint64
+	moves       atomic.Uint64
+	expands     atomic.Uint64
+	shrinks     atomic.Uint64
+	unzipPasses atomic.Uint64
+	unzipCuts   atomic.Uint64
+	autoGrows   atomic.Uint64
+	autoShrinks atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of table metrics.
+type Stats struct {
+	Len         int
+	Buckets     int
+	LoadFactor  float64
+	MaxChain    int
+	Inserts     uint64
+	Deletes     uint64
+	Moves       uint64
+	Expands     uint64
+	Shrinks     uint64
+	UnzipPasses uint64 // grace-period-separated passes across all expands
+	UnzipCuts   uint64 // individual pointer cuts across all expands
+	AutoGrows   uint64
+	AutoShrinks uint64
+}
+
+// Stats gathers a snapshot. MaxChain walks every bucket inside one
+// read-side section; on huge tables prefer sampling via Buckets/Len.
+func (t *Table[K, V]) Stats() Stats {
+	s := Stats{
+		Len:         t.Len(),
+		Buckets:     t.Buckets(),
+		Inserts:     t.stats.inserts.Load(),
+		Deletes:     t.stats.deletes.Load(),
+		Moves:       t.stats.moves.Load(),
+		Expands:     t.stats.expands.Load(),
+		Shrinks:     t.stats.shrinks.Load(),
+		UnzipPasses: t.stats.unzipPasses.Load(),
+		UnzipCuts:   t.stats.unzipCuts.Load(),
+		AutoGrows:   t.stats.autoGrows.Load(),
+		AutoShrinks: t.stats.autoShrinks.Load(),
+	}
+	if s.Buckets > 0 {
+		s.LoadFactor = float64(s.Len) / float64(s.Buckets)
+	}
+	t.dom.Read(func() {
+		ht := t.ht.Load()
+		for i := range ht.slot {
+			l := 0
+			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
+				l++
+			}
+			if l > s.MaxChain {
+				s.MaxChain = l
+			}
+		}
+	})
+	return s
+}
+
+// String renders the headline numbers.
+func (s Stats) String() string {
+	return fmt.Sprintf("len=%d buckets=%d load=%.2f maxchain=%d expands=%d shrinks=%d unzip(passes=%d cuts=%d)",
+		s.Len, s.Buckets, s.LoadFactor, s.MaxChain, s.Expands, s.Shrinks, s.UnzipPasses, s.UnzipCuts)
+}

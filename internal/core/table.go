@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution: a
+// resizable, open-chaining hash table whose lookups are completely
+// synchronization-free ("relativistic") even while the table expands
+// or shrinks underneath them.
+//
+// The consistency contract, verbatim from the paper: a reader
+// traversing a hash bucket always observes every element that belongs
+// to that bucket; observing extra (foreign) elements is harmless
+// because readers compare keys anyway. Every mutation — insert,
+// delete, move, zip-shrink, unzip-expand — preserves that superset
+// invariant at every intermediate step, using only pointer
+// publication and wait-for-readers from internal/rcu.
+//
+// Writers (including resizes) serialize on a per-table mutex; readers
+// never take it. This matches the paper's evaluation, which measures
+// lookup scalability against a single background resizer.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rphash/internal/hashfn"
+	"rphash/internal/rcu"
+)
+
+// node is a chain element. hash and key are immutable after
+// publication; val is swapped atomically by Set/Replace so readers
+// always observe a complete value.
+type node[K comparable, V any] struct {
+	next atomic.Pointer[node[K, V]]
+	val  atomic.Pointer[V]
+	hash uint64
+	key  K
+}
+
+// buckets is one immutable-size bucket array. The table swaps whole
+// arrays on resize; readers capture one array pointer per operation
+// and use its mask consistently throughout the traversal.
+type buckets[K comparable, V any] struct {
+	mask uint64 // len(slot)-1
+	slot []atomic.Pointer[node[K, V]]
+}
+
+func newBuckets[K comparable, V any](n uint64) *buckets[K, V] {
+	return &buckets[K, V]{
+		mask: n - 1,
+		slot: make([]atomic.Pointer[node[K, V]], n),
+	}
+}
+
+func (b *buckets[K, V]) size() uint64 { return b.mask + 1 }
+
+// Table is a resizable relativistic hash table. Create with New; the
+// zero value is not usable.
+type Table[K comparable, V any] struct {
+	ht   atomic.Pointer[buckets[K, V]]
+	dom  *rcu.Domain
+	hash func(K) uint64
+
+	mu    sync.Mutex // serializes Insert/Set/Delete/Move/Resize
+	count atomic.Int64
+
+	ownDom bool
+	policy Policy
+	grow   resizeTrigger
+	shrink resizeTrigger
+
+	// unzipPerCutGrace disables the paper's batching of unzip cuts:
+	// instead of one grace period per pass (covering one cut in every
+	// parent chain), a grace period follows every individual cut.
+	// Exists for the ablation benchmarks; always false in normal use.
+	unzipPerCutGrace bool
+
+	stats tableStats
+
+	// testHookAfterUnzipPass, when set (tests only), runs after each
+	// unzip pass's grace period with the table mutex still held, so
+	// tests can assert the mid-resize reachability invariant.
+	testHookAfterUnzipPass func(pass int)
+}
+
+// Policy controls automatic resizing. A zero MaxLoad disables
+// auto-expansion; a zero MinLoad disables auto-shrinking.
+type Policy struct {
+	// MaxLoad is the elements-per-bucket ratio above which the table
+	// schedules a background expansion.
+	MaxLoad float64
+	// MinLoad is the ratio below which the table schedules a
+	// background shrink (never below MinBuckets).
+	MinLoad float64
+	// MinBuckets is the floor for shrinking and the default initial
+	// size. Rounded up to a power of two.
+	MinBuckets uint64
+}
+
+type resizeTrigger struct {
+	pending atomic.Bool
+}
+
+type config struct {
+	dom         *rcu.Domain
+	initial     uint64
+	policy      Policy
+	perCutGrace bool
+}
+
+// Option configures a Table at construction.
+type Option func(*config)
+
+// WithDomain shares an existing RCU domain instead of creating one.
+// Tables sharing a domain share grace periods; Close will not close a
+// shared domain.
+func WithDomain(d *rcu.Domain) Option { return func(c *config) { c.dom = d } }
+
+// WithInitialBuckets sets the initial bucket count (rounded up to a
+// power of two, minimum 1).
+func WithInitialBuckets(n uint64) Option { return func(c *config) { c.initial = n } }
+
+// WithPolicy installs an automatic resize policy.
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithUnzipGracePerCut disables unzip-cut batching (ablation only):
+// every pointer cut gets its own grace period instead of sharing one
+// per pass. Resizes become dramatically slower; lookups are
+// unaffected. See DESIGN.md §5.3 and the A2 ablation.
+func WithUnzipGracePerCut() Option { return func(c *config) { c.perCutGrace = true } }
+
+// DefaultPolicy is a sensible general-purpose auto-resize policy:
+// expand beyond 2 elements/bucket, shrink below 0.25, floor of 64
+// buckets.
+func DefaultPolicy() Policy { return Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: 64} }
+
+// New creates a table using hash to map keys to 64-bit hashes. The
+// hash must be deterministic for the lifetime of the table.
+func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] {
+	cfg := config{initial: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.policy.MinBuckets == 0 {
+		cfg.policy.MinBuckets = 1
+	}
+	cfg.policy.MinBuckets = hashfn.NextPowerOfTwo(cfg.policy.MinBuckets)
+	if cfg.initial < cfg.policy.MinBuckets {
+		cfg.initial = cfg.policy.MinBuckets
+	}
+	cfg.initial = hashfn.NextPowerOfTwo(cfg.initial)
+
+	t := &Table[K, V]{hash: hash, policy: cfg.policy, unzipPerCutGrace: cfg.perCutGrace}
+	if cfg.dom != nil {
+		t.dom = cfg.dom
+	} else {
+		t.dom = rcu.NewDomain()
+		t.ownDom = true
+	}
+	t.ht.Store(newBuckets[K, V](cfg.initial))
+	return t
+}
+
+// NewUint64 creates a table keyed by uint64 using the repository's
+// standard integer mix.
+func NewUint64[V any](opts ...Option) *Table[uint64, V] {
+	return New[uint64, V](func(k uint64) uint64 { return hashfn.Uint64(k, 0) }, opts...)
+}
+
+// NewString creates a table keyed by string using seeded FNV-1a with
+// an avalanche finalizer.
+func NewString[V any](opts ...Option) *Table[string, V] {
+	return New[string, V](func(k string) uint64 { return hashfn.String(k, 0) }, opts...)
+}
+
+// Domain exposes the table's RCU domain, e.g. for callers that want
+// to run multi-lookup read sections or share the domain across
+// structures.
+func (t *Table[K, V]) Domain() *rcu.Domain { return t.dom }
+
+// Len returns the number of elements (exact with respect to completed
+// updates).
+func (t *Table[K, V]) Len() int { return int(t.count.Load()) }
+
+// Buckets returns the current bucket count. It may change immediately
+// afterwards if a resize is in flight.
+func (t *Table[K, V]) Buckets() int { return int(t.ht.Load().size()) }
+
+// Close releases the table's domain if the table created it. The
+// table must not be used afterwards.
+func (t *Table[K, V]) Close() {
+	if t.ownDom {
+		t.dom.Close()
+	}
+}
+
+// bucketFor returns the chain head slot for a hash in array b.
+func (b *buckets[K, V]) bucketFor(h uint64) *atomic.Pointer[node[K, V]] {
+	return &b.slot[h&b.mask]
+}

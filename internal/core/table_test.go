@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rphash/internal/hashfn"
+)
+
+func newT(t testing.TB, opts ...Option) *Table[uint64, int] {
+	t.Helper()
+	tbl := NewUint64[int](opts...)
+	t.Cleanup(tbl.Close)
+	return tbl
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := newT(t)
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tbl.Len())
+	}
+	if _, ok := tbl.Get(42); ok {
+		t.Fatal("Get on empty table returned true")
+	}
+	if tbl.Delete(42) {
+		t.Fatal("Delete on empty table returned true")
+	}
+	if tbl.Contains(0) {
+		t.Fatal("Contains(0) on empty table")
+	}
+	if got := tbl.Keys(); len(got) != 0 {
+		t.Fatalf("Keys = %v, want empty", got)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tbl := newT(t)
+	if !tbl.Set(1, 100) {
+		t.Fatal("first Set should report insertion")
+	}
+	if v, ok := tbl.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d,%v want 100,true", v, ok)
+	}
+	if tbl.Set(1, 200) {
+		t.Fatal("second Set of same key should report replacement")
+	}
+	if v, _ := tbl.Get(1); v != 200 {
+		t.Fatalf("Get after replace = %d, want 200", v)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestInsertOnlyIfAbsent(t *testing.T) {
+	tbl := newT(t)
+	if !tbl.Insert(7, 1) {
+		t.Fatal("Insert of absent key failed")
+	}
+	if tbl.Insert(7, 2) {
+		t.Fatal("Insert of present key succeeded")
+	}
+	if v, _ := tbl.Get(7); v != 1 {
+		t.Fatalf("Insert overwrote: got %d want 1", v)
+	}
+}
+
+func TestReplaceOnlyIfPresent(t *testing.T) {
+	tbl := newT(t)
+	if tbl.Replace(5, 9) {
+		t.Fatal("Replace of absent key succeeded")
+	}
+	tbl.Set(5, 1)
+	if !tbl.Replace(5, 9) {
+		t.Fatal("Replace of present key failed")
+	}
+	if v, _ := tbl.Get(5); v != 9 {
+		t.Fatalf("value = %d, want 9", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := newT(t)
+	for i := uint64(0); i < 100; i++ {
+		tbl.Set(i, int(i))
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		if !tbl.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tbl.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tbl.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		_, ok := tbl.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(0, 0)
+	if v, ok := tbl.Get(0); !ok || v != 0 {
+		t.Fatalf("zero key/value roundtrip: %d,%v", v, ok)
+	}
+}
+
+func TestCollisionChains(t *testing.T) {
+	// A constant hash forces every key into one bucket: all chain
+	// paths (head/middle/tail operations) get exercised.
+	tbl := New[uint64, int](func(uint64) uint64 { return 12345 })
+	defer tbl.Close()
+	for i := uint64(0); i < 20; i++ {
+		tbl.Set(i, int(i*10))
+	}
+	for i := uint64(0); i < 20; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i*10) {
+			t.Fatalf("collision Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tbl.Get(999); ok {
+		t.Fatal("absent key found in collision chain")
+	}
+	// Delete middle, head (most recent insert), tail (first insert).
+	for _, k := range []uint64{10, 19, 0} {
+		if !tbl.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tbl.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", tbl.Len())
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringTable(t *testing.T) {
+	tbl := NewString[string]()
+	defer tbl.Close()
+	tbl.Set("alpha", "a")
+	tbl.Set("beta", "b")
+	if v, ok := tbl.Get("alpha"); !ok || v != "a" {
+		t.Fatalf("Get(alpha) = %q,%v", v, ok)
+	}
+	if _, ok := tbl.Get("gamma"); ok {
+		t.Fatal("absent string key found")
+	}
+}
+
+func TestRange(t *testing.T) {
+	tbl := newT(t)
+	want := map[uint64]int{}
+	for i := uint64(0); i < 500; i++ {
+		tbl.Set(i, int(i))
+		want[i] = int(i)
+	}
+	got := map[uint64]int{}
+	tbl.Range(func(k uint64, v int) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("Range visited key %d twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.Range(func(uint64, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early-stop Range visited %d, want 10", n)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	tbl := newT(t)
+	for i := uint64(0); i < 32; i++ {
+		tbl.Set(i, 0)
+	}
+	ks := tbl.Keys()
+	if len(ks) != 32 {
+		t.Fatalf("Keys len = %d, want 32", len(ks))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range ks {
+		seen[k] = true
+	}
+	if len(seen) != 32 {
+		t.Fatal("Keys contained duplicates")
+	}
+}
+
+func TestReadHandle(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(11, 42)
+	h := tbl.NewReadHandle()
+	defer h.Close()
+	if v, ok := h.Get(11); !ok || v != 42 {
+		t.Fatalf("handle Get = %d,%v", v, ok)
+	}
+	if h.Contains(12) {
+		t.Fatal("handle Contains(12) = true")
+	}
+}
+
+func TestInitialBucketsRounding(t *testing.T) {
+	tbl := NewUint64[int](WithInitialBuckets(100))
+	defer tbl.Close()
+	if got := tbl.Buckets(); got != 128 {
+		t.Fatalf("Buckets = %d, want 128 (rounded up)", got)
+	}
+	tbl2 := NewUint64[int](WithInitialBuckets(0))
+	defer tbl2.Close()
+	if got := tbl2.Buckets(); !hashfn.IsPowerOfTwo(uint64(got)) {
+		t.Fatalf("Buckets = %d, want a power of two", got)
+	}
+}
+
+func TestLargePopulation(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(1024))
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		tbl.Set(i, int(i))
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), n)
+	}
+	for i := uint64(0); i < n; i += 97 {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(1, 1)
+	tbl.Set(2, 2)
+	tbl.Delete(1)
+	tbl.ExpandOnce()
+	tbl.ShrinkOnce()
+	s := tbl.Stats()
+	if s.Inserts != 2 || s.Deletes != 1 || s.Expands != 1 || s.Shrinks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Len != 1 || s.LoadFactor <= 0 || s.MaxChain < 1 {
+		t.Fatalf("derived stats = %+v", s)
+	}
+	if s.String() == "" || tbl.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestTableStringer(t *testing.T) {
+	tbl := newT(t)
+	tbl.Set(1, 1)
+	want := fmt.Sprintf("core.Table{len=1 buckets=%d}", tbl.Buckets())
+	if got := tbl.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

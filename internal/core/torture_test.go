@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTortureLookupsDuringContinuousResize is the repository's
+// distillation of the paper's headline claim: lookups running with no
+// synchronization whatsoever remain correct while the table
+// continuously doubles and halves. A set of "stable" keys is inserted
+// up front and never touched; every reader asserts that every stable
+// key it probes is found, at full speed, for the whole test.
+func TestTortureLookupsDuringContinuousResize(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(64))
+	const stable = 2048
+	fill(tbl, stable)
+
+	stop := make(chan struct{})
+	var misses atomic.Int64
+	var lookups atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tbl.NewReadHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				if v, ok := h.Get(k); !ok || v != int(k) {
+					misses.Add(1)
+				}
+				lookups.Add(1)
+			}
+		}(int64(g))
+	}
+
+	// Resizer: continuous 64 <-> 1024 toggling, like the paper's
+	// continuous-resize benchmark.
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	cycles := 0
+	for time.Now().Before(deadline) {
+		tbl.Resize(1024)
+		tbl.Resize(64)
+		cycles++
+	}
+	close(stop)
+	wg.Wait()
+
+	if cycles < 2 {
+		t.Skipf("machine too slow to complete resize cycles (%d)", cycles)
+	}
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d/%d lookups missed a stable key during %d resize cycles",
+			n, lookups.Load(), cycles)
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d lookups across %d resize cycles, 0 misses", lookups.Load(), cycles)
+}
+
+// TestTortureMixedWritersAndResize adds writer churn on a disjoint
+// volatile key range while readers assert the stable range, and a
+// dedicated goroutine flips table sizes.
+func TestTortureMixedWritersAndResize(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(128))
+	const stable = 512
+	const volatileBase = 1 << 20
+	fill(tbl, stable)
+
+	stop := make(chan struct{})
+	var misses atomic.Int64
+	var wg sync.WaitGroup
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tbl.NewReadHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				if _, ok := h.Get(k); !ok {
+					misses.Add(1)
+				}
+			}
+		}(int64(g + 100))
+	}
+
+	// Two writers on the volatile range.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := volatileBase + uint64(rng.Intn(4096))
+				switch rng.Intn(3) {
+				case 0:
+					tbl.Set(k, int(k))
+				case 1:
+					tbl.Delete(k)
+				case 2:
+					tbl.Move(k, k+100000)
+				}
+			}
+		}(int64(g + 200))
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.ExpandOnce()
+			tbl.ShrinkOnce()
+		}
+	}()
+
+	time.Sleep(1200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d lookups missed stable keys under writer+resize churn", n)
+	}
+	// Stable range must be fully intact afterwards.
+	for i := uint64(0); i < stable; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("stable key %d = %d,%v after churn", i, v, ok)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureRangeDuringResize: Range must visit every stable element
+// exactly once per traversal even when resizes race it.
+func TestTortureRangeDuringResize(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(32))
+	const stable = 256
+	fill(tbl, stable)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.Resize(512)
+			tbl.Resize(32)
+		}
+	}()
+
+	deadline := time.Now().Add(800 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		counts := make(map[uint64]int, stable)
+		tbl.Range(func(k uint64, v int) bool {
+			counts[k]++
+			return true
+		})
+		for k := uint64(0); k < stable; k++ {
+			switch counts[k] {
+			case 1:
+			case 0:
+				t.Errorf("Range missed stable key %d", k)
+			default:
+				t.Errorf("Range visited key %d %d times", k, counts[k])
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentWritersSerialize checks writer-side linearizability of
+// distinct-key updates under the writer mutex with concurrent
+// resizes: all writes must land.
+func TestConcurrentWritersSerialize(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(16))
+	const perWriter = 2000
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perWriter; i++ {
+				tbl.Set(base+i, int(base+i))
+			}
+		}(uint64(w) * 1_000_000)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			tbl.ExpandOnce()
+		}
+	}()
+	wg.Wait()
+	if got, want := tbl.Len(), writers*perWriter; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		base := uint64(w) * 1_000_000
+		for i := uint64(0); i < perWriter; i += 37 {
+			if v, ok := tbl.Get(base + i); !ok || v != int(base+i) {
+				t.Fatalf("Get(%d) = %d,%v", base+i, v, ok)
+			}
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

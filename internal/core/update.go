@@ -1,0 +1,166 @@
+package core
+
+// Writer-side operations. All serialize on t.mu; none ever blocks a
+// reader. Each follows the relativistic discipline: fully initialize,
+// then publish with a single pointer store; destructive steps happen
+// only after the structure is consistent for every possible reader
+// trajectory.
+
+// Set inserts or replaces the value for k, returning true if the key
+// was newly inserted.
+func (t *Table[K, V]) Set(k K, v V) bool {
+	h := t.hash(k)
+	t.mu.Lock()
+	if n := t.findLocked(h, k); n != nil {
+		// In-place relativistic value replacement: readers observe
+		// either the complete old or complete new value.
+		n.val.Store(&v)
+		t.mu.Unlock()
+		return false
+	}
+	t.insertLocked(h, k, v)
+	t.mu.Unlock()
+	t.maybeAutoResize()
+	return true
+}
+
+// Insert adds k only if absent; it reports whether it inserted.
+func (t *Table[K, V]) Insert(k K, v V) bool {
+	h := t.hash(k)
+	t.mu.Lock()
+	if t.findLocked(h, k) != nil {
+		t.mu.Unlock()
+		return false
+	}
+	t.insertLocked(h, k, v)
+	t.mu.Unlock()
+	t.maybeAutoResize()
+	return true
+}
+
+// Replace updates the value only if k is present; it reports whether
+// it replaced.
+func (t *Table[K, V]) Replace(k K, v V) bool {
+	h := t.hash(k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.findLocked(h, k)
+	if n == nil {
+		return false
+	}
+	n.val.Store(&v)
+	return true
+}
+
+// Delete removes k, reporting whether it was present. The unlinked
+// node is retired through the domain's deferred reclaimer after a
+// grace period (readers that still hold it may finish their walk).
+func (t *Table[K, V]) Delete(k K) bool {
+	h := t.hash(k)
+	t.mu.Lock()
+	ht := t.ht.Load()
+	slot := ht.bucketFor(h)
+	var prev *node[K, V]
+	for n := slot.Load(); n != nil; n = n.next.Load() {
+		if n.hash == h && n.key == k {
+			next := n.next.Load()
+			if prev == nil {
+				slot.Store(next)
+			} else {
+				prev.next.Store(next)
+			}
+			t.count.Add(-1)
+			t.stats.deletes.Add(1)
+			victim := n
+			t.mu.Unlock()
+			t.dom.Defer(func() {
+				// Unreachable to all readers now; severing next keeps
+				// a captured node from pinning the live chain for GC.
+				victim.next.Store(nil)
+			})
+			t.maybeAutoResize()
+			return true
+		}
+		prev = n
+	}
+	t.mu.Unlock()
+	return false
+}
+
+// Move renames oldKey to newKey. It fails if oldKey is absent or
+// newKey already exists.
+//
+// Concurrency guarantee (the paper's "atomic move" from prior work):
+// the value is never absent from the table — the newKey copy is
+// published before the oldKey node is unlinked. Consequently a reader
+// that looks up oldKey, misses, and then looks up newKey is
+// guaranteed to find the value, provided no second Move of the same
+// value raced the pair of probes (sequential probes are not a
+// snapshot; no reader-side scheme can make them one). A concurrent
+// reader may transiently observe the value under both keys.
+func (t *Table[K, V]) Move(oldKey, newKey K) bool {
+	if oldKey == newKey {
+		return t.Contains(oldKey)
+	}
+	oh, nh := t.hash(oldKey), t.hash(newKey)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	src := t.findLocked(oh, oldKey)
+	if src == nil || t.findLocked(nh, newKey) != nil {
+		return false
+	}
+	// Publish the copy first (value shared via the same pointer), so
+	// there is no instant with the value unreachable.
+	ht := t.ht.Load()
+	cp := &node[K, V]{hash: nh, key: newKey}
+	cp.val.Store(src.val.Load())
+	slot := ht.bucketFor(nh)
+	cp.next.Store(slot.Load())
+	slot.Store(cp)
+	t.stats.moves.Add(1)
+
+	// Now unlink the original.
+	oslot := ht.bucketFor(oh)
+	var prev *node[K, V]
+	for n := oslot.Load(); n != nil; n = n.next.Load() {
+		if n == src {
+			if prev == nil {
+				oslot.Store(n.next.Load())
+			} else {
+				prev.next.Store(n.next.Load())
+			}
+			break
+		}
+		prev = n
+	}
+	victim := src
+	t.dom.Defer(func() { victim.next.Store(nil) })
+	return true
+}
+
+// findLocked returns the node for (h,k) in the current array, or nil.
+// Caller holds t.mu.
+func (t *Table[K, V]) findLocked(h uint64, k K) *node[K, V] {
+	ht := t.ht.Load()
+	for n := ht.bucketFor(h).Load(); n != nil; n = n.next.Load() {
+		if n.hash == h && n.key == k {
+			return n
+		}
+	}
+	return nil
+}
+
+// insertLocked publishes a new node at its bucket head. Caller holds
+// t.mu. Head insertion is always safe, even mid-unzip: unzip passes
+// only redirect interior next pointers of pre-existing nodes, never
+// bucket heads.
+func (t *Table[K, V]) insertLocked(h uint64, k K, v V) {
+	ht := t.ht.Load()
+	n := &node[K, V]{hash: h, key: k}
+	n.val.Store(&v)
+	slot := ht.bucketFor(h)
+	n.next.Store(slot.Load()) // initialize ...
+	slot.Store(n)             // ... then publish
+	t.count.Add(1)
+	t.stats.inserts.Add(1)
+}

@@ -1,0 +1,82 @@
+// Package hashfn provides the hash functions used by every table in
+// this repository. They are deterministic across runs (unlike
+// hash/maphash) so benchmark workloads and bucket distributions are
+// reproducible, and they are written for the open-chaining tables'
+// needs: the low bits must be well mixed, because bucket selection is
+// hash & (nbuckets-1) with power-of-two nbuckets, and expansion
+// splits a bucket on the next higher bit.
+package hashfn
+
+import "math/bits"
+
+// SplitMix64 is the finalizer of the splitmix64 generator — a full
+// 64-bit avalanche mix. It is the standard choice for hashing integer
+// keys into power-of-two bucket arrays.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint64 hashes an integer key with an optional seed. A zero seed is
+// valid and is what the tables use by default.
+func Uint64(x, seed uint64) uint64 {
+	return SplitMix64(x ^ (seed * 0xff51afd7ed558ccd))
+}
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Bytes hashes a byte slice with FNV-1a and a final avalanche mix.
+// Plain FNV-1a has weak low-bit diffusion for short keys; the
+// SplitMix64 finalizer fixes that for masked bucket selection.
+func Bytes(b []byte, seed uint64) uint64 {
+	h := uint64(fnvOffset64) ^ seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return SplitMix64(h)
+}
+
+// String hashes a string; same function as Bytes without allocation.
+func String(s string, seed uint64) uint64 {
+	h := uint64(fnvOffset64) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return SplitMix64(h)
+}
+
+// Reverse64 reverses the bits of x. Split-ordered and recursive-split
+// analyses of bucket parentage use it; exposed for tests that verify
+// the expand/shrink parent-child bucket relation.
+func Reverse64(x uint64) uint64 { return bits.Reverse64(x) }
+
+// BucketOf returns the bucket index for a hash in a table of n
+// buckets. n must be a power of two.
+func BucketOf(hash, n uint64) uint64 { return hash & (n - 1) }
+
+// ParentBucket returns the bucket in a table of half the size that a
+// bucket of an n-bucket table unzips from / zips into.
+func ParentBucket(bucket, n uint64) uint64 { return bucket & (n/2 - 1) }
+
+// BuddyBucket returns, for a bucket in a table of n buckets that is
+// about to double, the second child bucket its chain unzips into (the
+// first child keeps the same index).
+func BuddyBucket(bucket, n uint64) uint64 { return bucket + n }
+
+// IsPowerOfTwo reports whether n is a power of two (and nonzero).
+func IsPowerOfTwo(n uint64) bool { return n != 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo rounds n up to the nearest power of two, minimum 1.
+func NextPowerOfTwo(n uint64) uint64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(n-1))
+}

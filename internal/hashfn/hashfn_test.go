@@ -1,0 +1,182 @@
+package hashfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownVectors(t *testing.T) {
+	// Spot-check canonical outputs of the splitmix64 finalizer
+	// (Steele, Lea, Flood; matches the xorshift reference code and
+	// the JDK SplittableRandom stream seeded at 0 and 1).
+	if got := SplitMix64(0); got != 0xe220a8397b1dcdaf {
+		t.Errorf("SplitMix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+	if got := SplitMix64(1); got != 0x910a2dec89025cc1 {
+		t.Errorf("SplitMix64(1) = %#x, want 0x910a2dec89025cc1", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if SplitMix64(12345) != SplitMix64(12345) {
+		t.Fatal("SplitMix64 not deterministic")
+	}
+	if Bytes([]byte("hello"), 7) != Bytes([]byte("hello"), 7) {
+		t.Fatal("Bytes not deterministic")
+	}
+	if String("hello", 7) != Bytes([]byte("hello"), 7) {
+		t.Fatal("String and Bytes disagree on identical input")
+	}
+}
+
+func TestSeedChangesHash(t *testing.T) {
+	if Uint64(42, 1) == Uint64(42, 2) {
+		t.Error("different seeds should give different integer hashes")
+	}
+	if String("key", 1) == String("key", 2) {
+		t.Error("different seeds should give different string hashes")
+	}
+}
+
+// TestAvalancheLowBits: flipping any single input bit should flip each
+// of the low 16 output bits with probability near 1/2. The tables mask
+// hashes with small powers of two, so low-bit diffusion is the
+// property that actually matters.
+func TestAvalancheLowBits(t *testing.T) {
+	const trials = 2000
+	rng := rand.New(rand.NewSource(1))
+	for bit := 0; bit < 64; bit += 7 { // sample of input bits
+		flips := make([]int, 16)
+		for i := 0; i < trials; i++ {
+			x := rng.Uint64()
+			a := SplitMix64(x)
+			b := SplitMix64(x ^ (1 << bit))
+			d := a ^ b
+			for o := 0; o < 16; o++ {
+				if d&(1<<o) != 0 {
+					flips[o]++
+				}
+			}
+		}
+		for o, f := range flips {
+			p := float64(f) / trials
+			if math.Abs(p-0.5) > 0.08 {
+				t.Errorf("input bit %d -> output bit %d flip rate %.3f, want ~0.5", bit, o, p)
+			}
+		}
+	}
+}
+
+// TestBucketUniformity: hashing sequential integers must spread evenly
+// over a power-of-two bucket array (chi-squared sanity bound).
+func TestBucketUniformity(t *testing.T) {
+	const n = 1 << 10
+	const keys = 1 << 16
+	counts := make([]int, n)
+	for i := uint64(0); i < keys; i++ {
+		counts[BucketOf(Uint64(i, 0), n)]++
+	}
+	mean := float64(keys) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	// dof = n-1 = 1023; mean 1023, sd ~sqrt(2*1023)~45. 5 sigma ~ 1250.
+	if chi2 > 1250 {
+		t.Errorf("chi-squared %.1f too high for uniform bucket spread", chi2)
+	}
+}
+
+func TestStringUniformity(t *testing.T) {
+	const n = 1 << 8
+	counts := make([]int, n)
+	buf := make([]byte, 0, 16)
+	for i := 0; i < 1<<14; i++ {
+		buf = buf[:0]
+		buf = append(buf, "key:"...)
+		for v := i; ; v /= 10 {
+			buf = append(buf, byte('0'+v%10))
+			if v < 10 {
+				break
+			}
+		}
+		counts[BucketOf(Bytes(buf, 0), n)]++
+	}
+	mean := float64(1<<14) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	if chi2 > 420 { // dof 255, 5+ sigma
+		t.Errorf("chi-squared %.1f too high for string bucket spread", chi2)
+	}
+}
+
+func TestParentBuddyRelation(t *testing.T) {
+	// In a table doubling from m to 2m: bucket b of the old table
+	// splits into children b and b+m; both children's parent is b.
+	check := func(hash uint64) bool {
+		const m = 1 << 6
+		oldB := BucketOf(hash, m)
+		newB := BucketOf(hash, 2*m)
+		if ParentBucket(newB, 2*m) != oldB {
+			return false
+		}
+		return newB == oldB || newB == BuddyBucket(oldB, m)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		in   uint64
+		pow  bool
+		next uint64
+	}{
+		{0, false, 1}, {1, true, 1}, {2, true, 2}, {3, false, 4},
+		{4, true, 4}, {5, false, 8}, {1023, false, 1024}, {1024, true, 1024},
+		{1 << 40, true, 1 << 40}, {(1 << 40) + 1, false, 1 << 41},
+	} {
+		if got := IsPowerOfTwo(tc.in); got != tc.pow {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", tc.in, got, tc.pow)
+		}
+		if got := NextPowerOfTwo(tc.in); got != tc.next {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", tc.in, got, tc.next)
+		}
+	}
+}
+
+func TestReverse64(t *testing.T) {
+	if Reverse64(1) != 1<<63 {
+		t.Error("Reverse64(1) should set the top bit")
+	}
+	if err := quick.Check(func(x uint64) bool {
+		return Reverse64(Reverse64(x)) == x
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSplitMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += SplitMix64(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkString16(b *testing.B) {
+	s := "client:conn:0042"
+	b.SetBytes(int64(len(s)))
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += String(s, 0)
+	}
+	_ = acc
+}

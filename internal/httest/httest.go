@@ -1,0 +1,252 @@
+// Package httest is a conformance suite shared by every hash-table
+// implementation in this repository (the relativistic core and all
+// baselines). Each table package wraps its type in the Map interface
+// and runs the same behavioural, property-based and concurrency
+// checks, so "baseline" never means "less tested".
+package httest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Map is the uniform uint64->int table contract the suite exercises.
+type Map interface {
+	// Get returns the value for k.
+	Get(k uint64) (int, bool)
+	// Set upserts and reports whether k was newly inserted.
+	Set(k uint64, v int) bool
+	// Delete removes k and reports whether it was present.
+	Delete(k uint64) bool
+	// Len returns the element count.
+	Len() int
+	// Resize rehashes/retargets to n buckets (rounded as the
+	// implementation documents).
+	Resize(n uint64)
+	// Buckets returns the current bucket count.
+	Buckets() int
+	// Close releases resources.
+	Close()
+}
+
+// Factory builds a fresh table with roughly n initial buckets.
+type Factory func(n uint64) Map
+
+// RunAll executes the whole conformance suite.
+func RunAll(t *testing.T, mk Factory) {
+	t.Run("Basic", func(t *testing.T) { RunBasic(t, mk) })
+	t.Run("Model", func(t *testing.T) { RunModel(t, mk) })
+	t.Run("ResizePreserves", func(t *testing.T) { RunResizePreserves(t, mk) })
+	t.Run("TortureStableReaders", func(t *testing.T) { RunTortureStableReaders(t, mk) })
+	t.Run("ConcurrentWriters", func(t *testing.T) { RunConcurrentWriters(t, mk) })
+}
+
+// RunBasic covers the single-threaded contract.
+func RunBasic(t *testing.T, mk Factory) {
+	m := mk(16)
+	defer m.Close()
+
+	if m.Len() != 0 {
+		t.Fatalf("new table Len = %d", m.Len())
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("Get on empty table succeeded")
+	}
+	if !m.Set(1, 10) {
+		t.Fatal("first Set did not report insertion")
+	}
+	if m.Set(1, 20) {
+		t.Fatal("second Set reported insertion")
+	}
+	if v, ok := m.Get(1); !ok || v != 20 {
+		t.Fatalf("Get(1) = %d,%v want 20,true", v, ok)
+	}
+	if !m.Delete(1) || m.Delete(1) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+	// Zero key and value round-trip.
+	m.Set(0, 0)
+	if v, ok := m.Get(0); !ok || v != 0 {
+		t.Fatalf("zero roundtrip = %d,%v", v, ok)
+	}
+}
+
+// RunModel is the property-based map-equivalence check, including
+// resizes at random points.
+func RunModel(t *testing.T, mk Factory) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  int32
+	}
+	check := func(ops []op) bool {
+		m := mk(4)
+		defer m.Close()
+		model := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.Key % 256)
+			switch o.Kind % 6 {
+			case 0, 1, 2: // Set
+				_, existed := model[k]
+				if m.Set(k, int(o.Val)) == existed {
+					return false
+				}
+				model[k] = int(o.Val)
+			case 3: // Delete
+				_, existed := model[k]
+				if m.Delete(k) != existed {
+					return false
+				}
+				delete(model, k)
+			case 4: // Get
+				wantV, want := model[k]
+				gotV, got := m.Get(k)
+				if got != want || (got && gotV != wantV) {
+					return false
+				}
+			case 5: // Resize
+				m.Resize(uint64(o.Key)%512 + 1)
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := m.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RunResizePreserves grows and shrinks across a wide range and
+// verifies contents at each step.
+func RunResizePreserves(t *testing.T, mk Factory) {
+	m := mk(8)
+	defer m.Close()
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		m.Set(i, int(i))
+	}
+	for _, target := range []uint64{1024, 4, 8192, 1, 256} {
+		m.Resize(target)
+		if m.Len() != n {
+			t.Fatalf("Resize(%d): Len = %d, want %d", target, m.Len(), n)
+		}
+		for i := uint64(0); i < n; i += 13 {
+			if v, ok := m.Get(i); !ok || v != int(i) {
+				t.Fatalf("Resize(%d): Get(%d) = %d,%v", target, i, v, ok)
+			}
+		}
+	}
+}
+
+// RunTortureStableReaders runs readers asserting a fixed key set
+// while a resizer thrashes the bucket count and writers churn a
+// disjoint range. Every implementation must pass; only the
+// performance differs.
+func RunTortureStableReaders(t *testing.T, mk Factory) {
+	m := mk(64)
+	defer m.Close()
+	const stable = 1024
+	for i := uint64(0); i < stable; i++ {
+		m.Set(i, int(i))
+	}
+
+	stop := make(chan struct{})
+	var misses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				if v, ok := m.Get(k); !ok || v != int(k) {
+					misses.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := stable + uint64(rand.Intn(4096))
+			m.Set(k, 1)
+			m.Delete(k)
+		}
+	}()
+
+	deadline := time.Now().Add(700 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		m.Resize(1024)
+		m.Resize(64)
+	}
+	close(stop)
+	wg.Wait()
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d lookups missed stable keys during resize churn", n)
+	}
+}
+
+// RunConcurrentWriters verifies all writes land under write-write and
+// write-resize races.
+func RunConcurrentWriters(t *testing.T, mk Factory) {
+	m := mk(16)
+	defer m.Close()
+	const writers = 4
+	const per = 1500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				m.Set(base+i, int(base+i))
+			}
+		}(uint64(w) << 32)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			m.Resize(2048)
+			m.Resize(32)
+		}
+	}()
+	wg.Wait()
+	if got := m.Len(); got != writers*per {
+		t.Fatalf("Len = %d, want %d", got, writers*per)
+	}
+	for w := 0; w < writers; w++ {
+		base := uint64(w) << 32
+		for i := uint64(0); i < per; i += 31 {
+			if v, ok := m.Get(base + i); !ok || v != int(base+i) {
+				t.Fatalf("Get(%d) = %d,%v", base+i, v, ok)
+			}
+		}
+	}
+}

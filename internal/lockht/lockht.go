@@ -1,0 +1,283 @@
+// Package lockht implements the lock-based hash tables the paper
+// benchmarks against: a chained table guarded by a single
+// reader-writer lock (the paper's "rwlock" curve), plus global-mutex
+// and sharded per-bucket-lock variants for ablation.
+//
+// These tables are deliberately conventional. Every reader acquires a
+// lock, which means every lookup performs atomic read-modify-write
+// operations on a shared cache line; that — not the critical section —
+// is what flattens the rwlock curve in the paper's Figure 1 ("no
+// actual reader parallelism; readers get serialized" by cache-line
+// bouncing on the lock word).
+package lockht
+
+import (
+	"sync"
+
+	"rphash/internal/hashfn"
+)
+
+// node is a chain element; all access is under the table's lock(s).
+type node[K comparable, V any] struct {
+	next *node[K, V]
+	hash uint64
+	key  K
+	val  V
+}
+
+// Mode selects the locking strategy.
+type Mode int
+
+const (
+	// RWLock guards the whole table with one sync.RWMutex: readers
+	// take RLock. This is the paper's rwlock baseline.
+	RWLock Mode = iota
+	// Mutex guards the whole table with one sync.Mutex (readers and
+	// writers fully serialized) — the memcached "global cache lock"
+	// model.
+	Mutex
+	// Sharded guards buckets with a fixed array of reader-writer
+	// locks (disjoint-access parallelism; "fine-grained locking" in
+	// the paper's taxonomy). Resizes take every shard lock.
+	Sharded
+)
+
+const numShards = 64
+
+// Table is a lock-based chained hash table keyed by K.
+type Table[K comparable, V any] struct {
+	mode   Mode
+	hash   func(K) uint64
+	rw     sync.RWMutex
+	mu     sync.Mutex
+	shards [numShards]sync.RWMutex
+
+	// guarded by the table lock(s)
+	mask uint64
+	slot []*node[K, V]
+	size int
+}
+
+// New creates a table with the given locking mode, hash function and
+// initial bucket count (rounded up to a power of two, minimum 1, and
+// at least numShards in Sharded mode so shards map onto buckets).
+func New[K comparable, V any](mode Mode, hash func(K) uint64, buckets uint64) *Table[K, V] {
+	if mode == Sharded && buckets < numShards {
+		buckets = numShards
+	}
+	n := hashfn.NextPowerOfTwo(max(buckets, 1))
+	return &Table[K, V]{
+		mode: mode,
+		hash: hash,
+		mask: n - 1,
+		slot: make([]*node[K, V], n),
+	}
+}
+
+// NewUint64 builds a uint64-keyed table with the standard mix.
+func NewUint64[V any](mode Mode, buckets uint64) *Table[uint64, V] {
+	return New[uint64, V](mode, func(k uint64) uint64 { return hashfn.Uint64(k, 0) }, buckets)
+}
+
+// lockRead acquires the read-side lock covering hash h.
+func (t *Table[K, V]) lockRead(h uint64) func() {
+	switch t.mode {
+	case RWLock:
+		t.rw.RLock()
+		return t.rw.RUnlock
+	case Mutex:
+		t.mu.Lock()
+		return t.mu.Unlock
+	default:
+		s := &t.shards[h%numShards]
+		s.RLock()
+		return s.RUnlock
+	}
+}
+
+// lockWrite acquires the write-side lock covering hash h.
+func (t *Table[K, V]) lockWrite(h uint64) func() {
+	switch t.mode {
+	case RWLock:
+		t.rw.Lock()
+		return t.rw.Unlock
+	case Mutex:
+		t.mu.Lock()
+		return t.mu.Unlock
+	default:
+		s := &t.shards[h%numShards]
+		s.Lock()
+		return s.Unlock
+	}
+}
+
+// lockAll acquires exclusive access to the whole table (resize).
+func (t *Table[K, V]) lockAll() func() {
+	switch t.mode {
+	case RWLock:
+		t.rw.Lock()
+		return t.rw.Unlock
+	case Mutex:
+		t.mu.Lock()
+		return t.mu.Unlock
+	default:
+		for i := range t.shards {
+			t.shards[i].Lock()
+		}
+		return func() {
+			for i := range t.shards {
+				t.shards[i].Unlock()
+			}
+		}
+	}
+}
+
+// Get returns the value for k.
+func (t *Table[K, V]) Get(k K) (V, bool) {
+	h := t.hash(k)
+	unlock := t.lockRead(h)
+	defer unlock()
+	for n := t.slot[h&t.mask]; n != nil; n = n.next {
+		if n.hash == h && n.key == k {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Set upserts k and reports whether it inserted a new key.
+func (t *Table[K, V]) Set(k K, v V) bool {
+	h := t.hash(k)
+	unlock := t.lockWrite(h)
+	defer unlock()
+	i := h & t.mask
+	for n := t.slot[i]; n != nil; n = n.next {
+		if n.hash == h && n.key == k {
+			n.val = v
+			return false
+		}
+	}
+	t.slot[i] = &node[K, V]{next: t.slot[i], hash: h, key: k, val: v}
+	t.addSize(1)
+	return true
+}
+
+// Delete removes k and reports whether it was present.
+func (t *Table[K, V]) Delete(k K) bool {
+	h := t.hash(k)
+	unlock := t.lockWrite(h)
+	defer unlock()
+	i := h & t.mask
+	var prev *node[K, V]
+	for n := t.slot[i]; n != nil; n = n.next {
+		if n.hash == h && n.key == k {
+			if prev == nil {
+				t.slot[i] = n.next
+			} else {
+				prev.next = n.next
+			}
+			t.addSize(-1)
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+func (t *Table[K, V]) addSize(d int) {
+	if t.mode == Sharded {
+		// Bucket locks do not serialize cross-shard counter updates;
+		// piggyback on the global mutex (uncontended in this mode).
+		t.mu.Lock()
+		t.size += d
+		t.mu.Unlock()
+		return
+	}
+	t.size += d
+}
+
+// Len returns the element count.
+func (t *Table[K, V]) Len() int {
+	if t.mode == Sharded {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.size
+	}
+	unlock := t.lockRead(0)
+	defer unlock()
+	return t.size
+}
+
+// Buckets returns the bucket count.
+func (t *Table[K, V]) Buckets() int {
+	unlock := t.lockRead(0)
+	defer unlock()
+	return len(t.slot)
+}
+
+// Resize rehashes into n buckets (rounded up to a power of two). The
+// whole table is locked for the duration — the conventional cost the
+// paper's algorithm avoids.
+func (t *Table[K, V]) Resize(n uint64) {
+	if t.mode == Sharded && n < numShards {
+		n = numShards
+	}
+	n = hashfn.NextPowerOfTwo(max(n, 1))
+	unlock := t.lockAll()
+	defer unlock()
+	if uint64(len(t.slot)) == n {
+		return
+	}
+	fresh := make([]*node[K, V], n)
+	mask := n - 1
+	for _, head := range t.slot {
+		for nd := head; nd != nil; {
+			next := nd.next
+			i := nd.hash & mask
+			nd.next = fresh[i]
+			fresh[i] = nd
+			nd = next
+		}
+	}
+	t.slot = fresh
+	t.mask = mask
+}
+
+// Range calls fn for each element until it returns false, holding the
+// read lock(s) for the duration.
+func (t *Table[K, V]) Range(fn func(K, V) bool) {
+	unlock := t.lockAllRead()
+	defer unlock()
+	for _, head := range t.slot {
+		for n := head; n != nil; n = n.next {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Table[K, V]) lockAllRead() func() {
+	switch t.mode {
+	case RWLock:
+		t.rw.RLock()
+		return t.rw.RUnlock
+	case Mutex:
+		t.mu.Lock()
+		return t.mu.Unlock
+	default:
+		for i := range t.shards {
+			t.shards[i].RLock()
+		}
+		return func() {
+			for i := range t.shards {
+				t.shards[i].RUnlock()
+			}
+		}
+	}
+}
+
+// Close releases resources (none for lock tables; present for the
+// shared Map contract).
+func (t *Table[K, V]) Close() {}

@@ -1,0 +1,89 @@
+package lockht
+
+import (
+	"testing"
+
+	"rphash/internal/httest"
+)
+
+func factory(mode Mode) httest.Factory {
+	return func(n uint64) httest.Map {
+		return NewUint64[int](mode, n)
+	}
+}
+
+func TestConformanceRWLock(t *testing.T)  { httest.RunAll(t, factory(RWLock)) }
+func TestConformanceMutex(t *testing.T)   { httest.RunAll(t, factory(Mutex)) }
+func TestConformanceSharded(t *testing.T) { httest.RunAll(t, factory(Sharded)) }
+
+func TestShardedFloorsBuckets(t *testing.T) {
+	tbl := NewUint64[int](Sharded, 4)
+	defer tbl.Close()
+	if got := tbl.Buckets(); got < numShards {
+		t.Fatalf("Sharded Buckets = %d, want >= %d so shard locks cover whole buckets", got, numShards)
+	}
+	tbl.Resize(2)
+	if got := tbl.Buckets(); got < numShards {
+		t.Fatalf("Sharded Resize went below shard floor: %d", got)
+	}
+}
+
+func TestRangeAllModes(t *testing.T) {
+	for _, mode := range []Mode{RWLock, Mutex, Sharded} {
+		tbl := NewUint64[int](mode, 64)
+		for i := uint64(0); i < 100; i++ {
+			tbl.Set(i, int(i))
+		}
+		seen := 0
+		tbl.Range(func(k uint64, v int) bool {
+			if int(k) != v {
+				t.Fatalf("mode %d: Range pair %d=%d", mode, k, v)
+			}
+			seen++
+			return true
+		})
+		if seen != 100 {
+			t.Fatalf("mode %d: Range visited %d, want 100", mode, seen)
+		}
+		// Early stop.
+		n := 0
+		tbl.Range(func(uint64, int) bool { n++; return false })
+		if n != 1 {
+			t.Fatalf("mode %d: early-stop Range visited %d", mode, n)
+		}
+		tbl.Close()
+	}
+}
+
+func TestResizeRehashesChains(t *testing.T) {
+	tbl := NewUint64[int](RWLock, 2)
+	defer tbl.Close()
+	for i := uint64(0); i < 1000; i++ {
+		tbl.Set(i, int(i))
+	}
+	tbl.Resize(1024)
+	if got := tbl.Buckets(); got != 1024 {
+		t.Fatalf("Buckets = %d, want 1024", got)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v after rehash", i, v, ok)
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tbl := New[string, int](Mutex, func(s string) uint64 {
+		var h uint64
+		for i := 0; i < len(s); i++ {
+			h = h*31 + uint64(s[i])
+		}
+		return h
+	}, 16)
+	defer tbl.Close()
+	tbl.Set("a", 1)
+	tbl.Set("b", 2)
+	if v, ok := tbl.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+}

@@ -1,0 +1,146 @@
+package mcbench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rphash/internal/memcache"
+	"rphash/internal/stats"
+)
+
+// FigureConfig parameterizes the paper's memcached figure (requests/s
+// vs mc-benchmark processes, curves RP GET / default GET / default
+// SET / RP SET).
+type FigureConfig struct {
+	// Processes is the x-axis sweep (paper: 1..12).
+	Processes []int
+	// ConnsPerProcess, Keys, ValueSize, Duration, Warm as in Config.
+	ConnsPerProcess int
+	Keys            uint64
+	ValueSize       int
+	Duration        time.Duration
+	Warm            time.Duration
+	Pipeline        int
+	MultiGet        int
+	// Repeats measures each point this many times, keeping the median.
+	Repeats int
+}
+
+// DefaultFigureConfig mirrors the paper's sweep.
+func DefaultFigureConfig() FigureConfig {
+	procs := make([]int, 12)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	return FigureConfig{
+		Processes:       procs,
+		ConnsPerProcess: 1,
+		Keys:            10000,
+		ValueSize:       100,
+		Duration:        400 * time.Millisecond,
+		Warm:            50 * time.Millisecond,
+		Pipeline:        4,
+		// 16-key multigets amortize protocol bytes over table work so
+		// the storage engine, not the loopback socket, is what the
+		// figure measures on small hosts (see EXPERIMENTS.md).
+		MultiGet: 16,
+		Repeats:  3,
+	}
+}
+
+// engine starts an in-process server with the named store.
+func startServer(engine string) (*memcache.Server, string, error) {
+	var store memcache.Store
+	switch engine {
+	case "rp":
+		store = memcache.NewRPStore(0)
+	case "lock":
+		store = memcache.NewLockStore(0)
+	default:
+		return nil, "", fmt.Errorf("mcbench: unknown engine %q", engine)
+	}
+	srv := memcache.NewServer(store, time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		return nil, "", err
+	}
+	go srv.Serve(ln) //nolint:errcheck // shut down via Close
+	return srv, ln.Addr().String(), nil
+}
+
+// measure runs one series: requests/s (thousands) vs process count,
+// best of cfg.Repeats runs per point (see internal/bench's
+// measureSeries for why best-of-N on a small shared host).
+func measure(name, engine string, op Op, cfg FigureConfig) (stats.Series, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	s := stats.Series{Name: name}
+	// One server and one preload per series: the workload neither
+	// grows nor evicts, so state carries across points, and the sweep
+	// spends its wall time measuring rather than preloading.
+	srv, addr, err := startServer(engine)
+	if err != nil {
+		return s, err
+	}
+	defer srv.Close()
+	if err := Preload(addr, cfg.Keys, cfg.ValueSize); err != nil {
+		return s, fmt.Errorf("preload %s: %w", name, err)
+	}
+	for _, procs := range cfg.Processes {
+		best := 0.0
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			ops, err := Run(Config{
+				Addr:            addr,
+				Processes:       procs,
+				ConnsPerProcess: cfg.ConnsPerProcess,
+				Op:              op,
+				Keys:            cfg.Keys,
+				ValueSize:       cfg.ValueSize,
+				Duration:        cfg.Duration,
+				Warm:            cfg.Warm,
+				Pipeline:        cfg.Pipeline,
+				MultiGet:        cfg.MultiGet,
+			})
+			if err != nil {
+				return s, fmt.Errorf("run %s procs=%d: %w", name, procs, err)
+			}
+			if ops > best {
+				best = ops
+			}
+		}
+		s.Add(float64(procs), best/1e3) // thousands of requests/second
+	}
+	return s, nil
+}
+
+// Fig5 regenerates the paper's "memcached results" figure.
+func Fig5(cfg FigureConfig) (stats.Figure, error) {
+	if len(cfg.Processes) == 0 {
+		cfg = DefaultFigureConfig()
+	}
+	fig := stats.Figure{
+		Title:  "Figure 5: memcached with relativistic hash table vs stock global lock",
+		XLabel: "mc-benchmark processes",
+		YLabel: "requests/second (thousands)",
+	}
+	for _, run := range []struct {
+		name   string
+		engine string
+		op     Op
+	}{
+		{"RP GET", "rp", GET},
+		{"default GET", "lock", GET},
+		{"default SET", "lock", SET},
+		{"RP SET", "rp", SET},
+	} {
+		s, err := measure(run.name, run.engine, run.op, cfg)
+		if err != nil {
+			return fig, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,327 @@
+// Package mcbench is the load generator for the paper's memcached
+// experiment — the moral equivalent of the mc-benchmark tool the
+// paper drives its figure with: N independent client "processes"
+// (goroutine groups with private TCP connections) issue closed-loop
+// GET-only or SET-only load against a memcached-protocol server and
+// report aggregate requests/second.
+package mcbench
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"rphash/internal/stats"
+	"rphash/internal/workload"
+)
+
+// Op selects the benchmark operation.
+type Op int
+
+// Benchmark operations.
+const (
+	GET Op = iota
+	SET
+)
+
+// String names the op like the paper's series labels.
+func (o Op) String() string {
+	if o == GET {
+		return "GET"
+	}
+	return "SET"
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Processes is the number of independent client groups.
+	Processes int
+	// ConnsPerProcess is how many connections each group multiplexes
+	// (mc-benchmark uses tens; loopback saturates with few).
+	ConnsPerProcess int
+	// Op is GET or SET.
+	Op Op
+	// Keys is the keyspace size; keys are "key:%012d".
+	Keys uint64
+	// ValueSize is the SET payload size in bytes.
+	ValueSize int
+	// Duration is the measured interval.
+	Duration time.Duration
+	// Warm is the unmeasured warmup interval.
+	Warm time.Duration
+	// Pipeline is the number of requests in flight per connection
+	// (1 = strict request/response like stock mc-benchmark).
+	Pipeline int
+	// MultiGet batches this many keys into each get command (GET
+	// runs only). Each fetched key counts as one request, matching
+	// how memcached deployments and the paper's workload amortize
+	// protocol overhead over store lookups.
+	MultiGet int
+}
+
+// fillDefaults applies the defaults the figure runner uses.
+func (c *Config) fillDefaults() {
+	if c.Processes <= 0 {
+		c.Processes = 1
+	}
+	if c.ConnsPerProcess <= 0 {
+		c.ConnsPerProcess = 4
+	}
+	if c.Keys == 0 {
+		c.Keys = 10000
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 500 * time.Millisecond
+	}
+	if c.Warm <= 0 {
+		c.Warm = 50 * time.Millisecond
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.MultiGet <= 0 {
+		c.MultiGet = 1
+	}
+}
+
+// FormatKey renders key i in mc-benchmark's style.
+func FormatKey(i uint64) string {
+	return fmt.Sprintf("key:%012d", i)
+}
+
+// Preload stores every key in the keyspace so GET runs measure hits.
+func Preload(addr string, keys uint64, valueSize int) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	w := bufio.NewWriterSize(nc, 64<<10)
+	r := bufio.NewReaderSize(nc, 64<<10)
+	payload := bytes.Repeat([]byte{'x'}, valueSize)
+	for i := uint64(0); i < keys; i++ {
+		fmt.Fprintf(w, "set %s 0 0 %d\r\n", FormatKey(i), valueSize)
+		w.Write(payload)
+		w.WriteString("\r\n")
+		// Flush in batches; read replies in batches to keep the
+		// socket from deadlocking on full buffers.
+		if i%128 == 127 || i == keys-1 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			for j := i - (i % 128); j <= i; j++ {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				if line != "STORED\r\n" {
+					return fmt.Errorf("mcbench: preload got %q", line)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes one measurement and returns aggregate requests/second.
+func Run(cfg Config) (float64, error) {
+	cfg.fillDefaults()
+
+	totalConns := cfg.Processes * cfg.ConnsPerProcess
+	counters := stats.NewCounterSet(totalConns)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	stopWarm := make(chan struct{})
+	stop := make(chan struct{})
+	errCh := make(chan error, totalConns)
+
+	for p := 0; p < cfg.Processes; p++ {
+		for ci := 0; ci < cfg.ConnsPerProcess; ci++ {
+			id := p*cfg.ConnsPerProcess + ci
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				if err := runConn(cfg, id, counters.Slot(id), start, stopWarm, stop); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+			}(id)
+		}
+	}
+
+	close(start)
+	time.Sleep(cfg.Warm)
+	close(stopWarm)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(counters.Total()) / elapsed.Seconds(), nil
+}
+
+// runConn drives one connection's closed loop.
+func runConn(cfg Config, id int, slot *stats.PaddedCounter,
+	start, stopWarm, stop <-chan struct{}) error {
+
+	nc, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	w := bufio.NewWriterSize(nc, 16<<10)
+	r := bufio.NewReaderSize(nc, 16<<10)
+	gen := workload.NewUniform(cfg.Keys, uint64(id)*0x9e3779b97f4a7c15+7)
+	payload := bytes.Repeat([]byte{'y'}, cfg.ValueSize)
+
+	// Pre-rendered keys and a reusable request buffer keep client-side
+	// CPU out of the measurement (clients and server share the host).
+	keys := renderedKeys(cfg.Keys)
+	sizeStr := strconv.Itoa(cfg.ValueSize)
+	req := make([]byte, 0, 4096)
+
+	<-start
+	warmed := false
+	var local uint64
+	flushCount := func() {
+		slot.Add(local)
+		local = 0
+	}
+	defer flushCount()
+
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if !warmed {
+			select {
+			case <-stopWarm:
+				warmed = true
+				local = 0
+			default:
+			}
+		}
+
+		// Issue cfg.Pipeline requests, then read their replies.
+		req = req[:0]
+		for i := 0; i < cfg.Pipeline; i++ {
+			if cfg.Op == GET {
+				req = append(req, "get"...)
+				for j := 0; j < cfg.MultiGet; j++ {
+					req = append(req, ' ')
+					req = append(req, keys[gen.Key()]...)
+				}
+				req = append(req, '\r', '\n')
+			} else {
+				req = append(req, "set "...)
+				req = append(req, keys[gen.Key()]...)
+				req = append(req, " 0 0 "...)
+				req = append(req, sizeStr...)
+				req = append(req, '\r', '\n')
+				req = append(req, payload...)
+				req = append(req, '\r', '\n')
+			}
+		}
+		if _, err := w.Write(req); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Pipeline; i++ {
+			if cfg.Op == GET {
+				got, err := readGetReply(r)
+				if err != nil {
+					return err
+				}
+				if warmed {
+					local += uint64(got)
+				}
+			} else {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				if line != "STORED\r\n" {
+					return fmt.Errorf("mcbench: set got %q", line)
+				}
+				if warmed {
+					local++
+				}
+			}
+		}
+	}
+}
+
+// renderedKeys returns the keyspace pre-formatted. Key sets are small
+// (default 10k ~ 160KB); sharing one render per connection is cheap.
+func renderedKeys(n uint64) []string {
+	out := make([]string, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = FormatKey(i)
+	}
+	return out
+}
+
+// readGetReply consumes one get response — any number of VALUE blocks
+// terminated by END — and returns the hit count.
+func readGetReply(r *bufio.Reader) (int, error) {
+	hits := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return hits, err
+		}
+		if line == "END\r\n" {
+			return hits, nil
+		}
+		if len(line) < 6 || line[:6] != "VALUE " {
+			return hits, fmt.Errorf("mcbench: get got %q", line)
+		}
+		// VALUE <key> <flags> <bytes>\r\n — size is the last field.
+		fieldsStr := line[6 : len(line)-2]
+		sz := 0
+		if i := lastSpace(fieldsStr); i >= 0 {
+			sz, err = strconv.Atoi(fieldsStr[i+1:])
+			if err != nil {
+				return hits, fmt.Errorf("mcbench: bad VALUE size in %q", line)
+			}
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(sz)+2); err != nil {
+			return hits, err
+		}
+		hits++
+	}
+}
+
+func lastSpace(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return -1
+}

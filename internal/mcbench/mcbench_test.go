@@ -1,0 +1,130 @@
+package mcbench
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rphash/internal/memcache"
+)
+
+func startTestServerAddr(t *testing.T, engine string) string {
+	t.Helper()
+	var store memcache.Store
+	if engine == "rp" {
+		store = memcache.NewRPStore(0)
+	} else {
+		store = memcache.NewLockStore(0)
+	}
+	srv := memcache.NewServer(store, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestFormatKey(t *testing.T) {
+	if got := FormatKey(42); got != "key:000000000042" {
+		t.Fatalf("FormatKey = %q", got)
+	}
+}
+
+func TestPreloadAndGetRun(t *testing.T) {
+	for _, engine := range []string{"lock", "rp"} {
+		t.Run(engine, func(t *testing.T) {
+			addr := startTestServerAddr(t, engine)
+			if err := Preload(addr, 500, 32); err != nil {
+				t.Fatalf("Preload: %v", err)
+			}
+			ops, err := Run(Config{
+				Addr:            addr,
+				Processes:       2,
+				ConnsPerProcess: 2,
+				Op:              GET,
+				Keys:            500,
+				ValueSize:       32,
+				Duration:        60 * time.Millisecond,
+				Warm:            10 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if ops <= 0 {
+				t.Fatal("zero GET throughput")
+			}
+		})
+	}
+}
+
+func TestSetRun(t *testing.T) {
+	addr := startTestServerAddr(t, "rp")
+	ops, err := Run(Config{
+		Addr:            addr,
+		Processes:       2,
+		ConnsPerProcess: 1,
+		Op:              SET,
+		Keys:            200,
+		ValueSize:       16,
+		Duration:        60 * time.Millisecond,
+		Warm:            10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ops <= 0 {
+		t.Fatal("zero SET throughput")
+	}
+}
+
+func TestPipelinedRun(t *testing.T) {
+	addr := startTestServerAddr(t, "rp")
+	if err := Preload(addr, 200, 16); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Run(Config{
+		Addr:            addr,
+		Processes:       1,
+		ConnsPerProcess: 1,
+		Op:              GET,
+		Keys:            200,
+		ValueSize:       16,
+		Duration:        60 * time.Millisecond,
+		Warm:            10 * time.Millisecond,
+		Pipeline:        16,
+	})
+	if err != nil {
+		t.Fatalf("pipelined Run: %v", err)
+	}
+	if ops <= 0 {
+		t.Fatal("zero pipelined throughput")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if GET.String() != "GET" || SET.String() != "SET" {
+		t.Fatal("Op.String labels wrong")
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	cfg := DefaultFigureConfig()
+	cfg.Processes = []int{1}
+	cfg.Keys = 200
+	cfg.Duration = 40 * time.Millisecond
+	cfg.Warm = 10 * time.Millisecond
+	fig, err := Fig5(cfg)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("Fig5 series = %d, want 4", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Fatalf("series %q points %+v", s.Name, s.Points)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package memcache
+
+import (
+	"container/list"
+
+	"rphash/internal/hashfn"
+)
+
+// assoc is a faithful model of stock memcached's hash table
+// ("assoc.c"): a power-of-two bucket array of singly linked chains,
+// expanded when the load factor passes 3/2, accessed only under the
+// store's global lock. Using the same chained-table shape (and the
+// same hash function) as the relativistic engine keeps the memcached
+// comparison about what the paper varied — the locking discipline —
+// rather than about unrelated map implementations.
+type assoc struct {
+	mask uint64
+	slot []*anode
+	n    int
+}
+
+type anode struct {
+	next *anode
+	hash uint64
+	key  string
+	el   *list.Element // the LRU element whose Value is the *Item
+}
+
+func newAssoc(buckets uint64) *assoc {
+	b := hashfn.NextPowerOfTwo(max(buckets, 16))
+	return &assoc{mask: b - 1, slot: make([]*anode, b)}
+}
+
+func assocHash(key string) uint64 { return hashfn.String(key, 0) }
+
+// get returns the LRU element for key, or nil.
+func (a *assoc) get(key string) *list.Element {
+	h := assocHash(key)
+	for n := a.slot[h&a.mask]; n != nil; n = n.next {
+		if n.hash == h && n.key == key {
+			return n.el
+		}
+	}
+	return nil
+}
+
+// set inserts or replaces the element for key.
+func (a *assoc) set(key string, el *list.Element) {
+	h := assocHash(key)
+	i := h & a.mask
+	for n := a.slot[i]; n != nil; n = n.next {
+		if n.hash == h && n.key == key {
+			n.el = el
+			return
+		}
+	}
+	a.slot[i] = &anode{next: a.slot[i], hash: h, key: key, el: el}
+	a.n++
+	if float64(a.n) > 1.5*float64(len(a.slot)) {
+		a.expand()
+	}
+}
+
+// del removes key, reporting whether it was present.
+func (a *assoc) del(key string) bool {
+	h := assocHash(key)
+	i := h & a.mask
+	var prev *anode
+	for n := a.slot[i]; n != nil; n = n.next {
+		if n.hash == h && n.key == key {
+			if prev == nil {
+				a.slot[i] = n.next
+			} else {
+				prev.next = n.next
+			}
+			a.n--
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+// expand doubles the bucket array. Under the global lock this stalls
+// every client for the duration — the very cost the paper's resizable
+// relativistic table exists to avoid.
+func (a *assoc) expand() {
+	fresh := make([]*anode, len(a.slot)*2)
+	mask := uint64(len(fresh) - 1)
+	for _, head := range a.slot {
+		for n := head; n != nil; {
+			next := n.next
+			i := n.hash & mask
+			n.next = fresh[i]
+			fresh[i] = n
+			n = next
+		}
+	}
+	a.slot = fresh
+	a.mask = mask
+}
+
+// reset drops all entries.
+func (a *assoc) reset() {
+	a.slot = make([]*anode, len(a.slot))
+	a.n = 0
+}
+
+// len returns the entry count.
+func (a *assoc) len() int { return a.n }
+
+// buckets returns the bucket count.
+func (a *assoc) buckets() int { return len(a.slot) }

@@ -1,0 +1,155 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProtocolGarbageResilience feeds random garbage lines and
+// near-miss commands; the server must answer every line with an
+// error (never hang, never panic, never corrupt the store) and keep
+// the connection usable afterwards.
+func TestProtocolGarbageResilience(t *testing.T) {
+	c := startTestServer(t, "rp")
+
+	garbage := []string{
+		"",
+		" ",
+		"getttt foo",
+		"set",
+		"set k",
+		"set k 0",
+		"set k 0 0",
+		"get " + strings.Repeat("k", 300), // oversized key: silently skipped per key
+		"delete",
+		"incr",
+		"incr k",
+		"decr k notanumber",
+		"touch k",
+		"cas k 0 0 1",
+		"stats extra args here",
+		"\x00\x01\x02",
+		strings.Repeat("x", 4000),
+	}
+	for _, g := range garbage {
+		c.send(g)
+	}
+	// Drain whatever error replies came back, then prove liveness.
+	c.send("set alive 0 0 2", "ok")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("server never answered the liveness probe")
+		}
+		line := c.recv()
+		if line == "STORED" {
+			break
+		}
+	}
+	c.send("get alive")
+	c.expect("VALUE alive 0 2")
+	c.expect("ok")
+	c.expect("END")
+}
+
+// TestProtocolRandomBytes hurls random binary junk at a fresh
+// connection; any outcome is fine except a hang or a server crash —
+// the server may close the connection on malformed framing.
+func TestProtocolRandomBytes(t *testing.T) {
+	store := NewRPStore(0)
+	srv := NewServer(store, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 8; round++ {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc.SetDeadline(time.Now().Add(500 * time.Millisecond))
+		buf := make([]byte, 1+rng.Intn(2048))
+		rng.Read(buf)
+		// Ensure some line terminators so the parser engages.
+		for i := 0; i < len(buf); i += 64 {
+			buf[i] = '\n'
+		}
+		nc.Write(buf) //nolint:errcheck // junk by design
+		// Signal EOF so a parser waiting for a data block unblocks
+		// rather than riding out the whole read deadline.
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseWrite() //nolint:errcheck
+		}
+		// Read until the server responds or closes; both are fine.
+		r := bufio.NewReader(nc)
+		for i := 0; i < 64; i++ {
+			if _, err := r.ReadString('\n'); err != nil {
+				break
+			}
+		}
+		nc.Close()
+	}
+
+	// The server must still function for well-formed clients.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(nc, "set k 0 0 1\r\nv\r\n")
+	br := bufio.NewReader(nc)
+	line, err := br.ReadString('\n')
+	if err != nil || line != "STORED\r\n" {
+		t.Fatalf("post-fuzz set: %q, %v", line, err)
+	}
+}
+
+// TestProtocolPipelinedMixedBatch sends a large mixed batch in one
+// write and validates every reply in order — the framing must stay
+// in sync across command types.
+func TestProtocolPipelinedMixedBatch(t *testing.T) {
+	c := startTestServer(t, "rp")
+	var batch bytes.Buffer
+	n := 200
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&batch, "set k%d 0 0 3\r\nv%02d\r\n", i, i%100)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&batch, "get k%d\r\n", i)
+	}
+	fmt.Fprintf(&batch, "stats\r\n")
+	if _, err := c.w.WriteString(batch.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c.expect("STORED")
+	}
+	for i := 0; i < n; i++ {
+		c.expect(fmt.Sprintf("VALUE k%d 0 3", i))
+		c.expect(fmt.Sprintf("v%02d", i%100))
+		c.expect("END")
+	}
+	sawEnd := false
+	for !sawEnd {
+		line := c.recv()
+		if line == "END" {
+			sawEnd = true
+		} else if !strings.HasPrefix(line, "STAT ") {
+			t.Fatalf("unexpected stats line %q", line)
+		}
+	}
+}

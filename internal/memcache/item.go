@@ -1,0 +1,93 @@
+// Package memcache is a from-scratch mini-memcached: the network
+// key-value cache the paper patches to demonstrate relativistic hash
+// tables on real-world code. It speaks the memcached text protocol
+// over TCP and offers two storage engines:
+//
+//   - LockStore: one global mutex around a chained hash table and a
+//     strict LRU list — the stock memcached 1.4 concurrency model the
+//     paper calls "a global table lock". Every operation, including
+//     GET, serializes on that mutex.
+//
+//   - RPStore: the paper's patch. GET runs on the relativistic table
+//     with no locking at all (the item is read inside a delimited
+//     reader section); SET/DELETE/expiry/eviction take a writer
+//     mutex and use safe relativistic memory reclamation. The table
+//     auto-resizes by load factor, exercising the resize algorithm in
+//     production conditions.
+//
+// The protocol, connection handling, expiry, CAS and LRU eviction are
+// real; see DESIGN.md for what is simplified relative to memcached
+// (slab allocator replaced by the Go heap, LRU approximated by
+// sampling in the RP engine).
+package memcache
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Item is one cache entry. All fields except the access stamp are
+// immutable after construction: mutating operations (set, append,
+// incr, touch) build a replacement Item, which is what makes lock-free
+// readers safe.
+type Item struct {
+	Key   string
+	Flags uint32
+	Value []byte
+	// CAS is the compare-and-swap unique id assigned at store time.
+	CAS uint64
+	// ExpireAt is the absolute expiry in unix seconds; 0 means never.
+	ExpireAt int64
+
+	// lastUsed is a unix-nanosecond access stamp used by approximate
+	// LRU eviction. Readers update it with a plain atomic store, so
+	// bumping recency never requires a lock.
+	lastUsed atomic.Int64
+}
+
+// NewItem builds an item and stamps it as just-used.
+func NewItem(key string, flags uint32, value []byte, expireAt int64) *Item {
+	it := &Item{Key: key, Flags: flags, Value: value, ExpireAt: expireAt}
+	it.lastUsed.Store(time.Now().UnixNano())
+	return it
+}
+
+// Expired reports whether the item is past its expiry at time now
+// (unix seconds).
+func (it *Item) Expired(now int64) bool {
+	return it.ExpireAt != 0 && it.ExpireAt <= now
+}
+
+// Touch stamps the item as just-used.
+func (it *Item) TouchUsed(nowNanos int64) { it.lastUsed.Store(nowNanos) }
+
+// LastUsed returns the access stamp (unix nanoseconds).
+func (it *Item) LastUsed() int64 { return it.lastUsed.Load() }
+
+// Size is the accounting size of the item: key + value bytes plus a
+// fixed per-item overhead standing in for memcached's item header.
+func (it *Item) Size() int64 {
+	const overhead = 48
+	return int64(len(it.Key)) + int64(len(it.Value)) + overhead
+}
+
+// relativeExpiryCutoff: per the memcached protocol, exptimes up to 30
+// days are relative to now; larger values are absolute unix times.
+const relativeExpiryCutoff = 60 * 60 * 24 * 30
+
+// AbsoluteExpiry converts a protocol exptime to absolute unix
+// seconds. 0 stays 0 (never). Negative values mean "already expired";
+// they are mapped to the epoch second 1 so the item is immediately
+// stale but distinguishable from "never".
+func AbsoluteExpiry(exptime int64, now int64) int64 {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return 1
+	case exptime <= relativeExpiryCutoff:
+		return now + exptime
+	default:
+		return exptime
+	}
+}

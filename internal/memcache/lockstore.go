@@ -1,0 +1,268 @@
+package memcache
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+)
+
+// LockStore models stock memcached's concurrency: a single mutex (the
+// "global cache lock") serializes every operation — GETs included,
+// because each GET must bump the strict LRU list. This is the
+// "default" engine in the paper's memcached experiment.
+type LockStore struct {
+	mu       sync.Mutex
+	items    *assoc     // memcached-style chained table (element value: *Item)
+	lru      *list.List // front = most recently used
+	bytes    int64
+	maxBytes int64
+	casSeq   uint64
+	stats    StoreStats
+}
+
+// NewLockStore builds the global-lock engine. maxBytes <= 0 disables
+// eviction.
+func NewLockStore(maxBytes int64) *LockStore {
+	startClock()
+	return &LockStore{
+		items:    newAssoc(1024),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+	}
+}
+
+// Get returns the live item and bumps LRU — under the global lock,
+// exactly like stock memcached.
+func (s *LockStore) Get(key string) (*Item, bool) {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(key)
+	if el == nil {
+		s.stats.GetMisses++
+		return nil, false
+	}
+	it := el.Value.(*Item)
+	if it.Expired(now) {
+		s.removeLocked(el, it)
+		s.stats.Expired++
+		s.stats.GetMisses++
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.stats.GetHits++
+	return it, true
+}
+
+// Set stores unconditionally.
+func (s *LockStore) Set(it *Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(it)
+}
+
+func (s *LockStore) setLocked(it *Item) {
+	s.casSeq++
+	it.CAS = s.casSeq
+	if el := s.items.get(it.Key); el != nil {
+		old := el.Value.(*Item)
+		s.bytes += it.Size() - old.Size()
+		el.Value = it
+		s.lru.MoveToFront(el)
+	} else {
+		s.items.set(it.Key, s.lru.PushFront(it))
+		s.bytes += it.Size()
+	}
+	s.stats.Sets++
+	s.evictLocked()
+}
+
+// Add stores only if absent.
+func (s *LockStore) Add(it *Item) bool {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el := s.items.get(it.Key); el != nil && !el.Value.(*Item).Expired(now) {
+		return false
+	}
+	s.setLocked(it)
+	return true
+}
+
+// Replace stores only if present.
+func (s *LockStore) Replace(it *Item) bool {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(it.Key)
+	if el == nil || el.Value.(*Item).Expired(now) {
+		return false
+	}
+	s.setLocked(it)
+	return true
+}
+
+// CompareAndSwap stores only when the caller's cas matches.
+func (s *LockStore) CompareAndSwap(it *Item, cas uint64) error {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(it.Key)
+	if el == nil || el.Value.(*Item).Expired(now) {
+		return ErrNotFound
+	}
+	if el.Value.(*Item).CAS != cas {
+		return ErrCASMismatch
+	}
+	s.setLocked(it)
+	return nil
+}
+
+// Delete removes the key.
+func (s *LockStore) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(key)
+	if el == nil {
+		return false
+	}
+	s.removeLocked(el, el.Value.(*Item))
+	s.stats.Deletes++
+	return true
+}
+
+// Touch updates expiry in place (the item is private to the lock).
+func (s *LockStore) Touch(key string, expireAt int64) bool {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(key)
+	if el == nil || el.Value.(*Item).Expired(now) {
+		return false
+	}
+	old := el.Value.(*Item)
+	repl := NewItem(old.Key, old.Flags, old.Value, expireAt)
+	s.casSeq++
+	repl.CAS = s.casSeq
+	el.Value = repl
+	s.lru.MoveToFront(el)
+	return true
+}
+
+// Append concatenates after the existing value.
+func (s *LockStore) Append(key string, data []byte) bool { return s.concat(key, data, false) }
+
+// Prepend concatenates before the existing value.
+func (s *LockStore) Prepend(key string, data []byte) bool { return s.concat(key, data, true) }
+
+func (s *LockStore) concat(key string, data []byte, front bool) bool {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(key)
+	if el == nil || el.Value.(*Item).Expired(now) {
+		return false
+	}
+	old := el.Value.(*Item)
+	buf := make([]byte, 0, len(old.Value)+len(data))
+	if front {
+		buf = append(append(buf, data...), old.Value...)
+	} else {
+		buf = append(append(buf, old.Value...), data...)
+	}
+	repl := NewItem(old.Key, old.Flags, buf, old.ExpireAt)
+	s.setLocked(repl)
+	return true
+}
+
+// IncrDecr adjusts a decimal value.
+func (s *LockStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) {
+	now := nowSecs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.items.get(key)
+	if el == nil || el.Value.(*Item).Expired(now) {
+		return 0, ErrNotFound
+	}
+	old := el.Value.(*Item)
+	cur, err := strconv.ParseUint(string(old.Value), 10, 64)
+	if err != nil {
+		return 0, ErrNotNumeric
+	}
+	var next uint64
+	if decr {
+		if delta > cur {
+			next = 0
+		} else {
+			next = cur - delta
+		}
+	} else {
+		next = cur + delta
+	}
+	repl := NewItem(old.Key, old.Flags, []byte(strconv.FormatUint(next, 10)), old.ExpireAt)
+	s.setLocked(repl)
+	return next, nil
+}
+
+// FlushAll invalidates everything stored before the given time by
+// simply dropping all items (memcached marks them stale; the visible
+// behaviour is identical for our workloads).
+func (s *LockStore) FlushAll(int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items.reset()
+	s.lru.Init()
+	s.bytes = 0
+}
+
+// Len returns the item count.
+func (s *LockStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items.len()
+}
+
+// Bytes returns accounted bytes.
+func (s *LockStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats snapshots counters.
+func (s *LockStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Engine = "lock"
+	st.CurrItems = int64(s.items.len())
+	st.Bytes = s.bytes
+	st.Buckets = s.items.buckets()
+	return st
+}
+
+// Close releases nothing (GC) but satisfies Store.
+func (s *LockStore) Close() {}
+
+func (s *LockStore) removeLocked(el *list.Element, it *Item) {
+	s.items.del(it.Key)
+	s.lru.Remove(el)
+	s.bytes -= it.Size()
+}
+
+// evictLocked enforces the byte limit by strict LRU, exactly like
+// stock memcached's per-class LRU tail eviction (flattened to one
+// class: the Go heap replaces the slab allocator).
+func (s *LockStore) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes {
+		tail := s.lru.Back()
+		if tail == nil {
+			return
+		}
+		s.removeLocked(tail, tail.Value.(*Item))
+		s.stats.Evictions++
+	}
+}

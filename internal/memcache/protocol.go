@@ -1,0 +1,406 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+	"unsafe"
+)
+
+// Version is the string reported by the version command.
+const Version = "rphash-memcached/1.0"
+
+// maxKeyLen mirrors memcached's 250-byte key limit.
+const maxKeyLen = 250
+
+// maxValueLen mirrors memcached's default 1 MiB item limit.
+const maxValueLen = 1 << 20
+
+// conn handles one client connection's protocol state.
+type conn struct {
+	srv *Server
+	rw  *bufio.ReadWriter
+	// get is the per-connection lock-free getter when the engine
+	// provides one (RPStore); otherwise it falls back to store.Get.
+	get      func(key string) (*Item, bool)
+	closeGet func()
+	// hdrBuf and fieldsBuf are per-connection scratch space.
+	hdrBuf    []byte
+	fieldsBuf [][]byte
+}
+
+// serve runs the request loop until EOF, error, or quit.
+func (c *conn) serve() error {
+	defer func() {
+		if c.closeGet != nil {
+			c.closeGet()
+		}
+	}()
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		quit, err := c.dispatch(line)
+		if err != nil {
+			return err
+		}
+		if quit {
+			return nil
+		}
+		if err := c.rw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// readLine reads one \r\n-terminated line without the terminator.
+func (c *conn) readLine() ([]byte, error) {
+	line, err := c.rw.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	n := len(line)
+	if n >= 2 && line[n-2] == '\r' {
+		return line[:n-2], nil
+	}
+	return line[:n-1], nil
+}
+
+// fields splits a command line on single spaces (memcached's
+// delimiter; keys cannot contain spaces) into the connection's
+// reusable scratch slice.
+func (c *conn) fields(line []byte) [][]byte {
+	out := c.fieldsBuf[:0]
+	for len(line) > 0 {
+		i := bytes.IndexByte(line, ' ')
+		if i < 0 {
+			out = append(out, line)
+			break
+		}
+		if i > 0 {
+			out = append(out, line[:i])
+		}
+		line = line[i+1:]
+	}
+	c.fieldsBuf = out
+	return out
+}
+
+// dispatch parses and executes one command line. It returns quit=true
+// for the quit command.
+func (c *conn) dispatch(line []byte) (quit bool, err error) {
+	args := c.fields(line)
+	if len(args) == 0 {
+		return false, c.writeLine("ERROR")
+	}
+	cmd := string(args[0])
+	switch cmd {
+	case "get", "gets":
+		return false, c.handleGet(args[1:], cmd == "gets")
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return false, c.handleStore(cmd, args[1:])
+	case "delete":
+		return false, c.handleDelete(args[1:])
+	case "incr", "decr":
+		return false, c.handleIncrDecr(cmd == "decr", args[1:])
+	case "touch":
+		return false, c.handleTouch(args[1:])
+	case "flush_all":
+		return false, c.handleFlushAll(args[1:])
+	case "stats":
+		return false, c.handleStats()
+	case "version":
+		return false, c.writeLine("VERSION " + Version)
+	case "verbosity":
+		return false, c.maybeReply(args[1:], "OK")
+	case "quit":
+		return true, nil
+	default:
+		return false, c.writeLine("ERROR")
+	}
+}
+
+func (c *conn) handleGet(keys [][]byte, withCAS bool) error {
+	if len(keys) == 0 {
+		return c.writeLine("ERROR")
+	}
+	hdr := c.hdrBuf[:0]
+	for _, kb := range keys {
+		if len(kb) == 0 || len(kb) > maxKeyLen {
+			continue
+		}
+		// Zero-copy key: the string aliases the connection's read
+		// buffer, which is valid until the next read. Lookups only
+		// compare the key — neither store retains it (stores copy
+		// keys at Set time) — so no allocation per fetched key.
+		it, ok := c.get(unsafe.String(&kb[0], len(kb)))
+		if !ok {
+			continue
+		}
+		// The value is written while the item is held — the
+		// "copies value while still in a relativistic reader"
+		// behaviour; immutability plus GC make the reference safe
+		// even after the read section ends. The header is assembled
+		// without fmt: this is the server's hottest path.
+		hdr = append(hdr[:0], "VALUE "...)
+		hdr = append(hdr, it.Key...)
+		hdr = append(hdr, ' ')
+		hdr = strconv.AppendUint(hdr, uint64(it.Flags), 10)
+		hdr = append(hdr, ' ')
+		hdr = strconv.AppendInt(hdr, int64(len(it.Value)), 10)
+		if withCAS {
+			hdr = append(hdr, ' ')
+			hdr = strconv.AppendUint(hdr, it.CAS, 10)
+		}
+		hdr = append(hdr, '\r', '\n')
+		if _, err := c.rw.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := c.rw.Write(it.Value); err != nil {
+			return err
+		}
+		if _, err := c.rw.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	c.hdrBuf = hdr[:0]
+	return c.writeLine("END")
+}
+
+// handleStore parses `<key> <flags> <exptime> <bytes> [cas] [noreply]`
+// plus the data block.
+func (c *conn) handleStore(cmd string, args [][]byte) error {
+	wantCAS := cmd == "cas"
+	minArgs := 4
+	if wantCAS {
+		minArgs = 5
+	}
+	if len(args) < minArgs || len(args) > minArgs+1 {
+		return c.writeLine("ERROR")
+	}
+	noreply := len(args) == minArgs+1
+	if noreply && string(args[minArgs]) != "noreply" {
+		return c.writeLine("ERROR")
+	}
+
+	key := string(args[0])
+	flags, errF := strconv.ParseUint(string(args[1]), 10, 32)
+	exptime, errE := strconv.ParseInt(string(args[2]), 10, 64)
+	size, errS := strconv.ParseInt(string(args[3]), 10, 64)
+	var cas uint64
+	var errC error
+	if wantCAS {
+		cas, errC = strconv.ParseUint(string(args[4]), 10, 64)
+	}
+	if errF != nil || errE != nil || errS != nil || errC != nil ||
+		len(key) == 0 || len(key) > maxKeyLen || size < 0 || size > maxValueLen {
+		// Still must consume the data block if the size parsed.
+		if errS == nil && size >= 0 && size <= maxValueLen {
+			if err := c.discardData(int(size)); err != nil {
+				return err
+			}
+		}
+		return c.replyUnless(noreply, "CLIENT_ERROR bad command line format")
+	}
+
+	data := make([]byte, size)
+	if _, err := io.ReadFull(c.rw, data); err != nil {
+		return err
+	}
+	if err := c.expectCRLF(); err != nil {
+		if err == errBadDataChunk {
+			return c.replyUnless(noreply, "CLIENT_ERROR bad data chunk")
+		}
+		return err
+	}
+
+	it := NewItem(key, uint32(flags), data, AbsoluteExpiry(exptime, time.Now().Unix()))
+	var reply string
+	switch cmd {
+	case "set":
+		c.srv.store.Set(it)
+		reply = "STORED"
+	case "add":
+		if c.srv.store.Add(it) {
+			reply = "STORED"
+		} else {
+			reply = "NOT_STORED"
+		}
+	case "replace":
+		if c.srv.store.Replace(it) {
+			reply = "STORED"
+		} else {
+			reply = "NOT_STORED"
+		}
+	case "append":
+		if c.srv.store.Append(key, data) {
+			reply = "STORED"
+		} else {
+			reply = "NOT_STORED"
+		}
+	case "prepend":
+		if c.srv.store.Prepend(key, data) {
+			reply = "STORED"
+		} else {
+			reply = "NOT_STORED"
+		}
+	case "cas":
+		switch err := c.srv.store.CompareAndSwap(it, cas); err {
+		case nil:
+			reply = "STORED"
+		case ErrCASMismatch:
+			reply = "EXISTS"
+		default:
+			reply = "NOT_FOUND"
+		}
+	}
+	return c.replyUnless(noreply, reply)
+}
+
+func (c *conn) handleDelete(args [][]byte) error {
+	if len(args) < 1 || len(args) > 2 {
+		return c.writeLine("ERROR")
+	}
+	noreply := len(args) == 2 && string(args[1]) == "noreply"
+	if c.srv.store.Delete(string(args[0])) {
+		return c.replyUnless(noreply, "DELETED")
+	}
+	return c.replyUnless(noreply, "NOT_FOUND")
+}
+
+func (c *conn) handleIncrDecr(decr bool, args [][]byte) error {
+	if len(args) < 2 || len(args) > 3 {
+		return c.writeLine("ERROR")
+	}
+	noreply := len(args) == 3 && string(args[2]) == "noreply"
+	delta, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		return c.replyUnless(noreply, "CLIENT_ERROR invalid numeric delta argument")
+	}
+	v, err := c.srv.store.IncrDecr(string(args[0]), delta, decr)
+	switch err {
+	case nil:
+		return c.replyUnless(noreply, strconv.FormatUint(v, 10))
+	case ErrNotNumeric:
+		return c.replyUnless(noreply, "CLIENT_ERROR cannot increment or decrement non-numeric value")
+	default:
+		return c.replyUnless(noreply, "NOT_FOUND")
+	}
+}
+
+func (c *conn) handleTouch(args [][]byte) error {
+	if len(args) < 2 || len(args) > 3 {
+		return c.writeLine("ERROR")
+	}
+	noreply := len(args) == 3 && string(args[2]) == "noreply"
+	exptime, err := strconv.ParseInt(string(args[1]), 10, 64)
+	if err != nil {
+		return c.replyUnless(noreply, "CLIENT_ERROR invalid exptime argument")
+	}
+	if c.srv.store.Touch(string(args[0]), AbsoluteExpiry(exptime, time.Now().Unix())) {
+		return c.replyUnless(noreply, "TOUCHED")
+	}
+	return c.replyUnless(noreply, "NOT_FOUND")
+}
+
+func (c *conn) handleFlushAll(args [][]byte) error {
+	noreply := len(args) > 0 && string(args[len(args)-1]) == "noreply"
+	delay := int64(0)
+	if len(args) > 0 && string(args[0]) != "noreply" {
+		d, err := strconv.ParseInt(string(args[0]), 10, 64)
+		if err != nil {
+			return c.replyUnless(noreply, "CLIENT_ERROR bad command line format")
+		}
+		delay = d
+	}
+	c.srv.store.FlushAll(time.Now().Unix() + delay)
+	return c.replyUnless(noreply, "OK")
+}
+
+func (c *conn) handleStats() error {
+	st := c.srv.store.Stats()
+	stats := []struct {
+		k string
+		v string
+	}{
+		{"version", Version},
+		{"engine", st.Engine},
+		{"curr_items", strconv.FormatInt(st.CurrItems, 10)},
+		{"bytes", strconv.FormatInt(st.Bytes, 10)},
+		{"get_hits", strconv.FormatUint(st.GetHits, 10)},
+		{"get_misses", strconv.FormatUint(st.GetMisses, 10)},
+		{"cmd_set", strconv.FormatUint(st.Sets, 10)},
+		{"delete_hits", strconv.FormatUint(st.Deletes, 10)},
+		{"evictions", strconv.FormatUint(st.Evictions, 10)},
+		{"expired_unfetched", strconv.FormatUint(st.Expired, 10)},
+		{"hash_buckets", strconv.Itoa(st.Buckets)},
+		{"uptime", strconv.FormatInt(int64(time.Since(c.srv.started)/time.Second), 10)},
+	}
+	for _, kv := range stats {
+		if _, err := fmt.Fprintf(c.rw, "STAT %s %s\r\n", kv.k, kv.v); err != nil {
+			return err
+		}
+	}
+	return c.writeLine("END")
+}
+
+var errBadDataChunk = fmt.Errorf("memcache: bad data chunk")
+
+// expectCRLF consumes the terminator after a data block.
+func (c *conn) expectCRLF() error {
+	b1, err := c.rw.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b1 == '\n' {
+		return nil // tolerate bare LF
+	}
+	if b1 != '\r' {
+		return errBadDataChunk
+	}
+	b2, err := c.rw.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b2 != '\n' {
+		return errBadDataChunk
+	}
+	return nil
+}
+
+func (c *conn) discardData(n int) error {
+	if _, err := io.CopyN(io.Discard, c.rw, int64(n)+2); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+func (c *conn) writeLine(s string) error {
+	if _, err := c.rw.WriteString(s); err != nil {
+		return err
+	}
+	_, err := c.rw.WriteString("\r\n")
+	return err
+}
+
+func (c *conn) replyUnless(noreply bool, s string) error {
+	if noreply {
+		return nil
+	}
+	return c.writeLine(s)
+}
+
+func (c *conn) maybeReply(args [][]byte, s string) error {
+	noreply := len(args) > 0 && string(args[len(args)-1]) == "noreply"
+	return c.replyUnless(noreply, s)
+}

@@ -1,0 +1,291 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestServer returns a connected client and cleanup for a server
+// over the given engine.
+func startTestServer(t *testing.T, engine string) *testClient {
+	t.Helper()
+	var store Store
+	switch engine {
+	case "rp":
+		store = NewRPStore(0)
+	default:
+		store = NewLockStore(0)
+	}
+	srv := NewServer(store, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	return &testClient{
+		t: t,
+		w: bufio.NewWriter(nc),
+		r: bufio.NewReader(nc),
+	}
+}
+
+type testClient struct {
+	t *testing.T
+	w *bufio.Writer
+	r *bufio.Reader
+}
+
+func (c *testClient) send(lines ...string) {
+	c.t.Helper()
+	for _, l := range lines {
+		if _, err := c.w.WriteString(l + "\r\n"); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *testClient) recv() string {
+	c.t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return strings.TrimSuffix(line, "\r\n")
+}
+
+func (c *testClient) expect(want string) {
+	c.t.Helper()
+	if got := c.recv(); got != want {
+		c.t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func forEachEngine(t *testing.T, fn func(t *testing.T, c *testClient)) {
+	for _, engine := range []string{"lock", "rp"} {
+		t.Run(engine, func(t *testing.T) {
+			fn(t, startTestServer(t, engine))
+		})
+	}
+}
+
+func TestProtocolSetGet(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("set foo 42 0 5", "hello")
+		c.expect("STORED")
+		c.send("get foo")
+		c.expect("VALUE foo 42 5")
+		c.expect("hello")
+		c.expect("END")
+		c.send("get nope")
+		c.expect("END")
+	})
+}
+
+func TestProtocolMultiGet(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("set a 0 0 1", "A")
+		c.expect("STORED")
+		c.send("set b 0 0 1", "B")
+		c.expect("STORED")
+		c.send("get a b missing")
+		c.expect("VALUE a 0 1")
+		c.expect("A")
+		c.expect("VALUE b 0 1")
+		c.expect("B")
+		c.expect("END")
+	})
+}
+
+func TestProtocolGetsCAS(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("set k 0 0 2", "v1")
+		c.expect("STORED")
+		c.send("gets k")
+		line := c.recv()
+		var key string
+		var flags, size int
+		var cas uint64
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d %d", &key, &flags, &size, &cas); err != nil {
+			t.Fatalf("bad gets line %q: %v", line, err)
+		}
+		c.recv() // data
+		c.expect("END")
+
+		c.send(fmt.Sprintf("cas k 0 0 2 %d", cas), "v2")
+		c.expect("STORED")
+		c.send(fmt.Sprintf("cas k 0 0 2 %d", cas), "v3")
+		c.expect("EXISTS")
+		c.send("cas missing 0 0 1 1", "x")
+		c.expect("NOT_FOUND")
+	})
+}
+
+func TestProtocolAddReplaceAppendPrepend(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("replace k 0 0 1", "x")
+		c.expect("NOT_STORED")
+		c.send("add k 0 0 3", "mid")
+		c.expect("STORED")
+		c.send("add k 0 0 1", "y")
+		c.expect("NOT_STORED")
+		c.send("append k 0 0 1", ">")
+		c.expect("STORED")
+		c.send("prepend k 0 0 1", "<")
+		c.expect("STORED")
+		c.send("get k")
+		c.expect("VALUE k 0 5")
+		c.expect("<mid>")
+		c.expect("END")
+	})
+}
+
+func TestProtocolDelete(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("delete k")
+		c.expect("NOT_FOUND")
+		c.send("set k 0 0 1", "v")
+		c.expect("STORED")
+		c.send("delete k")
+		c.expect("DELETED")
+	})
+}
+
+func TestProtocolIncrDecr(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("set n 0 0 2", "10")
+		c.expect("STORED")
+		c.send("incr n 5")
+		c.expect("15")
+		c.send("decr n 100")
+		c.expect("0")
+		c.send("incr missing 1")
+		c.expect("NOT_FOUND")
+		c.send("set s 0 0 3", "abc")
+		c.expect("STORED")
+		c.send("incr s 1")
+		c.expect("CLIENT_ERROR cannot increment or decrement non-numeric value")
+	})
+}
+
+func TestProtocolTouchFlushStatsVersion(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("set k 0 0 1", "v")
+		c.expect("STORED")
+		c.send("touch k 100")
+		c.expect("TOUCHED")
+		c.send("touch missing 100")
+		c.expect("NOT_FOUND")
+
+		c.send("version")
+		if got := c.recv(); !strings.HasPrefix(got, "VERSION ") {
+			t.Fatalf("version reply %q", got)
+		}
+
+		c.send("stats")
+		sawStat := false
+		for {
+			line := c.recv()
+			if line == "END" {
+				break
+			}
+			if strings.HasPrefix(line, "STAT ") {
+				sawStat = true
+			}
+		}
+		if !sawStat {
+			t.Fatal("stats returned no STAT lines")
+		}
+
+		c.send("flush_all")
+		c.expect("OK")
+		c.send("get k")
+		c.expect("END")
+	})
+}
+
+func TestProtocolNoreply(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("set k 0 0 1 noreply", "v")
+		c.send("delete missing noreply")
+		c.send("get k") // reply proves prior noreply commands sent nothing
+		c.expect("VALUE k 0 1")
+		c.expect("v")
+		c.expect("END")
+	})
+}
+
+func TestProtocolExpiry(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		// Absolute time in the past: immediately stale.
+		c.send("set k 0 0 1", "v")
+		c.expect("STORED")
+		c.send("touch k -1")
+		c.expect("TOUCHED")
+		c.send("get k")
+		c.expect("END")
+	})
+}
+
+func TestProtocolErrors(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		c.send("bogus")
+		c.expect("ERROR")
+		c.send("get")
+		c.expect("ERROR")
+		c.send("set k x 0 1", "v") // bad flags, value still consumed
+		c.expect("CLIENT_ERROR bad command line format")
+		c.send("get k")
+		c.expect("END")
+		c.send("set k 0 0 abc")
+		c.expect("CLIENT_ERROR bad command line format")
+		// Bad data chunk: length mismatch against terminator.
+		c.send("set k 0 0 3", "toolong")
+		got := c.recv()
+		if !strings.HasPrefix(got, "CLIENT_ERROR") && got != "ERROR" {
+			t.Fatalf("bad chunk reply %q", got)
+		}
+	})
+}
+
+func TestProtocolQuit(t *testing.T) {
+	c := startTestServer(t, "rp")
+	c.send("quit")
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after quit")
+	}
+}
+
+func TestProtocolLargeValue(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, c *testClient) {
+		payload := strings.Repeat("z", 100_000)
+		c.send(fmt.Sprintf("set big 0 0 %d", len(payload)), payload)
+		c.expect("STORED")
+		c.send("get big")
+		c.expect(fmt.Sprintf("VALUE big 0 %d", len(payload)))
+		if got := c.recv(); got != payload {
+			t.Fatalf("large value corrupted (len %d vs %d)", len(got), len(payload))
+		}
+		c.expect("END")
+	})
+}
+
+func TestProtocolOversizedValueRejected(t *testing.T) {
+	c := startTestServer(t, "lock")
+	c.send(fmt.Sprintf("set big 0 0 %d", maxValueLen+1))
+	c.expect("CLIENT_ERROR bad command line format")
+}

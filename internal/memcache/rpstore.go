@@ -1,0 +1,340 @@
+package memcache
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rphash/internal/core"
+)
+
+// RPStore is the paper's memcached patch: GETs are relativistic
+// lookups on the resizable hash table — no lock, no shared-counter
+// bump, no retry — while mutations serialize on a store mutex and
+// retire replaced items through grace periods. The table auto-resizes
+// with load, so the unzip/zip algorithms run underneath live traffic.
+//
+// Differences from stock memcached noted in DESIGN.md: the slab
+// allocator is the Go heap, and LRU is approximate — each GET stamps
+// the item with an atomic store (no lock, no list manipulation), and
+// eviction samples the table for the stalest items, in the spirit of
+// memcached's later sampled-LRU ("lru_crawler") rather than 1.4's
+// strict list, which cannot be maintained without serializing GETs.
+type RPStore struct {
+	t        *core.Table[string, *Item]
+	mu       sync.Mutex // serializes mutations (table writers also lock internally)
+	bytes    atomic.Int64
+	maxBytes int64
+	casSeq   atomic.Uint64
+
+	getHits   stripedCounter
+	getMisses stripedCounter
+	stripeSeq atomic.Uint64
+	sets      atomic.Uint64
+	deletes   atomic.Uint64
+	evictions atomic.Uint64
+	expired   atomic.Uint64
+}
+
+// evictionSample is how many candidate items an eviction pass
+// examines when choosing victims.
+const evictionSample = 16
+
+// NewRPStore builds the relativistic engine. maxBytes <= 0 disables
+// eviction.
+func NewRPStore(maxBytes int64) *RPStore {
+	t := core.NewString[*Item](
+		core.WithInitialBuckets(1024),
+		core.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
+	)
+	startClock()
+	return &RPStore{t: t, maxBytes: maxBytes}
+}
+
+// Get is the lock-free fast path. Expired items are treated as
+// misses; their removal is left to writers and the sweeper (lazy
+// expiry), keeping the read path pure.
+func (s *RPStore) Get(key string) (*Item, bool) {
+	it, ok := s.t.Get(key)
+	if !ok {
+		s.getMisses.add(0)
+		return nil, false
+	}
+	if it.ExpireAt != 0 && it.Expired(nowSecs()) {
+		s.getMisses.add(0)
+		return nil, false
+	}
+	it.TouchUsed(nowNanos())
+	s.getHits.add(0)
+	return it, true
+}
+
+// NewGetter returns a per-goroutine lock-free Get using a registered
+// read handle — the hot path connection handlers use.
+func (s *RPStore) NewGetter() (func(key string) (*Item, bool), func()) {
+	h := s.t.NewReadHandle()
+	stripe := int(s.stripeSeq.Add(1))
+	return func(key string) (*Item, bool) {
+		it, ok := h.Get(key)
+		if !ok {
+			s.getMisses.add(stripe)
+			return nil, false
+		}
+		if it.ExpireAt != 0 && it.Expired(nowSecs()) {
+			s.getMisses.add(stripe)
+			return nil, false
+		}
+		it.TouchUsed(nowNanos())
+		s.getHits.add(stripe)
+		return it, true
+	}, h.Close
+}
+
+// Set stores unconditionally.
+func (s *RPStore) Set(it *Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(it)
+}
+
+func (s *RPStore) setLocked(it *Item) {
+	it.CAS = s.casSeq.Add(1)
+	if old, ok := s.t.Get(it.Key); ok {
+		s.bytes.Add(it.Size() - old.Size())
+	} else {
+		s.bytes.Add(it.Size())
+	}
+	s.t.Set(it.Key, it)
+	s.sets.Add(1)
+	s.evictLocked()
+}
+
+// Add stores only if absent or expired.
+func (s *RPStore) Add(it *Item) bool {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.t.Get(it.Key); ok && !cur.Expired(now) {
+		return false
+	}
+	s.setLocked(it)
+	return true
+}
+
+// Replace stores only if present and live.
+func (s *RPStore) Replace(it *Item) bool {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.t.Get(it.Key)
+	if !ok || cur.Expired(now) {
+		return false
+	}
+	s.setLocked(it)
+	return true
+}
+
+// CompareAndSwap stores only when cas matches the live item.
+func (s *RPStore) CompareAndSwap(it *Item, cas uint64) error {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.t.Get(it.Key)
+	if !ok || cur.Expired(now) {
+		return ErrNotFound
+	}
+	if cur.CAS != cas {
+		return ErrCASMismatch
+	}
+	s.setLocked(it)
+	return nil
+}
+
+// Delete removes the key.
+func (s *RPStore) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteLocked(key)
+}
+
+func (s *RPStore) deleteLocked(key string) bool {
+	old, ok := s.t.Get(key)
+	if !ok {
+		return false
+	}
+	if s.t.Delete(key) {
+		s.bytes.Add(-old.Size())
+		s.deletes.Add(1)
+		return true
+	}
+	return false
+}
+
+// Touch replaces the item with one bearing the new expiry (items are
+// immutable; readers see old or new).
+func (s *RPStore) Touch(key string, expireAt int64) bool {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.t.Get(key)
+	if !ok || cur.Expired(now) {
+		return false
+	}
+	repl := NewItem(cur.Key, cur.Flags, cur.Value, expireAt)
+	s.setLocked(repl)
+	return true
+}
+
+// Append concatenates after the existing value.
+func (s *RPStore) Append(key string, data []byte) bool { return s.concat(key, data, false) }
+
+// Prepend concatenates before the existing value.
+func (s *RPStore) Prepend(key string, data []byte) bool { return s.concat(key, data, true) }
+
+func (s *RPStore) concat(key string, data []byte, front bool) bool {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.t.Get(key)
+	if !ok || cur.Expired(now) {
+		return false
+	}
+	buf := make([]byte, 0, len(cur.Value)+len(data))
+	if front {
+		buf = append(append(buf, data...), cur.Value...)
+	} else {
+		buf = append(append(buf, cur.Value...), data...)
+	}
+	s.setLocked(NewItem(cur.Key, cur.Flags, buf, cur.ExpireAt))
+	return true
+}
+
+// IncrDecr adjusts a decimal value by full-item replacement.
+func (s *RPStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.t.Get(key)
+	if !ok || cur.Expired(now) {
+		return 0, ErrNotFound
+	}
+	val, err := strconv.ParseUint(string(cur.Value), 10, 64)
+	if err != nil {
+		return 0, ErrNotNumeric
+	}
+	var next uint64
+	if decr {
+		if delta > val {
+			next = 0
+		} else {
+			next = val - delta
+		}
+	} else {
+		next = val + delta
+	}
+	s.setLocked(NewItem(cur.Key, cur.Flags, []byte(strconv.FormatUint(next, 10)), cur.ExpireAt))
+	return next, nil
+}
+
+// FlushAll drops every item (see LockStore.FlushAll).
+func (s *RPStore) FlushAll(int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range s.t.Keys() {
+		s.deleteLocked(k)
+	}
+}
+
+// Len returns the live item count.
+func (s *RPStore) Len() int { return s.t.Len() }
+
+// Bytes returns accounted bytes.
+func (s *RPStore) Bytes() int64 { return s.bytes.Load() }
+
+// Stats snapshots counters.
+func (s *RPStore) Stats() StoreStats {
+	return StoreStats{
+		Engine:    "rp",
+		CurrItems: int64(s.t.Len()),
+		Bytes:     s.bytes.Load(),
+		GetHits:   s.getHits.total(),
+		GetMisses: s.getMisses.total(),
+		Sets:      s.sets.Load(),
+		Deletes:   s.deletes.Load(),
+		Evictions: s.evictions.Load(),
+		Expired:   s.expired.Load(),
+		Buckets:   s.t.Buckets(),
+	}
+}
+
+// Close releases the table's RCU domain.
+func (s *RPStore) Close() { s.t.Close() }
+
+// SweepExpired removes up to limit expired items (the lazy-expiry
+// background pass; the server runs it periodically).
+func (s *RPStore) SweepExpired(limit int) int {
+	now := time.Now().Unix()
+	var victims []string
+	s.t.Range(func(k string, it *Item) bool {
+		if it.Expired(now) {
+			victims = append(victims, k)
+		}
+		return len(victims) < limit
+	})
+	removed := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range victims {
+		if it, ok := s.t.Get(k); ok && it.Expired(now) && s.deleteLocked(k) {
+			s.expired.Add(1)
+			removed++
+		}
+	}
+	return removed
+}
+
+// evictLocked enforces the byte budget by sampled LRU: walk a sample
+// of the table, evict the stalest item, repeat until under budget.
+func (s *RPStore) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes.Load() > s.maxBytes && s.t.Len() > 0 {
+		var victim *Item
+		scanned := 0
+		// Start the sample at a pseudo-random bucket by ranging with
+		// an early cutoff; the table's iteration order already mixes
+		// hash order, and the CAS sequence varies the entry point.
+		skip := int(s.casSeq.Load()) % max(s.t.Len(), 1)
+		s.t.Range(func(_ string, it *Item) bool {
+			if skip > 0 {
+				skip--
+				return true
+			}
+			if victim == nil || it.LastUsed() < victim.LastUsed() {
+				victim = it
+			}
+			scanned++
+			return scanned < evictionSample
+		})
+		if victim == nil {
+			// Sample landed past the end; retry without skipping.
+			s.t.Range(func(_ string, it *Item) bool {
+				if victim == nil || it.LastUsed() < victim.LastUsed() {
+					victim = it
+				}
+				scanned++
+				return scanned < evictionSample
+			})
+		}
+		if victim == nil {
+			return
+		}
+		if s.deleteLocked(victim.Key) {
+			s.evictions.Add(1)
+		} else {
+			return
+		}
+	}
+}

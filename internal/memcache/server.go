@@ -1,0 +1,175 @@
+package memcache
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server is a TCP memcached-protocol server over a Store.
+type Server struct {
+	store   Store
+	started time.Time
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	sweepDur time.Duration
+	sweepStp chan struct{}
+	wg       sync.WaitGroup
+
+	// Logf logs connection errors; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps a store. If sweepEvery > 0 and the store supports
+// expiry sweeping, a background goroutine reclaims expired items at
+// that cadence.
+func NewServer(store Store, sweepEvery time.Duration) *Server {
+	return &Server{
+		store:    store,
+		started:  time.Now(),
+		conns:    make(map[net.Conn]struct{}),
+		sweepDur: sweepEvery,
+		sweepStp: make(chan struct{}),
+	}
+}
+
+// sweeper is implemented by stores with a lazy-expiry pass.
+type sweeper interface {
+	SweepExpired(limit int) int
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("memcache: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	if sw, ok := s.store.(sweeper); ok && s.sweepDur > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(s.sweepDur)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.sweepStp:
+					return
+				case <-t.C:
+					sw.SweepExpired(1024)
+				}
+			}
+		}()
+	}
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(nc)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &conn{
+		srv: s,
+		rw: bufio.NewReadWriter(
+			bufio.NewReaderSize(nc, 16<<10),
+			bufio.NewWriterSize(nc, 16<<10),
+		),
+	}
+	// Connection handlers are long-lived goroutines: exactly the
+	// situation registered readers are for. RPStore gives each
+	// connection its own lock-free getter.
+	if rp, ok := s.store.(*RPStore); ok {
+		c.get, c.closeGet = rp.NewGetter()
+	} else {
+		c.get = s.store.Get
+	}
+
+	if err := c.serve(); err != nil && s.Logf != nil {
+		s.Logf("memcache: conn %s: %v", nc.RemoteAddr(), err)
+	}
+}
+
+// Addr returns the listener address, once serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes live connections, stops the sweeper,
+// and waits for handlers to drain. The store itself is closed too.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+
+	close(s.sweepStp)
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	s.store.Close()
+	return err
+}

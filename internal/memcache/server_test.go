@@ -1,0 +1,184 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	srv := NewServer(NewLockStore(0), 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	time.Sleep(10 * time.Millisecond)
+	if srv.Addr() == nil {
+		t.Fatal("Addr nil while serving")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// Idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServerClosesLiveConnections(t *testing.T) {
+	srv := NewServer(NewRPStore(0), 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Ensure the handler picked the connection up.
+	fmt.Fprintf(nc, "version\r\n")
+	br := bufio.NewReader(nc)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("connection survived server Close")
+	}
+}
+
+func TestServerSweeperReclaimsExpired(t *testing.T) {
+	store := NewRPStore(0)
+	srv := NewServer(store, 20*time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	past := time.Now().Unix() - 10
+	for i := 0; i < 20; i++ {
+		store.Set(NewItem(fmt.Sprintf("k%d", i), 0, []byte("v"), past))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := store.Len(); n != 0 {
+		t.Fatalf("sweeper left %d expired items", n)
+	}
+}
+
+// TestServerConcurrentClients exercises the full stack: many
+// connections doing mixed GET/SET against the RP engine while its
+// table auto-resizes.
+func TestServerConcurrentClients(t *testing.T) {
+	srv := NewServer(NewRPStore(0), 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	const clients = 8
+	const opsPerClient = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cid := 0; cid < clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer nc.Close()
+			w := bufio.NewWriter(nc)
+			r := bufio.NewReader(nc)
+			for i := 0; i < opsPerClient; i++ {
+				key := fmt.Sprintf("c%d-k%d", cid, i%64)
+				val := fmt.Sprintf("v%d", i)
+				fmt.Fprintf(w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+				w.Flush()
+				if line, err := r.ReadString('\n'); err != nil || line != "STORED\r\n" {
+					errs <- fmt.Errorf("client %d set: %q %v", cid, line, err)
+					return
+				}
+				fmt.Fprintf(w, "get %s\r\n", key)
+				w.Flush()
+				line, err := r.ReadString('\n')
+				if err != nil || len(line) < 5 || line[:5] != "VALUE" {
+					errs <- fmt.Errorf("client %d get header: %q %v", cid, line, err)
+					return
+				}
+				if data, err := r.ReadString('\n'); err != nil || data != val+"\r\n" {
+					errs <- fmt.Errorf("client %d get data: %q %v", cid, data, err)
+					return
+				}
+				if end, err := r.ReadString('\n'); err != nil || end != "END\r\n" {
+					errs <- fmt.Errorf("client %d get end: %q %v", cid, end, err)
+					return
+				}
+			}
+		}(cid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsoluteExpiryMapping(t *testing.T) {
+	now := int64(1_000_000)
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{-1, 1},
+		{60, now + 60},
+		{relativeExpiryCutoff, now + relativeExpiryCutoff},
+		{relativeExpiryCutoff + 1, relativeExpiryCutoff + 1},
+		{2_000_000_000, 2_000_000_000},
+	}
+	for _, c := range cases {
+		if got := AbsoluteExpiry(c.in, now); got != c.want {
+			t.Errorf("AbsoluteExpiry(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestItemHelpers(t *testing.T) {
+	it := NewItem("k", 1, []byte("abc"), 0)
+	if it.Expired(time.Now().Unix()) {
+		t.Fatal("no-expiry item reported expired")
+	}
+	if it.Size() <= 4 {
+		t.Fatalf("Size = %d suspiciously small", it.Size())
+	}
+	before := it.LastUsed()
+	it.TouchUsed(before + 100)
+	if it.LastUsed() != before+100 {
+		t.Fatal("TouchUsed did not update stamp")
+	}
+}

@@ -1,0 +1,65 @@
+package memcache
+
+import "errors"
+
+// Store is the storage-engine contract the protocol layer drives.
+// Implementations must make Get safe to call concurrently with
+// everything; mutating operations may serialize internally.
+type Store interface {
+	// Get returns the live (non-expired) item for key.
+	Get(key string) (*Item, bool)
+	// Set unconditionally stores the item (assigning its CAS).
+	Set(it *Item)
+	// Add stores only if the key is absent (or expired).
+	Add(it *Item) bool
+	// Replace stores only if the key is present.
+	Replace(it *Item) bool
+	// CompareAndSwap stores only if the current CAS matches. Returns
+	// ErrCASMismatch or ErrNotFound on failure.
+	CompareAndSwap(it *Item, cas uint64) error
+	// Delete removes the key, reporting whether it was present.
+	Delete(key string) bool
+	// Touch updates expiry only, reporting whether the key exists.
+	Touch(key string, expireAt int64) bool
+	// Append / Prepend concatenate to an existing value.
+	Append(key string, data []byte) bool
+	Prepend(key string, data []byte) bool
+	// IncrDecr adjusts a decimal-uint64 value; decr floors at 0.
+	// Returns ErrNotFound if absent, ErrNotNumeric if undecodable.
+	IncrDecr(key string, delta uint64, decr bool) (uint64, error)
+	// FlushAll invalidates every item whose store time precedes the
+	// given unix second (memcached's flush_all [delay]).
+	FlushAll(before int64)
+	// Len returns the live item count (approximate under load).
+	Len() int
+	// Bytes returns the accounted byte total.
+	Bytes() int64
+	// Stats returns engine counters for the stats command.
+	Stats() StoreStats
+	// Close releases engine resources.
+	Close()
+}
+
+// Engine failure sentinels.
+var (
+	ErrNotFound    = errors.New("memcache: key not found")
+	ErrCASMismatch = errors.New("memcache: cas mismatch")
+	ErrNotNumeric  = errors.New("memcache: value is not a number")
+)
+
+// StoreStats are the per-engine counters surfaced through the
+// protocol's stats command.
+type StoreStats struct {
+	Engine    string
+	CurrItems int64
+	Bytes     int64
+	GetHits   uint64
+	GetMisses uint64
+	Sets      uint64
+	Deletes   uint64
+	Evictions uint64
+	Expired   uint64
+	// Buckets is the hash-table bucket count (post-resize), where the
+	// engine exposes it.
+	Buckets int
+}

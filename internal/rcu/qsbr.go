@@ -1,0 +1,77 @@
+package rcu
+
+import "sync/atomic"
+
+// QSBRReader is a quiescent-state-based reader: the inverse marking
+// discipline to Reader. A QSBR reader is assumed to be inside a
+// read-side critical section at all times except when it explicitly
+// announces a quiescent state (Quiesce) or goes offline.
+//
+// This is the discipline the Linux kernel's classic RCU gives the
+// paper's microbenchmark for free (running at all is a critical
+// section; context switch is a quiescent state): the read side costs
+// nothing per traversal, and the cost moves to periodic Quiesce
+// announcements, which callers amortize over many operations.
+//
+// Trade-off versus Reader: grace periods become as long as the
+// longest inter-Quiesce span, so a QSBR reader that stops calling
+// Quiesce (without Offline) stalls every writer in the domain. Use
+// Reader unless the read path is hot enough to matter.
+type QSBRReader struct {
+	state atomic.Uint64 // 0 = offline, else last-announced epoch | 1
+	dom   *Domain
+	_pad  [cacheLine - 16]byte //nolint:unused // keep per-reader state line-private
+}
+
+// RegisterQSBR creates a QSBR reader, initially online and current.
+// The caller must invoke Quiesce regularly (or Offline during idle
+// spans); see the type comment.
+func (d *Domain) RegisterQSBR() *QSBRReader {
+	r := &QSBRReader{dom: d}
+	r.state.Store(d.epoch.Load() | 1)
+	d.regMu.Lock()
+	d.qsbr = append(d.qsbr, r)
+	d.regMu.Unlock()
+	return r
+}
+
+// Quiesce announces a quiescent state: the reader holds no references
+// obtained before this call. One atomic load plus one atomic store on
+// a private cache line.
+func (r *QSBRReader) Quiesce() {
+	r.state.Store(r.dom.epoch.Load() | 1)
+}
+
+// Offline marks the reader quiescent indefinitely (e.g. while
+// blocking on I/O). Writers stop waiting for it.
+func (r *QSBRReader) Offline() {
+	r.state.Store(0)
+}
+
+// Online returns from Offline; the reader is again assumed to be in a
+// critical section until the next Quiesce. The store-then-recheck
+// mirrors Reader.Lock and closes the same race with a concurrent
+// epoch bump.
+func (r *QSBRReader) Online() {
+	for {
+		e := r.dom.epoch.Load()
+		r.state.Store(e | 1)
+		if r.dom.epoch.Load() == e {
+			return
+		}
+	}
+}
+
+// Close takes the reader offline and deregisters it.
+func (r *QSBRReader) Close() {
+	r.Offline()
+	d := r.dom
+	d.regMu.Lock()
+	for i, q := range d.qsbr {
+		if q == r {
+			d.qsbr = append(d.qsbr[:i], d.qsbr[i+1:]...)
+			break
+		}
+	}
+	d.regMu.Unlock()
+}

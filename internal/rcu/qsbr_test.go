@@ -1,0 +1,196 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQSBRBlocksGracePeriodUntilQuiesce(t *testing.T) {
+	d := NewDomain()
+	defer d.Close()
+	r := d.RegisterQSBR()
+	defer r.Close()
+
+	// The reader has announced nothing since registration; a grace
+	// period must not complete until it quiesces.
+	synced := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(synced)
+	}()
+	select {
+	case <-synced:
+		t.Fatal("Synchronize completed with a non-quiescent QSBR reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	r.Quiesce()
+	select {
+	case <-synced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize did not complete after Quiesce")
+	}
+}
+
+func TestQSBROfflineReleasesWriters(t *testing.T) {
+	d := NewDomain()
+	defer d.Close()
+	r := d.RegisterQSBR()
+	defer r.Close()
+
+	r.Offline()
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize stalled on an offline QSBR reader")
+	}
+
+	// Back online: grace periods must wait again until next Quiesce.
+	r.Online()
+	synced := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(synced)
+	}()
+	select {
+	case <-synced:
+		t.Fatal("Synchronize ignored an online QSBR reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Quiesce()
+	<-synced
+}
+
+func TestQSBRCloseDeregisters(t *testing.T) {
+	d := NewDomain()
+	defer d.Close()
+	r := d.RegisterQSBR()
+	if got := d.Stats().QSBRReaders; got != 1 {
+		t.Fatalf("QSBRReaders = %d, want 1", got)
+	}
+	r.Close()
+	if got := d.Stats().QSBRReaders; got != 0 {
+		t.Fatalf("QSBRReaders = %d after Close, want 0", got)
+	}
+	// With the reader gone, grace periods are immediate.
+	d.Synchronize()
+}
+
+// TestQSBRPublicationSafety is the QSBR analogue of the tombstone
+// detector: an object retired after a grace period must never be
+// observed in the span between two Quiesce calls that bracket it.
+func TestQSBRPublicationSafety(t *testing.T) {
+	d := NewDomain()
+	defer d.Close()
+
+	type cell struct{ alive atomic.Bool }
+	var ptr atomic.Pointer[cell]
+	c0 := &cell{}
+	c0.alive.Store(true)
+	ptr.Store(c0)
+
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.RegisterQSBR()
+			defer r.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Critical span: between Quiesce calls.
+				c := ptr.Load()
+				if !c.alive.Load() {
+					bad.Add(1)
+				}
+				r.Quiesce()
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		next := &cell{}
+		next.alive.Store(true)
+		old := ptr.Swap(next)
+		d.Synchronize()
+		old.alive.Store(false)
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d observations of retired cells by QSBR readers", n)
+	}
+}
+
+// TestMixedFlavors: EBR and QSBR readers in one domain; a grace
+// period waits for both.
+func TestMixedFlavors(t *testing.T) {
+	d := NewDomain()
+	defer d.Close()
+	ebr := d.Register()
+	defer ebr.Close()
+	qs := d.RegisterQSBR()
+	defer qs.Close()
+
+	ebr.Lock()
+	synced := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(synced)
+	}()
+	select {
+	case <-synced:
+		t.Fatal("Synchronize ignored the EBR reader")
+	case <-time.After(30 * time.Millisecond):
+	}
+	ebr.Unlock()
+	// Still blocked on the QSBR reader.
+	select {
+	case <-synced:
+		t.Fatal("Synchronize ignored the QSBR reader")
+	case <-time.After(30 * time.Millisecond):
+	}
+	qs.Quiesce()
+	select {
+	case <-synced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize never completed")
+	}
+}
+
+// BenchmarkQSBRSpan measures the per-operation cost of the QSBR
+// discipline at its worst (Quiesce every span) and amortized.
+func BenchmarkQSBRSpan(b *testing.B) {
+	d := NewDomain()
+	defer d.Close()
+	b.Run("quiesce-every-op", func(b *testing.B) {
+		r := d.RegisterQSBR()
+		defer r.Close()
+		for i := 0; i < b.N; i++ {
+			r.Quiesce()
+		}
+	})
+	b.Run("quiesce-every-64", func(b *testing.B) {
+		r := d.RegisterQSBR()
+		defer r.Close()
+		for i := 0; i < b.N; i++ {
+			if i%64 == 0 {
+				r.Quiesce()
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package rcu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStressReadersVsSynchronize hammers the reader entry/exit path
+// against a stream of grace periods and checks the fundamental
+// invariant with a "tombstone" detector: an object retired after a
+// grace period must never be observed by any reader.
+func TestStressReadersVsSynchronize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	d := NewDomain()
+	defer d.Close()
+
+	type cell struct {
+		alive atomic.Bool
+	}
+	var ptr atomic.Pointer[cell]
+	first := &cell{}
+	first.alive.Store(true)
+	ptr.Store(first)
+
+	readers := runtime.GOMAXPROCS(0) * 2
+	if readers < 4 {
+		readers = 4
+	}
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.Register()
+			defer r.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Lock()
+				c := ptr.Load()
+				// Nested section, as the hash table's Range does.
+				r.Lock()
+				if !c.alive.Load() {
+					bad.Add(1)
+				}
+				r.Unlock()
+				r.Unlock()
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(1 * time.Second)
+	for time.Now().Before(deadline) {
+		next := &cell{}
+		next.alive.Store(true)
+		old := ptr.Swap(next)
+		d.Synchronize()
+		old.alive.Store(false) // retire: no reader may still see it
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d reader observations of retired cells", n)
+	}
+}
+
+// TestStressDefer mixes Defer-based retirement with direct
+// Synchronize, ensuring callbacks neither run early nor get lost.
+func TestStressDefer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	d := NewDomain()
+	defer d.Close()
+
+	var queued, ran atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.Register()
+			defer r.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Lock()
+				runtime.Gosched()
+				r.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		queued.Add(1)
+		d.Defer(func() { ran.Add(1) })
+	}
+	close(stop)
+	wg.Wait()
+	d.Barrier()
+	if q, r := queued.Load(), ran.Load(); r < q {
+		t.Fatalf("queued %d callbacks, only %d ran after Barrier", q, r)
+	}
+}
+
+// BenchmarkReaderSection measures the read-side cost: the paper's
+// entire premise is that this is a handful of nanoseconds and does
+// not degrade with core count.
+func BenchmarkReaderSection(b *testing.B) {
+	d := NewDomain()
+	defer d.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		r := d.Register()
+		defer r.Close()
+		for pb.Next() {
+			r.Lock()
+			r.Unlock()
+		}
+	})
+}
+
+// BenchmarkSynchronize measures writer-side grace-period latency with
+// a population of active readers.
+func BenchmarkSynchronize(b *testing.B) {
+	d := NewDomain()
+	defer d.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.Register()
+			defer r.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Lock()
+				r.Unlock()
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Synchronize()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,213 @@
+// Package rlist implements the relativistic singly linked list from
+// the paper's worked examples: readers traverse with no
+// synchronization at all while a writer inserts by
+// initialize-then-publish and removes by unlink, wait-for-readers,
+// reclaim. It is both a usable structure and the reference semantics
+// for the hash table's bucket chains in internal/core.
+//
+// Guarantees for a reader traversing concurrently with one writer:
+//
+//   - Insert: the reader sees the list either without the new node or
+//     with it fully initialized — never a half-built node (pointer
+//     publication orders initialization before visibility).
+//   - Remove: the reader sees the node either present or absent; a
+//     reader that already holds a reference may keep using it until
+//     its section ends, which is exactly what the writer's grace
+//     period waits for.
+//
+// Values are immutable once published; to change a value, insert a
+// replacement node and remove the old one.
+package rlist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rphash/internal/rcu"
+)
+
+// Node is a list element. Value must not be mutated after the node is
+// published; readers access it without synchronization.
+type Node[T any] struct {
+	next  atomic.Pointer[Node[T]]
+	Value T
+}
+
+// Next returns the successor node, for reader-side manual traversal.
+// Callers must be inside a read-side critical section of the list's
+// domain.
+func (n *Node[T]) Next() *Node[T] { return n.next.Load() }
+
+// List is a relativistic singly linked list. Readers never block;
+// writers serialize on an internal mutex.
+type List[T any] struct {
+	head atomic.Pointer[Node[T]]
+	dom  *rcu.Domain
+	mu   sync.Mutex
+	size atomic.Int64
+}
+
+// New creates a list whose readers are delimited by dom.
+func New[T any](dom *rcu.Domain) *List[T] {
+	return &List[T]{dom: dom}
+}
+
+// Domain returns the RCU domain readers of this list must register
+// with.
+func (l *List[T]) Domain() *rcu.Domain { return l.dom }
+
+// Len returns the current element count (writer-accurate, reader
+// approximate).
+func (l *List[T]) Len() int { return int(l.size.Load()) }
+
+// Head returns the first node for manual traversal inside a reader
+// section.
+func (l *List[T]) Head() *Node[T] { return l.head.Load() }
+
+// PushFront inserts a value at the head of the list and returns its
+// node. This is the paper's insertion example: the node's next pointer
+// is initialized before the head pointer publishes the node.
+func (l *List[T]) PushFront(v T) *Node[T] {
+	n := &Node[T]{Value: v}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n.next.Store(l.head.Load()) // initialize ...
+	l.head.Store(n)             // ... then publish
+	l.size.Add(1)
+	return n
+}
+
+// InsertAfter inserts a value immediately after an existing node that
+// must currently be on the list.
+func (l *List[T]) InsertAfter(at *Node[T], v T) *Node[T] {
+	n := &Node[T]{Value: v}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n.next.Store(at.next.Load())
+	at.next.Store(n)
+	l.size.Add(1)
+	return n
+}
+
+// Remove unlinks the first node for which match returns true and
+// returns its value. The removed node is handed to the domain's
+// deferred reclaimer, mirroring the paper's remove example; in Go the
+// callback only recycles bookkeeping, but the grace period is what
+// would make freeing safe.
+func (l *List[T]) Remove(match func(T) bool) (T, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var prev *Node[T]
+	for n := l.head.Load(); n != nil; n = n.next.Load() {
+		if match(n.Value) {
+			l.unlink(prev, n)
+			victim := n
+			l.dom.Defer(func() {
+				// No reader can reach victim now; sever its next
+				// pointer so a long-dead node cannot pin the tail.
+				victim.next.Store(nil)
+			})
+			return n.Value, true
+		}
+		prev = n
+	}
+	var zero T
+	return zero, false
+}
+
+// RemoveNode unlinks a specific node if it is still on the list.
+func (l *List[T]) RemoveNode(target *Node[T]) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var prev *Node[T]
+	for n := l.head.Load(); n != nil; n = n.next.Load() {
+		if n == target {
+			l.unlink(prev, n)
+			l.dom.Defer(func() { target.next.Store(nil) })
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+// unlink removes n (whose predecessor is prev, nil meaning head) from
+// the chain. Callers hold l.mu.
+func (l *List[T]) unlink(prev, n *Node[T]) {
+	next := n.next.Load()
+	if prev == nil {
+		l.head.Store(next)
+	} else {
+		prev.next.Store(next)
+	}
+	l.size.Add(-1)
+}
+
+// MoveToFront atomically (from a reader's perspective: the element is
+// never absent) moves the first matching element to the head by
+// inserting a copy at the head and then unlinking the original. A
+// concurrent reader may transiently observe the value twice; it never
+// observes it zero times.
+func (l *List[T]) MoveToFront(match func(T) bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var prev *Node[T]
+	for n := l.head.Load(); n != nil; n = n.next.Load() {
+		if match(n.Value) {
+			if prev == nil {
+				return true // already at head
+			}
+			cp := &Node[T]{Value: n.Value}
+			cp.next.Store(l.head.Load())
+			l.head.Store(cp) // copy visible first: never absent
+			l.unlink(prev, n)
+			l.size.Add(1) // unlink decremented; net zero
+			victim := n
+			l.dom.Defer(func() { victim.next.Store(nil) })
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+// Find returns the first value matching the predicate. It runs in a
+// read-side critical section internally; callers already inside a
+// section may instead traverse via Head/Next.
+func (l *List[T]) Find(match func(T) bool) (T, bool) {
+	var out T
+	var ok bool
+	l.dom.Read(func() {
+		for n := l.head.Load(); n != nil; n = n.next.Load() {
+			if match(n.Value) {
+				out, ok = n.Value, true
+				return
+			}
+		}
+	})
+	return out, ok
+}
+
+// Each calls fn on every value until fn returns false. The traversal
+// runs inside a read-side critical section; it observes a consistent
+// relativistic view: every element present for the whole traversal is
+// visited at least once.
+func (l *List[T]) Each(fn func(T) bool) {
+	l.dom.Read(func() {
+		for n := l.head.Load(); n != nil; n = n.next.Load() {
+			if !fn(n.Value) {
+				return
+			}
+		}
+	})
+}
+
+// Snapshot returns the values currently reachable, in list order.
+func (l *List[T]) Snapshot() []T {
+	var out []T
+	l.Each(func(v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,275 @@
+package rlist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rphash/internal/rcu"
+)
+
+func newList(t testing.TB) *List[int] {
+	t.Helper()
+	dom := rcu.NewDomain()
+	t.Cleanup(dom.Close)
+	return New[int](dom)
+}
+
+func eq(n int) func(int) bool { return func(v int) bool { return v == n } }
+
+func TestEmpty(t *testing.T) {
+	l := newList(t)
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+	if _, ok := l.Find(eq(1)); ok {
+		t.Fatal("Find on empty list returned true")
+	}
+	if _, ok := l.Remove(eq(1)); ok {
+		t.Fatal("Remove on empty list returned true")
+	}
+	if got := l.Snapshot(); len(got) != 0 {
+		t.Fatalf("Snapshot = %v, want empty", got)
+	}
+}
+
+func TestPushFrontOrder(t *testing.T) {
+	l := newList(t)
+	for i := 1; i <= 5; i++ {
+		l.PushFront(i)
+	}
+	want := []int{5, 4, 3, 2, 1}
+	got := l.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", l.Len())
+	}
+}
+
+func TestInsertAfter(t *testing.T) {
+	l := newList(t)
+	a := l.PushFront(1)
+	l.InsertAfter(a, 2)
+	l.InsertAfter(a, 3)
+	got := l.Snapshot()
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := newList(t)
+	for i := 1; i <= 4; i++ {
+		l.PushFront(i) // 4 3 2 1
+	}
+	if v, ok := l.Remove(eq(3)); !ok || v != 3 {
+		t.Fatalf("Remove(3) = %d,%v", v, ok)
+	}
+	if _, ok := l.Find(eq(3)); ok {
+		t.Fatal("3 still findable after Remove")
+	}
+	// Remove head and tail.
+	if v, ok := l.Remove(eq(4)); !ok || v != 4 {
+		t.Fatalf("Remove(head) = %d,%v", v, ok)
+	}
+	if v, ok := l.Remove(eq(1)); !ok || v != 1 {
+		t.Fatalf("Remove(tail) = %d,%v", v, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if _, ok := l.Remove(eq(42)); ok {
+		t.Fatal("Remove of absent value returned true")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	l := newList(t)
+	n2 := l.PushFront(2)
+	l.PushFront(1)
+	if !l.RemoveNode(n2) {
+		t.Fatal("RemoveNode failed for live node")
+	}
+	if l.RemoveNode(n2) {
+		t.Fatal("RemoveNode succeeded twice for the same node")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestMoveToFront(t *testing.T) {
+	l := newList(t)
+	for i := 1; i <= 3; i++ {
+		l.PushFront(i) // 3 2 1
+	}
+	if !l.MoveToFront(eq(1)) {
+		t.Fatal("MoveToFront(1) failed")
+	}
+	got := l.Snapshot()
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 after move", l.Len())
+	}
+	if !l.MoveToFront(eq(1)) {
+		t.Fatal("MoveToFront of head should be a no-op success")
+	}
+	if l.MoveToFront(eq(99)) {
+		t.Fatal("MoveToFront of absent value returned true")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	l := newList(t)
+	for i := 1; i <= 10; i++ {
+		l.PushFront(i)
+	}
+	var visited int
+	l.Each(func(int) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d nodes, want 3", visited)
+	}
+}
+
+// TestQuickAgainstModel drives the list with random operations and
+// compares against a plain-slice model.
+func TestQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Kind byte
+		Val  uint8
+	}
+	check := func(ops []op) bool {
+		l := New[int](rcu.NewDomain())
+		defer l.Domain().Close()
+		var model []int
+		for _, o := range ops {
+			v := int(o.Val % 16)
+			switch o.Kind % 3 {
+			case 0: // push front
+				l.PushFront(v)
+				model = append([]int{v}, model...)
+			case 1: // remove first match
+				_, got := l.Remove(eq(v))
+				want := false
+				for i, m := range model {
+					if m == v {
+						model = append(model[:i:i], model[i+1:]...)
+						want = true
+						break
+					}
+				}
+				if got != want {
+					return false
+				}
+			case 2: // find
+				_, got := l.Find(eq(v))
+				want := false
+				for _, m := range model {
+					if m == v {
+						want = true
+						break
+					}
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		if l.Len() != len(model) {
+			return false
+		}
+		snap := l.Snapshot()
+		if len(snap) != len(model) {
+			return false
+		}
+		for i := range model {
+			if snap[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTortureReadersNeverMissStableElements: while a writer churns
+// volatile elements, elements that are never removed must be visible
+// to every traversal — the relativistic consistency contract.
+func TestTortureReadersNeverMissStableElements(t *testing.T) {
+	dom := rcu.NewDomain()
+	defer dom.Close()
+	l := New[int](dom)
+
+	const stableCount = 8
+	for i := 0; i < stableCount; i++ {
+		l.PushFront(i) // stable keys 0..7
+	}
+
+	stop := make(chan struct{})
+	var misses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seen := make([]bool, stableCount)
+				l.Each(func(v int) bool {
+					if v < stableCount {
+						seen[v] = true
+					}
+					return true
+				})
+				for _, s := range seen {
+					if !s {
+						misses.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		v := stableCount + rng.Intn(100)
+		l.PushFront(v)
+		if rng.Intn(2) == 0 {
+			l.Remove(func(x int) bool { return x >= stableCount })
+		}
+		l.MoveToFront(func(x int) bool { return x >= stableCount })
+	}
+	close(stop)
+	wg.Wait()
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d traversals missed a stable element", n)
+	}
+}

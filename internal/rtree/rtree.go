@@ -1,0 +1,372 @@
+// Package rtree implements a relativistic radix tree — one of the
+// other relativistic data structures the paper enumerates ("Linked
+// lists, Radix trees, Tries, ..."), built on the same three
+// primitives as the hash table: delimited readers, pointer
+// publication, and wait-for-readers.
+//
+// The structure follows the Linux kernel's radix tree: a 16-way
+// (4-bit stride) tree over uint64 keys whose height grows and
+// shrinks with the largest stored key. Readers walk child pointers
+// with no synchronization; writers serialize on a mutex and follow
+// the relativistic discipline:
+//
+//   - Insert publishes fully-built subtrees bottom-up; a reader sees
+//     the new key either entirely or not at all.
+//   - Height growth builds the new root (with the old root as child
+//     0) before publishing it; readers on the old root still reach
+//     every key, because the old root covers exactly the keys that
+//     existed before growth.
+//   - Height shrink publishes the root's only child as the new root,
+//     then waits for readers before the old root can be recycled;
+//     readers mid-walk through the old root still terminate
+//     correctly since its subtree is untouched.
+//   - Delete clears the leaf slot and prunes now-empty internal
+//     nodes bottom-up; pruned nodes keep their child pointers, so a
+//     reader already inside one finishes its walk unharmed.
+package rtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rphash/internal/rcu"
+)
+
+const (
+	// strideBits is the per-level stride; fanout children per node.
+	strideBits = 4
+	fanout     = 1 << strideBits
+	strideMask = fanout - 1
+	// maxHeight covers the full 64-bit key space.
+	maxHeight = 64 / strideBits
+)
+
+// slotKind discriminates what a child slot holds.
+type slotKind uint8
+
+const (
+	slotNode slotKind = iota
+	slotLeaf
+)
+
+// slot is an immutable child descriptor; replacing a child publishes
+// a fresh slot, so readers never observe a half-updated one.
+type slot[V any] struct {
+	kind slotKind
+	node *rnode[V]
+	key  uint64 // leaf: full key (walks confirm, like hash+key in the table)
+	val  *V     // leaf: value pointer (atomic replacement on update)
+}
+
+// rnode is an internal node with fanout child slots.
+type rnode[V any] struct {
+	slots [fanout]atomic.Pointer[slot[V]]
+}
+
+// count returns the number of occupied slots (writer-side use only).
+func (n *rnode[V]) count() int {
+	c := 0
+	for i := range n.slots {
+		if n.slots[i].Load() != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Tree is a resizable-height relativistic radix tree keyed by uint64.
+type Tree[V any] struct {
+	// root holds the current root node; height is how many levels the
+	// tree has (0 = empty). Both are published together via meta.
+	meta   atomic.Pointer[treeMeta[V]]
+	dom    *rcu.Domain
+	ownDom bool
+	mu     sync.Mutex
+	size   atomic.Int64
+}
+
+// treeMeta binds a root to its height so readers see a consistent
+// pair with one load.
+type treeMeta[V any] struct {
+	root   *rnode[V]
+	height int // levels; keys < 1<<(height*strideBits) are addressable
+}
+
+// New creates a tree. Pass nil to own a private RCU domain.
+func New[V any](dom *rcu.Domain) *Tree[V] {
+	t := &Tree[V]{}
+	if dom != nil {
+		t.dom = dom
+	} else {
+		t.dom = rcu.NewDomain()
+		t.ownDom = true
+	}
+	t.meta.Store(&treeMeta[V]{root: nil, height: 0})
+	return t
+}
+
+// Domain returns the tree's RCU domain.
+func (t *Tree[V]) Domain() *rcu.Domain { return t.dom }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return int(t.size.Load()) }
+
+// Height returns the current tree height (levels).
+func (t *Tree[V]) Height() int { return t.meta.Load().height }
+
+// Close releases the private domain, if owned.
+func (t *Tree[V]) Close() {
+	if t.ownDom {
+		t.dom.Close()
+	}
+}
+
+// chunk extracts the child index for a key at a given level (level 1
+// is the leaf level).
+func chunk(key uint64, level int) int {
+	return int((key >> (uint(level-1) * strideBits)) & strideMask)
+}
+
+// addressable reports whether key fits in a tree of the given height.
+func addressable(key uint64, height int) bool {
+	if height >= maxHeight {
+		return true
+	}
+	return key < 1<<(uint(height)*strideBits)
+}
+
+// Get returns the value for key. Read-side: a delimited section
+// around an unsynchronized pointer walk.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	var v V
+	var ok bool
+	t.dom.Read(func() {
+		v, ok = t.lookup(key)
+	})
+	return v, ok
+}
+
+func (t *Tree[V]) lookup(key uint64) (V, bool) {
+	var zero V
+	m := t.meta.Load()
+	if m.root == nil || !addressable(key, m.height) {
+		return zero, false
+	}
+	n := m.root
+	for level := m.height; level >= 1; level-- {
+		s := n.slots[chunk(key, level)].Load()
+		if s == nil {
+			return zero, false
+		}
+		if s.kind == slotLeaf {
+			// Leaves may sit above the bottom level only when the
+			// tree stores a single path; key confirms identity.
+			if s.key == key {
+				return *s.val, true
+			}
+			return zero, false
+		}
+		n = s.node
+	}
+	return zero, false
+}
+
+// Handle is a registered per-goroutine reader for hot lookups.
+type Handle[V any] struct {
+	t *Tree[V]
+	r *rcu.Reader
+}
+
+// NewHandle registers a reader.
+func (t *Tree[V]) NewHandle() *Handle[V] {
+	return &Handle[V]{t: t, r: t.dom.Register()}
+}
+
+// Get looks up key via the handle's reader.
+func (h *Handle[V]) Get(key uint64) (V, bool) {
+	h.r.Lock()
+	v, ok := h.t.lookup(key)
+	h.r.Unlock()
+	return v, ok
+}
+
+// Close deregisters the handle.
+func (h *Handle[V]) Close() { h.r.Close() }
+
+// Set inserts or replaces the value for key, reporting whether it
+// inserted.
+func (t *Tree[V]) Set(key uint64, v V) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	t.growLocked(key)
+	m := t.meta.Load()
+
+	n := m.root
+	for level := m.height; level >= 1; level-- {
+		sp := &n.slots[chunk(key, level)]
+		s := sp.Load()
+		switch {
+		case s == nil:
+			// Publish a leaf here (possibly above the bottom —
+			// path compression on insert).
+			val := v
+			sp.Store(&slot[V]{kind: slotLeaf, key: key, val: &val})
+			t.size.Add(1)
+			return true
+		case s.kind == slotLeaf && s.key == key:
+			// Replace: fresh slot, atomic publication.
+			val := v
+			sp.Store(&slot[V]{kind: slotLeaf, key: key, val: &val})
+			return false
+		case s.kind == slotLeaf:
+			// Collision with a compressed leaf: push it one level
+			// down inside a fully-built child, then publish.
+			if level == 1 {
+				// Bottom level: distinct keys cannot collide here.
+				panic("rtree: leaf collision at level 1")
+			}
+			child := &rnode[V]{}
+			child.slots[chunk(s.key, level-1)].Store(s)
+			sp.Store(&slot[V]{kind: slotNode, node: child})
+			n = child
+		default:
+			n = s.node
+		}
+	}
+	panic("rtree: walk fell off the tree") // unreachable by construction
+}
+
+// growLocked raises the height until key is addressable. The new
+// root is fully built (old root as child 0) before publication.
+func (t *Tree[V]) growLocked(key uint64) {
+	for {
+		m := t.meta.Load()
+		if m.root == nil {
+			h := 1
+			for !addressable(key, h) {
+				h++
+			}
+			t.meta.Store(&treeMeta[V]{root: &rnode[V]{}, height: h})
+			return
+		}
+		if addressable(key, m.height) {
+			return
+		}
+		root := &rnode[V]{}
+		if m.root.count() > 0 {
+			root.slots[0].Store(&slot[V]{kind: slotNode, node: m.root})
+		}
+		t.meta.Store(&treeMeta[V]{root: root, height: m.height + 1})
+	}
+}
+
+// Delete removes key, reporting whether it was present. Empty
+// internal nodes along the path are pruned; the old nodes keep their
+// pointers so concurrent readers finish unharmed.
+func (t *Tree[V]) Delete(key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	m := t.meta.Load()
+	if m.root == nil || !addressable(key, m.height) {
+		return false
+	}
+	// Record the path for pruning.
+	type step struct {
+		node *rnode[V]
+		idx  int
+	}
+	path := make([]step, 0, m.height)
+	n := m.root
+	level := m.height
+	for ; level >= 1; level-- {
+		idx := chunk(key, level)
+		s := n.slots[idx].Load()
+		if s == nil {
+			return false
+		}
+		path = append(path, step{n, idx})
+		if s.kind == slotLeaf {
+			if s.key != key {
+				return false
+			}
+			break
+		}
+		n = s.node
+	}
+	if level == 0 {
+		return false
+	}
+
+	// Clear the leaf, then prune empty ancestors bottom-up.
+	last := path[len(path)-1]
+	last.node.slots[last.idx].Store(nil)
+	t.size.Add(-1)
+	for i := len(path) - 2; i >= 0; i-- {
+		child := path[i+1].node
+		if child.count() > 0 {
+			break
+		}
+		path[i].node.slots[path[i].idx].Store(nil)
+	}
+	t.shrinkLocked()
+	return true
+}
+
+// shrinkLocked lowers the height while the root has at most one
+// child in slot 0 (kernel-style). Each step publishes the new meta
+// and waits for readers so the displaced root can be reused safely.
+func (t *Tree[V]) shrinkLocked() {
+	for {
+		m := t.meta.Load()
+		if m.root == nil {
+			return
+		}
+		if t.size.Load() == 0 {
+			t.meta.Store(&treeMeta[V]{root: nil, height: 0})
+			t.dom.Synchronize()
+			return
+		}
+		if m.height <= 1 {
+			return
+		}
+		s0 := m.root.slots[0].Load()
+		if m.root.count() != 1 || s0 == nil || s0.kind != slotNode {
+			return
+		}
+		t.meta.Store(&treeMeta[V]{root: s0.node, height: m.height - 1})
+		t.dom.Synchronize()
+	}
+}
+
+// Range walks all keys in ascending order inside one read section,
+// calling fn until it returns false. Concurrent-writer semantics
+// match the hash table's Range.
+func (t *Tree[V]) Range(fn func(uint64, V) bool) {
+	t.dom.Read(func() {
+		m := t.meta.Load()
+		if m.root != nil {
+			t.walk(m.root, m.height, fn)
+		}
+	})
+}
+
+func (t *Tree[V]) walk(n *rnode[V], level int, fn func(uint64, V) bool) bool {
+	for i := 0; i < fanout; i++ {
+		s := n.slots[i].Load()
+		if s == nil {
+			continue
+		}
+		if s.kind == slotLeaf {
+			if !fn(s.key, *s.val) {
+				return false
+			}
+			continue
+		}
+		if !t.walk(s.node, level-1, fn) {
+			return false
+		}
+	}
+	return true
+}

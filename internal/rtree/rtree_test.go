@@ -1,0 +1,309 @@
+package rtree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rphash/internal/rcu"
+)
+
+func newTree(t testing.TB) *Tree[int] {
+	t.Helper()
+	tr := New[int](nil)
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func TestEmpty(t *testing.T) {
+	tr := newTree(t)
+	if _, ok := tr.Get(0); ok {
+		t.Fatal("Get on empty tree")
+	}
+	if tr.Delete(0) {
+		t.Fatal("Delete on empty tree")
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	tr := newTree(t)
+	if !tr.Set(5, 50) {
+		t.Fatal("first Set did not insert")
+	}
+	if tr.Set(5, 51) {
+		t.Fatal("second Set did not replace")
+	}
+	if v, ok := tr.Get(5); !ok || v != 51 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	tr := newTree(t)
+	tr.Set(0, 1)
+	if v, ok := tr.Get(0); !ok || v != 1 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := newTree(t)
+	tr.Set(1, 1) // tiny key: height 1
+	h1 := tr.Height()
+	tr.Set(1<<32, 2) // forces many levels
+	h2 := tr.Height()
+	if h2 <= h1 {
+		t.Fatalf("height did not grow: %d -> %d", h1, h2)
+	}
+	// Old keys must survive growth.
+	if v, ok := tr.Get(1); !ok || v != 1 {
+		t.Fatalf("Get(1) after growth = %d,%v", v, ok)
+	}
+	if v, ok := tr.Get(1 << 32); !ok || v != 2 {
+		t.Fatalf("Get(big) = %d,%v", v, ok)
+	}
+}
+
+func TestHeightShrinkOnDelete(t *testing.T) {
+	tr := newTree(t)
+	tr.Set(1, 1)
+	tr.Set(1<<40, 2)
+	grown := tr.Height()
+	if !tr.Delete(1 << 40) {
+		t.Fatal("Delete(big) failed")
+	}
+	if tr.Height() >= grown {
+		t.Fatalf("height did not shrink: %d -> %d", grown, tr.Height())
+	}
+	if v, ok := tr.Get(1); !ok || v != 1 {
+		t.Fatalf("Get(1) after shrink = %d,%v", v, ok)
+	}
+	tr.Delete(1)
+	if tr.Height() != 0 || tr.Len() != 0 {
+		t.Fatalf("empty tree: height=%d len=%d", tr.Height(), tr.Len())
+	}
+}
+
+func TestMaxKey(t *testing.T) {
+	tr := newTree(t)
+	const maxKey = ^uint64(0)
+	tr.Set(maxKey, 7)
+	if v, ok := tr.Get(maxKey); !ok || v != 7 {
+		t.Fatalf("Get(max) = %d,%v", v, ok)
+	}
+	tr.Set(0, 8)
+	if v, ok := tr.Get(0); !ok || v != 8 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+}
+
+func TestDenseAndSparse(t *testing.T) {
+	tr := newTree(t)
+	// Dense low range + sparse high bits exercise both compressed
+	// leaves and full paths.
+	for i := uint64(0); i < 1000; i++ {
+		tr.Set(i, int(i))
+	}
+	for i := uint64(1); i < 20; i++ {
+		tr.Set(i<<40|i, int(i+10000))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := tr.Get(i); !ok || v != int(i) {
+			t.Fatalf("dense Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	for i := uint64(1); i < 20; i++ {
+		if v, ok := tr.Get(i<<40 | i); !ok || v != int(i+10000) {
+			t.Fatalf("sparse Get = %d,%v", v, ok)
+		}
+	}
+	if tr.Len() != 1019 {
+		t.Fatalf("Len = %d, want 1019", tr.Len())
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	tr := newTree(t)
+	keys := []uint64{5, 1, 900, 37, 1 << 20, 0, 42}
+	for _, k := range keys {
+		tr.Set(k, int(k))
+	}
+	var got []uint64
+	tr.Range(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Fatalf("Range pair %d=%d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Range visited %d keys, want %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Range out of order: %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Range(func(uint64, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop Range visited %d", n)
+	}
+}
+
+func TestHandle(t *testing.T) {
+	tr := newTree(t)
+	tr.Set(3, 30)
+	h := tr.NewHandle()
+	defer h.Close()
+	if v, ok := h.Get(3); !ok || v != 30 {
+		t.Fatalf("handle Get = %d,%v", v, ok)
+	}
+}
+
+func TestQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint32 // mixed magnitudes via shifting below
+		Amt  uint8
+	}
+	check := func(ops []op) bool {
+		tr := New[int](nil)
+		defer tr.Close()
+		model := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.Key) << (o.Amt % 32) // spread across heights
+			switch o.Kind % 4 {
+			case 0, 1:
+				_, existed := model[k]
+				if tr.Set(k, int(o.Amt)) == existed {
+					return false
+				}
+				model[k] = int(o.Amt)
+			case 2:
+				_, existed := model[k]
+				if tr.Delete(k) != existed {
+					return false
+				}
+				delete(model, k)
+			case 3:
+				wantV, want := model[k]
+				gotV, got := tr.Get(k)
+				if got != want || (got && gotV != wantV) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := tr.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		seen := 0
+		tr.Range(func(k uint64, v int) bool {
+			if model[k] != v {
+				return false
+			}
+			seen++
+			return true
+		})
+		return seen == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTortureStableReaders: lock-free lookups of a stable key set
+// must never miss while a writer churns other keys (forcing height
+// changes and pruning) — the same contract as the hash table's.
+func TestTortureStableReaders(t *testing.T) {
+	tr := newTree(t)
+	const stable = 512
+	for i := uint64(0); i < stable; i++ {
+		tr.Set(i, int(i))
+	}
+
+	stop := make(chan struct{})
+	var misses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				if v, ok := h.Get(k); !ok || v != int(k) {
+					misses.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	deadline := time.Now().Add(800 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		k := stable + uint64(rng.Intn(1<<20))<<uint(rng.Intn(40))
+		tr.Set(k, 1)
+		if rng.Intn(2) == 0 {
+			tr.Delete(k)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d lookups missed stable keys during churn", n)
+	}
+}
+
+func TestSharedDomain(t *testing.T) {
+	dom := rcu.NewDomain()
+	defer dom.Close()
+	tr := New[int](dom)
+	defer tr.Close()
+	tr.Set(1, 1)
+	if tr.Domain() != dom {
+		t.Fatal("Domain() should return the shared domain")
+	}
+	// Closing the tree must not close the shared domain.
+	tr.Close()
+	dom.Synchronize() // would panic/hang on a closed domain
+}
+
+func TestShrinkUsesGracePeriods(t *testing.T) {
+	dom := rcu.NewDomain()
+	defer dom.Close()
+	tr := New[int](dom)
+	defer tr.Close()
+	tr.Set(1, 1)
+	tr.Set(1<<40, 2)
+	before := dom.Stats().GracePeriods
+	tr.Delete(1 << 40) // forces height shrink
+	if after := dom.Stats().GracePeriods; after <= before {
+		t.Fatal("height shrink did not wait for readers")
+	}
+}

@@ -1,0 +1,226 @@
+// Package stats provides the measurement plumbing for the benchmark
+// harness: false-sharing-free counters, nanosecond histograms, and
+// the Series/render types that turn measurements into the text tables
+// EXPERIMENTS.md records.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// PaddedCounter is an atomic counter on its own cache line, for
+// per-worker slots in a shared slice.
+type PaddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Add increments the counter.
+func (c *PaddedCounter) Add(d uint64) { c.n.Add(d) }
+
+// Load reads the counter.
+func (c *PaddedCounter) Load() uint64 { return c.n.Load() }
+
+// CounterSet is a fixed set of per-worker padded counters.
+type CounterSet struct {
+	slots []PaddedCounter
+}
+
+// NewCounterSet allocates n independent counters.
+func NewCounterSet(n int) *CounterSet {
+	return &CounterSet{slots: make([]PaddedCounter, n)}
+}
+
+// Slot returns worker i's counter.
+func (s *CounterSet) Slot(i int) *PaddedCounter { return &s.slots[i] }
+
+// Total sums all slots.
+func (s *CounterSet) Total() uint64 {
+	var t uint64
+	for i := range s.slots {
+		t += s.slots[i].Load()
+	}
+	return t
+}
+
+// Histogram is a power-of-two-bucketed nanosecond histogram. It is
+// not concurrency-safe; give each worker its own and Merge.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(ns uint64) {
+	b := 0
+	for v := ns; v > 1; v >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1])
+// from the bucket boundaries.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return 1 << uint(i+1)
+		}
+	}
+	return h.max
+}
+
+// Point is one measured (x, y) pair in a Series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Figure is a set of series over a common x-axis, renderable as the
+// text analogue of one of the paper's plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// RenderTable renders the figure as an aligned text table: one row
+// per distinct x, one column per series.
+func (f *Figure) RenderTable() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%s (rows) vs %s (cells)\n", f.XLabel, f.YLabel)
+
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Name)
+	}
+	b.WriteByte('\n')
+
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			val := math.NaN()
+			for _, p := range s.Points {
+				if p.X == x {
+					val = p.Y
+					break
+				}
+			}
+			if math.IsNaN(val) {
+				fmt.Fprintf(&b, "%16s", "-")
+			} else {
+				fmt.Fprintf(&b, "%16.2f", val)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV renders the figure as CSV with an x column and one column
+// per series.
+func (f *Figure) RenderCSV() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Name, ",", "_"))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			val := math.NaN()
+			for _, p := range s.Points {
+				if p.X == x {
+					val = p.Y
+					break
+				}
+			}
+			if math.IsNaN(val) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%.3f", val)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSet(t *testing.T) {
+	cs := NewCounterSet(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				cs.Slot(id).Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := cs.Total(); got != 4000 {
+		t.Fatalf("Total = %d, want 4000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []uint64{100, 200, 300, 400} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 250 {
+		t.Fatalf("Mean = %v, want 250", got)
+	}
+	if h.Max() != 400 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if q := h.Quantile(0.99); q < 256 {
+		t.Fatalf("p99 upper bound = %d, should cover the max bucket", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10)
+	b.Observe(1000)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Fatalf("merged count=%d max=%d", a.Count(), a.Max())
+	}
+}
+
+func TestFigureRenderTable(t *testing.T) {
+	fig := Figure{
+		Title:  "test figure",
+		XLabel: "readers",
+		YLabel: "ops",
+	}
+	s1 := Series{Name: "A"}
+	s1.Add(1, 1.5)
+	s1.Add(2, 3.0)
+	s2 := Series{Name: "B"}
+	s2.Add(1, 0.5)
+	fig.Series = []Series{s1, s2}
+
+	out := fig.RenderTable()
+	for _, want := range []string{"test figure", "A", "B", "1.50", "3.00", "0.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// B has no point at x=2: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing point not rendered as '-':\n%s", out)
+	}
+}
+
+func TestFigureRenderCSV(t *testing.T) {
+	fig := Figure{Title: "t", XLabel: "x", YLabel: "y"}
+	s := Series{Name: "with,comma"}
+	s.Add(1, 2)
+	fig.Series = []Series{s}
+	out := fig.RenderCSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want 2:\n%s", len(lines), out)
+	}
+	if lines[0] != "x,with_comma" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2.000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

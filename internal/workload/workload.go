@@ -1,0 +1,125 @@
+// Package workload generates the key streams and operation mixes the
+// benchmark harness drives tables with. Every generator is
+// deterministic given its seed and allocation-free on the draw path,
+// so measured differences come from the tables, not the load
+// generator.
+package workload
+
+import "math/rand"
+
+// PRNG is a small, fast, deterministic generator (xorshift*-family)
+// suitable for one-per-worker use without locks.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG seeds a generator. Seed 0 is remapped to a fixed nonzero
+// constant (the generator's state must never be zero).
+func NewPRNG(seed uint64) *PRNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &PRNG{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (p *PRNG) Next() uint64 {
+	x := p.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uintn returns a value in [0, n).
+func (p *PRNG) Uintn(n uint64) uint64 {
+	return p.Next() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Next()>>11) / (1 << 53)
+}
+
+// KeyGen produces a key stream.
+type KeyGen interface {
+	// Key returns the next key to operate on.
+	Key() uint64
+}
+
+// Uniform draws keys uniformly from [0, Space). With Space set to
+// twice the populated key count, half of all lookups miss — the
+// harness's default, which exercises full-chain walks as well as
+// early exits.
+type Uniform struct {
+	Space uint64
+	rng   *PRNG
+}
+
+// NewUniform builds a uniform generator over [0, space).
+func NewUniform(space, seed uint64) *Uniform {
+	return &Uniform{Space: space, rng: NewPRNG(seed)}
+}
+
+// Key implements KeyGen.
+func (u *Uniform) Key() uint64 { return u.rng.Uintn(u.Space) }
+
+// Zipf draws keys with a Zipfian distribution over [0, Space) —
+// the skewed-popularity case (hot keys), as seen by caches like
+// memcached. It wraps math/rand's rejection-inversion sampler with a
+// private source so workers do not contend.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a Zipf generator: s > 1 is the skew exponent
+// (typical cache traces are near 1.01–1.3).
+func NewZipf(space uint64, s float64, seed int64) *Zipf {
+	r := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(r, s, 1, space-1)}
+}
+
+// Key implements KeyGen.
+func (z *Zipf) Key() uint64 { return z.z.Uint64() }
+
+// Op is a table operation kind for mixed workloads.
+type Op int
+
+// Operation kinds.
+const (
+	OpLookup Op = iota
+	OpInsert
+	OpDelete
+)
+
+// Mix draws operations with fixed probabilities. The zero value is
+// 100% lookups.
+type Mix struct {
+	// InsertFrac and DeleteFrac are probabilities in [0,1]; the
+	// remainder is lookups.
+	InsertFrac float64
+	DeleteFrac float64
+	rng        *PRNG
+}
+
+// NewMix builds an operation mix generator.
+func NewMix(insertFrac, deleteFrac float64, seed uint64) *Mix {
+	return &Mix{InsertFrac: insertFrac, DeleteFrac: deleteFrac, rng: NewPRNG(seed)}
+}
+
+// Op returns the next operation kind.
+func (m *Mix) Op() Op {
+	if m.rng == nil {
+		return OpLookup
+	}
+	f := m.rng.Float64()
+	switch {
+	case f < m.InsertFrac:
+		return OpInsert
+	case f < m.InsertFrac+m.DeleteFrac:
+		return OpDelete
+	default:
+		return OpLookup
+	}
+}

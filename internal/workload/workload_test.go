@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := NewPRNG(42), NewPRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewPRNG(43)
+	same := 0
+	a = NewPRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestPRNGZeroSeed(t *testing.T) {
+	p := NewPRNG(0)
+	if p.Next() == 0 && p.Next() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestUintnRange(t *testing.T) {
+	p := NewPRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := p.Uintn(17); v >= 17 {
+			t.Fatalf("Uintn(17) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := NewPRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	const space = 64
+	u := NewUniform(space, 3)
+	counts := make([]int, space)
+	const draws = 64 * 1000
+	for i := 0; i < draws; i++ {
+		counts[u.Key()]++
+	}
+	mean := float64(draws) / space
+	for k, c := range counts {
+		if math.Abs(float64(c)-mean) > mean*0.25 {
+			t.Fatalf("key %d drawn %d times, mean %.0f — not uniform", k, c, mean)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1<<16, 1.2, 11)
+	counts := map[uint64]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Key()]++
+	}
+	// The head of a Zipf(1.2) distribution must dominate: key 0
+	// should be drawn far more often than the tail average.
+	if counts[0] < draws/100 {
+		t.Fatalf("Zipf head drawn only %d/%d times — not skewed", counts[0], draws)
+	}
+	for k := range counts {
+		if k >= 1<<16 {
+			t.Fatalf("Zipf drew key %d outside space", k)
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	m := NewMix(0.2, 0.1, 5)
+	var ins, del, look int
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		switch m.Op() {
+		case OpInsert:
+			ins++
+		case OpDelete:
+			del++
+		default:
+			look++
+		}
+	}
+	within := func(got int, frac float64) bool {
+		want := frac * draws
+		return math.Abs(float64(got)-want) < draws*0.02
+	}
+	if !within(ins, 0.2) || !within(del, 0.1) || !within(look, 0.7) {
+		t.Fatalf("mix = ins %d del %d look %d for 0.2/0.1/0.7", ins, del, look)
+	}
+}
+
+func TestZeroMixIsAllLookups(t *testing.T) {
+	var m Mix
+	for i := 0; i < 100; i++ {
+		if m.Op() != OpLookup {
+			t.Fatal("zero Mix produced a non-lookup op")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package xu
+
+import (
+	"testing"
+
+	"rphash/internal/httest"
+	"rphash/internal/rcu"
+)
+
+func TestConformance(t *testing.T) {
+	httest.RunAll(t, func(n uint64) httest.Map {
+		return NewUint64[int](n)
+	})
+}
+
+func TestViewFlipAlternates(t *testing.T) {
+	tbl := NewUint64[int](16)
+	defer tbl.Close()
+	if idx := tbl.active.Load().idx; idx != 0 {
+		t.Fatalf("initial view idx = %d, want 0", idx)
+	}
+	tbl.Resize(64)
+	if idx := tbl.active.Load().idx; idx != 1 {
+		t.Fatalf("after one resize idx = %d, want 1", idx)
+	}
+	tbl.Resize(16)
+	if idx := tbl.active.Load().idx; idx != 0 {
+		t.Fatalf("after two resizes idx = %d, want 0", idx)
+	}
+}
+
+func TestResizeUsesGracePeriod(t *testing.T) {
+	dom := rcu.NewDomain()
+	defer dom.Close()
+	tbl := New[uint64, int](func(k uint64) uint64 { return k }, 8, dom)
+	for i := uint64(0); i < 100; i++ {
+		tbl.Set(i, int(i))
+	}
+	before := dom.Stats().GracePeriods
+	tbl.Resize(64)
+	if after := dom.Stats().GracePeriods; after <= before {
+		t.Fatal("Resize flipped views without a grace period")
+	}
+}
+
+func TestInsertAfterFlipThenResizeBack(t *testing.T) {
+	tbl := NewUint64[int](8)
+	defer tbl.Close()
+	for i := uint64(0); i < 50; i++ {
+		tbl.Set(i, int(i))
+	}
+	tbl.Resize(32) // flip to view 1
+	for i := uint64(50); i < 100; i++ {
+		tbl.Set(i, int(i)) // threaded only in view 1
+	}
+	tbl.Resize(8) // re-thread view 0 from view 1's chains
+	for i := uint64(0); i < 100; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v after flip-back", i, v, ok)
+		}
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tbl.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	tbl := NewUint64[int](16)
+	defer tbl.Close()
+	for i := uint64(0); i < 64; i++ {
+		tbl.Set(i, int(i))
+	}
+	tbl.Resize(64)
+	seen := map[uint64]bool{}
+	tbl.Range(func(k uint64, v int) bool {
+		if seen[k] {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 64 {
+		t.Fatalf("Range visited %d keys, want 64", len(seen))
+	}
+}

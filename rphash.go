@@ -1,0 +1,85 @@
+package rphash
+
+import (
+	"rphash/internal/core"
+	"rphash/internal/hashfn"
+	"rphash/internal/rcu"
+)
+
+// Table is a resizable relativistic hash table. See the package
+// documentation for the concurrency contract.
+type Table[K comparable, V any] = core.Table[K, V]
+
+// ReadHandle is a per-goroutine lookup handle; it amortizes reader
+// registration for hot loops. Not safe for concurrent use.
+type ReadHandle[K comparable, V any] = core.ReadHandle[K, V]
+
+// Stats is a snapshot of table metrics, including resize internals
+// (unzip passes and pointer cuts).
+type Stats = core.Stats
+
+// Policy controls automatic load-factor-driven resizing.
+type Policy = core.Policy
+
+// Option configures a table at construction time.
+type Option = core.Option
+
+// Domain is a relativistic-programming (RCU) domain: a registry of
+// delimited readers and a grace-period clock. Tables own a private
+// domain unless one is shared via WithDomain.
+type Domain = rcu.Domain
+
+// Reader is a registered delimited reader for callers that compose
+// their own multi-lookup read sections via Domain.
+type Reader = rcu.Reader
+
+// New creates a table keyed by K using the supplied hash function.
+// The hash must be deterministic for the table's lifetime and should
+// mix its low bits well (bucket selection masks the hash with a power
+// of two); see internal/hashfn for suitable mixers.
+func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] {
+	return core.New[K, V](hash, opts...)
+}
+
+// NewUint64 creates a table keyed by uint64 with the standard
+// splitmix64 finalizer.
+func NewUint64[V any](opts ...Option) *Table[uint64, V] {
+	return core.NewUint64[V](opts...)
+}
+
+// NewString creates a table keyed by string with seeded FNV-1a plus
+// an avalanche finalizer.
+func NewString[V any](opts ...Option) *Table[string, V] {
+	return core.NewString[V](opts...)
+}
+
+// NewDomain creates a standalone RCU domain for sharing across
+// tables (see WithDomain) or for composing custom relativistic data
+// structures. Close it when done.
+func NewDomain() *Domain { return rcu.NewDomain() }
+
+// WithDomain shares an existing domain instead of creating a private
+// one. Tables sharing a domain share grace periods.
+func WithDomain(d *Domain) Option { return core.WithDomain(d) }
+
+// WithInitialBuckets sets the initial bucket count (rounded up to a
+// power of two).
+func WithInitialBuckets(n uint64) Option { return core.WithInitialBuckets(n) }
+
+// WithPolicy installs an automatic resize policy.
+func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// DefaultPolicy expands beyond 2 elements/bucket and shrinks below
+// 0.25, with a 64-bucket floor.
+func DefaultPolicy() Policy { return core.DefaultPolicy() }
+
+// HashBytes is the repository's standard byte-slice hash (seeded
+// FNV-1a with an avalanche finalizer), exported for callers building
+// custom key types.
+func HashBytes(b []byte, seed uint64) uint64 { return hashfn.Bytes(b, seed) }
+
+// HashString is the string form of HashBytes.
+func HashString(s string, seed uint64) uint64 { return hashfn.String(s, seed) }
+
+// HashUint64 is the repository's standard integer hash.
+func HashUint64(x, seed uint64) uint64 { return hashfn.Uint64(x, seed) }

@@ -1,0 +1,120 @@
+package rphash_test
+
+import (
+	"sync"
+	"testing"
+
+	"rphash"
+)
+
+// These tests exercise the public façade exactly as a downstream user
+// would; the heavy behavioural coverage lives in internal/core.
+
+func TestPublicStringTable(t *testing.T) {
+	tbl := rphash.NewString[int]()
+	defer tbl.Close()
+	tbl.Set("a", 1)
+	tbl.Set("b", 2)
+	if v, ok := tbl.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if !tbl.Delete("a") {
+		t.Fatal("Delete failed")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestPublicCustomKey(t *testing.T) {
+	type point struct{ X, Y int32 }
+	tbl := rphash.New[point, string](func(p point) uint64 {
+		return rphash.HashUint64(uint64(p.X)<<32|uint64(uint32(p.Y)), 1)
+	})
+	defer tbl.Close()
+	tbl.Set(point{1, 2}, "origin-ish")
+	if v, ok := tbl.Get(point{1, 2}); !ok || v != "origin-ish" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if _, ok := tbl.Get(point{2, 1}); ok {
+		t.Fatal("transposed key found")
+	}
+}
+
+func TestPublicResizeAndStats(t *testing.T) {
+	tbl := rphash.NewUint64[uint64](rphash.WithInitialBuckets(16))
+	defer tbl.Close()
+	for i := uint64(0); i < 5000; i++ {
+		tbl.Set(i, i*2)
+	}
+	tbl.Resize(1 << 12)
+	st := tbl.Stats()
+	if st.Buckets != 1<<12 || st.Len != 5000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Expands == 0 || st.UnzipCuts == 0 {
+		t.Fatalf("resize internals not recorded: %+v", st)
+	}
+	for i := uint64(0); i < 5000; i += 101 {
+		if v, ok := tbl.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestPublicSharedDomain(t *testing.T) {
+	dom := rphash.NewDomain()
+	defer dom.Close()
+	a := rphash.NewUint64[int](rphash.WithDomain(dom))
+	b := rphash.NewString[int](rphash.WithDomain(dom))
+	defer a.Close()
+	defer b.Close()
+	a.Set(1, 1)
+	b.Set("one", 1)
+	// One read section spanning both tables: a consistent multi-table
+	// view is exactly what shared domains are for.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := dom.Register()
+		defer r.Close()
+		r.Lock()
+		_, okA := a.Get(1)
+		_, okB := b.Get("one")
+		r.Unlock()
+		if !okA || !okB {
+			t.Error("shared-domain lookups failed")
+		}
+	}()
+	<-done
+}
+
+func TestPublicConcurrentSmoke(t *testing.T) {
+	tbl := rphash.NewUint64[int](rphash.WithPolicy(rphash.DefaultPolicy()))
+	defer tbl.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 20000; i++ {
+				tbl.Set(base+i, int(i))
+			}
+		}(uint64(w) << 32)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := tbl.NewReadHandle()
+			defer h.Close()
+			for i := uint64(0); i < 100000; i++ {
+				h.Get(i % 40000)
+			}
+		}()
+	}
+	wg.Wait()
+	if tbl.Len() != 40000 {
+		t.Fatalf("Len = %d, want 40000", tbl.Len())
+	}
+}
