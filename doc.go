@@ -30,6 +30,37 @@
 // an internal mutex; install a Policy (or use DefaultPolicy) to have
 // the table resize itself by load factor.
 //
+// # Table versus Map
+//
+// Table is the paper's algorithm exactly: wait-free readers, all
+// writers (and the resizer) serialized on one mutex. That matches the
+// paper's single-writer evaluation and is the right choice when reads
+// dominate and writes arrive from one goroutine, or when you need
+// Move and Resize to be atomic over the whole structure.
+//
+// Map shards keys across a power-of-two array of Tables — routed by
+// the HIGH bits of the same 64-bit hash, so per-shard bucket masks
+// (which use the low bits) stay well mixed — giving writers
+// independent mutexes that scale with cores:
+//
+//	m := rphash.NewMapString[int](rphash.WithShards(8))
+//	defer m.Close()
+//	m.Set("k", 1)
+//	v, ok := m.Get("k")
+//
+//	h := m.NewReadHandle()      // one reader spans all shards
+//	defer h.Close()
+//	v, ok = h.Get("k")
+//
+// Every shard shares one Domain, so a ReadHandle registers a single
+// reader for the whole map and the read-side cost is identical to a
+// single Table's. Len, Stats, and Range aggregate across shards; a
+// Policy applies to each shard independently, so hot shards expand on
+// their own. The trade-offs: cross-shard Move is
+// publish-before-unlink (never absent) but not atomic against writers
+// racing on the same two keys, and Resize divides its target across
+// shards rather than resizing one array.
+//
 // The internal packages contain the full reproduction apparatus: the
 // epoch-based RCU runtime (internal/rcu), the baseline tables the
 // paper compares against (internal/ddds, internal/lockht,

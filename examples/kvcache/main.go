@@ -1,8 +1,9 @@
-// kvcache: an expiring in-process cache built on the relativistic
-// table — the memcached-shaped workload from the paper's evaluation,
-// in library form. Readers fetch at full speed with no locks while a
-// writer pool churns entries, TTLs lapse, and the table resizes
-// itself up and down with the population.
+// kvcache: an expiring in-process cache built on the sharded
+// relativistic map — the memcached-shaped workload from the paper's
+// evaluation, in library form. Readers fetch at full speed with no
+// locks while a writer pool churns entries, TTLs lapse, and each
+// shard resizes itself up and down with the population; writers to
+// different shards never contend.
 package main
 
 import (
@@ -21,16 +22,17 @@ type entry struct {
 	expireAt time.Time
 }
 
-// Cache is a tiny TTL cache over rphash.Table.
+// Cache is a tiny TTL cache over rphash.Map.
 type Cache struct {
-	t *rphash.Table[string, entry]
+	t *rphash.Map[string, entry]
 }
 
-// NewCache builds a cache whose table resizes itself by load factor.
+// NewCache builds a cache whose shards resize themselves by load
+// factor.
 func NewCache() *Cache {
-	return &Cache{t: rphash.NewString[entry](
-		rphash.WithInitialBuckets(128),
-		rphash.WithPolicy(rphash.Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: 128}),
+	return &Cache{t: rphash.NewMapString[entry](
+		rphash.WithMapInitialBuckets(128),
+		rphash.WithMapPolicy(rphash.Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: 128}),
 	)}
 }
 

@@ -1,0 +1,3 @@
+module rphash
+
+go 1.24

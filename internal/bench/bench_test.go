@@ -146,3 +146,49 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasureMixedProducesBothRates(t *testing.T) {
+	cfg := tinyCfg()
+	e := NewRPShardedN(4, cfg.SmallBuckets)
+	defer e.Close()
+	Preload(e, cfg)
+	res := MeasureMixed(e, 2, 2, cfg)
+	if res.LookupsPerS <= 0 {
+		t.Fatalf("lookup rate = %v, want > 0", res.LookupsPerS)
+	}
+	if res.UpsertsPerS <= 0 {
+		t.Fatalf("upsert rate = %v, want > 0", res.UpsertsPerS)
+	}
+}
+
+func TestMeasureUpsertsAcrossEngines(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Duration = 10 * time.Millisecond
+	for _, name := range []string{"rp", "rp-sharded", "sharded", "mutex"} {
+		e := Builders[name](cfg.SmallBuckets)
+		Preload(e, cfg)
+		ops := MeasureUpserts(e, 2, cfg)
+		e.Close()
+		if ops <= 0 {
+			t.Fatalf("%s: upsert throughput = %v, want > 0", name, ops)
+		}
+	}
+}
+
+func TestRunFigureWriteScaling(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Readers = []int{2}
+	cfg.Duration = 10 * time.Millisecond
+	fig, err := RunFigure(Fig5WriteScaling, cfg)
+	if err != nil {
+		t.Fatalf("RunFigure(5): %v", err)
+	}
+	if len(fig.Series) < 4 {
+		t.Fatalf("figure 5 has %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Fatalf("figure 5 series %q measured %+v", s.Name, s.Points)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"rphash/internal/core"
 	"rphash/internal/ddds"
 	"rphash/internal/lockht"
+	"rphash/internal/shard"
 	"rphash/internal/xu"
 )
 
@@ -59,6 +60,44 @@ func (e *rpEngine) Set(k uint64, v int) { e.t.Set(k, v) }
 func (e *rpEngine) Delete(k uint64)     { e.t.Delete(k) }
 func (e *rpEngine) Resize(n uint64)     { e.t.Resize(n) }
 func (e *rpEngine) Close()              { e.t.Close() }
+
+// ---- RP sharded (internal/shard: write scaling over the RP core) ----
+
+type rpShardedEngine struct{ m *shard.Map[uint64, int] }
+
+// NewRPSharded builds the sharded relativistic-map engine with the
+// default shard count (NextPowerOfTwo(GOMAXPROCS), overridable via
+// DefaultShards) and the given total bucket count.
+func NewRPSharded(buckets uint64) Engine {
+	return NewRPShardedN(DefaultShards, buckets)
+}
+
+// NewRPShardedN builds the sharded engine with an explicit shard
+// count (0 = auto).
+func NewRPShardedN(shards int, buckets uint64) Engine {
+	opts := []shard.Option{shard.WithInitialBuckets(buckets)}
+	if shards > 0 {
+		opts = append(opts, shard.WithShards(shards))
+	}
+	return &rpShardedEngine{m: shard.NewUint64[int](opts...)}
+}
+
+// DefaultShards is the shard count NewRPSharded uses; 0 means
+// NextPowerOfTwo(GOMAXPROCS). The CLI's -shards flag sets it.
+var DefaultShards int
+
+func (e *rpShardedEngine) Name() string { return "rp-sharded" }
+func (e *rpShardedEngine) NewLookup() (Lookup, func()) {
+	h := e.m.NewReadHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpShardedEngine) Set(k uint64, v int) { e.m.Set(k, v) }
+func (e *rpShardedEngine) Delete(k uint64)     { e.m.Delete(k) }
+func (e *rpShardedEngine) Resize(n uint64)     { e.m.Resize(n) }
+func (e *rpShardedEngine) Close()              { e.m.Close() }
 
 // ---- RP with QSBR readers (kernel-RCU read-side cost model) ----
 
@@ -200,12 +239,13 @@ func (e *syncMapEngine) Close()              {}
 
 // Builders maps engine names to constructors, for the CLI.
 var Builders = map[string]func(buckets uint64) Engine{
-	"rp":      NewRP,
-	"rpqsbr":  NewRPQSBR,
-	"ddds":    NewDDDS,
-	"rwlock":  NewRWLock,
-	"mutex":   NewMutex,
-	"sharded": NewSharded,
-	"xu":      NewXu,
-	"syncmap": NewSyncMap,
+	"rp":         NewRP,
+	"rp-sharded": NewRPSharded,
+	"rpqsbr":     NewRPQSBR,
+	"ddds":       NewDDDS,
+	"rwlock":     NewRWLock,
+	"mutex":      NewMutex,
+	"sharded":    NewSharded,
+	"xu":         NewXu,
+	"syncmap":    NewSyncMap,
 }

@@ -15,6 +15,12 @@ const (
 	Fig3RPResizeFixed = 3 // RP: fixed 8k, fixed 16k, continuous resize
 	Fig4DDDSResizeFix = 4 // DDDS: fixed 8k, fixed 16k, continuous resize
 	NumMicrobenchFigs = 4
+
+	// Fig5WriteScaling is the repository's extension figure: upsert
+	// throughput vs concurrent writers (the paper's evaluation has a
+	// single writer; internal/shard exists to scale that axis).
+	Fig5WriteScaling = 5
+	NumFigs          = 5
 )
 
 // measureSeries sweeps cfg.Readers for one engine configuration,
@@ -108,7 +114,7 @@ func Fig4(cfg Config) stats.Figure {
 	}
 }
 
-// RunFigure dispatches by figure number (1-4).
+// RunFigure dispatches by figure number (1-5).
 func RunFigure(n int, cfg Config) (stats.Figure, error) {
 	switch n {
 	case Fig1FixedBaseline:
@@ -119,8 +125,10 @@ func RunFigure(n int, cfg Config) (stats.Figure, error) {
 		return Fig3(cfg), nil
 	case Fig4DDDSResizeFix:
 		return Fig4(cfg), nil
+	case Fig5WriteScaling:
+		return FigWriteScaling(cfg), nil
 	default:
-		return stats.Figure{}, fmt.Errorf("bench: unknown figure %d (have 1..4)", n)
+		return stats.Figure{}, fmt.Errorf("bench: unknown figure %d (have 1..%d)", n, NumFigs)
 	}
 }
 

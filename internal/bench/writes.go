@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"rphash/internal/stats"
+	"rphash/internal/workload"
+)
+
+// MixedResult is the outcome of a MeasureMixed run.
+type MixedResult struct {
+	LookupsPerS float64
+	UpsertsPerS float64
+}
+
+// MeasureMixed runs `readers` lookup goroutines and `writers` upsert
+// goroutines against e for cfg.Duration and returns both aggregate
+// rates. Writers Set uniform-random keys from cfg.KeySpace, so the
+// population climbs from the cfg.Keys preload toward ~KeySpace
+// during warmup and the measured interval sees a steady
+// insert/replace mix at that level, every write exercising the full
+// upsert path (hash, shard/bucket route, mutex, publish). Either
+// count may be zero: readers=0 gives a pure write-throughput
+// measurement, writers=0 degenerates to MeasureLookups without the
+// resizer.
+func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
+	cfg.fillDefaults()
+
+	readCounters := stats.NewCounterSet(max(readers, 1))
+	writeCounters := stats.NewCounterSet(max(writers, 1))
+	stopWarm := make(chan struct{})
+	stop := make(chan struct{})
+	start := make(chan struct{})
+	var ready, done sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			lookup, closeFn := e.NewLookup()
+			if closeFn != nil {
+				defer closeFn()
+			}
+			gen := workload.NewUniform(cfg.KeySpace, uint64(id)*0x9e3779b9+1)
+			ready.Done()
+			<-start
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				lookup(gen.Key())
+			}
+		measured:
+			slot := readCounters.Slot(id)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					slot.Add(local)
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					lookup(gen.Key())
+				}
+				local += 64
+			}
+		}(r)
+	}
+
+	for w := 0; w < writers; w++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			gen := workload.NewUniform(cfg.KeySpace, uint64(id)*0x51afd7ed+7)
+			ready.Done()
+			<-start
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				k := gen.Key()
+				e.Set(k, int(k))
+			}
+		measured:
+			slot := writeCounters.Slot(id)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					slot.Add(local)
+					return
+				default:
+				}
+				// Smaller batches than the read side: upserts are
+				// slower, and oversized batches would smear the stop
+				// edge into the rate.
+				for i := 0; i < 16; i++ {
+					k := gen.Key()
+					e.Set(k, int(k))
+				}
+				local += 16
+			}
+		}(w)
+	}
+
+	ready.Wait()
+	close(start)
+	time.Sleep(cfg.WarmDuration)
+	close(stopWarm)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	done.Wait()
+	elapsed := time.Since(t0)
+
+	return MixedResult{
+		LookupsPerS: float64(readCounters.Total()) / elapsed.Seconds(),
+		UpsertsPerS: float64(writeCounters.Total()) / elapsed.Seconds(),
+	}
+}
+
+// MeasureUpserts is the pure write-throughput sweep point: `writers`
+// goroutines upserting uniform-random keys, no readers.
+func MeasureUpserts(e Engine, writers int, cfg Config) float64 {
+	return MeasureMixed(e, 0, writers, cfg).UpsertsPerS
+}
+
+// measureWriteSeries sweeps cfg.Readers (interpreted as writer
+// counts) for one engine configuration, best-of-Repeats like
+// measureSeries.
+func measureWriteSeries(name string, mk func() Engine, cfg Config) stats.Series {
+	cfg.fillDefaults()
+	s := stats.Series{Name: name}
+	for _, w := range cfg.Readers {
+		best := 0.0
+		for i := 0; i < cfg.Repeats; i++ {
+			e := mk()
+			Preload(e, cfg)
+			if ops := MeasureUpserts(e, w, cfg); ops > best {
+				best = ops
+			}
+			e.Close()
+		}
+		s.Add(float64(w), best/1e6)
+	}
+	return s
+}
+
+// FigWriteScaling is the repository's write-scaling extension figure
+// (figure 5): aggregate upsert throughput versus concurrent writers
+// for the single-mutex relativistic table, the sharded relativistic
+// map, and the lock-based baselines. This is the measurement the
+// paper does not have — its evaluation runs one writer — and the
+// reason internal/shard exists.
+func FigWriteScaling(cfg Config) stats.Figure {
+	cfg.fillDefaults()
+	return stats.Figure{
+		Title:  "Figure 5: multi-writer upsert scaling (repo extension)",
+		XLabel: "writers",
+		YLabel: "upserts/second (millions)",
+		Series: []stats.Series{
+			measureWriteSeries("RP", func() Engine { return NewRP(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("rp-sharded", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("sharded-lock", func() Engine { return NewSharded(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("mutex", func() Engine { return NewMutex(cfg.SmallBuckets) }, cfg),
+		},
+	}
+}

@@ -28,7 +28,22 @@ func (t *Table[K, V]) Contains(k K) bool {
 // lookup walks the chain for k. The caller must be inside a read-side
 // critical section of t's domain.
 func (t *Table[K, V]) lookup(k K) (V, bool) {
-	h := t.hash(k)
+	return t.lookupHashed(t.hash(k), k)
+}
+
+// LookupInReader performs a raw lookup for k with its table hash h
+// already computed. The calling goroutine must be inside a read-side
+// critical section of the table's Domain, and h must equal the
+// table's hash of k. It is the building block for multi-table
+// front-ends (internal/shard) whose read handles span several tables
+// sharing one domain: the front-end hashes once, routes, and looks up
+// without a second reader registration or hash computation.
+func (t *Table[K, V]) LookupInReader(h uint64, k K) (V, bool) {
+	return t.lookupHashed(h, k)
+}
+
+// lookupHashed is lookup with the hash precomputed.
+func (t *Table[K, V]) lookupHashed(h uint64, k K) (V, bool) {
 	ht := t.ht.Load()
 	for n := ht.bucketFor(h).Load(); n != nil; n = n.next.Load() {
 		// During resizes chains are imprecise supersets: foreign

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,6 +70,11 @@ func TestMoveNeverAbsent(t *testing.T) {
 	var absent atomic.Int64
 	var wrong atomic.Int64
 	var probes atomic.Int64
+	// probedRound is the highest round with at least one completed
+	// probe; the writer gates each round's advance on it so rounds
+	// cannot outrun the readers and starve the sample count to zero.
+	var probedRound atomic.Int64
+	probedRound.Store(-1)
 	var wg sync.WaitGroup
 	for g := 0; g < 3; g++ {
 		wg.Add(1)
@@ -89,6 +95,12 @@ func TestMoveNeverAbsent(t *testing.T) {
 					continue // round rolled over mid-probe; not a valid sample
 				}
 				probes.Add(1)
+				for {
+					cur := probedRound.Load()
+					if cur >= r || probedRound.CompareAndSwap(cur, r) {
+						break
+					}
+				}
 				if !okA && !okB {
 					absent.Add(1)
 				}
@@ -108,6 +120,18 @@ func TestMoveNeverAbsent(t *testing.T) {
 		// Set up the next round before advancing the round index so
 		// readers never probe an un-populated pair.
 		tbl.Set(keyA(r+1), val)
+		// Wait for at least one completed probe of this round before
+		// advancing, so the writer cannot roll rounds faster than the
+		// readers sample them and `probes > 0` holds by construction.
+		// (The wait ignores the deadline until the first probe lands;
+		// the readers only stop after this loop exits, so it always
+		// terminates.)
+		for probedRound.Load() < r {
+			if probes.Load() > 0 && !time.Now().Before(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
 		round.Store(r + 1)
 	}
 	close(stop)

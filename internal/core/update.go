@@ -9,7 +9,14 @@ package core
 // Set inserts or replaces the value for k, returning true if the key
 // was newly inserted.
 func (t *Table[K, V]) Set(k K, v V) bool {
-	h := t.hash(k)
+	return t.SetHashed(t.hash(k), k, v)
+}
+
+// SetHashed is Set with the key's table hash precomputed; h must
+// equal the table's hash of k. Multi-table front-ends
+// (internal/shard) hash once to route and pass the hash through
+// rather than paying a second hash inside the shard.
+func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
 	t.mu.Lock()
 	if n := t.findLocked(h, k); n != nil {
 		// In-place relativistic value replacement: readers observe
@@ -26,7 +33,12 @@ func (t *Table[K, V]) Set(k K, v V) bool {
 
 // Insert adds k only if absent; it reports whether it inserted.
 func (t *Table[K, V]) Insert(k K, v V) bool {
-	h := t.hash(k)
+	return t.InsertHashed(t.hash(k), k, v)
+}
+
+// InsertHashed is Insert with the key's table hash precomputed (see
+// SetHashed).
+func (t *Table[K, V]) InsertHashed(h uint64, k K, v V) bool {
 	t.mu.Lock()
 	if t.findLocked(h, k) != nil {
 		t.mu.Unlock()
@@ -41,7 +53,12 @@ func (t *Table[K, V]) Insert(k K, v V) bool {
 // Replace updates the value only if k is present; it reports whether
 // it replaced.
 func (t *Table[K, V]) Replace(k K, v V) bool {
-	h := t.hash(k)
+	return t.ReplaceHashed(t.hash(k), k, v)
+}
+
+// ReplaceHashed is Replace with the key's table hash precomputed (see
+// SetHashed).
+func (t *Table[K, V]) ReplaceHashed(h uint64, k K, v V) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := t.findLocked(h, k)
@@ -56,7 +73,12 @@ func (t *Table[K, V]) Replace(k K, v V) bool {
 // node is retired through the domain's deferred reclaimer after a
 // grace period (readers that still hold it may finish their walk).
 func (t *Table[K, V]) Delete(k K) bool {
-	h := t.hash(k)
+	return t.DeleteHashed(t.hash(k), k)
+}
+
+// DeleteHashed is Delete with the key's table hash precomputed (see
+// SetHashed).
+func (t *Table[K, V]) DeleteHashed(h uint64, k K) bool {
 	t.mu.Lock()
 	ht := t.ht.Load()
 	slot := ht.bucketFor(h)

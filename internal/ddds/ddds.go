@@ -28,6 +28,7 @@
 package ddds
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -86,6 +87,13 @@ func NewUint64[V any](buckets uint64) *Table[uint64, V] {
 	return New[uint64, V](func(k uint64) uint64 { return hashfn.Uint64(k, 0) }, buckets)
 }
 
+// getRetryLimit bounds the generation-stamp retry loop in Get. A
+// resizer flipping gen back-to-back (continuous resizing of a small
+// table) can otherwise invalidate every attempt and starve the reader
+// outright — the retry tax is the point of the DDDS model, livelock
+// is not.
+const getRetryLimit = 8
+
 // Get returns the value for k. See the package comment for the
 // lookup protocol and its deliberate costs: in the common case the
 // lookup validates the resize generation before and after the search
@@ -94,9 +102,21 @@ func NewUint64[V any](buckets uint64) *Table[uint64, V] {
 // the shared reader counter (an RMW that bounces between every
 // reading core), searches both tables, and retries if the resize
 // state moved — "readers have to wait until no concurrent resizes".
+//
+// The retry is bounded: after getRetryLimit invalidated attempts Get
+// falls back to an announced slow path that performs one exact
+// old-then-current search under the writer mutex — the literal
+// "readers have to wait until no concurrent resizes". Under the mutex
+// gen, old, cur, and the migration batches are all frozen (every
+// transition happens inside a t.mu critical section), so the double
+// search needs no stamp revalidation and the reader is guaranteed to
+// make progress via mutex fairness. (Accepting an *unlocked* double
+// search would not be sound here: the C original may do that only
+// because its resizer drains announced readers before completing,
+// a wait this port deliberately omits — see Resize.)
 func (t *Table[K, V]) Get(k K) (V, bool) {
 	h := t.hash(k)
-	for {
+	for attempt := 0; attempt < getRetryLimit; attempt++ {
 		g := t.gen.Load()
 		var v V
 		var ok bool
@@ -120,6 +140,23 @@ func (t *Table[K, V]) Get(k K) (V, bool) {
 		}
 		// A resize started or finished mid-lookup: retry.
 	}
+
+	// Stamp validation kept failing (a resizer is flipping gen
+	// back-to-back). Announce, then search exactly with the resize
+	// state pinned by the writer mutex.
+	t.readers.Add(1)
+	defer t.readers.Add(-1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var v V
+	var ok bool
+	if o := t.old.Load(); o != nil {
+		v, ok = search(o, h, k)
+	}
+	if !ok {
+		v, ok = search(t.cur.Load(), h, k)
+	}
+	return v, ok
 }
 
 func search[K comparable, V any](a *array[K, V], h uint64, k K) (V, bool) {
@@ -261,6 +298,11 @@ func (t *Table[K, V]) Resize(n uint64) {
 			}
 		}
 		t.mu.Unlock()
+		// The batch boundary exists so writers and readers can
+		// interleave with the migration; on GOMAXPROCS=1 the mutex
+		// release alone never reschedules, so yield explicitly (the C
+		// original's resizer is a separate thread the OS preempts).
+		runtime.Gosched()
 	}
 
 	t.mu.Lock()

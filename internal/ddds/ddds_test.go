@@ -136,3 +136,71 @@ func TestRangeDedup(t *testing.T) {
 		}
 	}
 }
+
+// TestReaderProgressDuringContinuousResize is the regression test for
+// the Get livelock: with a goroutine toggling the table between two
+// sizes back-to-back, the unbounded generation-stamp retry loop used
+// to make zero progress (every validation failed, forever). The
+// bounded retry plus the announced mutex-pinned fallback guarantees
+// each Get completes, so a reader must rack up lookups — with correct
+// results — no matter how hot the resizer runs.
+func TestReaderProgressDuringContinuousResize(t *testing.T) {
+	tbl := NewUint64[int](64)
+	defer tbl.Close()
+	const keys = 512
+	for i := uint64(0); i < keys; i++ {
+		tbl.Set(i, int(i))
+	}
+
+	stop := make(chan struct{})
+	var resizes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.Resize(128)
+			tbl.Resize(64)
+			resizes.Add(2)
+		}
+	}()
+
+	var gets atomic.Int64
+	var wrong atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := i % keys
+			if v, ok := tbl.Get(k); !ok || v != int(k) {
+				wrong.Add(1)
+			}
+			gets.Add(1)
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if resizes.Load() < 2 {
+		t.Skipf("machine too slow to resize continuously (%d resizes)", resizes.Load())
+	}
+	if gets.Load() == 0 {
+		t.Fatalf("reader made zero progress across %d resizes (livelock)", resizes.Load())
+	}
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d/%d lookups returned a wrong or missing value", n, gets.Load())
+	}
+	t.Logf("%d gets against %d resizes", gets.Load(), resizes.Load())
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rphash/internal/core"
+	"rphash/internal/shard"
 )
 
 // RPStore is the paper's memcached patch: GETs are relativistic
@@ -22,7 +23,7 @@ import (
 // memcached's later sampled-LRU ("lru_crawler") rather than 1.4's
 // strict list, which cannot be maintained without serializing GETs.
 type RPStore struct {
-	t        *core.Table[string, *Item]
+	t        *shard.Map[string, *Item]
 	mu       sync.Mutex // serializes mutations (table writers also lock internally)
 	bytes    atomic.Int64
 	maxBytes int64
@@ -43,10 +44,16 @@ const evictionSample = 16
 
 // NewRPStore builds the relativistic engine. maxBytes <= 0 disables
 // eviction.
+//
+// The store is backed by shard.Map — GOMAXPROCS-many relativistic
+// tables behind one shared RCU domain — so table writers hash to
+// independent shard mutexes while every GET stays a single lock-free
+// chain walk. (The remaining mutation serialization is this store's
+// own mu, which guards byte accounting and eviction, not the table.)
 func NewRPStore(maxBytes int64) *RPStore {
-	t := core.NewString[*Item](
-		core.WithInitialBuckets(1024),
-		core.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
+	t := shard.NewString[*Item](
+		shard.WithInitialBuckets(1024),
+		shard.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
 	)
 	startClock()
 	return &RPStore{t: t, maxBytes: maxBytes}

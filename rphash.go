@@ -4,6 +4,7 @@ import (
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
 	"rphash/internal/rcu"
+	"rphash/internal/shard"
 )
 
 // Table is a resizable relativistic hash table. See the package
@@ -72,6 +73,60 @@ func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
 // DefaultPolicy expands beyond 2 elements/bucket and shrinks below
 // 0.25, with a 64-bucket floor.
 func DefaultPolicy() Policy { return core.DefaultPolicy() }
+
+// Map is a sharded relativistic hash map: keys partition across a
+// power-of-two array of Tables so writers hash to independent shard
+// mutexes and scale with cores, while lookups keep the single-table
+// read side — wait-free, lock-free, retry-free — through one shared
+// Domain. Choose Table for single-writer workloads or when you need
+// Resize/Move atomicity across the whole structure; choose Map when
+// multiple goroutines write concurrently.
+type Map[K comparable, V any] = shard.Map[K, V]
+
+// MapReadHandle is a per-goroutine lookup handle spanning every shard
+// of a Map. Not safe for concurrent use.
+type MapReadHandle[K comparable, V any] = shard.ReadHandle[K, V]
+
+// MapOption configures a Map at construction time.
+type MapOption = shard.Option
+
+// NewMap creates a sharded map keyed by K using the supplied hash
+// function. The hash must be deterministic for the map's lifetime and
+// should mix both its high bits (shard routing) and low bits (bucket
+// selection) well; see internal/hashfn for suitable mixers.
+func NewMap[K comparable, V any](hash func(K) uint64, opts ...MapOption) *Map[K, V] {
+	return shard.New[K, V](hash, opts...)
+}
+
+// NewMapUint64 creates a sharded map keyed by uint64 with the
+// standard splitmix64 finalizer.
+func NewMapUint64[V any](opts ...MapOption) *Map[uint64, V] {
+	return shard.NewUint64[V](opts...)
+}
+
+// NewMapString creates a sharded map keyed by string with seeded
+// FNV-1a plus an avalanche finalizer.
+func NewMapString[V any](opts ...MapOption) *Map[string, V] {
+	return shard.NewString[V](opts...)
+}
+
+// WithShards sets a Map's shard count (rounded up to a power of two).
+// The default is NextPowerOfTwo(GOMAXPROCS).
+func WithShards(n int) MapOption { return shard.WithShards(n) }
+
+// WithMapDomain shares an existing domain across a Map's shards (and
+// any other tables registered on it). Close will not close a shared
+// domain.
+func WithMapDomain(d *Domain) MapOption { return shard.WithDomain(d) }
+
+// WithMapInitialBuckets sets a Map's total initial bucket count,
+// divided across shards.
+func WithMapInitialBuckets(total uint64) MapOption { return shard.WithInitialBuckets(total) }
+
+// WithMapPolicy installs an automatic resize policy applied per
+// shard (MinBuckets is interpreted map-wide and divided across
+// shards).
+func WithMapPolicy(p Policy) MapOption { return shard.WithPolicy(p) }
 
 // HashBytes is the repository's standard byte-slice hash (seeded
 // FNV-1a with an avalanche finalizer), exported for callers building

@@ -118,3 +118,69 @@ func TestPublicConcurrentSmoke(t *testing.T) {
 		t.Fatalf("Len = %d, want 40000", tbl.Len())
 	}
 }
+
+func TestPublicShardedMap(t *testing.T) {
+	m := rphash.NewMapUint64[string](
+		rphash.WithShards(4),
+		rphash.WithMapInitialBuckets(256),
+		rphash.WithMapPolicy(rphash.DefaultPolicy()),
+	)
+	defer m.Close()
+	if m.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", m.NumShards())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		m.Set(i, "v")
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	h := m.NewReadHandle()
+	defer h.Close()
+	if v, ok := h.Get(42); !ok || v != "v" {
+		t.Fatalf("handle Get = %q,%v", v, ok)
+	}
+	st := m.Stats()
+	if st.Inserts != 1000 {
+		t.Fatalf("Stats.Inserts = %d", st.Inserts)
+	}
+}
+
+func TestPublicMapSharedDomainWithTable(t *testing.T) {
+	// A Map and a Table can share one domain: one reader outage, one
+	// grace-period clock across both structures.
+	dom := rphash.NewDomain()
+	defer dom.Close()
+	m := rphash.NewMapString[int](rphash.WithMapDomain(dom), rphash.WithShards(2))
+	tbl := rphash.NewString[int](rphash.WithDomain(dom))
+	m.Set("a", 1)
+	tbl.Set("b", 2)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("map Get = %d,%v", v, ok)
+	}
+	if v, ok := tbl.Get("b"); !ok || v != 2 {
+		t.Fatalf("table Get = %d,%v", v, ok)
+	}
+	m.Close()
+	tbl.Close()
+	dom.Synchronize() // still alive: neither Close owned it
+}
+
+func TestPublicMapConcurrentWriters(t *testing.T) {
+	m := rphash.NewMapUint64[int](rphash.WithShards(8))
+	defer m.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 1000; i++ {
+				m.Set(base+i, int(i))
+			}
+		}(uint64(w) << 32)
+	}
+	wg.Wait()
+	if m.Len() != 4000 {
+		t.Fatalf("Len = %d, want 4000", m.Len())
+	}
+}
