@@ -1,14 +1,15 @@
 // Command rphash-bench regenerates the paper's microbenchmark figures
 // (1: fixed-size baseline; 2: continuous resizing; 3: RP resize vs
-// fixed; 4: DDDS resize vs fixed) plus the repository's write-scaling
-// extension (5: multi-writer upserts, single table vs sharded map) as
-// text tables, with optional CSV.
+// fixed; 4: DDDS resize vs fixed) plus the repository's extensions
+// (5: multi-writer upserts, single table vs sharded map; 6: TTL cache
+// workload, rp-cache vs the bare sharded map) as text tables, with
+// optional CSV.
 //
 // Usage:
 //
 //	rphash-bench [flags]
 //
-//	-fig N          figure to run (1..5), or 0 for all (default 0)
+//	-fig N          figure to run (1..6), or 0 for all (default 0)
 //	-duration D     measured interval per point (default 400ms)
 //	-warm D         warmup per point (default 50ms)
 //	-readers LIST   comma-separated reader counts (default 1,2,4,8,16)
@@ -18,7 +19,7 @@
 //	-large N        large bucket count (default 16384)
 //	-csv            also emit CSV per figure
 //	-engines LIST   extra fixed-size engines to append to figure 1
-//	                (any of: rp-sharded,mutex,sharded,xu,syncmap)
+//	                (any of: rp-sharded,rp-cache,mutex,sharded,xu,syncmap)
 //	-shards N       shard count for the rp-sharded engine
 //	                (default 0 = NextPowerOfTwo(GOMAXPROCS))
 package main
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figN     = flag.Int("fig", 0, "figure to run (1..5); 0 = all")
+		figN     = flag.Int("fig", 0, "figure to run (1..6); 0 = all")
 		duration = flag.Duration("duration", 400*time.Millisecond, "measured interval per point")
 		warm     = flag.Duration("warm", 50*time.Millisecond, "warmup per point")
 		readers  = flag.String("readers", "1,2,4,8,16", "comma-separated reader counts")
@@ -48,7 +49,7 @@ func main() {
 		large    = flag.Uint64("large", 16384, "large bucket count")
 		csv      = flag.Bool("csv", false, "also emit CSV")
 		repeats  = flag.Int("repeats", 3, "runs per point (median reported)")
-		extra    = flag.String("engines", "", "extra engines for figure 1 (rp-sharded,mutex,sharded,xu,syncmap)")
+		extra    = flag.String("engines", "", "extra engines for figure 1 (rp-sharded,rp-cache,mutex,sharded,xu,syncmap)")
 		shards   = flag.Int("shards", 0, "shard count for the rp-sharded engine (0 = GOMAXPROCS rounded up)")
 		ablation = flag.Bool("ablation", false, "run the ablation suite (A1-A4) instead of the paper figures")
 	)
@@ -79,7 +80,7 @@ func main() {
 		return
 	}
 
-	figs := []int{1, 2, 3, 4, 5}
+	figs := []int{1, 2, 3, 4, 5, 6}
 	if *figN != 0 {
 		figs = []int{*figN}
 	}

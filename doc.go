@@ -30,7 +30,7 @@
 // an internal mutex; install a Policy (or use DefaultPolicy) to have
 // the table resize itself by load factor.
 //
-// # Table versus Map
+// # Table versus Map versus Cache
 //
 // Table is the paper's algorithm exactly: wait-free readers, all
 // writers (and the resizer) serialized on one mutex. That matches the
@@ -60,6 +60,31 @@
 // publish-before-unlink (never absent) but not atomic against writers
 // racing on the same two keys, and Resize divides its target across
 // shards rather than resizing one array.
+//
+// Cache layers caching semantics on top of Map: TTL expiry from a
+// coarse clock (lazy on the read path, reclaimed by an incremental
+// background sweeper), a cost budget enforced by per-shard sampled-LRU
+// eviction, and a singleflight GetOrLoad so a miss storm on one hot
+// key performs exactly one load. A hit stays lock-free and
+// allocation-free. Reach for Cache when entries have lifetimes or
+// memory must be bounded; reach for Map when you want a plain
+// concurrent map and will manage lifecycle yourself; reach for Table
+// for the paper's exact single-writer structure.
+//
+//	c := rphash.NewCacheString[[]byte](
+//		rphash.WithCacheTTL(time.Minute),
+//		rphash.WithCacheMaxCost(64<<20), // bytes, via SetWith costs
+//	)
+//	defer c.Close()                     // stops sweeper + clock
+//
+//	c.SetWith("k", payload, time.Hour, int64(len(payload))) // 0 TTL = never expire
+//	v, err := c.GetOrLoad("hot", loadFromBackend) // one load per storm
+//
+// Observability: Table.Stats, Map.DetailedStats (per-shard bucket
+// totals, load factors, resize counts), and Cache.Stats (hits,
+// misses, loads, evictions, expirations, cost, plus the underlying
+// MapStats) are one-call snapshots safe to poll from monitoring
+// loops.
 //
 // The internal packages contain the full reproduction apparatus: the
 // epoch-based RCU runtime (internal/rcu), the baseline tables the

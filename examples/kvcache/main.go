@@ -1,9 +1,10 @@
-// kvcache: an expiring in-process cache built on the sharded
-// relativistic map — the memcached-shaped workload from the paper's
-// evaluation, in library form. Readers fetch at full speed with no
-// locks while a writer pool churns entries, TTLs lapse, and each
-// shard resizes itself up and down with the population; writers to
-// different shards never contend.
+// kvcache: the memcached-shaped workload from the paper's evaluation
+// in library form, on rphash.Cache — the TTL + eviction +
+// stampede-protected layer over the sharded relativistic map.
+// Readers fetch at full speed with no locks while a writer pool
+// churns sessions, TTLs lapse under a background sweeper, a byte-ish
+// cost budget forces sampled-LRU eviction, and each shard resizes
+// itself up and down with the population.
 package main
 
 import (
@@ -15,75 +16,28 @@ import (
 	"rphash"
 )
 
-// entry is an immutable cache record; expired entries read as misses
-// and are reclaimed by a background sweeper.
-type entry struct {
-	value    string
-	expireAt time.Time
-}
-
-// Cache is a tiny TTL cache over rphash.Map.
-type Cache struct {
-	t *rphash.Map[string, entry]
-}
-
-// NewCache builds a cache whose shards resize themselves by load
-// factor.
-func NewCache() *Cache {
-	return &Cache{t: rphash.NewMapString[entry](
-		rphash.WithMapInitialBuckets(128),
-		rphash.WithMapPolicy(rphash.Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: 128}),
-	)}
-}
-
-// Get returns the live value. Lock-free; safe during resizes.
-func (c *Cache) Get(k string) (string, bool) {
-	e, ok := c.t.Get(k)
-	if !ok || time.Now().After(e.expireAt) {
-		return "", false
-	}
-	return e.value, true
-}
-
-// Put stores a value with a TTL.
-func (c *Cache) Put(k, v string, ttl time.Duration) {
-	c.t.Set(k, entry{value: v, expireAt: time.Now().Add(ttl)})
-}
-
-// Sweep removes expired entries; run it periodically.
-func (c *Cache) Sweep() int {
-	now := time.Now()
-	var victims []string
-	c.t.Range(func(k string, e entry) bool {
-		if now.After(e.expireAt) {
-			victims = append(victims, k)
-		}
-		return true
-	})
-	for _, k := range victims {
-		if e, ok := c.t.Get(k); ok && now.After(e.expireAt) {
-			c.t.Delete(k)
-		}
-	}
-	return len(victims)
-}
-
-// Stats exposes the underlying table's metrics.
-func (c *Cache) Stats() rphash.Stats { return c.t.Stats() }
-
 func main() {
-	cache := NewCache()
-	defer cache.t.Close()
+	cache := rphash.NewCacheString[string](
+		rphash.WithCacheTTL(time.Minute),          // default session TTL
+		rphash.WithCacheMaxCost(24_000),           // eviction pressure in phase 3
+		rphash.WithCacheInitialBuckets(128),       // start small: watch it grow
+		rphash.WithCacheSweepInterval(25*time.Millisecond),
+	)
+	defer cache.Close()
 
 	stop := make(chan struct{})
 	var hits, misses atomic.Int64
 
 	// Reader pool: hammer the cache while everything else happens.
+	// Each reader holds a registered read handle (NewGetter), so every
+	// lookup is a single lock-free chain walk.
 	var wg sync.WaitGroup
 	for g := 0; g < 3; g++ {
 		wg.Add(1)
 		go func(seed int) {
 			defer wg.Done()
+			get, release := cache.NewGetter()
+			defer release()
 			k := seed
 			for {
 				select {
@@ -92,7 +46,7 @@ func main() {
 				default:
 				}
 				k = (k*1103515245 + 12345) & 0x3fff
-				if _, ok := cache.Get(fmt.Sprintf("sess-%d", k)); ok {
+				if _, ok := get(fmt.Sprintf("sess-%d", k)); ok {
 					hits.Add(1)
 				} else {
 					misses.Add(1)
@@ -101,43 +55,24 @@ func main() {
 		}(g)
 	}
 
-	// Sweeper: reclaim expired sessions every 50ms.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		t := time.NewTicker(50 * time.Millisecond)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				cache.Sweep()
-			}
-		}
-	}()
-
-	// Writer: three phases — fill, refresh with short TTLs (so the
-	// sweeper shrinks the population), refill. The auto-resize policy
-	// expands and shrinks the table across the phases.
-	fmt.Println("phase 1: fill 16k sessions (table expands itself)")
+	fmt.Println("phase 1: fill 16k sessions (shards expand themselves)")
 	for i := 0; i < 16_384; i++ {
-		cache.Put(fmt.Sprintf("sess-%d", i), fmt.Sprintf("user-%d", i), time.Minute)
+		cache.Set(fmt.Sprintf("sess-%d", i), fmt.Sprintf("user-%d", i))
 	}
 	fmt.Printf("  %v\n", cache.Stats())
 
-	fmt.Println("phase 2: expire most sessions (sweeper + table shrink)")
+	fmt.Println("phase 2: expire most sessions (sweeper reclaims, shards shrink)")
 	for i := 0; i < 16_384; i++ {
 		if i%16 != 0 {
-			cache.Put(fmt.Sprintf("sess-%d", i), "short", 10*time.Millisecond)
+			cache.SetTTL(fmt.Sprintf("sess-%d", i), "short", 10*time.Millisecond)
 		}
 	}
 	time.Sleep(300 * time.Millisecond)
 	fmt.Printf("  %v\n", cache.Stats())
 
-	fmt.Println("phase 3: refill while readers keep running")
-	for i := 0; i < 16_384; i++ {
-		cache.Put(fmt.Sprintf("sess-%d", i), fmt.Sprintf("user-%d-v2", i), time.Minute)
+	fmt.Println("phase 3: refill past the cost budget (sampled-LRU eviction)")
+	for i := 0; i < 32_768; i++ {
+		cache.Set(fmt.Sprintf("sess-%d", i), fmt.Sprintf("user-%d-v2", i))
 	}
 	time.Sleep(100 * time.Millisecond)
 	close(stop)
@@ -146,5 +81,14 @@ func main() {
 	st := cache.Stats()
 	fmt.Printf("  %v\n", st)
 	fmt.Printf("readers: %d hits, %d misses — all lock-free, across %d expands and %d shrinks\n",
-		hits.Load(), misses.Load(), st.Expands, st.Shrinks)
+		hits.Load(), misses.Load(), st.Map.Expands, st.Map.Shrinks)
+	fmt.Printf("lifecycle: %d expirations reclaimed, %d evictions under the %d-cost budget (final cost %d)\n",
+		st.Expirations, st.Evictions, st.MaxCost, st.Cost)
+
+	// Per-shard visibility: the one snapshot type shows imbalance and
+	// per-shard resize history.
+	for i, ps := range st.Map.PerShard {
+		fmt.Printf("  shard %d: len=%d buckets=%d load=%.2f grows=%d shrinks=%d\n",
+			i, ps.Len, ps.Buckets, ps.LoadFactor, ps.AutoGrows, ps.AutoShrinks)
+	}
 }

@@ -1,0 +1,73 @@
+// loader: thundering-herd protection with rphash.Cache.GetOrLoad.
+//
+// A cache in front of a slow backend has a classic failure mode: when
+// a hot key expires (or was never loaded), every concurrent request
+// misses at once and every one of them hits the backend — a miss
+// storm that can take the backend down exactly when it is busiest.
+// GetOrLoad collapses the storm: the first misser becomes the leader
+// and performs the one load; the rest park on the in-flight result
+// and share it.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rphash"
+)
+
+// slowBackend simulates a database query: ~20ms per call, with a call
+// counter standing in for backend load.
+type slowBackend struct{ calls atomic.Int64 }
+
+func (b *slowBackend) fetch(key string) string {
+	b.calls.Add(1)
+	time.Sleep(20 * time.Millisecond)
+	return "profile-of-" + key
+}
+
+func main() {
+	db := &slowBackend{}
+	cache := rphash.NewCacheString[string](
+		rphash.WithCacheTTL(100 * time.Millisecond), // hot keys re-expire quickly
+	)
+	defer cache.Close()
+
+	const stormers = 100
+
+	storm := func(key string) (calls int64) {
+		before := db.calls.Load()
+		var wg sync.WaitGroup
+		for g := 0; g < stormers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := cache.GetOrLoad(key, func() (string, error) {
+					return db.fetch(key), nil
+				})
+				if err != nil || v != "profile-of-"+key {
+					panic(fmt.Sprintf("bad load: %q, %v", v, err))
+				}
+			}()
+		}
+		wg.Wait()
+		return db.calls.Load() - before
+	}
+
+	fmt.Printf("storm 1: %d goroutines miss on a cold key -> %d backend call(s)\n",
+		stormers, storm("user:42"))
+	fmt.Printf("storm 2: same key, now cached            -> %d backend call(s)\n",
+		storm("user:42"))
+
+	// Let the TTL lapse (coarse clock granularity is 50ms), then storm
+	// again: one more load, not a hundred.
+	time.Sleep(250 * time.Millisecond)
+	fmt.Printf("storm 3: after TTL expiry                -> %d backend call(s)\n",
+		storm("user:42"))
+
+	st := cache.Stats()
+	fmt.Printf("\ncache: %d loads total for %d requests (%.1f%% served without touching the backend)\n",
+		st.Loads, 3*stormers, 100*(1-float64(st.Loads)/float64(3*stormers)))
+}

@@ -192,3 +192,83 @@ func TestRunFigureWriteScaling(t *testing.T) {
 		}
 	}
 }
+
+// ttlCfg: readers and writers both spin, so the window must span
+// several scheduler rotations on a single-core host for every role to
+// get a slice.
+func ttlCfg() Config {
+	cfg := tinyCfg()
+	cfg.Duration = 250 * time.Millisecond
+	cfg.WarmDuration = 20 * time.Millisecond
+	cfg.Repeats = 1
+	return cfg
+}
+
+func TestMeasureTTLMix(t *testing.T) {
+	cfg := ttlCfg()
+	e := NewRPCache(cfg.SmallBuckets)
+	preloadTTL(e, cfg)
+	res := MeasureTTLMix(e, 2, 1, cfg)
+	e.Close()
+	if res.LookupsPerS <= 0 || res.SetsPerS <= 0 {
+		t.Fatalf("TTL mix rates: %+v", res)
+	}
+	if res.HitRatio <= 0 || res.HitRatio > 1 {
+		t.Fatalf("HitRatio = %v, want in (0,1]", res.HitRatio)
+	}
+
+	// Engines without a TTL notion fall back to plain Sets.
+	e2 := NewRPShardedN(1, cfg.SmallBuckets)
+	preloadTTL(e2, cfg)
+	res2 := MeasureTTLMix(e2, 2, 1, cfg)
+	e2.Close()
+	if res2.LookupsPerS <= 0 || res2.SetsPerS <= 0 {
+		t.Fatalf("fallback TTL mix rates: %+v", res2)
+	}
+}
+
+// TestRPCacheEngineTTLLapses pins the property the throughput test
+// cannot assert deterministically (constant rewrites keep entries
+// alive): a short-TTL entry must read as a miss once the coarse
+// clock passes its expiry.
+func TestRPCacheEngineTTLLapses(t *testing.T) {
+	e := NewRPCache(64)
+	defer e.Close()
+	ts := e.(TTLSetter)
+	ts.SetTTL(1, 10, 30*time.Millisecond)
+	ts.SetTTL(2, 20, time.Hour)
+	lookup, release := e.NewLookup()
+	defer release()
+	if !lookup(1) || !lookup(2) {
+		t.Fatal("fresh entries missing")
+	}
+	// > TTL plus two 50ms coarse-clock ticks.
+	deadline := time.Now().Add(5 * time.Second)
+	for lookup(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("short-TTL entry never lapsed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !lookup(2) {
+		t.Fatal("long-TTL entry lapsed")
+	}
+}
+
+func TestRunFigureTTLCache(t *testing.T) {
+	cfg := ttlCfg()
+	cfg.Readers = []int{1}
+	cfg.Duration = 150 * time.Millisecond
+	fig, err := RunFigure(Fig6TTLCache, cfg)
+	if err != nil {
+		t.Fatalf("RunFigure(6): %v", err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("figure 6 has %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Fatalf("figure 6 series %q: %+v", s.Name, s.Points)
+		}
+	}
+}

@@ -20,7 +20,12 @@ const (
 	// throughput vs concurrent writers (the paper's evaluation has a
 	// single writer; internal/shard exists to scale that axis).
 	Fig5WriteScaling = 5
-	NumFigs          = 5
+
+	// Fig6TTLCache is the caching-workload extension figure: lookup
+	// throughput vs readers while writers churn mixed-TTL entries
+	// (rp-cache's expiry/eviction layer vs the bare sharded map).
+	Fig6TTLCache = 6
+	NumFigs      = 6
 )
 
 // measureSeries sweeps cfg.Readers for one engine configuration,
@@ -114,7 +119,7 @@ func Fig4(cfg Config) stats.Figure {
 	}
 }
 
-// RunFigure dispatches by figure number (1-5).
+// RunFigure dispatches by figure number (1-6).
 func RunFigure(n int, cfg Config) (stats.Figure, error) {
 	switch n {
 	case Fig1FixedBaseline:
@@ -127,6 +132,8 @@ func RunFigure(n int, cfg Config) (stats.Figure, error) {
 		return Fig4(cfg), nil
 	case Fig5WriteScaling:
 		return FigWriteScaling(cfg), nil
+	case Fig6TTLCache:
+		return FigTTLCache(cfg), nil
 	default:
 		return stats.Figure{}, fmt.Errorf("bench: unknown figure %d (have 1..%d)", n, NumFigs)
 	}

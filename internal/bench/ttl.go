@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"rphash/internal/stats"
+	"rphash/internal/workload"
+)
+
+// TTLMixResult is the outcome of a MeasureTTLMix run.
+type TTLMixResult struct {
+	LookupsPerS float64
+	SetsPerS    float64
+	HitRatio    float64 // observed by the readers during the measured interval
+}
+
+// shortTTLEvery makes one write in this many a short-TTL write; the
+// rest get the long TTL. 4 → a quarter of the population is churning
+// out from under the readers at any time.
+const shortTTLEvery = 4
+
+// MeasureTTLMix is the caching workload the paper's memcached
+// experiment approximates, in microbenchmark form: `readers` lookup
+// goroutines against a population that `writers` goroutines
+// continuously refresh with a mix of short and long TTLs. Short-TTL
+// entries expire underneath the readers, so the measured interval
+// sees genuine misses, lazy-expiry checks, and (for TTLSetter
+// engines) background sweeper reclamation — not just pure hits.
+// Engines without a TTL notion take plain Sets, yielding a
+// no-expiry baseline with identical write pressure.
+func MeasureTTLMix(e Engine, readers, writers int, cfg Config) TTLMixResult {
+	cfg.fillDefaults()
+	shortTTL := cfg.WarmDuration // lapses within the run
+	longTTL := time.Hour         // never lapses within the run
+
+	ttlSet := func(k uint64, v int, i uint64) {
+		ts, ok := e.(TTLSetter)
+		if !ok {
+			e.Set(k, v)
+			return
+		}
+		if i%shortTTLEvery == 0 {
+			ts.SetTTL(k, v, shortTTL)
+		} else {
+			ts.SetTTL(k, v, longTTL)
+		}
+	}
+
+	hitCounters := stats.NewCounterSet(max(readers, 1))
+	missCounters := stats.NewCounterSet(max(readers, 1))
+	writeCounters := stats.NewCounterSet(max(writers, 1))
+	stopWarm := make(chan struct{})
+	stop := make(chan struct{})
+	start := make(chan struct{})
+	var ready, done sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			lookup, closeFn := e.NewLookup()
+			if closeFn != nil {
+				defer closeFn()
+			}
+			gen := workload.NewUniform(cfg.KeySpace, uint64(id)*0x9e3779b9+1)
+			ready.Done()
+			<-start
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				lookup(gen.Key())
+			}
+		measured:
+			hits, misses := hitCounters.Slot(id), missCounters.Slot(id)
+			var localHits, localMisses uint64
+			for {
+				select {
+				case <-stop:
+					hits.Add(localHits)
+					misses.Add(localMisses)
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					if lookup(gen.Key()) {
+						localHits++
+					} else {
+						localMisses++
+					}
+				}
+			}
+		}(r)
+	}
+
+	for w := 0; w < writers; w++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			gen := workload.NewUniform(cfg.KeySpace, uint64(id)*0x51afd7ed+7)
+			ready.Done()
+			<-start
+			i := uint64(id)
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				k := gen.Key()
+				ttlSet(k, int(k), i)
+				i++
+			}
+		measured:
+			slot := writeCounters.Slot(id)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					slot.Add(local)
+					return
+				default:
+				}
+				for j := 0; j < 16; j++ {
+					k := gen.Key()
+					ttlSet(k, int(k), i)
+					i++
+				}
+				local += 16
+			}
+		}(w)
+	}
+
+	ready.Wait()
+	close(start)
+	time.Sleep(cfg.WarmDuration)
+	close(stopWarm)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	done.Wait()
+	elapsed := time.Since(t0)
+
+	hits, misses := hitCounters.Total(), missCounters.Total()
+	res := TTLMixResult{
+		LookupsPerS: float64(hits+misses) / elapsed.Seconds(),
+		SetsPerS:    float64(writeCounters.Total()) / elapsed.Seconds(),
+	}
+	if hits+misses > 0 {
+		res.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	return res
+}
+
+// preloadTTL fills a TTLSetter engine entirely with long-TTL entries
+// (plain Preload for the rest), so the measured interval starts from
+// a warm cache.
+func preloadTTL(e Engine, cfg Config) {
+	ts, ok := e.(TTLSetter)
+	if !ok {
+		Preload(e, cfg)
+		return
+	}
+	for i := uint64(0); i < cfg.Keys; i++ {
+		ts.SetTTL(i, int(i), time.Hour)
+	}
+}
+
+// measureTTLSeries sweeps cfg.Readers for one engine configuration
+// under the TTL mix with two writers, best-of-Repeats.
+func measureTTLSeries(name string, mk func() Engine, cfg Config) stats.Series {
+	cfg.fillDefaults()
+	s := stats.Series{Name: name}
+	for _, r := range cfg.Readers {
+		best := 0.0
+		for i := 0; i < cfg.Repeats; i++ {
+			e := mk()
+			preloadTTL(e, cfg)
+			if res := MeasureTTLMix(e, r, 2, cfg); res.LookupsPerS > best {
+				best = res.LookupsPerS
+			}
+			e.Close()
+		}
+		s.Add(float64(r), best/1e6)
+	}
+	return s
+}
+
+// FigTTLCache is the repository's caching-workload figure (figure 6):
+// lookup throughput versus readers while two writers refresh the
+// population with mixed TTLs. rp-cache pays the expiry check, the
+// recency stamp, and background sweeping on top of the map; the
+// rp-sharded curve is the same map without any of that — the gap is
+// the full price of being a cache, and it must stay read-scalable.
+func FigTTLCache(cfg Config) stats.Figure {
+	cfg.fillDefaults()
+	return stats.Figure{
+		Title:  "Figure 6: TTL cache workload (repo extension)",
+		XLabel: "readers",
+		YLabel: "lookups/second (millions)",
+		Series: []stats.Series{
+			measureTTLSeries("rp-cache", func() Engine { return NewRPCache(cfg.SmallBuckets) }, cfg),
+			measureTTLSeries("rp-sharded", func() Engine { return NewRPShardedN(DefaultShards, cfg.SmallBuckets) }, cfg),
+		},
+	}
+}

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCacheGetHit guards the zero-allocation hit path: a hit is
+// one lock-free chain walk plus the coarse-clock expiry check and
+// recency stamp. Run with -benchmem; allocs/op must stay 0.
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := NewUint64[uint64](WithSweepInterval(0), WithTTL(time.Hour))
+	defer c.Close()
+	const keys = 1024
+	for i := uint64(0); i < keys; i++ {
+		c.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(uint64(i) & (keys - 1)); !ok {
+			b.Fatal("miss on preloaded key")
+		}
+	}
+}
+
+// BenchmarkCacheGetterHit is the registered-read-handle flavor the
+// long-lived reader goroutines use; also required to stay 0 allocs.
+func BenchmarkCacheGetterHit(b *testing.B) {
+	c := NewUint64[uint64](WithSweepInterval(0), WithTTL(time.Hour))
+	defer c.Close()
+	const keys = 1024
+	for i := uint64(0); i < keys; i++ {
+		c.Set(i, i)
+	}
+	get, release := c.NewGetter()
+	defer release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := get(uint64(i) & (keys - 1)); !ok {
+			b.Fatal("miss on preloaded key")
+		}
+	}
+}
+
+// BenchmarkCacheGetOrLoadHit measures the stampede-protected read on
+// the hit path (no flight is created on a hit).
+func BenchmarkCacheGetOrLoadHit(b *testing.B) {
+	c := NewUint64[uint64](WithSweepInterval(0))
+	defer c.Close()
+	c.Set(1, 1)
+	load := func() (uint64, error) { return 1, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOrLoad(1, load); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSet measures the write path including accounting.
+func BenchmarkCacheSet(b *testing.B) {
+	c := NewUint64[uint64](WithSweepInterval(0))
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Set(uint64(i)&4095, uint64(i))
+	}
+}

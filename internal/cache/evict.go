@@ -1,0 +1,85 @@
+package cache
+
+import "rphash/internal/hashfn"
+
+// evict brings the cost total back under budget by sampled LRU: it
+// samples entries from shard start (rotating onward while still over
+// budget), removes the least-recently-used of each sample — expired
+// entries are taken outright — and repeats. One evictor runs at a
+// time; the writer holding evictMu re-reads the live cost each
+// iteration, so cost added by concurrent writers while it runs is
+// paid down before it returns. Readers are never blocked: sampling
+// walks chains inside RCU reader sections and removal goes through
+// the shard's ordinary relativistic delete.
+func (c *Cache[K, V]) evict(start int) {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	n := c.m.NumShards()
+	shard := start
+	misses := 0
+	for c.cost.Load() > c.maxCost {
+		key, e, ok := c.sampleVictim(shard)
+		shard = (shard + 1) % n
+		if !ok {
+			// Empty (or vanished-under-us) shard; if a full rotation
+			// finds nothing evictable, the remaining cost is
+			// irreducible — bail rather than spin.
+			misses++
+			if misses > n {
+				return
+			}
+			continue
+		}
+		misses = 0
+		removed, ok := c.m.CompareAndDelete(key, func(cur *entry[V]) bool { return cur == e })
+		if !ok {
+			continue // refreshed since sampling; the new entry earned its stay
+		}
+		c.cost.Add(-removed.cost)
+		if c.expired(removed) {
+			c.expirations.Add(1)
+		} else {
+			c.evictions.Add(1)
+		}
+	}
+}
+
+// sampleVictim scans up to c.sample entries of shard i, starting at a
+// pseudo-random chain position, and returns the stalest. An expired
+// entry short-circuits the scan: reclaiming it is strictly better
+// than evicting anything live.
+func (c *Cache[K, V]) sampleVictim(i int) (K, *entry[V], bool) {
+	t := c.m.Shard(i)
+	now := c.clk.Nanos()
+	var victimK K
+	var victim *entry[V]
+	budget := c.sample
+	foundExpired := false
+	scan := func(skip int) {
+		t.Range(func(k K, e *entry[V]) bool {
+			if skip > 0 {
+				skip--
+				return true
+			}
+			if e.expireAt != 0 && e.expireAt <= now {
+				victimK, victim = k, e
+				foundExpired = true
+				return false
+			}
+			if victim == nil || e.lastUsed.Load() < victim.lastUsed.Load() {
+				victimK, victim = k, e
+			}
+			budget--
+			return budget > 0
+		})
+	}
+	if n := t.Len(); n > 0 {
+		scan(int(hashfn.Uint64(c.evictSeq.Add(1), 0) % uint64(n)))
+	}
+	if budget > 0 && !foundExpired {
+		// The random start consumed the tail of the shard; spend the
+		// rest of the sample from the head (wraparound).
+		scan(0)
+	}
+	return victimK, victim, victim != nil
+}

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// flightStripes stripes the in-flight-load registry so miss storms on
+// unrelated keys don't contend on one mutex. Power of two.
+const flightStripes = 16
+
+// flight is one in-progress load. Waiters block on done and then read
+// val/err; both are written exactly once, before close(done).
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type flightShard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+	// Pad the 16 bytes of mutex + map header out to a full 64-byte
+	// cache line so neighboring stripes never false-share.
+	_ [48]byte
+}
+
+// GetOrLoad returns the live value for k, loading it with load on a
+// miss. Concurrent callers missing on the same key perform exactly
+// one load (singleflight): one caller becomes the leader and runs
+// load; the rest block until it finishes and share its result. A
+// successful load is stored with the cache's default TTL and cost 1;
+// a failed load is not cached, and every waiter receives the error.
+func (c *Cache[K, V]) GetOrLoad(k K, load func() (V, error)) (V, error) {
+	return c.GetOrLoadTTL(k, c.defaultTTL, load)
+}
+
+// GetOrLoadTTL is GetOrLoad with an explicit TTL (<= 0 = never
+// expires) for the loaded value.
+func (c *Cache[K, V]) GetOrLoadTTL(k K, ttl time.Duration, load func() (V, error)) (V, error) {
+	h := c.hash(k)
+	if v, ok := c.get(h, k, 0); ok {
+		return v, nil
+	}
+
+	// Flight stripes key off mid hash bits: the top bits route shards,
+	// the low bits pick buckets, so the middle is uncorrelated with
+	// either.
+	fs := &c.flights[(h>>24)&(flightStripes-1)]
+	fs.mu.Lock()
+	if fs.m == nil {
+		fs.m = make(map[K]*flight[V])
+	}
+	if f, ok := fs.m[k]; ok {
+		fs.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	fs.m[k] = f
+	fs.mu.Unlock()
+
+	// Leader. The cleanup (publish the result, unregister the flight)
+	// runs deferred so a panicking — or runtime.Goexit-ing — load
+	// callback cannot strand waiters parked on f.done and poison the
+	// key for every future caller; waiters see an error and the panic
+	// still propagates out of the leader.
+	completed := false
+	defer func() {
+		r := recover()
+		if !completed {
+			c.loadErrors.Add(1)
+			if r != nil {
+				f.err = fmt.Errorf("cache: load for key panicked: %v", r)
+			} else if f.err == nil {
+				f.err = errors.New("cache: load for key exited without returning")
+			}
+		}
+		close(f.done)
+		fs.mu.Lock()
+		delete(fs.m, k)
+		fs.mu.Unlock()
+		if r != nil {
+			panic(r)
+		}
+	}()
+
+	// Re-check now that the flight is registered: a Set (or a prior
+	// leader's store) may have landed between our miss and the
+	// registration; loading again would waste the backend call.
+	if v, ok := c.peek(h, k); ok {
+		f.val = v
+		completed = true
+		return f.val, nil
+	}
+	f.val, f.err = load()
+	completed = true
+	if f.err == nil {
+		c.loads.Add(1)
+		var at int64
+		if ttl > 0 {
+			at = c.clk.Nanos() + ttl.Nanoseconds()
+		}
+		c.setAbs(h, k, f.val, at, 1)
+	} else {
+		c.loadErrors.Add(1)
+	}
+	return f.val, f.err
+}

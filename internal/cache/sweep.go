@@ -1,0 +1,82 @@
+package cache
+
+import "time"
+
+// sweepBatch bounds how many expired entries one background tick may
+// reclaim, keeping each pass incremental.
+const sweepBatch = 1024
+
+// SweepExpired removes up to limit expired entries across all shards,
+// returning the count removed. The scan runs inside the shards' RCU
+// reader sections (it never blocks lookups); each removal re-checks
+// identity under the shard's writer mutex, so an entry refreshed
+// between scan and removal is never lost.
+func (c *Cache[K, V]) SweepExpired(limit int) int {
+	removed := 0
+	for i := 0; i < c.m.NumShards() && removed < limit; i++ {
+		removed += c.sweepShard(i, limit-removed)
+	}
+	return removed
+}
+
+// sweepShard reclaims up to limit expired entries from shard i.
+func (c *Cache[K, V]) sweepShard(i, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	now := c.clk.Nanos()
+	type victim struct {
+		k K
+		e *entry[V]
+	}
+	var victims []victim
+	c.m.Shard(i).Range(func(k K, e *entry[V]) bool {
+		if e.expireAt != 0 && e.expireAt <= now {
+			victims = append(victims, victim{k, e})
+		}
+		return len(victims) < limit
+	})
+	n := 0
+	for _, v := range victims {
+		e := v.e
+		if removed, ok := c.m.CompareAndDelete(v.k, func(cur *entry[V]) bool { return cur == e }); ok {
+			c.cost.Add(-removed.cost)
+			c.expirations.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+// runSweeper is the background expiry pass: one shard per tick, in
+// rotation, so a large cache amortizes reclamation instead of
+// stalling on full scans.
+func (c *Cache[K, V]) runSweeper(interval time.Duration) {
+	defer c.sweepWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	cursor := 0
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-t.C:
+			c.sweepShard(cursor%c.m.NumShards(), sweepBatch)
+			cursor++
+		}
+	}
+}
+
+// Purge drops every entry (live and expired) and returns the count
+// removed. Purged entries are counted as neither evictions nor
+// expirations; cost accounting returns to the concurrent baseline.
+func (c *Cache[K, V]) Purge() int {
+	n := 0
+	for _, k := range c.m.Keys() {
+		if e, ok := c.m.CompareAndDelete(k, nil); ok {
+			c.cost.Add(-e.cost)
+			n++
+		}
+	}
+	return n
+}

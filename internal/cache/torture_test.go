@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTortureMissStormSingleflight storms one absent key with many
+// goroutines, repeatedly, while background churn writes, sweeps, and
+// evictions run and shards auto-resize: every round must perform
+// exactly one load, and every stormer must observe that load's value.
+func TestTortureMissStormSingleflight(t *testing.T) {
+	// The default TTL must comfortably exceed the coarse clock's
+	// granularity: with TTL == granularity a single clock tick between
+	// the leader's store and a late stormer's re-check expires the
+	// just-loaded entry, and a second load is then correct behavior,
+	// not a singleflight violation.
+	c := NewUint64[uint64](
+		WithShards(4),
+		WithInitialBuckets(32),
+		WithSweepInterval(2*time.Millisecond),
+		WithTTL(time.Minute),
+	)
+	defer c.Close()
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	var stopOnce sync.Once
+	// Quiesce churn before the deferred c.Close (LIFO), so a mid-round
+	// t.Fatal cannot close the cache under a running churn goroutine.
+	halt := func() { stopOnce.Do(func() { close(stop) }); churn.Wait() }
+	defer halt()
+	// Background churn: inserts, deletes, and lookups on a disjoint
+	// keyspace, enough volume to drive per-shard auto-resizes both
+	// ways while the storms run.
+	for g := 0; g < 2; g++ {
+		churn.Add(1)
+		go func(seed uint64) {
+			defer churn.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := 1_000_000 + (i*2654435761)%8192
+				c.SetTTL(k, i, 10*time.Millisecond)
+				c.Get(k)
+				if i%7 == 0 {
+					c.Delete(k)
+				}
+				i++
+			}
+		}(uint64(g) * 977)
+	}
+
+	const (
+		rounds   = 50
+		stormers = 16
+	)
+	for r := 0; r < rounds; r++ {
+		key := uint64(r) // disjoint from churn keyspace
+		var loadCalls atomic.Int64
+		want := uint64(r)*10 + 1
+		var start, done sync.WaitGroup
+		start.Add(1)
+		errs := make(chan string, stormers)
+		for g := 0; g < stormers; g++ {
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				start.Wait()
+				v, err := c.GetOrLoad(key, func() (uint64, error) {
+					loadCalls.Add(1)
+					time.Sleep(time.Millisecond) // widen the storm window
+					return want, nil
+				})
+				if err != nil {
+					errs <- fmt.Sprintf("round %d: GetOrLoad error: %v", r, err)
+				} else if v != want {
+					errs <- fmt.Sprintf("round %d: got %d, want %d", r, v, want)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+		if n := loadCalls.Load(); n != 1 {
+			t.Fatalf("round %d: %d loads for one hot-key miss storm, want exactly 1", r, n)
+		}
+	}
+	halt()
+
+	if st := c.Stats(); st.Map.AutoGrows == 0 {
+		t.Fatalf("torture never triggered an auto-resize (stats: %v) — raise churn volume", st)
+	}
+}
+
+// TestTortureNoLostUpdates runs per-key writer goroutines publishing
+// strictly increasing versions while readers, expiry sweeps, and
+// capacity evictions run concurrently and shards resize. A reader
+// must only ever observe versions a writer actually published, and
+// the observed version per key must never go backward — eviction may
+// make a key vanish, but a stale value must never resurface.
+func TestTortureNoLostUpdates(t *testing.T) {
+	c := NewUint64[uint64](
+		WithShards(4),
+		WithInitialBuckets(32),
+		WithMaxCost(512), // evictions are part of the torture
+		WithSweepInterval(2*time.Millisecond),
+	)
+	defer c.Close()
+
+	const (
+		writers = 4
+		keys    = 256 // per writer: population 1024 >> the 512 budget
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+
+	// version[w*keys+k] is the latest version writer w published for
+	// its key k; written before Set publishes, so any value a reader
+	// sees is <= the recorded latest.
+	published := make([]atomic.Uint64, writers*keys)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ver := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(w*keys + int(ver)%keys)
+				ver++
+				published[k].Store(ver)
+				c.SetTTL(k, ver, 20*time.Millisecond)
+			}
+		}(w)
+	}
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			lastSeen := make([]uint64, writers*keys)
+			get, release := c.NewGetter()
+			defer release()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i = (i*31 + 17) % (writers * keys)
+				k := uint64(i)
+				v, ok := get(k)
+				if !ok {
+					continue // expired or evicted: legal
+				}
+				if v > published[k].Load() {
+					violations.Add(1) // phantom value never published
+				}
+				if v < lastSeen[k] {
+					violations.Add(1) // stale value resurfaced
+				}
+				lastSeen[k] = v
+			}
+		}(r)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d lost-update/phantom-read violations", n)
+	}
+	st := c.Stats()
+	if st.Cost > 512 {
+		t.Fatalf("cost %d exceeds budget after quiesce", st.Cost)
+	}
+	if st.Map.AutoGrows == 0 {
+		t.Fatalf("no auto-resize under torture (stats: %v)", st)
+	}
+}

@@ -1,0 +1,79 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestManualClock(t *testing.T) {
+	start := time.Unix(1_000_000, 500_000_000)
+	c := NewManual(start)
+	if c.Secs() != 1_000_000 {
+		t.Fatalf("Secs = %d, want 1000000", c.Secs())
+	}
+	if c.Nanos() != start.UnixNano() {
+		t.Fatalf("Nanos = %d, want %d", c.Nanos(), start.UnixNano())
+	}
+	c.Advance(1500 * time.Millisecond)
+	if c.Secs() != 1_000_002 {
+		t.Fatalf("Secs after advance = %d, want 1000002", c.Secs())
+	}
+	if got, want := c.Nanos(), start.Add(1500*time.Millisecond).UnixNano(); got != want {
+		t.Fatalf("Nanos after advance = %d, want %d", got, want)
+	}
+	c.Set(time.Unix(42, 0))
+	if c.Secs() != 42 || c.Now().Unix() != 42 {
+		t.Fatalf("Set did not pin the clock: secs=%d", c.Secs())
+	}
+	c.Stop() // no-op, must not panic
+}
+
+func TestTickerClockRefreshes(t *testing.T) {
+	c := New(time.Millisecond)
+	defer c.Stop()
+	before := c.Nanos()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Nanos() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker clock never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStopHaltsTicker proves Stop actually stops the refresher — the
+// leak the old memcache clock had (its goroutine ran forever once
+// started, with no way for Store.Close to stop it).
+func TestStopHaltsTicker(t *testing.T) {
+	var calls atomic.Int64
+	base := time.Unix(100, 0)
+	c := NewWithSource(time.Millisecond, func() time.Time {
+		return base.Add(time.Duration(calls.Add(1)) * time.Second)
+	})
+	// Wait for at least one tick past the constructor's refresh.
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	after := calls.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := calls.Load(); got > after+1 {
+		// One in-flight tick may land after Stop; more means the
+		// goroutine survived.
+		t.Fatalf("time source still polled after Stop: %d -> %d", after, got)
+	}
+}
+
+func TestStoppedClockStaysReadable(t *testing.T) {
+	c := New(time.Millisecond)
+	c.Stop()
+	if c.Secs() == 0 {
+		t.Fatal("stopped clock lost its value")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestSwap(t *testing.T) {
+	tbl := NewUint64[string]()
+	defer tbl.Close()
+
+	if old, replaced := tbl.Swap(1, "a"); replaced {
+		t.Fatalf("Swap on empty table replaced %q", old)
+	}
+	if old, replaced := tbl.Swap(1, "b"); !replaced || old != "a" {
+		t.Fatalf("Swap = %q, %v; want a, true", old, replaced)
+	}
+	if v, ok := tbl.Get(1); !ok || v != "b" {
+		t.Fatalf("Get after Swap = %q, %v", v, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestCompareAndDelete(t *testing.T) {
+	tbl := NewUint64[string]()
+	defer tbl.Close()
+	tbl.Set(1, "keep")
+
+	if _, ok := tbl.CompareAndDelete(2, nil); ok {
+		t.Fatal("removed an absent key")
+	}
+	if v, ok := tbl.CompareAndDelete(1, func(v string) bool { return v == "other" }); ok {
+		t.Fatalf("predicate rejected but entry removed (%q)", v)
+	}
+	if !tbl.Contains(1) {
+		t.Fatal("rejected CompareAndDelete still removed the entry")
+	}
+	if v, ok := tbl.CompareAndDelete(1, func(v string) bool { return v == "keep" }); !ok || v != "keep" {
+		t.Fatalf("CompareAndDelete = %q, %v", v, ok)
+	}
+	if tbl.Contains(1) || tbl.Len() != 0 {
+		t.Fatal("entry survived accepted CompareAndDelete")
+	}
+}
+
+// TestCompareAndDeleteExactEntry is the sweeper/evictor use case:
+// identity-matched removal must not delete a value refreshed since it
+// was sampled.
+func TestCompareAndDeleteExactEntry(t *testing.T) {
+	type box struct{ v int }
+	tbl := NewUint64[*box]()
+	defer tbl.Close()
+
+	sampled := &box{1}
+	tbl.Set(1, sampled)
+	tbl.Set(1, &box{2}) // refresh races ahead of the sweeper
+
+	if _, ok := tbl.CompareAndDelete(1, func(cur *box) bool { return cur == sampled }); ok {
+		t.Fatal("identity match removed a refreshed entry")
+	}
+	if v, ok := tbl.Get(1); !ok || v.v != 2 {
+		t.Fatalf("refreshed entry lost: %+v, %v", v, ok)
+	}
+}

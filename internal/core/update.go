@@ -31,6 +31,30 @@ func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
 	return true
 }
 
+// Swap upserts k and returns the value it displaced, if any. It is
+// Set with the previous value handed back — the primitive accounting
+// layers (internal/cache) need to adjust cost totals atomically with
+// respect to other writers on the same key.
+func (t *Table[K, V]) Swap(k K, v V) (old V, replaced bool) {
+	return t.SwapHashed(t.hash(k), k, v)
+}
+
+// SwapHashed is Swap with the key's table hash precomputed (see
+// SetHashed).
+func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
+	t.mu.Lock()
+	if n := t.findLocked(h, k); n != nil {
+		old = *n.val.Load()
+		n.val.Store(&v)
+		t.mu.Unlock()
+		return old, true
+	}
+	t.insertLocked(h, k, v)
+	t.mu.Unlock()
+	t.maybeAutoResize()
+	return old, false
+}
+
 // Insert adds k only if absent; it reports whether it inserted.
 func (t *Table[K, V]) Insert(k K, v V) bool {
 	return t.InsertHashed(t.hash(k), k, v)
@@ -79,12 +103,36 @@ func (t *Table[K, V]) Delete(k K) bool {
 // DeleteHashed is Delete with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) DeleteHashed(h uint64, k K) bool {
+	_, ok := t.CompareAndDeleteHashed(h, k, nil)
+	return ok
+}
+
+// CompareAndDelete removes k only if match accepts its current value
+// (nil match accepts anything), returning the removed value. The
+// check and the unlink happen under the writer mutex, so a concurrent
+// Set cannot slip a fresh value in between: expiry sweepers and
+// eviction samplers use this to guarantee they only remove the exact
+// entry they examined.
+func (t *Table[K, V]) CompareAndDelete(k K, match func(V) bool) (V, bool) {
+	return t.CompareAndDeleteHashed(t.hash(k), k, match)
+}
+
+// CompareAndDeleteHashed is CompareAndDelete with the key's table
+// hash precomputed (see SetHashed).
+func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
+	var removed V
 	t.mu.Lock()
 	ht := t.ht.Load()
 	slot := ht.bucketFor(h)
 	var prev *node[K, V]
 	for n := slot.Load(); n != nil; n = n.next.Load() {
 		if n.hash == h && n.key == k {
+			removed = *n.val.Load()
+			if match != nil && !match(removed) {
+				t.mu.Unlock()
+				var zero V
+				return zero, false
+			}
 			next := n.next.Load()
 			if prev == nil {
 				slot.Store(next)
@@ -101,12 +149,13 @@ func (t *Table[K, V]) DeleteHashed(h uint64, k K) bool {
 				victim.next.Store(nil)
 			})
 			t.maybeAutoResize()
-			return true
+			return removed, true
 		}
 		prev = n
 	}
 	t.mu.Unlock()
-	return false
+	var zero V
+	return zero, false
 }
 
 // Move renames oldKey to newKey. It fails if oldKey is absent or

@@ -21,15 +21,12 @@
 // sampling in the RP engine).
 package memcache
 
-import (
-	"sync/atomic"
-	"time"
-)
-
-// Item is one cache entry. All fields except the access stamp are
-// immutable after construction: mutating operations (set, append,
-// incr, touch) build a replacement Item, which is what makes lock-free
-// readers safe.
+// Item is one cache entry. All fields are immutable after
+// construction: mutating operations (set, append, incr, touch) build
+// a replacement Item, which is what makes lock-free readers safe.
+// Access recency for sampled-LRU eviction is tracked by the engines
+// themselves — LockStore's strict list, and the per-entry stamp
+// inside internal/cache for RPStore — not on the item.
 type Item struct {
 	Key   string
 	Flags uint32
@@ -38,18 +35,11 @@ type Item struct {
 	CAS uint64
 	// ExpireAt is the absolute expiry in unix seconds; 0 means never.
 	ExpireAt int64
-
-	// lastUsed is a unix-nanosecond access stamp used by approximate
-	// LRU eviction. Readers update it with a plain atomic store, so
-	// bumping recency never requires a lock.
-	lastUsed atomic.Int64
 }
 
-// NewItem builds an item and stamps it as just-used.
+// NewItem builds an item.
 func NewItem(key string, flags uint32, value []byte, expireAt int64) *Item {
-	it := &Item{Key: key, Flags: flags, Value: value, ExpireAt: expireAt}
-	it.lastUsed.Store(time.Now().UnixNano())
-	return it
+	return &Item{Key: key, Flags: flags, Value: value, ExpireAt: expireAt}
 }
 
 // Expired reports whether the item is past its expiry at time now
@@ -57,12 +47,6 @@ func NewItem(key string, flags uint32, value []byte, expireAt int64) *Item {
 func (it *Item) Expired(now int64) bool {
 	return it.ExpireAt != 0 && it.ExpireAt <= now
 }
-
-// Touch stamps the item as just-used.
-func (it *Item) TouchUsed(nowNanos int64) { it.lastUsed.Store(nowNanos) }
-
-// LastUsed returns the access stamp (unix nanoseconds).
-func (it *Item) LastUsed() int64 { return it.lastUsed.Load() }
 
 // Size is the accounting size of the item: key + value bytes plus a
 // fixed per-item overhead standing in for memcached's item header.

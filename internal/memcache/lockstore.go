@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"strconv"
 	"sync"
+
+	"rphash/internal/clock"
 )
 
 // LockStore models stock memcached's concurrency: a single mutex (the
@@ -11,6 +13,7 @@ import (
 // because each GET must bump the strict LRU list. This is the
 // "default" engine in the paper's memcached experiment.
 type LockStore struct {
+	clk      *clock.Clock // coarse clock: GETs never call time(2)
 	mu       sync.Mutex
 	items    *assoc     // memcached-style chained table (element value: *Item)
 	lru      *list.List // front = most recently used
@@ -23,8 +26,8 @@ type LockStore struct {
 // NewLockStore builds the global-lock engine. maxBytes <= 0 disables
 // eviction.
 func NewLockStore(maxBytes int64) *LockStore {
-	startClock()
 	return &LockStore{
+		clk:      clock.New(clock.DefaultGranularity),
 		items:    newAssoc(1024),
 		lru:      list.New(),
 		maxBytes: maxBytes,
@@ -34,7 +37,7 @@ func NewLockStore(maxBytes int64) *LockStore {
 // Get returns the live item and bumps LRU — under the global lock,
 // exactly like stock memcached.
 func (s *LockStore) Get(key string) (*Item, bool) {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el := s.items.get(key)
@@ -79,7 +82,7 @@ func (s *LockStore) setLocked(it *Item) {
 
 // Add stores only if absent.
 func (s *LockStore) Add(it *Item) bool {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el := s.items.get(it.Key); el != nil && !el.Value.(*Item).Expired(now) {
@@ -91,7 +94,7 @@ func (s *LockStore) Add(it *Item) bool {
 
 // Replace stores only if present.
 func (s *LockStore) Replace(it *Item) bool {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el := s.items.get(it.Key)
@@ -104,7 +107,7 @@ func (s *LockStore) Replace(it *Item) bool {
 
 // CompareAndSwap stores only when the caller's cas matches.
 func (s *LockStore) CompareAndSwap(it *Item, cas uint64) error {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el := s.items.get(it.Key)
@@ -133,7 +136,7 @@ func (s *LockStore) Delete(key string) bool {
 
 // Touch updates expiry in place (the item is private to the lock).
 func (s *LockStore) Touch(key string, expireAt int64) bool {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el := s.items.get(key)
@@ -156,7 +159,7 @@ func (s *LockStore) Append(key string, data []byte) bool { return s.concat(key, 
 func (s *LockStore) Prepend(key string, data []byte) bool { return s.concat(key, data, true) }
 
 func (s *LockStore) concat(key string, data []byte, front bool) bool {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el := s.items.get(key)
@@ -177,7 +180,7 @@ func (s *LockStore) concat(key string, data []byte, front bool) bool {
 
 // IncrDecr adjusts a decimal value.
 func (s *LockStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) {
-	now := nowSecs()
+	now := s.clk.Secs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el := s.items.get(key)
@@ -241,8 +244,9 @@ func (s *LockStore) Stats() StoreStats {
 	return st
 }
 
-// Close releases nothing (GC) but satisfies Store.
-func (s *LockStore) Close() {}
+// Close stops the coarse clock's ticker goroutine; the store data is
+// released by GC.
+func (s *LockStore) Close() { s.clk.Stop() }
 
 func (s *LockStore) removeLocked(el *list.Element, it *Item) {
 	s.items.del(it.Key)

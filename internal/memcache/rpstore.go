@@ -6,8 +6,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rphash/internal/cache"
+	"rphash/internal/clock"
 	"rphash/internal/core"
-	"rphash/internal/shard"
 )
 
 // RPStore is the paper's memcached patch: GETs are relativistic
@@ -16,86 +17,54 @@ import (
 // retire replaced items through grace periods. The table auto-resizes
 // with load, so the unzip/zip algorithms run underneath live traffic.
 //
-// Differences from stock memcached noted in DESIGN.md: the slab
-// allocator is the Go heap, and LRU is approximate — each GET stamps
-// the item with an atomic store (no lock, no list manipulation), and
-// eviction samples the table for the stalest items, in the spirit of
-// memcached's later sampled-LRU ("lru_crawler") rather than 1.4's
-// strict list, which cannot be maintained without serializing GETs.
+// Expiry, sampled-LRU eviction, byte accounting, and hit/miss stats
+// all live in internal/cache (the reusable subsystem this engine
+// seeded); RPStore contributes only the memcached semantics on top:
+// CAS sequencing, conditional stores, and value edits. See DESIGN.md
+// for what is simplified relative to stock memcached.
 type RPStore struct {
-	t        *shard.Map[string, *Item]
-	mu       sync.Mutex // serializes mutations (table writers also lock internally)
-	bytes    atomic.Int64
-	maxBytes int64
-	casSeq   atomic.Uint64
+	c   *cache.Cache[string, *Item]
+	clk *clock.Clock
 
-	getHits   stripedCounter
-	getMisses stripedCounter
-	stripeSeq atomic.Uint64
-	sets      atomic.Uint64
-	deletes   atomic.Uint64
-	evictions atomic.Uint64
-	expired   atomic.Uint64
+	// mu serializes read-modify-write command sequences (Add, CAS,
+	// Append, IncrDecr, ...) so their check-then-store is atomic; the
+	// cache and its table writers lock internally for plain stores.
+	mu      sync.Mutex
+	casSeq  atomic.Uint64
+	sets    atomic.Uint64
+	deletes atomic.Uint64
 }
-
-// evictionSample is how many candidate items an eviction pass
-// examines when choosing victims.
-const evictionSample = 16
 
 // NewRPStore builds the relativistic engine. maxBytes <= 0 disables
 // eviction.
 //
-// The store is backed by shard.Map — GOMAXPROCS-many relativistic
-// tables behind one shared RCU domain — so table writers hash to
-// independent shard mutexes while every GET stays a single lock-free
-// chain walk. (The remaining mutation serialization is this store's
-// own mu, which guards byte accounting and eviction, not the table.)
+// The engine is backed by cache.Cache over shard.Map —
+// GOMAXPROCS-many relativistic tables behind one shared RCU domain —
+// so table writers hash to independent shard mutexes while every GET
+// stays a single lock-free chain walk. The cache's own background
+// sweeper is off: the memcached server drives SweepExpired at its
+// configured cadence instead.
 func NewRPStore(maxBytes int64) *RPStore {
-	t := shard.NewString[*Item](
-		shard.WithInitialBuckets(1024),
-		shard.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
+	clk := clock.New(clock.DefaultGranularity)
+	c := cache.NewString[*Item](
+		cache.WithClock(clk),
+		cache.WithMaxCost(maxBytes),
+		cache.WithInitialBuckets(1024),
+		cache.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
+		cache.WithSweepInterval(0),
 	)
-	startClock()
-	return &RPStore{t: t, maxBytes: maxBytes}
+	return &RPStore{c: c, clk: clk}
 }
 
-// Get is the lock-free fast path. Expired items are treated as
-// misses; their removal is left to writers and the sweeper (lazy
-// expiry), keeping the read path pure.
-func (s *RPStore) Get(key string) (*Item, bool) {
-	it, ok := s.t.Get(key)
-	if !ok {
-		s.getMisses.add(0)
-		return nil, false
-	}
-	if it.ExpireAt != 0 && it.Expired(nowSecs()) {
-		s.getMisses.add(0)
-		return nil, false
-	}
-	it.TouchUsed(nowNanos())
-	s.getHits.add(0)
-	return it, true
-}
+// Get is the lock-free fast path. Expired items are treated as misses
+// by the cache; their removal is left to writers and the sweeper
+// (lazy expiry), keeping the read path pure.
+func (s *RPStore) Get(key string) (*Item, bool) { return s.c.Get(key) }
 
 // NewGetter returns a per-goroutine lock-free Get using a registered
 // read handle — the hot path connection handlers use.
 func (s *RPStore) NewGetter() (func(key string) (*Item, bool), func()) {
-	h := s.t.NewReadHandle()
-	stripe := int(s.stripeSeq.Add(1))
-	return func(key string) (*Item, bool) {
-		it, ok := h.Get(key)
-		if !ok {
-			s.getMisses.add(stripe)
-			return nil, false
-		}
-		if it.ExpireAt != 0 && it.Expired(nowSecs()) {
-			s.getMisses.add(stripe)
-			return nil, false
-		}
-		it.TouchUsed(nowNanos())
-		s.getHits.add(stripe)
-		return it, true
-	}, h.Close
+	return s.c.NewGetter()
 }
 
 // Set stores unconditionally.
@@ -105,24 +74,24 @@ func (s *RPStore) Set(it *Item) {
 	s.setLocked(it)
 }
 
+// setLocked assigns the CAS id and hands the item to the cache, which
+// settles byte accounting against whatever it displaces and evicts if
+// the budget is crossed.
 func (s *RPStore) setLocked(it *Item) {
 	it.CAS = s.casSeq.Add(1)
-	if old, ok := s.t.Get(it.Key); ok {
-		s.bytes.Add(it.Size() - old.Size())
-	} else {
-		s.bytes.Add(it.Size())
+	var at time.Time
+	if it.ExpireAt != 0 {
+		at = time.Unix(it.ExpireAt, 0)
 	}
-	s.t.Set(it.Key, it)
+	s.c.SetExpiresAt(it.Key, it, at, it.Size())
 	s.sets.Add(1)
-	s.evictLocked()
 }
 
 // Add stores only if absent or expired.
 func (s *RPStore) Add(it *Item) bool {
-	now := time.Now().Unix()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cur, ok := s.t.Get(it.Key); ok && !cur.Expired(now) {
+	if _, ok := s.c.Peek(it.Key); ok {
 		return false
 	}
 	s.setLocked(it)
@@ -131,11 +100,9 @@ func (s *RPStore) Add(it *Item) bool {
 
 // Replace stores only if present and live.
 func (s *RPStore) Replace(it *Item) bool {
-	now := time.Now().Unix()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, ok := s.t.Get(it.Key)
-	if !ok || cur.Expired(now) {
+	if _, ok := s.c.Peek(it.Key); !ok {
 		return false
 	}
 	s.setLocked(it)
@@ -144,11 +111,10 @@ func (s *RPStore) Replace(it *Item) bool {
 
 // CompareAndSwap stores only when cas matches the live item.
 func (s *RPStore) CompareAndSwap(it *Item, cas uint64) error {
-	now := time.Now().Unix()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, ok := s.t.Get(it.Key)
-	if !ok || cur.Expired(now) {
+	cur, ok := s.c.Peek(it.Key)
+	if !ok {
 		return ErrNotFound
 	}
 	if cur.CAS != cas {
@@ -160,18 +126,7 @@ func (s *RPStore) CompareAndSwap(it *Item, cas uint64) error {
 
 // Delete removes the key.
 func (s *RPStore) Delete(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.deleteLocked(key)
-}
-
-func (s *RPStore) deleteLocked(key string) bool {
-	old, ok := s.t.Get(key)
-	if !ok {
-		return false
-	}
-	if s.t.Delete(key) {
-		s.bytes.Add(-old.Size())
+	if s.c.Delete(key) {
 		s.deletes.Add(1)
 		return true
 	}
@@ -181,15 +136,13 @@ func (s *RPStore) deleteLocked(key string) bool {
 // Touch replaces the item with one bearing the new expiry (items are
 // immutable; readers see old or new).
 func (s *RPStore) Touch(key string, expireAt int64) bool {
-	now := time.Now().Unix()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, ok := s.t.Get(key)
-	if !ok || cur.Expired(now) {
+	cur, ok := s.c.Peek(key)
+	if !ok {
 		return false
 	}
-	repl := NewItem(cur.Key, cur.Flags, cur.Value, expireAt)
-	s.setLocked(repl)
+	s.setLocked(NewItem(cur.Key, cur.Flags, cur.Value, expireAt))
 	return true
 }
 
@@ -200,11 +153,10 @@ func (s *RPStore) Append(key string, data []byte) bool { return s.concat(key, da
 func (s *RPStore) Prepend(key string, data []byte) bool { return s.concat(key, data, true) }
 
 func (s *RPStore) concat(key string, data []byte, front bool) bool {
-	now := time.Now().Unix()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, ok := s.t.Get(key)
-	if !ok || cur.Expired(now) {
+	cur, ok := s.c.Peek(key)
+	if !ok {
 		return false
 	}
 	buf := make([]byte, 0, len(cur.Value)+len(data))
@@ -219,11 +171,10 @@ func (s *RPStore) concat(key string, data []byte, front bool) bool {
 
 // IncrDecr adjusts a decimal value by full-item replacement.
 func (s *RPStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) {
-	now := time.Now().Unix()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, ok := s.t.Get(key)
-	if !ok || cur.Expired(now) {
+	cur, ok := s.c.Peek(key)
+	if !ok {
 		return 0, ErrNotFound
 	}
 	val, err := strconv.ParseUint(string(cur.Value), 10, 64)
@@ -245,103 +196,41 @@ func (s *RPStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) 
 }
 
 // FlushAll drops every item (see LockStore.FlushAll).
-func (s *RPStore) FlushAll(int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, k := range s.t.Keys() {
-		s.deleteLocked(k)
-	}
-}
+func (s *RPStore) FlushAll(int64) { s.c.Purge() }
 
-// Len returns the live item count.
-func (s *RPStore) Len() int { return s.t.Len() }
+// Len returns the item count (including expired, unswept items —
+// they still occupy memory, matching memcached's curr_items).
+func (s *RPStore) Len() int { return s.c.Len() }
 
 // Bytes returns accounted bytes.
-func (s *RPStore) Bytes() int64 { return s.bytes.Load() }
+func (s *RPStore) Bytes() int64 { return s.c.Cost() }
 
-// Stats snapshots counters.
+// Stats snapshots counters. It reads the cache's cheap counter
+// snapshot (no bucket walk), so a stats poll costs O(1) regardless of
+// table size; Buckets comes from the map's own counter.
 func (s *RPStore) Stats() StoreStats {
+	cs := s.c.Counters()
 	return StoreStats{
 		Engine:    "rp",
-		CurrItems: int64(s.t.Len()),
-		Bytes:     s.bytes.Load(),
-		GetHits:   s.getHits.total(),
-		GetMisses: s.getMisses.total(),
+		CurrItems: int64(cs.Entries),
+		Bytes:     cs.Cost,
+		GetHits:   cs.Hits,
+		GetMisses: cs.Misses,
 		Sets:      s.sets.Load(),
 		Deletes:   s.deletes.Load(),
-		Evictions: s.evictions.Load(),
-		Expired:   s.expired.Load(),
-		Buckets:   s.t.Buckets(),
+		Evictions: cs.Evictions,
+		Expired:   cs.Expirations,
+		Buckets:   s.c.Buckets(),
 	}
 }
 
-// Close releases the table's RCU domain.
-func (s *RPStore) Close() { s.t.Close() }
+// Close releases the cache (and its RCU domain) and stops the coarse
+// clock's ticker goroutine.
+func (s *RPStore) Close() {
+	s.c.Close()
+	s.clk.Stop()
+}
 
 // SweepExpired removes up to limit expired items (the lazy-expiry
 // background pass; the server runs it periodically).
-func (s *RPStore) SweepExpired(limit int) int {
-	now := time.Now().Unix()
-	var victims []string
-	s.t.Range(func(k string, it *Item) bool {
-		if it.Expired(now) {
-			victims = append(victims, k)
-		}
-		return len(victims) < limit
-	})
-	removed := 0
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, k := range victims {
-		if it, ok := s.t.Get(k); ok && it.Expired(now) && s.deleteLocked(k) {
-			s.expired.Add(1)
-			removed++
-		}
-	}
-	return removed
-}
-
-// evictLocked enforces the byte budget by sampled LRU: walk a sample
-// of the table, evict the stalest item, repeat until under budget.
-func (s *RPStore) evictLocked() {
-	if s.maxBytes <= 0 {
-		return
-	}
-	for s.bytes.Load() > s.maxBytes && s.t.Len() > 0 {
-		var victim *Item
-		scanned := 0
-		// Start the sample at a pseudo-random bucket by ranging with
-		// an early cutoff; the table's iteration order already mixes
-		// hash order, and the CAS sequence varies the entry point.
-		skip := int(s.casSeq.Load()) % max(s.t.Len(), 1)
-		s.t.Range(func(_ string, it *Item) bool {
-			if skip > 0 {
-				skip--
-				return true
-			}
-			if victim == nil || it.LastUsed() < victim.LastUsed() {
-				victim = it
-			}
-			scanned++
-			return scanned < evictionSample
-		})
-		if victim == nil {
-			// Sample landed past the end; retry without skipping.
-			s.t.Range(func(_ string, it *Item) bool {
-				if victim == nil || it.LastUsed() < victim.LastUsed() {
-					victim = it
-				}
-				scanned++
-				return scanned < evictionSample
-			})
-		}
-		if victim == nil {
-			return
-		}
-		if s.deleteLocked(victim.Key) {
-			s.evictions.Add(1)
-		} else {
-			return
-		}
-	}
-}
+func (s *RPStore) SweepExpired(limit int) int { return s.c.SweepExpired(limit) }

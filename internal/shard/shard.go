@@ -162,11 +162,23 @@ func (m *Map[K, V]) Shard(i int) *core.Table[K, V] { return m.shards[i] }
 // Domain exposes the map's shared RCU domain.
 func (m *Map[K, V]) Domain() *rcu.Domain { return m.dom }
 
+// Hash exposes the map's hash of k, for front-ends (internal/cache)
+// that hash once and drive the *Hashed entry points.
+func (m *Map[K, V]) Hash(k K) uint64 { return m.hash(k) }
+
+// ShardIndex routes a hash to its shard's index.
+func (m *Map[K, V]) ShardIndex(h uint64) int { return int(h >> m.shift) }
+
 // Get returns the value for k. Read-side cost is identical to a
 // single table: one pooled reader section around one chain walk, plus
 // a shift to pick the shard.
 func (m *Map[K, V]) Get(k K) (V, bool) {
-	h := m.hash(k)
+	return m.GetHashed(m.hash(k), k)
+}
+
+// GetHashed is Get with the key's hash precomputed; h must equal the
+// map's hash of k.
+func (m *Map[K, V]) GetHashed(h uint64, k K) (V, bool) {
 	var v V
 	var ok bool
 	m.dom.Read(func() {
@@ -201,10 +213,33 @@ func (m *Map[K, V]) Replace(k K, v V) bool {
 	return m.shardFor(h).ReplaceHashed(h, k, v)
 }
 
+// Swap upserts k and returns the value it displaced, if any.
+func (m *Map[K, V]) Swap(k K, v V) (V, bool) {
+	return m.SwapHashed(m.hash(k), k, v)
+}
+
+// SwapHashed is Swap with the key's hash precomputed.
+func (m *Map[K, V]) SwapHashed(h uint64, k K, v V) (V, bool) {
+	return m.shardFor(h).SwapHashed(h, k, v)
+}
+
 // Delete removes k, reporting whether it was present.
 func (m *Map[K, V]) Delete(k K) bool {
 	h := m.hash(k)
 	return m.shardFor(h).DeleteHashed(h, k)
+}
+
+// CompareAndDelete removes k only if match accepts its current value
+// (nil match accepts anything), returning the removed value. See
+// core.Table.CompareAndDelete for the guarantee.
+func (m *Map[K, V]) CompareAndDelete(k K, match func(V) bool) (V, bool) {
+	return m.CompareAndDeleteHashed(m.hash(k), k, match)
+}
+
+// CompareAndDeleteHashed is CompareAndDelete with the key's hash
+// precomputed.
+func (m *Map[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
+	return m.shardFor(h).CompareAndDeleteHashed(h, k, match)
 }
 
 // Move renames oldKey to newKey; it fails if oldKey is absent or
@@ -285,31 +320,61 @@ func (m *Map[K, V]) Keys() []K {
 	return out
 }
 
+// accumulate folds one shard's snapshot into an aggregate: counters
+// sum, MaxChain is the max over shards.
+func accumulate(agg *core.Stats, st core.Stats) {
+	agg.Len += st.Len
+	agg.Buckets += st.Buckets
+	agg.Inserts += st.Inserts
+	agg.Deletes += st.Deletes
+	agg.Moves += st.Moves
+	agg.Expands += st.Expands
+	agg.Shrinks += st.Shrinks
+	agg.UnzipPasses += st.UnzipPasses
+	agg.UnzipCuts += st.UnzipCuts
+	agg.AutoGrows += st.AutoGrows
+	agg.AutoShrinks += st.AutoShrinks
+	if st.MaxChain > agg.MaxChain {
+		agg.MaxChain = st.MaxChain
+	}
+}
+
 // Stats aggregates per-shard table stats: counters sum, MaxChain is
 // the max over shards, LoadFactor is recomputed map-wide.
 func (m *Map[K, V]) Stats() core.Stats {
 	var agg core.Stats
 	for _, s := range m.shards {
-		st := s.Stats()
-		agg.Len += st.Len
-		agg.Buckets += st.Buckets
-		agg.Inserts += st.Inserts
-		agg.Deletes += st.Deletes
-		agg.Moves += st.Moves
-		agg.Expands += st.Expands
-		agg.Shrinks += st.Shrinks
-		agg.UnzipPasses += st.UnzipPasses
-		agg.UnzipCuts += st.UnzipCuts
-		agg.AutoGrows += st.AutoGrows
-		agg.AutoShrinks += st.AutoShrinks
-		if st.MaxChain > agg.MaxChain {
-			agg.MaxChain = st.MaxChain
-		}
+		accumulate(&agg, s.Stats())
 	}
 	if agg.Buckets > 0 {
 		agg.LoadFactor = float64(agg.Len) / float64(agg.Buckets)
 	}
 	return agg
+}
+
+// MapStats is the sharded map's observability snapshot: the map-wide
+// aggregate (embedded) plus each shard's own table snapshot, so
+// operators can see per-shard bucket totals, load factors, and resize
+// counts — imbalance, resize storms, and hot shards are all visible
+// here rather than buried in internal counters.
+type MapStats struct {
+	core.Stats              // map-wide aggregate
+	PerShard   []core.Stats // shard i's table snapshot
+}
+
+// DetailedStats gathers a MapStats snapshot. It walks every bucket of
+// every shard (for MaxChain); on huge maps prefer Stats-free
+// monitoring via Len/Buckets.
+func (m *Map[K, V]) DetailedStats() MapStats {
+	ms := MapStats{PerShard: make([]core.Stats, len(m.shards))}
+	for i, s := range m.shards {
+		ms.PerShard[i] = s.Stats()
+		accumulate(&ms.Stats, ms.PerShard[i])
+	}
+	if ms.Buckets > 0 {
+		ms.LoadFactor = float64(ms.Len) / float64(ms.Buckets)
+	}
+	return ms
 }
 
 // Close releases the shards and, if the map created it, the shared

@@ -1,0 +1,78 @@
+package shard
+
+import "testing"
+
+func TestDetailedStats(t *testing.T) {
+	m := NewUint64[int](WithShards(4), WithInitialBuckets(64))
+	defer m.Close()
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		m.Set(i, int(i))
+	}
+
+	ms := m.DetailedStats()
+	if len(ms.PerShard) != 4 {
+		t.Fatalf("PerShard len = %d, want 4", len(ms.PerShard))
+	}
+	sumLen, sumBuckets, sumInserts := 0, 0, uint64(0)
+	for i, ps := range ms.PerShard {
+		if ps.Len == 0 {
+			t.Fatalf("shard %d empty: splitmix64 should spread %d keys over 4 shards", i, n)
+		}
+		sumLen += ps.Len
+		sumBuckets += ps.Buckets
+		sumInserts += ps.Inserts
+	}
+	if sumLen != n || ms.Len != n {
+		t.Fatalf("Len: per-shard sum %d, aggregate %d, want %d", sumLen, ms.Len, n)
+	}
+	if sumBuckets != ms.Buckets || ms.Buckets == 0 {
+		t.Fatalf("Buckets: per-shard sum %d, aggregate %d", sumBuckets, ms.Buckets)
+	}
+	if sumInserts != ms.Inserts || ms.Inserts != n {
+		t.Fatalf("Inserts: per-shard sum %d, aggregate %d", sumInserts, ms.Inserts)
+	}
+	if ms.LoadFactor <= 0 {
+		t.Fatal("aggregate load factor missing")
+	}
+
+	// The embedded aggregate must agree with the flat Stats view.
+	flat := m.Stats()
+	if flat.Len != ms.Len || flat.Buckets != ms.Buckets || flat.Inserts != ms.Inserts {
+		t.Fatalf("DetailedStats aggregate %+v disagrees with Stats %+v", ms.Stats, flat)
+	}
+}
+
+func TestSwapAndCompareAndDeleteRouting(t *testing.T) {
+	m := NewUint64[string](WithShards(4))
+	defer m.Close()
+
+	if _, replaced := m.Swap(9, "a"); replaced {
+		t.Fatal("Swap on empty map replaced")
+	}
+	if old, replaced := m.Swap(9, "b"); !replaced || old != "a" {
+		t.Fatalf("Swap = %q, %v", old, replaced)
+	}
+	if v, ok := m.CompareAndDelete(9, func(v string) bool { return v == "nope" }); ok {
+		t.Fatalf("rejected predicate removed %q", v)
+	}
+	if v, ok := m.CompareAndDelete(9, nil); !ok || v != "b" {
+		t.Fatalf("CompareAndDelete = %q, %v", v, ok)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after removal", m.Len())
+	}
+
+	// Hashed entry points must agree with the unhashed ones.
+	h := m.Hash(42)
+	if idx := m.ShardIndex(h); idx < 0 || idx >= m.NumShards() {
+		t.Fatalf("ShardIndex = %d out of range", idx)
+	}
+	m.SwapHashed(h, 42, "x")
+	if v, ok := m.GetHashed(h, 42); !ok || v != "x" {
+		t.Fatalf("GetHashed = %q, %v", v, ok)
+	}
+	if v, ok := m.CompareAndDeleteHashed(h, 42, nil); !ok || v != "x" {
+		t.Fatalf("CompareAndDeleteHashed = %q, %v", v, ok)
+	}
+}

@@ -1,0 +1,27 @@
+package stats
+
+// stripes is the slot count of a Striped counter; a power of two so
+// stripe hints mask cheaply.
+const stripes = 16
+
+// Striped is a statistics counter sharded across padded slots so that
+// hot paths on different cores never contend on one cache line. The
+// zero value is ready to use. Callers that hold a natural per-worker
+// id pass it as the stripe hint; unrelated callers may pass 0.
+type Striped struct {
+	slots [stripes]PaddedCounter
+}
+
+// Add increments the slot for the given stripe hint.
+func (c *Striped) Add(stripe int) {
+	c.slots[stripe&(stripes-1)].Add(1)
+}
+
+// Total sums all slots.
+func (c *Striped) Total() uint64 {
+	var t uint64
+	for i := range c.slots {
+		t += c.slots[i].Load()
+	}
+	return t
+}

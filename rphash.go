@@ -1,6 +1,9 @@
 package rphash
 
 import (
+	"time"
+
+	"rphash/internal/cache"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
 	"rphash/internal/rcu"
@@ -127,6 +130,75 @@ func WithMapInitialBuckets(total uint64) MapOption { return shard.WithInitialBuc
 // shard (MinBuckets is interpreted map-wide and divided across
 // shards).
 func WithMapPolicy(p Policy) MapOption { return shard.WithPolicy(p) }
+
+// MapStats is a Map observability snapshot: the map-wide aggregate
+// (embedded Stats) plus every shard's own table snapshot, so bucket
+// totals, load factors, and resize counts are visible per shard.
+// Obtain one via Map.DetailedStats.
+type MapStats = shard.MapStats
+
+// Cache is a TTL + eviction + stampede-protected cache built on Map:
+// lock-free allocation-free hits, coarse-clock lazy expiry plus an
+// incremental background sweeper, cost-bounded capacity with
+// per-shard sampled-LRU eviction, and a singleflight GetOrLoad so a
+// miss storm on one hot key issues exactly one load. See the package
+// documentation for choosing Table vs Map vs Cache.
+type Cache[K comparable, V any] = cache.Cache[K, V]
+
+// CacheOption configures a Cache at construction time.
+type CacheOption = cache.Option
+
+// CacheStats is a snapshot of cache metrics (hits, misses, loads,
+// evictions, expirations, cost) including the underlying MapStats.
+type CacheStats = cache.Stats
+
+// NewCache creates a cache keyed by K using the supplied hash
+// function (same contract as NewMap: deterministic, well-mixed high
+// and low bits). Close it when done: the cache owns a background
+// sweeper and a coarse-clock ticker.
+func NewCache[K comparable, V any](hash func(K) uint64, opts ...CacheOption) *Cache[K, V] {
+	return cache.New[K, V](hash, opts...)
+}
+
+// NewCacheUint64 creates a cache keyed by uint64 with the standard
+// splitmix64 finalizer.
+func NewCacheUint64[V any](opts ...CacheOption) *Cache[uint64, V] {
+	return cache.NewUint64[V](opts...)
+}
+
+// NewCacheString creates a cache keyed by string with seeded FNV-1a
+// plus an avalanche finalizer.
+func NewCacheString[V any](opts ...CacheOption) *Cache[string, V] {
+	return cache.NewString[V](opts...)
+}
+
+// WithCacheTTL sets the default time-to-live applied by Set and
+// GetOrLoad (0 = never expire); SetTTL/SetWith override per entry.
+func WithCacheTTL(d time.Duration) CacheOption { return cache.WithTTL(d) }
+
+// WithCacheMaxCost bounds the cache's total cost — the sum of
+// per-entry costs (Set's default cost is 1, so with defaults this is
+// a max entry count; pass byte sizes to SetWith for a byte budget).
+// <= 0 disables eviction.
+func WithCacheMaxCost(n int64) CacheOption { return cache.WithMaxCost(n) }
+
+// WithCacheShards sets the underlying Map's shard count (rounded up
+// to a power of two; default NextPowerOfTwo(GOMAXPROCS)).
+func WithCacheShards(n int) CacheOption { return cache.WithShards(n) }
+
+// WithCacheInitialBuckets sets the cache's total initial bucket count
+// across shards.
+func WithCacheInitialBuckets(n uint64) CacheOption { return cache.WithInitialBuckets(n) }
+
+// WithCachePolicy overrides the cache's auto-resize policy (the
+// default expands beyond 2 elements/bucket and shrinks below 0.25).
+// Pass the zero Policy to pin the bucket count.
+func WithCachePolicy(p Policy) CacheOption { return cache.WithPolicy(p) }
+
+// WithCacheSweepInterval sets the background expiry sweeper cadence
+// (<= 0 disables it; expired entries are then reclaimed only by
+// SweepExpired calls, eviction sampling, and overwrites).
+func WithCacheSweepInterval(d time.Duration) CacheOption { return cache.WithSweepInterval(d) }
 
 // HashBytes is the repository's standard byte-slice hash (seeded
 // FNV-1a with an avalanche finalizer), exported for callers building

@@ -3,6 +3,7 @@ package rphash_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"rphash"
 )
@@ -182,5 +183,74 @@ func TestPublicMapConcurrentWriters(t *testing.T) {
 	wg.Wait()
 	if m.Len() != 4000 {
 		t.Fatalf("Len = %d, want 4000", m.Len())
+	}
+}
+
+func TestPublicCache(t *testing.T) {
+	c := rphash.NewCacheString[string](
+		rphash.WithCacheShards(2),
+		rphash.WithCacheTTL(time.Hour),
+		rphash.WithCacheMaxCost(1000),
+		rphash.WithCacheInitialBuckets(128),
+		rphash.WithCacheSweepInterval(0),
+	)
+	defer c.Close()
+
+	c.Set("user:1", "alice")
+	if v, ok := c.Get("user:1"); !ok || v != "alice" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	c.SetTTL("flash", "sale", time.Millisecond) // expires underneath the reader
+	time.Sleep(120 * time.Millisecond)          // > coarse clock granularity
+	if _, ok := c.Get("flash"); ok {
+		t.Fatal("expired entry still visible")
+	}
+
+	loads := 0
+	v, err := c.GetOrLoad("user:2", func() (string, error) {
+		loads++
+		return "bob", nil
+	})
+	if err != nil || v != "bob" {
+		t.Fatalf("GetOrLoad = %q,%v", v, err)
+	}
+	if _, err := c.GetOrLoad("user:2", func() (string, error) {
+		loads++
+		return "", nil
+	}); err != nil || loads != 1 {
+		t.Fatalf("GetOrLoad did not hit cache (loads=%d, err=%v)", loads, err)
+	}
+
+	get, release := c.NewGetter()
+	defer release()
+	if v, ok := get("user:1"); !ok || v != "alice" {
+		t.Fatalf("getter = %q,%v", v, ok)
+	}
+
+	st := c.Stats()
+	if st.Loads != 1 || st.MaxCost != 1000 || st.Entries == 0 {
+		t.Fatalf("CacheStats = %+v", st)
+	}
+	if len(st.Map.PerShard) != 2 {
+		t.Fatalf("cache MapStats PerShard = %d, want 2", len(st.Map.PerShard))
+	}
+}
+
+func TestPublicMapDetailedStats(t *testing.T) {
+	m := rphash.NewMapUint64[int](rphash.WithShards(4))
+	defer m.Close()
+	for i := uint64(0); i < 500; i++ {
+		m.Set(i, int(i))
+	}
+	var ms rphash.MapStats = m.DetailedStats()
+	if ms.Len != 500 || len(ms.PerShard) != 4 {
+		t.Fatalf("MapStats = len %d, shards %d", ms.Len, len(ms.PerShard))
+	}
+	total := 0
+	for _, ps := range ms.PerShard {
+		total += ps.Len
+	}
+	if total != ms.Len {
+		t.Fatalf("per-shard lens %d != aggregate %d", total, ms.Len)
 	}
 }
