@@ -25,7 +25,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
 		engine   = flag.String("engine", "rp", "storage engine: rp | lock")
 		maxBytes = flag.Int64("max-bytes", 64<<20, "memory budget in bytes (0 = unlimited)")
-		sweep    = flag.Duration("sweep", time.Second, "expired-item sweep interval (0 = lazy only)")
+		sweep    = flag.Duration("sweep", time.Second, "expired-item sweep interval for engines that expose an external sweep pass (the rp engine sweeps itself incrementally; lock expires lazily)")
 		quiet    = flag.Bool("quiet", false, "suppress connection error logs")
 	)
 	flag.Parse()

@@ -2,14 +2,15 @@
 // (1: fixed-size baseline; 2: continuous resizing; 3: RP resize vs
 // fixed; 4: DDDS resize vs fixed) plus the repository's extensions
 // (5: multi-writer upserts, single table vs sharded map; 6: TTL cache
-// workload, rp-cache vs the bare sharded map) as text tables, with
-// optional CSV.
+// workload, rp-cache vs the bare sharded map; 7: multi-get batch
+// amortization, batch path vs per-key loop at batch sizes 1/10/100)
+// as text tables, with optional CSV and machine-readable JSON.
 //
 // Usage:
 //
 //	rphash-bench [flags]
 //
-//	-fig N          figure to run (1..6), or 0 for all (default 0)
+//	-fig N          figure to run (1..7), or 0 for all (default 0)
 //	-duration D     measured interval per point (default 400ms)
 //	-warm D         warmup per point (default 50ms)
 //	-readers LIST   comma-separated reader counts (default 1,2,4,8,16)
@@ -18,6 +19,9 @@
 //	-small N        small/fixed bucket count (default 8192)
 //	-large N        large bucket count (default 16384)
 //	-csv            also emit CSV per figure
+//	-json           also write BENCH_fig<N>.json per figure (engine,
+//	                threads, batch, ops/sec per point) so successive
+//	                PRs can diff benchmark trajectories
 //	-engines LIST   extra fixed-size engines to append to figure 1
 //	                (any of: rp-sharded,rp-cache,mutex,sharded,xu,syncmap)
 //	-shards N       shard count for the rp-sharded engine
@@ -25,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +53,7 @@ func main() {
 		small    = flag.Uint64("small", 8192, "small/fixed bucket count")
 		large    = flag.Uint64("large", 16384, "large bucket count")
 		csv      = flag.Bool("csv", false, "also emit CSV")
+		jsonOut  = flag.Bool("json", false, "also write BENCH_fig<N>.json per figure")
 		repeats  = flag.Int("repeats", 3, "runs per point (median reported)")
 		extra    = flag.String("engines", "", "extra engines for figure 1 (rp-sharded,rp-cache,mutex,sharded,xu,syncmap)")
 		shards   = flag.Int("shards", 0, "shard count for the rp-sharded engine (0 = GOMAXPROCS rounded up)")
@@ -80,7 +86,7 @@ func main() {
 		return
 	}
 
-	figs := []int{1, 2, 3, 4, 5, 6}
+	figs := []int{1, 2, 3, 4, 5, 6, 7}
 	if *figN != 0 {
 		figs = []int{*figN}
 	}
@@ -97,7 +103,57 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			if err := writeJSONFigure(n, fig); err != nil {
+				fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// jsonPoint is one measured point in the machine-readable output:
+// enough context (engine, threads, batch) that successive PRs can
+// diff ops/sec without re-deriving what an x value meant.
+type jsonPoint struct {
+	Engine    string  `json:"engine"`
+	Threads   int     `json:"threads"`
+	Batch     int     `json:"batch"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+type jsonFigure struct {
+	Figure int         `json:"figure"`
+	Title  string      `json:"title"`
+	Points []jsonPoint `json:"points"`
+}
+
+// writeJSONFigure writes BENCH_fig<N>.json in the working directory.
+// Figure 7 sweeps batch size at a fixed thread count; every other
+// figure sweeps threads (readers or writers) at batch size 1. Series
+// Y values are millions of ops/sec, scaled back to ops/sec here.
+func writeJSONFigure(n int, fig stats.Figure) error {
+	out := jsonFigure{Figure: n, Title: fig.Title}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			jp := jsonPoint{Engine: s.Name, Threads: int(p.X), Batch: 1, OpsPerSec: p.Y * 1e6}
+			if n == bench.Fig7MultiGet {
+				jp.Threads = bench.MultiGetReaders
+				jp.Batch = int(p.X)
+			}
+			out.Points = append(out.Points, jp)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_fig%d.json", n)
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", name)
+	return nil
 }
 
 func runAblations(cfg bench.Config, csv bool) {

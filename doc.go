@@ -80,7 +80,42 @@
 //	c.SetWith("k", payload, time.Hour, int64(len(payload))) // 0 TTL = never expire
 //	v, err := c.GetOrLoad("hot", loadFromBackend) // one load per storm
 //
-// Observability: Table.Stats, Map.DetailedStats (per-shard bucket
+// # Batched operations
+//
+// Readers are cheap but not free: each lookup pays a reader-section
+// entry/exit (two reader-local atomic stores) plus, on the
+// convenience paths, a pooled-reader round-trip — and each write
+// takes its shard's mutex. Callers holding many keys at once
+// (multi-key GET, warm-ups, bulk loads) should use the batch API,
+// which hashes each key once, groups keys by shard, and amortizes
+// synchronization over the group:
+//
+//	m.GetBatch(keys, vals, oks)  // ONE reader section per touched shard
+//	m.SetBatch(keys, vals)       // one mutex hold per shard group
+//	m.DeleteBatch(keys)          // one grace period per shard group
+//	c.GetMulti(keys, vals, oks)  // batched hit path (clock + counters
+//	                             // also amortized per batch)
+//	c.GetOrLoadMulti(keys, load) // one loader call for the whole miss
+//	                             // set; each key still singleflights
+//
+// A B-key batch over S shards enters at most min(B, S) reader
+// sections (Map.BatchSections counts them). A batch is not a
+// cross-shard snapshot: per-key semantics are exactly the single-key
+// operations', and concurrent writers may land between shard groups.
+// Duplicate keys in a write batch apply in order (last value wins).
+//
+// For unbounded traversals, RangeChunked (on Table, Map, and Cache)
+// bounds how long any one reader section lives: it collects a chunk
+// of elements per section and invokes the callback OUTSIDE it, so a
+// huge or slow iteration never extends grace periods — Range, by
+// contrast, holds one section for the entire walk, delaying all
+// memory reclamation behind it. The trade-off: if the table resizes
+// between chunks, the traversal may skip or repeat elements near its
+// cursor.
+//
+// # Observability
+//
+// Table.Stats, Map.DetailedStats (per-shard bucket
 // totals, load factors, resize counts), and Cache.Stats (hits,
 // misses, loads, evictions, expirations, cost, plus the underlying
 // MapStats) are one-call snapshots safe to poll from monitoring

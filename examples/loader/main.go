@@ -1,4 +1,5 @@
-// loader: thundering-herd protection with rphash.Cache.GetOrLoad.
+// loader: thundering-herd protection with rphash.Cache.GetOrLoad,
+// and batched loading with GetOrLoadMulti.
 //
 // A cache in front of a slow backend has a classic failure mode: when
 // a hot key expires (or was never loaded), every concurrent request
@@ -6,7 +7,11 @@
 // storm that can take the backend down exactly when it is busiest.
 // GetOrLoad collapses the storm: the first misser becomes the leader
 // and performs the one load; the rest park on the in-flight result
-// and share it.
+// and share it. GetOrLoadMulti extends this to requests that need
+// many keys at once (a page render, a fan-out RPC): hits resolve
+// through one batched lookup, and the whole miss set goes to the
+// backend in a single call — while each missing key still
+// singleflights against every other caller.
 package main
 
 import (
@@ -18,14 +23,25 @@ import (
 	"rphash"
 )
 
-// slowBackend simulates a database query: ~20ms per call, with a call
-// counter standing in for backend load.
+// slowBackend simulates a database query: ~20ms per call regardless
+// of how many keys the call fetches (the usual shape of a batched
+// SELECT ... IN (...)), with a call counter standing in for load.
 type slowBackend struct{ calls atomic.Int64 }
 
 func (b *slowBackend) fetch(key string) string {
 	b.calls.Add(1)
 	time.Sleep(20 * time.Millisecond)
 	return "profile-of-" + key
+}
+
+func (b *slowBackend) fetchAll(keys []string) (map[string]string, error) {
+	b.calls.Add(1)
+	time.Sleep(20 * time.Millisecond)
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = "profile-of-" + k
+	}
+	return out, nil
 }
 
 func main() {
@@ -67,7 +83,22 @@ func main() {
 	fmt.Printf("storm 3: after TTL expiry                -> %d backend call(s)\n",
 		storm("user:42"))
 
+	// Batched loading: a request needing 8 profiles — one already hot —
+	// costs ONE backend round-trip for the 7 misses, not 7.
+	keys := []string{"user:42"} // hot from the storms above... unless the TTL lapsed
+	for i := 0; i < 7; i++ {
+		keys = append(keys, fmt.Sprintf("user:%d", 100+i))
+	}
+	before := db.calls.Load()
+	res, err := cache.GetOrLoadMulti(keys, db.fetchAll)
+	if err != nil || len(res) != len(keys) {
+		panic(fmt.Sprintf("multi load: %d results, %v", len(res), err))
+	}
+	fmt.Printf("multi:   %d keys (%d cold)                 -> %d backend call(s)\n",
+		len(keys), len(keys)-1, db.calls.Load()-before)
+
 	st := cache.Stats()
+	totalReqs := 3*stormers + len(keys)
 	fmt.Printf("\ncache: %d loads total for %d requests (%.1f%% served without touching the backend)\n",
-		st.Loads, 3*stormers, 100*(1-float64(st.Loads)/float64(3*stormers)))
+		st.Loads, totalReqs, 100*(1-float64(st.Loads)/float64(totalReqs)))
 }

@@ -23,6 +23,33 @@ import (
 // goroutine).
 type Lookup func(k uint64) bool
 
+// LookupBatch performs len(ks) lookups, writing per-key hit flags
+// into oks (len(oks) == len(ks)). Like Lookup it is per-goroutine.
+type LookupBatch func(ks []uint64, oks []bool)
+
+// BatchEngine is the optional extension implemented by engines with a
+// genuine batch read path (one reader section per shard group rather
+// than one per key). The multi-get workload compares it against a
+// per-key loop over the same engine.
+type BatchEngine interface {
+	// NewLookupBatch returns a per-goroutine batch lookup and a
+	// release function (may be nil).
+	NewLookupBatch() (LookupBatch, func())
+}
+
+// NewPerKeyLookupBatch adapts an engine's per-key lookup into the
+// LookupBatch shape — the unamortized baseline the batch paths are
+// measured against, and the fallback for engines without a batch
+// path.
+func NewPerKeyLookupBatch(e Engine) (LookupBatch, func()) {
+	lookup, closeFn := e.NewLookup()
+	return func(ks []uint64, oks []bool) {
+		for i, k := range ks {
+			oks[i] = lookup(k)
+		}
+	}, closeFn
+}
+
 // Engine abstracts a table implementation for the harness.
 type Engine interface {
 	// Name labels the series.
@@ -101,6 +128,18 @@ func (e *rpShardedEngine) Delete(k uint64)     { e.m.Delete(k) }
 func (e *rpShardedEngine) Resize(n uint64)     { e.m.Resize(n) }
 func (e *rpShardedEngine) Close()              { e.m.Close() }
 
+// NewLookupBatch routes through Map.GetBatch: hash once, group by
+// shard, one reader section per touched shard.
+func (e *rpShardedEngine) NewLookupBatch() (LookupBatch, func()) {
+	var vals []int
+	return func(ks []uint64, oks []bool) {
+		if cap(vals) < len(ks) {
+			vals = make([]int, len(ks))
+		}
+		e.m.GetBatch(ks, vals[:len(ks)], oks)
+	}, nil
+}
+
 // ---- RP cache (internal/cache: TTL + eviction layer over the map) ----
 
 // TTLSetter is the optional engine extension the TTL workload uses:
@@ -144,6 +183,19 @@ func (e *rpCacheEngine) SetTTL(k uint64, v int, ttl time.Duration) {
 func (e *rpCacheEngine) Delete(k uint64) { e.c.Delete(k) }
 func (e *rpCacheEngine) Resize(n uint64) { e.c.Resize(n) }
 func (e *rpCacheEngine) Close()          { e.c.Close() }
+
+// NewLookupBatch routes through Cache.GetMulti: the map's batch
+// lookup plus a single coarse-clock read and one striped-counter add
+// for the whole batch.
+func (e *rpCacheEngine) NewLookupBatch() (LookupBatch, func()) {
+	var vals []int
+	return func(ks []uint64, oks []bool) {
+		if cap(vals) < len(ks) {
+			vals = make([]int, len(ks))
+		}
+		e.c.GetMulti(ks, vals[:len(ks)], oks)
+	}, nil
+}
 
 // ---- RP with QSBR readers (kernel-RCU read-side cost model) ----
 

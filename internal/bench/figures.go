@@ -25,7 +25,11 @@ const (
 	// throughput vs readers while writers churn mixed-TTL entries
 	// (rp-cache's expiry/eviction layer vs the bare sharded map).
 	Fig6TTLCache = 6
-	NumFigs      = 6
+
+	// Fig7MultiGet is the batch-amortization extension figure: lookup
+	// throughput vs batch size (1/10/100), batch path vs per-key loop.
+	Fig7MultiGet = 7
+	NumFigs      = 7
 )
 
 // measureSeries sweeps cfg.Readers for one engine configuration,
@@ -134,6 +138,8 @@ func RunFigure(n int, cfg Config) (stats.Figure, error) {
 		return FigWriteScaling(cfg), nil
 	case Fig6TTLCache:
 		return FigTTLCache(cfg), nil
+	case Fig7MultiGet:
+		return FigMultiGet(cfg), nil
 	default:
 		return stats.Figure{}, fmt.Errorf("bench: unknown figure %d (have 1..%d)", n, NumFigs)
 	}

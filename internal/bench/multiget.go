@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"rphash/internal/stats"
+	"rphash/internal/workload"
+)
+
+// MultiGetReaders is the fixed goroutine count for the multi-get
+// figure: the batch-size axis is swept at this concurrency, matching
+// the acceptance point (8 goroutines) for the batch-vs-single ratio.
+const MultiGetReaders = 8
+
+// MultiGetBatchSizes is the batch-size axis of the multi-get figure.
+var MultiGetBatchSizes = []int{1, 10, 100}
+
+// MeasureLookupBatch runs `readers` goroutines performing
+// uniform-random lookups in groups of `batch` keys for cfg.Duration
+// and returns aggregate lookups/second. If batched is true and the
+// engine implements BatchEngine, each group goes through the engine's
+// batch path (one reader section per shard group); otherwise the
+// group is a plain per-key loop — the unamortized baseline.
+func MeasureLookupBatch(e Engine, readers, batch int, batched bool, cfg Config) float64 {
+	cfg.fillDefaults()
+	if batch < 1 {
+		batch = 1
+	}
+
+	counters := stats.NewCounterSet(readers)
+	stopWarm := make(chan struct{})
+	stop := make(chan struct{})
+	start := make(chan struct{})
+	var ready, done sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			var lookup LookupBatch
+			var closeFn func()
+			if be, ok := e.(BatchEngine); ok && batched {
+				lookup, closeFn = be.NewLookupBatch()
+			} else {
+				lookup, closeFn = NewPerKeyLookupBatch(e)
+			}
+			if closeFn != nil {
+				defer closeFn()
+			}
+			gen := workload.NewUniform(cfg.KeySpace, uint64(id)*0x9e3779b9+1)
+			ks := make([]uint64, batch)
+			oks := make([]bool, batch)
+			fill := func() {
+				for i := range ks {
+					ks[i] = gen.Key()
+				}
+			}
+			ready.Done()
+			<-start
+
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				fill()
+				lookup(ks, oks)
+			}
+		measured:
+			slot := counters.Slot(id)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					slot.Add(local)
+					return
+				default:
+				}
+				fill()
+				lookup(ks, oks)
+				local += uint64(batch)
+			}
+		}(r)
+	}
+
+	ready.Wait()
+	close(start)
+	time.Sleep(cfg.WarmDuration)
+	close(stopWarm)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	done.Wait()
+	elapsed := time.Since(t0)
+
+	return float64(counters.Total()) / elapsed.Seconds()
+}
+
+// measureBatchSeries sweeps MultiGetBatchSizes for one engine
+// configuration at MultiGetReaders goroutines, best-of-Repeats like
+// measureSeries.
+func measureBatchSeries(name string, mk func() Engine, batched bool, cfg Config) stats.Series {
+	cfg.fillDefaults()
+	s := stats.Series{Name: name}
+	for _, batch := range MultiGetBatchSizes {
+		best := 0.0
+		for i := 0; i < cfg.Repeats; i++ {
+			e := mk()
+			Preload(e, cfg)
+			if ops := MeasureLookupBatch(e, MultiGetReaders, batch, batched, cfg); ops > best {
+				best = ops
+			}
+			e.Close()
+		}
+		s.Add(float64(batch), best/1e6)
+	}
+	return s
+}
+
+// FigMultiGet is the repository's multi-get amortization figure
+// (figure 7): aggregate lookup throughput versus batch size at a
+// fixed MultiGetReaders goroutines, batch path versus per-key loop,
+// for the sharded map and the cache layered on it. At batch size 1
+// the batch path LOSES — a one-key batch still pays grouping,
+// scratch, and a pooled-reader round-trip per call, which is why
+// single-key callers should stay on Get. The crossover comes quickly:
+// by 10 and 100 the amortized reader-section entry, pooled-reader
+// round-trip, and (for the cache) clock and counter traffic put the
+// batch path well ahead — the win memcached's multi-key `get` rides
+// on.
+func FigMultiGet(cfg Config) stats.Figure {
+	cfg.fillDefaults()
+	return stats.Figure{
+		Title:  "Figure 7: multi-get batch amortization (repo extension)",
+		XLabel: "batch",
+		YLabel: "lookups/second (millions)",
+		Series: []stats.Series{
+			measureBatchSeries("rp-sharded", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, true, cfg),
+			measureBatchSeries("rp-sharded-perkey", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, false, cfg),
+			measureBatchSeries("rp-cache", func() Engine { return NewRPCache(cfg.SmallBuckets) }, true, cfg),
+			measureBatchSeries("rp-cache-perkey", func() Engine { return NewRPCache(cfg.SmallBuckets) }, false, cfg),
+		},
+	}
+}

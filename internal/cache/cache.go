@@ -78,6 +78,9 @@ type Cache[K comparable, V any] struct {
 
 	flights [flightStripes]flightShard[K, V]
 
+	// multiPool recycles GetMulti/GetOrLoadMulti workspaces (multi.go).
+	multiPool sync.Pool
+
 	sweepStop chan struct{}
 	sweepWG   sync.WaitGroup
 }

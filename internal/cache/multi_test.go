@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetMulti(t *testing.T) {
+	c, clk := newManual(t)
+	for i := 0; i < 50; i++ {
+		c.Set(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	c.SetTTL("expiring", "soon", time.Second)
+	clk.Advance(2 * time.Second)
+
+	ks := []string{"k0", "missing", "k1", "expiring", "k2"}
+	vals := make([]string, len(ks))
+	oks := make([]bool, len(ks))
+	before := c.Counters()
+	c.GetMulti(ks, vals, oks)
+
+	want := map[int]string{0: "v0", 2: "v1", 4: "v2"}
+	for i := range ks {
+		if wv, hit := want[i]; hit {
+			if !oks[i] || vals[i] != wv {
+				t.Fatalf("ks[%d]=%q: got (%q, %v), want (%q, true)", i, ks[i], vals[i], oks[i], wv)
+			}
+		} else if oks[i] || vals[i] != "" {
+			t.Fatalf("ks[%d]=%q: got (%q, %v), want miss with zero value", i, ks[i], vals[i], oks[i])
+		}
+	}
+
+	// Batched counter updates: 3 hits, 2 misses (absent + expired).
+	after := c.Counters()
+	if h := after.Hits - before.Hits; h != 3 {
+		t.Fatalf("hits delta = %d, want 3", h)
+	}
+	if m := after.Misses - before.Misses; m != 2 {
+		t.Fatalf("misses delta = %d, want 2", m)
+	}
+
+	// nil oks is allowed: misses read as zero values.
+	c.GetMulti(ks, vals, nil)
+	if vals[1] != "" || vals[0] != "v0" {
+		t.Fatalf("nil-oks GetMulti gave vals=%q", vals)
+	}
+}
+
+func TestGetOrLoadMulti(t *testing.T) {
+	c, _ := newManual(t)
+	c.Set("hit", "cached")
+
+	var calls atomic.Int32
+	var gotMissing []string
+	out, err := c.GetOrLoadMulti([]string{"hit", "a", "b", "omitted", "a"}, func(missing []string) (map[string]string, error) {
+		calls.Add(1)
+		gotMissing = append([]string{}, missing...)
+		return map[string]string{"a": "va", "b": "vb"}, nil
+	})
+	if err != nil {
+		t.Fatalf("GetOrLoadMulti: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("loader called %d times, want 1", calls.Load())
+	}
+	// The miss set excludes the hit and dedupes the duplicate "a".
+	if len(gotMissing) != 3 {
+		t.Fatalf("loader got miss set %v, want 3 distinct keys", gotMissing)
+	}
+	wantOut := map[string]string{"hit": "cached", "a": "va", "b": "vb"}
+	if len(out) != len(wantOut) {
+		t.Fatalf("result = %v, want %v", out, wantOut)
+	}
+	for k, v := range wantOut {
+		if out[k] != v {
+			t.Fatalf("out[%q] = %q, want %q", k, out[k], v)
+		}
+	}
+
+	// Loaded values are cached; omitted ones are not.
+	if v, ok := c.Get("a"); !ok || v != "va" {
+		t.Fatalf("loaded key not cached: (%q, %v)", v, ok)
+	}
+	if _, ok := c.Get("omitted"); ok {
+		t.Fatal("omitted key was cached")
+	}
+
+	// Second call: all hits, no loader trip.
+	out, err = c.GetOrLoadMulti([]string{"a", "b"}, func(missing []string) (map[string]string, error) {
+		t.Fatalf("loader called again for %v", missing)
+		return nil, nil
+	})
+	if err != nil || out["a"] != "va" || out["b"] != "vb" {
+		t.Fatalf("warm GetOrLoadMulti = %v, %v", out, err)
+	}
+}
+
+func TestGetOrLoadMultiError(t *testing.T) {
+	c, _ := newManual(t)
+	c.Set("hit", "cached")
+	boom := errors.New("backend down")
+	out, err := c.GetOrLoadMulti([]string{"hit", "x"}, func([]string) (map[string]string, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Hits are still returned alongside the error.
+	if out["hit"] != "cached" {
+		t.Fatalf("partial result = %v, want the hit", out)
+	}
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("failed load was cached")
+	}
+	// The key must not be poisoned: a later successful load works.
+	out, err = c.GetOrLoadMulti([]string{"x"}, func([]string) (map[string]string, error) {
+		return map[string]string{"x": "vx"}, nil
+	})
+	if err != nil || out["x"] != "vx" {
+		t.Fatalf("retry after error = %v, %v", out, err)
+	}
+}
+
+func TestGetOrLoadMultiPanic(t *testing.T) {
+	c, _ := newManual(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		c.GetOrLoadMulti([]string{"p"}, func([]string) (map[string]string, error) { //nolint:errcheck
+			panic("loader exploded")
+		})
+	}()
+	// Flight must be unregistered: a follow-up load succeeds promptly.
+	out, err := c.GetOrLoadMulti([]string{"p"}, func([]string) (map[string]string, error) {
+		return map[string]string{"p": "vp"}, nil
+	})
+	if err != nil || out["p"] != "vp" {
+		t.Fatalf("load after panic = %v, %v", out, err)
+	}
+}
+
+// TestGetOrLoadMultiSingleflight: concurrent multi and single-key
+// loads on an overlapping miss set share flights — each key is loaded
+// exactly once across all callers.
+func TestGetOrLoadMultiSingleflight(t *testing.T) {
+	c, _ := newManual(t)
+	var loads atomic.Int32
+	release := make(chan struct{})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if id%2 == 0 {
+				out, err := c.GetOrLoadMulti([]string{"s1", "s2"}, func(missing []string) (map[string]string, error) {
+					loads.Add(int32(len(missing)))
+					<-release
+					r := make(map[string]string, len(missing))
+					for _, k := range missing {
+						r[k] = "v" + k
+					}
+					return r, nil
+				})
+				if err == nil && (out["s1"] != "vs1" || out["s2"] != "vs2") {
+					err = fmt.Errorf("bad result %v", out)
+				}
+				errs[id] = err
+			} else {
+				v, err := c.GetOrLoad("s1", func() (string, error) {
+					loads.Add(1)
+					<-release
+					return "vs1", nil
+				})
+				if err == nil && v != "vs1" {
+					err = fmt.Errorf("bad single result %q", v)
+				}
+				errs[id] = err
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond) // let every caller reach its flight
+	close(release)
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+	if n := loads.Load(); n != 2 {
+		t.Fatalf("keys loaded %d times total, want 2 (one per distinct key)", n)
+	}
+}
+
+// TestGetOrLoadMultiOmittedSingleWaiter: a single-key GetOrLoad that
+// joins a multi-loader's flight for a key the loader omits receives
+// ErrNotLoaded rather than a phantom zero value.
+func TestGetOrLoadMultiOmittedSingleWaiter(t *testing.T) {
+	c, _ := newManual(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoadMulti([]string{"gone"}, func([]string) (map[string]string, error) {
+			close(entered)
+			<-release
+			return map[string]string{}, nil // omits "gone"
+		})
+		done <- err
+	}()
+	<-entered
+	joinErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoad("gone", func() (string, error) {
+			t.Error("joiner ran its own load despite an in-flight leader")
+			return "", nil
+		})
+		joinErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // joiner parks on the flight
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("multi caller err = %v, want nil (omitted key is a miss, not a failure)", err)
+	}
+	if err := <-joinErr; !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("joined single caller err = %v, want ErrNotLoaded", err)
+	}
+}
+
+func TestCacheRangeChunked(t *testing.T) {
+	c, clk := newManual(t)
+	for i := 0; i < 100; i++ {
+		c.Set(fmt.Sprintf("k%d", i), "v")
+	}
+	c.SetTTL("dead", "v", time.Second)
+	clk.Advance(2 * time.Second)
+
+	n := 0
+	c.RangeChunked(8, func(k, v string) bool {
+		if k == "dead" {
+			t.Fatal("expired entry visited")
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("visited %d live entries, want 100", n)
+	}
+}

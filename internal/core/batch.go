@@ -1,0 +1,227 @@
+package core
+
+// Batched operations. The read-side win of the paper's design is a
+// cheap — but not free — delimited reader section per lookup: two
+// reader-local atomic stores, plus (for pooled readers) a pool
+// round-trip. Callers that arrive with many keys at once (memcached
+// multi-get, cache warm-up, bulk loads) can amortize that entry/exit
+// cost over the whole group: GetBatch performs every lookup inside
+// ONE reader section, and the batched writers take the table mutex
+// once per group instead of once per key.
+//
+// Holding one reader section across a batch is safe at any batch
+// size — reader sections never block writers — but it does extend the
+// current grace period by the batch's duration, delaying memory
+// reclamation behind it. Batches of a few hundred keys are
+// microseconds; for unbounded traversals use RangeChunked, which
+// exits the section between chunks.
+
+// GetBatch looks up ks[i] into vals[i] and oks[i] for every i, all
+// inside a single read-side critical section. len(vals) and len(oks)
+// must equal len(ks); vals[i] is the zero value where oks[i] is
+// false. The per-key semantics are exactly Get's; keys are not
+// snapshotted together (a concurrent writer may land between two
+// lookups of the same section).
+func (t *Table[K, V]) GetBatch(ks []K, vals []V, oks []bool) {
+	if len(vals) != len(ks) || len(oks) != len(ks) {
+		panic("core: GetBatch output length mismatch")
+	}
+	t.dom.Read(func() {
+		for i := range ks {
+			vals[i], oks[i] = t.lookupHashed(t.hash(ks[i]), ks[i])
+		}
+	})
+}
+
+// GetBatchHashed is GetBatch with the keys' table hashes precomputed;
+// hs[i] must equal the table's hash of ks[i]. Multi-table front-ends
+// (internal/shard) hash once to route and pass the hashes through.
+func (t *Table[K, V]) GetBatchHashed(hs []uint64, ks []K, vals []V, oks []bool) {
+	if len(hs) != len(ks) || len(vals) != len(ks) || len(oks) != len(ks) {
+		panic("core: GetBatchHashed length mismatch")
+	}
+	t.dom.Read(func() {
+		for i := range ks {
+			vals[i], oks[i] = t.lookupHashed(hs[i], ks[i])
+		}
+	})
+}
+
+// SetBatch upserts every (ks[i], vs[i]) pair under one acquisition of
+// the writer mutex, returning how many keys were newly inserted.
+// Duplicate keys in the batch apply in order (the last value wins).
+// The mutex is held for the whole batch, so other writers to this
+// table wait behind it; keep batches bounded where write latency
+// matters.
+func (t *Table[K, V]) SetBatch(ks []K, vs []V) (inserted int) {
+	if len(vs) != len(ks) {
+		panic("core: SetBatch length mismatch")
+	}
+	t.mu.Lock()
+	for i := range ks {
+		h := t.hash(ks[i])
+		if n := t.findLocked(h, ks[i]); n != nil {
+			v := vs[i]
+			n.val.Store(&v)
+			continue
+		}
+		t.insertLocked(h, ks[i], vs[i])
+		inserted++
+	}
+	t.mu.Unlock()
+	if inserted > 0 {
+		t.maybeAutoResize()
+	}
+	return inserted
+}
+
+// SetBatchHashed is SetBatch with the keys' table hashes precomputed
+// (see GetBatchHashed).
+func (t *Table[K, V]) SetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int) {
+	if len(hs) != len(ks) || len(vs) != len(ks) {
+		panic("core: SetBatchHashed length mismatch")
+	}
+	t.mu.Lock()
+	for i := range ks {
+		if n := t.findLocked(hs[i], ks[i]); n != nil {
+			v := vs[i]
+			n.val.Store(&v)
+			continue
+		}
+		t.insertLocked(hs[i], ks[i], vs[i])
+		inserted++
+	}
+	t.mu.Unlock()
+	if inserted > 0 {
+		t.maybeAutoResize()
+	}
+	return inserted
+}
+
+// DeleteBatch removes every key in ks under one acquisition of the
+// writer mutex, returning how many were present. All unlinked nodes
+// retire through a single deferred callback — one grace period covers
+// the whole batch instead of one per key.
+func (t *Table[K, V]) DeleteBatch(ks []K) (removed int) {
+	t.mu.Lock()
+	var victims []*node[K, V]
+	for i := range ks {
+		if n, _, ok := t.unlinkLocked(t.hash(ks[i]), ks[i], nil); ok {
+			victims = append(victims, n)
+			removed++
+		}
+	}
+	t.mu.Unlock()
+	t.retireBatch(victims)
+	if removed > 0 {
+		t.maybeAutoResize()
+	}
+	return removed
+}
+
+// DeleteBatchHashed is DeleteBatch with the keys' table hashes
+// precomputed (see GetBatchHashed).
+func (t *Table[K, V]) DeleteBatchHashed(hs []uint64, ks []K) (removed int) {
+	if len(hs) != len(ks) {
+		panic("core: DeleteBatchHashed length mismatch")
+	}
+	t.mu.Lock()
+	var victims []*node[K, V]
+	for i := range ks {
+		if n, _, ok := t.unlinkLocked(hs[i], ks[i], nil); ok {
+			victims = append(victims, n)
+			removed++
+		}
+	}
+	t.mu.Unlock()
+	t.retireBatch(victims)
+	if removed > 0 {
+		t.maybeAutoResize()
+	}
+	return removed
+}
+
+// retireBatch schedules one deferred callback severing every victim's
+// next pointer after a grace period, so captured nodes cannot pin
+// live chains for the garbage collector.
+func (t *Table[K, V]) retireBatch(victims []*node[K, V]) {
+	if len(victims) == 0 {
+		return
+	}
+	t.dom.Defer(func() {
+		for _, v := range victims {
+			v.next.Store(nil)
+		}
+	})
+}
+
+// DefaultRangeChunk is the bucket-count target RangeChunked uses when
+// the caller passes chunk <= 0.
+const DefaultRangeChunk = 512
+
+// RangeChunked calls fn for every element until fn returns false,
+// like Range, but exits the read-side critical section between
+// chunks of roughly `chunk` elements (chunk <= 0 selects
+// DefaultRangeChunk). Each chunk collects whole buckets inside one
+// reader section and then invokes fn OUTSIDE the section, so:
+//
+//   - a huge traversal never extends a grace period beyond one
+//     chunk's collection time — writers' deferred reclamation keeps
+//     flowing while fn runs — and
+//   - fn may block, take locks, or call back into the table without
+//     holding up memory reclamation, none of which is safe inside
+//     Range's single section.
+//
+// The price is weaker iteration semantics under concurrent resizing.
+// Progress is tracked by bucket index; if the table's bucket count
+// changes between chunks the cursor is rescaled proportionally, so a
+// traversal overlapping a resize may skip or repeat elements near the
+// cursor. With no concurrent resize the guarantee matches Range:
+// elements present for the whole traversal are visited exactly once;
+// concurrently inserted or deleted elements may or may not appear.
+// Values are copied at collection time and may be stale by the time
+// fn observes them.
+func (t *Table[K, V]) RangeChunked(chunk int, fn func(K, V) bool) {
+	if chunk <= 0 {
+		chunk = DefaultRangeChunk
+	}
+	keys := make([]K, 0, chunk)
+	vals := make([]V, 0, chunk)
+	var cursor, buckets uint64
+	for {
+		keys, vals = keys[:0], vals[:0]
+		done := false
+		t.dom.Read(func() {
+			ht := t.ht.Load()
+			n := ht.size()
+			if buckets != 0 && n != buckets {
+				// Resized between chunks: rescale the cursor so
+				// progress stays monotonic. Rounding up may skip up
+				// to one old bucket's worth of elements — the
+				// documented cost of resizing mid-traversal — but
+				// guarantees termination under continuous resizing.
+				cursor = (cursor*n + buckets - 1) / buckets
+			}
+			buckets = n
+			for cursor < n && len(keys) < chunk {
+				for nd := ht.slot[cursor].Load(); nd != nil; nd = nd.next.Load() {
+					if nd.hash&ht.mask != cursor {
+						continue // foreign node mid-unzip; its home bucket reports it
+					}
+					keys = append(keys, nd.key)
+					vals = append(vals, *nd.val.Load())
+				}
+				cursor++
+			}
+			done = cursor >= n
+		})
+		for i := range keys {
+			if !fn(keys[i], vals[i]) {
+				return
+			}
+		}
+		if done {
+			return
+		}
+	}
+}

@@ -59,9 +59,10 @@ func (t *Table[K, V]) lookupHashed(h uint64, k K) (V, bool) {
 }
 
 // Range calls fn for every element until fn returns false. The whole
-// traversal runs inside one read-side critical section, so it holds
-// up grace periods; keep fn short or use RangeChunked for large
-// tables with concurrent writers.
+// traversal — fn included — runs inside one read-side critical
+// section, so it holds up grace periods for its full duration: keep
+// fn short and non-blocking, or use RangeChunked, which collects
+// bounded chunks per section and runs fn outside them.
 //
 // Semantics under concurrency: an element present for the entire
 // traversal is visited at least once; elements inserted or deleted

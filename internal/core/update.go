@@ -120,18 +120,39 @@ func (t *Table[K, V]) CompareAndDelete(k K, match func(V) bool) (V, bool) {
 // CompareAndDeleteHashed is CompareAndDelete with the key's table
 // hash precomputed (see SetHashed).
 func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
-	var removed V
 	t.mu.Lock()
+	victim, removed, ok := t.unlinkLocked(h, k, match)
+	t.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	t.dom.Defer(func() {
+		// Unreachable to all readers now; severing next keeps a
+		// captured node from pinning the live chain for GC.
+		victim.next.Store(nil)
+	})
+	t.maybeAutoResize()
+	return removed, true
+}
+
+// unlinkLocked removes the node for (h, k) from its chain — provided
+// match (nil = always) accepts its current value — returning the node
+// and the removed value. Caller holds t.mu. This is the single copy
+// of the write-side unlink sequence: redirect the predecessor (or the
+// bucket head), decrement the count, bump the delete stat. The
+// returned node is unreachable to new readers but may still be held
+// by in-flight ones: sever its next pointer only after a grace period
+// (Defer or retireBatch).
+func (t *Table[K, V]) unlinkLocked(h uint64, k K, match func(V) bool) (*node[K, V], V, bool) {
 	ht := t.ht.Load()
 	slot := ht.bucketFor(h)
 	var prev *node[K, V]
 	for n := slot.Load(); n != nil; n = n.next.Load() {
 		if n.hash == h && n.key == k {
-			removed = *n.val.Load()
+			removed := *n.val.Load()
 			if match != nil && !match(removed) {
-				t.mu.Unlock()
-				var zero V
-				return zero, false
+				break
 			}
 			next := n.next.Load()
 			if prev == nil {
@@ -141,21 +162,12 @@ func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) 
 			}
 			t.count.Add(-1)
 			t.stats.deletes.Add(1)
-			victim := n
-			t.mu.Unlock()
-			t.dom.Defer(func() {
-				// Unreachable to all readers now; severing next keeps
-				// a captured node from pinning the live chain for GC.
-				victim.next.Store(nil)
-			})
-			t.maybeAutoResize()
-			return removed, true
+			return n, removed, true
 		}
 		prev = n
 	}
-	t.mu.Unlock()
 	var zero V
-	return zero, false
+	return nil, zero, false
 }
 
 // Move renames oldKey to newKey. It fails if oldKey is absent or

@@ -1,0 +1,163 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// startRPServer spins up a server over a fresh RPStore and returns
+// the store, a connected reader/writer, and a cleanup-registered
+// teardown.
+func startRPServer(t *testing.T) (*RPStore, *bufio.ReadWriter) {
+	t.Helper()
+	store := NewRPStore(0)
+	srv := NewServer(store, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return store, bufio.NewReadWriter(bufio.NewReader(nc), bufio.NewWriter(nc))
+}
+
+// readGetResponse consumes VALUE blocks up to END, returning
+// key->value.
+func readGetResponse(t *testing.T, r *bufio.Reader) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out
+		}
+		var key string
+		var flags uint32
+		var size int
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &key, &flags, &size); err != nil {
+			t.Fatalf("bad VALUE line %q: %v", line, err)
+		}
+		data := make([]byte, size+2)
+		if _, err := fullRead(r, data); err != nil {
+			t.Fatal(err)
+		}
+		out[key] = string(data[:size])
+	}
+}
+
+func fullRead(r *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TestMultiGetBatchesReaderSections is the end-to-end acceptance
+// check: a 100-key `get` must resolve through the store's batch path,
+// entering at most NumShards read-side critical sections for the
+// whole request — not one per key.
+func TestMultiGetBatchesReaderSections(t *testing.T) {
+	store, rw := startRPServer(t)
+	const n = 100
+	for i := 0; i < n; i++ {
+		store.Set(NewItem(fmt.Sprintf("k%d", i), 0, []byte(fmt.Sprintf("v%d", i)), 0))
+	}
+
+	var req strings.Builder
+	req.WriteString("get")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&req, " k%d", i)
+	}
+	fmt.Fprintf(&req, " missing-a missing-b")
+	req.WriteString("\r\n")
+
+	before := store.c.BatchSections()
+	if _, err := rw.WriteString(req.String()); err != nil {
+		t.Fatal(err)
+	}
+	rw.Flush()
+	got := readGetResponse(t, rw.Reader)
+	sections := store.c.BatchSections() - before
+
+	if len(got) != n {
+		t.Fatalf("multi-get returned %d values, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if got[k] != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s = %q", k, got[k])
+		}
+	}
+	shards := uint64(store.c.NumShards())
+	if sections == 0 || sections > shards {
+		t.Fatalf("102-key get entered %d reader sections, want 1..%d (one per touched shard)", sections, shards)
+	}
+}
+
+// TestMultiGetsCAS: the batched path serves `gets` too, with per-item
+// CAS ids intact.
+func TestMultiGetsCAS(t *testing.T) {
+	store, rw := startRPServer(t)
+	store.Set(NewItem("a", 0, []byte("1"), 0))
+	store.Set(NewItem("b", 0, []byte("2"), 0))
+
+	fmt.Fprintf(rw, "gets a nope b\r\n")
+	rw.Flush()
+	seen := map[string]uint64{}
+	for {
+		line, err := rw.Reader.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			break
+		}
+		var key string
+		var flags uint32
+		var size int
+		var cas uint64
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d %d", &key, &flags, &size, &cas); err != nil {
+			t.Fatalf("bad gets VALUE line %q: %v", line, err)
+		}
+		seen[key] = cas
+		data := make([]byte, size+2)
+		if _, err := fullRead(rw.Reader, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("gets returned %d values, want 2", len(seen))
+	}
+	if seen["a"] == 0 || seen["b"] == 0 || seen["a"] == seen["b"] {
+		t.Fatalf("CAS ids wrong: %v", seen)
+	}
+
+	// CAS from the batched gets must be usable in a cas store.
+	fmt.Fprintf(rw, "cas a 0 0 1 %d\r\nX\r\n", seen["a"])
+	rw.Flush()
+	line, err := rw.Reader.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimRight(line, "\r\n"); got != "STORED" {
+		t.Fatalf("cas with batched-gets id = %q, want STORED", got)
+	}
+}

@@ -27,9 +27,16 @@ type conn struct {
 	// provides one (RPStore); otherwise it falls back to store.Get.
 	get      func(key string) (*Item, bool)
 	closeGet func()
-	// hdrBuf and fieldsBuf are per-connection scratch space.
+	// getMulti is the engine's batched lookup (nil when the engine has
+	// none); multi-key get/gets route through it so one request enters
+	// at most one reader section per shard instead of one per key.
+	getMulti func(keys []string, out []*Item)
+	// hdrBuf, fieldsBuf, keysBuf and itemsBuf are per-connection
+	// scratch space.
 	hdrBuf    []byte
 	fieldsBuf [][]byte
+	keysBuf   []string
+	itemsBuf  []*Item
 }
 
 // serve runs the request loop until EOF, error, or quit.
@@ -134,24 +141,52 @@ func (c *conn) handleGet(keys [][]byte, withCAS bool) error {
 	if len(keys) == 0 {
 		return c.writeLine("ERROR")
 	}
-	hdr := c.hdrBuf[:0]
+	// Collect the valid keys. Zero-copy: each string aliases the
+	// connection's read buffer, which is valid until the next read —
+	// and the whole response is written before that. Lookups only
+	// compare the key; neither store retains it (stores copy keys at
+	// Set time), so no allocation per fetched key.
+	ks := c.keysBuf[:0]
 	for _, kb := range keys {
 		if len(kb) == 0 || len(kb) > maxKeyLen {
 			continue
 		}
-		// Zero-copy key: the string aliases the connection's read
-		// buffer, which is valid until the next read. Lookups only
-		// compare the key — neither store retains it (stores copy
-		// keys at Set time) — so no allocation per fetched key.
-		it, ok := c.get(unsafe.String(&kb[0], len(kb)))
-		if !ok {
+		ks = append(ks, unsafe.String(&kb[0], len(kb)))
+	}
+	items := c.itemsBuf
+	if cap(items) < len(ks) {
+		items = make([]*Item, len(ks))
+	}
+	items = items[:len(ks)]
+
+	// Resolve the whole request through the engine's batch path when
+	// it has one: the store hashes each key once, groups keys by
+	// shard, and enters at most one reader section per touched shard —
+	// the multi-get amortization the batch API exists for. Single-key
+	// gets (the common case) stay on the connection's registered
+	// reader, which is cheaper than a batch round-trip for one key.
+	if c.getMulti != nil && len(ks) > 1 {
+		c.getMulti(ks, items)
+	} else {
+		for i, k := range ks {
+			if it, ok := c.get(k); ok {
+				items[i] = it
+			} else {
+				items[i] = nil
+			}
+		}
+	}
+
+	hdr := c.hdrBuf[:0]
+	for _, it := range items {
+		if it == nil {
 			continue
 		}
-		// The value is written while the item is held — the
-		// "copies value while still in a relativistic reader"
-		// behaviour; immutability plus GC make the reference safe
-		// even after the read section ends. The header is assembled
-		// without fmt: this is the server's hottest path.
+		// The value reference was captured inside a relativistic
+		// reader — the paper's "copies value while still in a
+		// relativistic reader" behaviour; immutability plus GC make it
+		// safe to write after the read section ends. The header is
+		// assembled without fmt: this is the server's hottest path.
 		hdr = append(hdr[:0], "VALUE "...)
 		hdr = append(hdr, it.Key...)
 		hdr = append(hdr, ' ')
@@ -174,6 +209,12 @@ func (c *conn) handleGet(keys [][]byte, withCAS bool) error {
 		}
 	}
 	c.hdrBuf = hdr[:0]
+	// Clear retained references: the key strings alias the read buffer
+	// and the items pin values; neither should outlive the request.
+	clear(ks)
+	clear(items)
+	c.keysBuf = ks[:0]
+	c.itemsBuf = items[:0]
 	return c.writeLine("END")
 }
 

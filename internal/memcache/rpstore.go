@@ -35,15 +35,25 @@ type RPStore struct {
 	deletes atomic.Uint64
 }
 
+// rpSweepInterval is the cadence of the cache's incremental expiry
+// sweeper inside RPStore (one shard per tick, inside RCU reader
+// sections). RPStore owns its sweeping entirely: it deliberately does
+// NOT implement the server's `sweeper` interface, so the server's
+// ticker never double-drives reclamation — expired items are
+// reclaimed by exactly one mechanism (plus the usual lazy paths:
+// overwrites and eviction sampling).
+const rpSweepInterval = 100 * time.Millisecond
+
 // NewRPStore builds the relativistic engine. maxBytes <= 0 disables
 // eviction.
 //
 // The engine is backed by cache.Cache over shard.Map —
 // GOMAXPROCS-many relativistic tables behind one shared RCU domain —
 // so table writers hash to independent shard mutexes while every GET
-// stays a single lock-free chain walk. The cache's own background
-// sweeper is off: the memcached server drives SweepExpired at its
-// configured cadence instead.
+// stays a single lock-free chain walk. Expired items are reclaimed by
+// the cache's own incremental background sweeper (see
+// rpSweepInterval); the server's sweep ticker does not apply to this
+// store.
 func NewRPStore(maxBytes int64) *RPStore {
 	clk := clock.New(clock.DefaultGranularity)
 	c := cache.NewString[*Item](
@@ -51,7 +61,7 @@ func NewRPStore(maxBytes int64) *RPStore {
 		cache.WithMaxCost(maxBytes),
 		cache.WithInitialBuckets(1024),
 		cache.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
-		cache.WithSweepInterval(0),
+		cache.WithSweepInterval(rpSweepInterval),
 	)
 	return &RPStore{c: c, clk: clk}
 }
@@ -65,6 +75,15 @@ func (s *RPStore) Get(key string) (*Item, bool) { return s.c.Get(key) }
 // read handle — the hot path connection handlers use.
 func (s *RPStore) NewGetter() (func(key string) (*Item, bool), func()) {
 	return s.c.NewGetter()
+}
+
+// GetMulti resolves all keys through the cache's batch path: keys are
+// hashed once, grouped by shard, and looked up inside at most one
+// reader section per touched shard — a multi-key `get` enters at most
+// NumShards reader sections instead of one per key. out[i] is nil for
+// misses (and for expired items); len(out) must equal len(keys).
+func (s *RPStore) GetMulti(keys []string, out []*Item) {
+	s.c.GetMulti(keys, out, nil)
 }
 
 // Set stores unconditionally.
@@ -224,13 +243,9 @@ func (s *RPStore) Stats() StoreStats {
 	}
 }
 
-// Close releases the cache (and its RCU domain) and stops the coarse
-// clock's ticker goroutine.
+// Close releases the cache (stopping its background sweeper and RCU
+// domain) and stops the coarse clock's ticker goroutine.
 func (s *RPStore) Close() {
 	s.c.Close()
 	s.clk.Stop()
 }
-
-// SweepExpired removes up to limit expired items (the lazy-expiry
-// background pass; the server runs it periodically).
-func (s *RPStore) SweepExpired(limit int) int { return s.c.SweepExpired(limit) }

@@ -25,9 +25,12 @@ type Server struct {
 	Logf func(format string, args ...any)
 }
 
-// NewServer wraps a store. If sweepEvery > 0 and the store supports
-// expiry sweeping, a background goroutine reclaims expired items at
-// that cadence.
+// NewServer wraps a store. If sweepEvery > 0 and the store exposes a
+// SweepExpired pass, a background goroutine reclaims expired items at
+// that cadence. Stores that run their own background reclamation
+// (RPStore's cache sweeps itself incrementally) deliberately do not
+// expose one, so expired items are only ever reclaimed by a single
+// mechanism.
 func NewServer(store Store, sweepEvery time.Duration) *Server {
 	return &Server{
 		store:    store,
@@ -38,9 +41,18 @@ func NewServer(store Store, sweepEvery time.Duration) *Server {
 	}
 }
 
-// sweeper is implemented by stores with a lazy-expiry pass.
+// sweeper is implemented by stores whose lazy-expiry pass is driven
+// externally. Neither built-in store implements it — RPStore sweeps
+// itself, LockStore expires purely lazily — but custom engines may.
 type sweeper interface {
 	SweepExpired(limit int) int
+}
+
+// multiGetter is implemented by stores with a batched lookup path;
+// the protocol layer routes multi-key get/gets through it so a whole
+// request shares reader sections instead of entering one per key.
+type multiGetter interface {
+	GetMulti(keys []string, out []*Item)
 }
 
 // Serve accepts connections on ln until Close. It blocks.
@@ -127,11 +139,15 @@ func (s *Server) handle(nc net.Conn) {
 	}
 	// Connection handlers are long-lived goroutines: exactly the
 	// situation registered readers are for. RPStore gives each
-	// connection its own lock-free getter.
+	// connection its own lock-free getter; stores with a batch path
+	// additionally serve multi-key gets through it.
 	if rp, ok := s.store.(*RPStore); ok {
 		c.get, c.closeGet = rp.NewGetter()
 	} else {
 		c.get = s.store.Get
+	}
+	if mg, ok := s.store.(multiGetter); ok {
+		c.getMulti = mg.GetMulti
 	}
 
 	if err := c.serve(); err != nil && s.Logf != nil {

@@ -231,23 +231,39 @@ func TestStatsCounts(t *testing.T) {
 	})
 }
 
-func TestRPStoreSweepExpired(t *testing.T) {
+// TestRPStoreSweepsItself: expired items must be reclaimed by the
+// cache's own background sweeper — the single sweep mechanism — with
+// no external SweepExpired driver; and RPStore must NOT expose a
+// SweepExpired pass, or the server's ticker would become a second,
+// duplicate reclamation mechanism.
+func TestRPStoreSweepsItself(t *testing.T) {
 	s := NewRPStore(0)
 	defer s.Close()
+
+	if _, ok := any(s).(sweeper); ok {
+		t.Fatal("RPStore implements the server's sweeper interface; expired items would be reclaimed by two mechanisms")
+	}
+
 	past := time.Now().Unix() - 5
 	for i := 0; i < 30; i++ {
 		s.Set(NewItem(fmt.Sprintf("e%d", i), 0, []byte("x"), past))
 	}
 	s.Set(NewItem("live", 0, []byte("x"), 0))
-	removed := s.SweepExpired(1000)
-	if removed != 30 {
-		t.Fatalf("SweepExpired removed %d, want 30", removed)
+
+	// The incremental sweeper covers one shard per rpSweepInterval
+	// tick; give it a full rotation (generously) to reclaim everything.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Len() > 1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
 	}
 	if s.Len() != 1 {
-		t.Fatalf("Len = %d after sweep, want 1", s.Len())
+		t.Fatalf("Len = %d after background sweep, want 1", s.Len())
 	}
-	if s.Stats().Expired != 30 {
-		t.Fatalf("Expired stat = %d", s.Stats().Expired)
+	if got := s.Stats().Expired; got != 30 {
+		t.Fatalf("Expired stat = %d, want 30", got)
+	}
+	if _, ok := s.Get("live"); !ok {
+		t.Fatal("live item swept")
 	}
 }
 

@@ -163,6 +163,26 @@ func (d *Domain) Read(fn func()) {
 	fn()
 }
 
+// AcquireReader borrows a registered reader from the domain's
+// internal pool — the same pool Read uses — for callers that compose
+// several short read-side critical sections in one call (batch
+// lookups spanning multiple tables) and want to pay the pool
+// round-trip once rather than per section. The reader is returned
+// quiescent; bracket each section with Lock/Unlock and hand the
+// reader back with ReleaseReader. Like any Reader it must only be
+// used by one goroutine at a time.
+func (d *Domain) AcquireReader() *Reader { return d.pool.Get().(*Reader) }
+
+// ReleaseReader returns a reader obtained from AcquireReader to the
+// pool. The reader must be quiescent (outside any critical section)
+// and must not be used afterwards.
+func (d *Domain) ReleaseReader(r *Reader) {
+	if r.nest != 0 {
+		panic("rcu: ReleaseReader inside critical section")
+	}
+	d.pool.Put(r)
+}
+
 // Synchronize waits for a full grace period: it returns only after
 // every read-side critical section that began before the call has
 // ended. It never blocks readers; it only blocks the caller.

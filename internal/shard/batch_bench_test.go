@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"rphash/internal/workload"
+)
+
+// benchMap builds a preloaded 8-shard map for the batch benchmarks.
+func benchMap(b *testing.B) *Map[uint64, int] {
+	b.Helper()
+	m := NewUint64[int](WithShards(8), WithInitialBuckets(16384))
+	for i := uint64(0); i < 8192; i++ {
+		m.Set(workload.NewUniform(16384, 7).Key(), int(i)) // mixed population
+		m.Set(i, int(i))
+	}
+	return m
+}
+
+// runBatch100 drives b.N lookups (in groups of 100) across `workers`
+// goroutines; batched selects GetBatch vs 100 individual Gets.
+func runBatch100(b *testing.B, workers int, batched bool) {
+	m := benchMap(b)
+	defer m.Close()
+	const batch = 100
+	groups := b.N / (workers * batch)
+	if groups == 0 {
+		groups = 1
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gen := workload.NewUniform(16384, uint64(id)*0x9e3779b9+1)
+			ks := make([]uint64, batch)
+			vals := make([]int, batch)
+			oks := make([]bool, batch)
+			for g := 0; g < groups; g++ {
+				for i := range ks {
+					ks[i] = gen.Key()
+				}
+				if batched {
+					m.GetBatch(ks, vals, oks)
+				} else {
+					for i := range ks {
+						vals[i], oks[i] = m.Get(ks[i])
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	ops := float64(groups * workers * batch)
+	if el := b.Elapsed(); el > 0 {
+		b.ReportMetric(ops/el.Seconds()/1e6, "Mlookups/s")
+	}
+}
+
+// BenchmarkMapGetBatch100 is the acceptance benchmark: 100-key
+// GetBatch at 8 goroutines. Compare against BenchmarkMapGetSingle100
+// (the same 100 keys as individual Gets) — the batch path amortizes
+// reader-section entry and pooled-reader round-trips over the group
+// and must come out well ahead.
+func BenchmarkMapGetBatch100(b *testing.B)  { runBatch100(b, 8, true) }
+func BenchmarkMapGetSingle100(b *testing.B) { runBatch100(b, 8, false) }

@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rphash/internal/core"
+)
+
+func TestMapBatchOps(t *testing.T) {
+	m := NewUint64[int](WithShards(8), WithInitialBuckets(256))
+	defer m.Close()
+
+	ks := make([]uint64, 0, 300)
+	vs := make([]int, 0, 300)
+	for i := uint64(0); i < 300; i++ {
+		ks = append(ks, i*0x9e3779b97f4a7c15) // spread across shards
+		vs = append(vs, int(i))
+	}
+	if inserted := m.SetBatch(ks, vs); inserted != 300 {
+		t.Fatalf("SetBatch inserted = %d, want 300", inserted)
+	}
+	if m.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", m.Len())
+	}
+
+	// Batch read: all present, values intact, plus some absent keys.
+	probe := append(append([]uint64{}, ks...), 1, 2, 3)
+	vals := make([]int, len(probe))
+	oks := make([]bool, len(probe))
+	m.GetBatch(probe, vals, oks)
+	for i := range ks {
+		if !oks[i] || vals[i] != vs[i] {
+			t.Fatalf("key %d: got (%d, %v), want (%d, true)", probe[i], vals[i], oks[i], vs[i])
+		}
+	}
+	for i := len(ks); i < len(probe); i++ {
+		if oks[i] {
+			t.Fatalf("absent key %d reported present", probe[i])
+		}
+	}
+
+	// Overwrites don't count as inserts; duplicates apply last-wins.
+	if inserted := m.SetBatch([]uint64{ks[0], ks[0]}, []int{-1, -2}); inserted != 0 {
+		t.Fatalf("overwrite SetBatch inserted = %d, want 0", inserted)
+	}
+	if v, _ := m.Get(ks[0]); v != -2 {
+		t.Fatalf("duplicate-key batch: Get = %d, want -2 (last write wins)", v)
+	}
+
+	if removed := m.DeleteBatch(append([]uint64{1}, ks[:100]...)); removed != 100 {
+		t.Fatalf("DeleteBatch removed = %d, want 100", removed)
+	}
+	if m.Len() != 200 {
+		t.Fatalf("Len after DeleteBatch = %d, want 200", m.Len())
+	}
+}
+
+// TestBatchScratchReuseAcrossOps is the regression test for pooled
+// scratch reuse between different batch operations: DeleteBatch grows
+// only the key/hash reorder buffers, so a following SetBatch must
+// size its value buffer independently rather than assume one guard
+// covers all three (it used to panic on the nil value buffer here).
+func TestBatchScratchReuseAcrossOps(t *testing.T) {
+	m := NewUint64[int](WithShards(4), WithInitialBuckets(128))
+	defer m.Close()
+	ks := make([]uint64, 100)
+	vs := make([]int, 100)
+	for i := range ks {
+		ks[i] = uint64(i) * 0x9e3779b97f4a7c15
+		vs[i] = i
+	}
+	m.DeleteBatch(ks) // seeds the pooled scratch with ks/ohs but no vs
+	if inserted := m.SetBatch(ks[:50], vs[:50]); inserted != 50 {
+		t.Fatalf("SetBatch after DeleteBatch inserted %d, want 50", inserted)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", m.Len())
+	}
+}
+
+// TestGetBatchReaderSections asserts the amortization contract: a
+// B-key batch enters at most min(B, NumShards) read-side critical
+// sections — not one per key.
+func TestGetBatchReaderSections(t *testing.T) {
+	m := NewUint64[int](WithShards(8), WithInitialBuckets(256))
+	defer m.Close()
+	ks := make([]uint64, 100)
+	vals := make([]int, 100)
+	oks := make([]bool, 100)
+	for i := range ks {
+		ks[i] = uint64(i) * 0x9e3779b97f4a7c15
+		m.Set(ks[i], i)
+	}
+
+	before := m.BatchSections()
+	m.GetBatch(ks, vals, oks)
+	sections := m.BatchSections() - before
+	if sections == 0 || sections > uint64(m.NumShards()) {
+		t.Fatalf("100-key GetBatch entered %d reader sections, want 1..%d", sections, m.NumShards())
+	}
+
+	// A batch smaller than the shard count enters at most B sections.
+	before = m.BatchSections()
+	m.GetBatch(ks[:3], vals[:3], oks[:3])
+	if sections := m.BatchSections() - before; sections > 3 {
+		t.Fatalf("3-key GetBatch entered %d reader sections, want <= 3", sections)
+	}
+}
+
+func TestMapRangeChunked(t *testing.T) {
+	m := NewUint64[int](WithShards(4), WithInitialBuckets(128))
+	defer m.Close()
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		m.Set(i, int(i))
+	}
+	seen := make(map[uint64]bool)
+	m.RangeChunked(16, func(k uint64, v int) bool {
+		if v != int(k) {
+			t.Fatalf("key %d carried %d", k, v)
+		}
+		if seen[k] {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("visited %d keys, want %d", len(seen), n)
+	}
+}
+
+// TestBatchTortureUnderChurn is the -race torture test for the batch
+// paths: batch gets, batch writes, single-key writes, and per-shard
+// auto-resizes all interleave. The invariant: a batch result must
+// never claim an always-present key is absent, nor a never-present
+// key is present.
+func TestBatchTortureUnderChurn(t *testing.T) {
+	m := NewUint64[int](
+		WithShards(4),
+		WithInitialBuckets(64),
+		WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: 64}),
+	)
+	defer m.Close()
+
+	const (
+		stableN = 512
+		churnN  = 2048
+		absent  = uint64(1) << 40 // keys >= this are never inserted
+	)
+	stable := make([]uint64, stableN)
+	vsStable := make([]int, stableN)
+	for i := range stable {
+		stable[i] = uint64(i)
+		vsStable[i] = i
+	}
+	m.SetBatch(stable, vsStable)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+
+	// Churn writers: single-key and batch mutations over the churn
+	// range, forcing inserts, deletes, and auto-resizes across shards.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ks := make([]uint64, 64)
+			vs := make([]int, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range ks {
+					ks[i] = stableN + uint64(rng.Intn(churnN))
+					vs[i] = int(ks[i])
+				}
+				if rng.Intn(2) == 0 {
+					m.SetBatch(ks, vs)
+					m.DeleteBatch(ks[:32])
+				} else {
+					for i := 0; i < 16; i++ {
+						m.Set(ks[i], vs[i])
+					}
+					for i := 0; i < 8; i++ {
+						m.Delete(ks[i])
+					}
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	// Explicit resizer on top of the auto-resize policy.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Resize(1024)
+			m.Resize(64)
+		}
+	}()
+
+	// Batch readers: mixed stable/churn/absent batches.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ks := make([]uint64, 96)
+			vals := make([]int, 96)
+			oks := make([]bool, 96)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range ks {
+					switch i % 3 {
+					case 0:
+						ks[i] = uint64(rng.Intn(stableN)) // always present
+					case 1:
+						ks[i] = stableN + uint64(rng.Intn(churnN)) // may flap
+					default:
+						ks[i] = absent + uint64(rng.Intn(churnN)) // never present
+					}
+				}
+				m.GetBatch(ks, vals, oks)
+				for i := range ks {
+					switch {
+					case ks[i] < stableN:
+						if !oks[i] || vals[i] != int(ks[i]) {
+							bad.Add(1)
+						}
+					case ks[i] >= absent:
+						if oks[i] {
+							bad.Add(1)
+						}
+					}
+				}
+			}
+		}(int64(r) + 100)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d batch lookups violated the stable/absent invariant", n)
+	}
+}
+
+// TestMapRangeDuringResize is the regression test for Map.Range under
+// a concurrent resize: every key that is present for the whole
+// traversal must be visited exactly once per pass (foreign mid-unzip
+// nodes are filtered by home bucket), with its correct value.
+func TestMapRangeDuringResize(t *testing.T) {
+	m := NewUint64[int](WithShards(4), WithInitialBuckets(64))
+	defer m.Close()
+	const n = 2048
+	for i := uint64(0); i < n; i++ {
+		m.Set(i, int(i))
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Resize(4096)
+			m.Resize(64)
+		}
+	}()
+
+	seen := make([]int, n)
+	for pass := 0; pass < 10; pass++ {
+		clear(seen)
+		m.Range(func(k uint64, v int) bool {
+			if k >= n {
+				t.Errorf("unknown key %d", k)
+				return false
+			}
+			if v != int(k) {
+				t.Errorf("key %d carried %d", k, v)
+				return false
+			}
+			seen[k]++
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("pass %d: key %d visited %d times, want exactly 1", pass, k, c)
+			}
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -20,10 +20,12 @@ package shard
 
 import (
 	"runtime"
+	"sync"
 
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
 	"rphash/internal/rcu"
+	"rphash/internal/stats"
 )
 
 // Map is a sharded relativistic hash map. Create with New; the zero
@@ -34,6 +36,13 @@ type Map[K comparable, V any] struct {
 	hash   func(K) uint64
 	shift  uint // shard index = hash >> shift (high bits)
 	ownDom bool
+
+	// scratchPool recycles batch-operation workspaces (see batch.go).
+	scratchPool sync.Pool
+	// batchSections counts reader sections entered by batch gets — the
+	// observability/test hook behind BatchSections. Striped so batch
+	// readers on different cores don't ping-pong one counter line.
+	batchSections stats.Striped
 }
 
 type config struct {

@@ -17,6 +17,15 @@ func (c *Striped) Add(stripe int) {
 	c.slots[stripe&(stripes-1)].Add(1)
 }
 
+// AddN adds n to the slot for the given stripe hint — batch paths
+// fold a whole batch's worth of counts into one atomic add.
+func (c *Striped) AddN(stripe int, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.slots[stripe&(stripes-1)].Add(n)
+}
+
 // Total sums all slots.
 func (c *Striped) Total() uint64 {
 	var t uint64

@@ -84,6 +84,12 @@ func DefaultPolicy() Policy { return core.DefaultPolicy() }
 // Domain. Choose Table for single-writer workloads or when you need
 // Resize/Move atomicity across the whole structure; choose Map when
 // multiple goroutines write concurrently.
+//
+// Callers holding many keys at once should use the batch operations
+// (GetBatch/SetBatch/DeleteBatch): keys are hashed once and grouped
+// by shard, so a B-key batch over S shards enters at most min(B, S)
+// reader sections and mutex holds instead of one per key. See the
+// package documentation's "Batched operations" section.
 type Map[K comparable, V any] = shard.Map[K, V]
 
 // MapReadHandle is a per-goroutine lookup handle spanning every shard
@@ -141,7 +147,10 @@ type MapStats = shard.MapStats
 // lock-free allocation-free hits, coarse-clock lazy expiry plus an
 // incremental background sweeper, cost-bounded capacity with
 // per-shard sampled-LRU eviction, and a singleflight GetOrLoad so a
-// miss storm on one hot key issues exactly one load. See the package
+// miss storm on one hot key issues exactly one load. GetMulti and
+// GetOrLoadMulti are the batched forms: shared reader sections per
+// shard group, one coarse-clock read and counter update per batch,
+// and one loader call for a whole miss set. See the package
 // documentation for choosing Table vs Map vs Cache.
 type Cache[K comparable, V any] = cache.Cache[K, V]
 
