@@ -1,0 +1,41 @@
+# Developer conveniences. CI runs the equivalent steps directly (see
+# .github/workflows/ci.yml); these targets exist for local loops.
+
+GO      ?= go
+COUNT   ?= 10
+BENCHOUT ?= bench-write.txt
+
+.PHONY: test race bench-write bench-smoke fig5
+
+test:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -shuffle=on ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# bench-write produces benchstat-friendly output for the write-path
+# benchmarks (striped vs single-lock upserts, resize contention,
+# batch writes). Typical before/after flow:
+#
+#   git stash            # or check out the baseline commit
+#   make bench-write BENCHOUT=old.txt
+#   git stash pop
+#   make bench-write BENCHOUT=new.txt
+#   benchstat old.txt new.txt
+#
+# COUNT=10 repetitions give benchstat enough samples for a
+# significance test; raise it on noisy machines.
+bench-write:
+	$(GO) test -run='^$$' -bench='Write' -benchmem -count=$(COUNT) \
+		./internal/core ./internal/shard | tee $(BENCHOUT)
+
+# bench-smoke mirrors CI: every benchmark once, so bench code cannot rot.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# fig5 runs the write-scaling figure (striped table vs single-mutex
+# ablation vs sharded map vs lock baselines) and writes BENCH_fig5.json.
+fig5:
+	$(GO) run ./cmd/rphash-bench -fig 5 -json

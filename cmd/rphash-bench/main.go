@@ -1,10 +1,11 @@
 // Command rphash-bench regenerates the paper's microbenchmark figures
 // (1: fixed-size baseline; 2: continuous resizing; 3: RP resize vs
 // fixed; 4: DDDS resize vs fixed) plus the repository's extensions
-// (5: multi-writer upserts, single table vs sharded map; 6: TTL cache
-// workload, rp-cache vs the bare sharded map; 7: multi-get batch
-// amortization, batch path vs per-key loop at batch sizes 1/10/100)
-// as text tables, with optional CSV and machine-readable JSON.
+// (5: multi-writer upserts — striped single table vs its single-mutex
+// ablation vs sharded map vs lock baselines; 6: TTL cache workload,
+// rp-cache vs the bare sharded map; 7: multi-get batch amortization,
+// batch path vs per-key loop at batch sizes 1/10/100) as text tables,
+// with optional CSV and machine-readable JSON.
 //
 // Usage:
 //
@@ -23,9 +24,10 @@
 //	                threads, batch, ops/sec per point) so successive
 //	                PRs can diff benchmark trajectories
 //	-engines LIST   extra fixed-size engines to append to figure 1
-//	                (any of: rp-sharded,rp-cache,mutex,sharded,xu,syncmap)
-//	-shards N       shard count for the rp-sharded engine
-//	                (default 0 = NextPowerOfTwo(GOMAXPROCS))
+//	                (any of: rp-1lock,rp-sharded,rp-cache,mutex,sharded,
+//	                xu,syncmap)
+//	-shards N       shard count for the rp-sharded engine (default
+//	                0 = shard.DefaultShards: one per ~4 cores, cap 16)
 package main
 
 import (
@@ -56,8 +58,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "also write BENCH_fig<N>.json per figure")
 		repeats  = flag.Int("repeats", 3, "runs per point (median reported)")
 		extra    = flag.String("engines", "", "extra engines for figure 1 (rp-sharded,rp-cache,mutex,sharded,xu,syncmap)")
-		shards   = flag.Int("shards", 0, "shard count for the rp-sharded engine (0 = GOMAXPROCS rounded up)")
-		ablation = flag.Bool("ablation", false, "run the ablation suite (A1-A4) instead of the paper figures")
+		shards   = flag.Int("shards", 0, "shard count for the rp-sharded engine (0 = shard.DefaultShards: one per ~4 cores, cap 16)")
+		ablation = flag.Bool("ablation", false, "run the ablation suite (A1-A5) instead of the paper figures")
 	)
 	flag.Parse()
 	bench.DefaultShards = *shards
@@ -183,6 +185,13 @@ func runAblations(cfg bench.Config, csv bool) {
 	fmt.Printf("%-24s %10s %14s\n", "table", "keys", "bytes/elem")
 	for _, r := range bench.AblationNodeMemory(1 << 19) {
 		fmt.Printf("%-24s %10d %14.1f\n", r.Table, r.Keys, r.BytesPerElem)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation A5: writer locking (striped vs single mutex) ==")
+	if err := bench.WriteFigure(os.Stdout, bench.AblationStripedLocking(cfg), csv); err != nil {
+		fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+		os.Exit(1)
 	}
 }
 

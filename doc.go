@@ -26,22 +26,43 @@
 //
 //	tbl.Resize(1 << 16)         // lookups continue, unperturbed
 //
-// Writers (Set, Insert, Replace, Delete, Move, Resize) serialize on
-// an internal mutex; install a Policy (or use DefaultPolicy) to have
-// the table resize itself by load factor.
+// Writers (Set, Insert, Replace, Delete, Move) lock per bucket, not
+// per table: mutations serialize on a striped array of writer locks
+// indexed by the key hash's low bits (default a few stripes per
+// core; WithStripes overrides, and WithStripes(1) reproduces the
+// paper's single writer mutex). Writers to different chains proceed
+// in parallel. The stripe count never exceeds the bucket count, so
+// one stripe always covers every chain a key's mutation could touch
+// — including mid-resize chains spanning a parent bucket and both
+// its children. Lock ordering is fixed (Move takes two stripes
+// ascending; batch writes visit stripes in ascending sorted order,
+// one at a time; resize takes all of them ascending), so writers,
+// batches, and resizes can never deadlock.
+//
+// Resize coordinates with writers through the same stripes: the
+// array-construction and publish steps briefly hold every stripe,
+// each unzip migration batch holds exactly one, and the grace-period
+// waits — where resizes spend nearly all their time — hold none, so
+// writers keep flowing through a resize. Install a Policy (or use
+// DefaultPolicy) to have the table resize itself by load factor;
+// writes that find the table more than twice past the grow watermark
+// help the in-flight expansion synchronously rather than outrun it,
+// keeping the load factor bounded under saturating write pressure.
 //
 // # Table versus Map versus Cache
 //
-// Table is the paper's algorithm exactly: wait-free readers, all
-// writers (and the resizer) serialized on one mutex. That matches the
-// paper's single-writer evaluation and is the right choice when reads
-// dominate and writes arrive from one goroutine, or when you need
-// Move and Resize to be atomic over the whole structure.
+// Table is the paper's data structure with a finer writer side:
+// wait-free readers, striped per-bucket writers, Move and Resize
+// atomic over the whole structure. It scales reads and writes with
+// cores by itself and is the default choice.
 //
 // Map shards keys across a power-of-two array of Tables — routed by
 // the HIGH bits of the same 64-bit hash, so per-shard bucket masks
-// (which use the low bits) stay well mixed — giving writers
-// independent mutexes that scale with cores:
+// (which use the low bits) stay well mixed. With striped tables the
+// shards' main job is resize isolation: a resize's brief all-stripe
+// phases stall only that shard's keys, and shards resize
+// independently and in parallel. Reach for it on resize-heavy or
+// extremely write-hot workloads:
 //
 //	m := rphash.NewMapString[int](rphash.WithShards(8))
 //	defer m.Close()
@@ -69,7 +90,7 @@
 // allocation-free. Reach for Cache when entries have lifetimes or
 // memory must be bounded; reach for Map when you want a plain
 // concurrent map and will manage lifecycle yourself; reach for Table
-// for the paper's exact single-writer structure.
+// everywhere else.
 //
 //	c := rphash.NewCacheString[[]byte](
 //		rphash.WithCacheTTL(time.Minute),
@@ -85,13 +106,14 @@
 // Readers are cheap but not free: each lookup pays a reader-section
 // entry/exit (two reader-local atomic stores) plus, on the
 // convenience paths, a pooled-reader round-trip — and each write
-// takes its shard's mutex. Callers holding many keys at once
+// locks its key's stripe. Callers holding many keys at once
 // (multi-key GET, warm-ups, bulk loads) should use the batch API,
-// which hashes each key once, groups keys by shard, and amortizes
-// synchronization over the group:
+// which hashes each key once, groups keys by shard and stripe, and
+// amortizes synchronization over the group:
 //
 //	m.GetBatch(keys, vals, oks)  // ONE reader section per touched shard
-//	m.SetBatch(keys, vals)       // one mutex hold per shard group
+//	m.SetBatch(keys, vals)       // sorted-stripe locking: each touched
+//	                             // stripe locked once per shard group
 //	m.DeleteBatch(keys)          // one grace period per shard group
 //	c.GetMulti(keys, vals, oks)  // batched hit path (clock + counters
 //	                             // also amortized per batch)

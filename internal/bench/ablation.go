@@ -24,6 +24,13 @@ import (
 //	    pointer) vs the Xu-style table (two next pointers), the
 //	    paper's memory-overhead critique, measured from the live
 //	    heap.
+//	A5  writer locking: upsert throughput vs concurrent writers for
+//	    ONE table with striped per-bucket writer locks (the default)
+//	    against the same table pinned to a single writer mutex
+//	    (WithStripes(1) — the paper's writer model and this repo's
+//	    pre-striping behavior). The figure-5-style sweep that shows
+//	    what pushing the lock down to bucket granularity buys, with
+//	    the read side and resize choreography held constant.
 
 // AblationReadFlavor (A1) measures single-reader and N-reader lookup
 // throughput for both reader flavors on a fixed table.
@@ -140,6 +147,23 @@ func AblationLoadFactor(cfg Config, readers int) stats.Figure {
 	}
 	fig.Series = []stats.Series{s}
 	return fig
+}
+
+// AblationStripedLocking (A5) sweeps concurrent writer counts over a
+// single table in both writer-lock configurations. The single-mutex
+// baseline stays runnable here (and as the `rp-1lock` engine)
+// precisely so the striped scheme's win is measured, not asserted.
+func AblationStripedLocking(cfg Config) stats.Figure {
+	cfg.fillDefaults()
+	return stats.Figure{
+		Title:  "Ablation A5: writer locking (striped per-bucket vs single mutex, one table)",
+		XLabel: "writers",
+		YLabel: "upserts/second (millions)",
+		Series: []stats.Series{
+			measureWriteSeries("RP-striped", func() Engine { return NewRP(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("RP-1lock", func() Engine { return NewRPSingleLock(cfg.SmallBuckets) }, cfg),
+		},
+	}
 }
 
 // NodeMemoryResult is one row of ablation A4.

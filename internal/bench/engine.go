@@ -90,6 +90,34 @@ func (e *rpEngine) Delete(k uint64)     { e.t.Delete(k) }
 func (e *rpEngine) Resize(n uint64)     { e.t.Resize(n) }
 func (e *rpEngine) Close()              { e.t.Close() }
 
+// ---- RP single-mutex (ablation baseline: the paper's writer model) ----
+
+type rpSingleLockEngine struct{ t *core.Table[uint64, int] }
+
+// NewRPSingleLock builds the relativistic table with WithStripes(1):
+// every mutation serializes on one lock, exactly the paper's writer
+// model and exactly this repository's pre-striping behavior. It
+// exists as the baseline the striped writer path (the default RP
+// engine) is measured against in figure 5 and ablation A5; it is not
+// a configuration anyone should deploy.
+func NewRPSingleLock(buckets uint64) Engine {
+	return &rpSingleLockEngine{t: core.NewUint64[int](
+		core.WithInitialBuckets(buckets), core.WithStripes(1))}
+}
+
+func (e *rpSingleLockEngine) Name() string { return "RP-1lock" }
+func (e *rpSingleLockEngine) NewLookup() (Lookup, func()) {
+	h := e.t.NewReadHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpSingleLockEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *rpSingleLockEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *rpSingleLockEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *rpSingleLockEngine) Close()              { e.t.Close() }
+
 // ---- RP sharded (internal/shard: write scaling over the RP core) ----
 
 type rpShardedEngine struct{ m *shard.Map[uint64, int] }
@@ -338,6 +366,7 @@ func (e *syncMapEngine) Close()              {}
 // Builders maps engine names to constructors, for the CLI.
 var Builders = map[string]func(buckets uint64) Engine{
 	"rp":         NewRP,
+	"rp-1lock":   NewRPSingleLock,
 	"rp-sharded": NewRPSharded,
 	"rp-cache":   NewRPCache,
 	"rpqsbr":     NewRPQSBR,

@@ -156,10 +156,12 @@ func measureWriteSeries(name string, mk func() Engine, cfg Config) stats.Series 
 
 // FigWriteScaling is the repository's write-scaling extension figure
 // (figure 5): aggregate upsert throughput versus concurrent writers
-// for the single-mutex relativistic table, the sharded relativistic
-// map, and the lock-based baselines. This is the measurement the
-// paper does not have — its evaluation runs one writer — and the
-// reason internal/shard exists.
+// for one striped relativistic table (the default), the same table
+// pinned to a single writer lock (the paper's writer model, kept as
+// the ablation baseline), the sharded relativistic map, and the
+// lock-based baselines. This is the measurement the paper does not
+// have — its evaluation runs one writer — and the axis the striped
+// writer locks exist to scale.
 func FigWriteScaling(cfg Config) stats.Figure {
 	cfg.fillDefaults()
 	return stats.Figure{
@@ -168,6 +170,7 @@ func FigWriteScaling(cfg Config) stats.Figure {
 		YLabel: "upserts/second (millions)",
 		Series: []stats.Series{
 			measureWriteSeries("RP", func() Engine { return NewRP(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("RP-1lock", func() Engine { return NewRPSingleLock(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("rp-sharded", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("sharded-lock", func() Engine { return NewSharded(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("mutex", func() Engine { return NewMutex(cfg.SmallBuckets) }, cfg),

@@ -305,10 +305,12 @@ func (c *Cache[K, V]) SetExpiresAt(k K, v V, at time.Time, cost int64) {
 }
 
 // setAbs publishes a fresh entry and settles accounting: the cost
-// delta is computed from the exact entry displaced (SwapHashed runs
-// under the shard's writer mutex), so concurrent writers on one key
-// can never double-count. The writer that pushes the budget over then
-// pays for eviction.
+// delta is computed from the exact entry displaced (SwapHashed's
+// read-out and replacement are atomic under the key's writer
+// stripe — the table's per-bucket lock — which serializes every
+// writer on this key), so concurrent writers on one key can never
+// double-count. The writer that pushes the budget over then pays for
+// eviction.
 func (c *Cache[K, V]) setAbs(h uint64, k K, v V, expireAt, cost int64) {
 	if cost < 0 {
 		cost = 0

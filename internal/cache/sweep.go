@@ -9,8 +9,8 @@ const sweepBatch = 1024
 // SweepExpired removes up to limit expired entries across all shards,
 // returning the count removed. The scan runs inside the shards' RCU
 // reader sections (it never blocks lookups); each removal re-checks
-// identity under the shard's writer mutex, so an entry refreshed
-// between scan and removal is never lost.
+// identity under the key's writer stripe (CompareAndDelete), so an
+// entry refreshed between scan and removal is never lost.
 func (c *Cache[K, V]) SweepExpired(limit int) int {
 	removed := 0
 	for i := 0; i < c.m.NumShards() && removed < limit; i++ {

@@ -6,8 +6,9 @@ package core
 // round-trip. Callers that arrive with many keys at once (memcached
 // multi-get, cache warm-up, bulk loads) can amortize that entry/exit
 // cost over the whole group: GetBatch performs every lookup inside
-// ONE reader section, and the batched writers take the table mutex
-// once per group instead of once per key.
+// ONE reader section, and the batched writers visit the table's
+// writer stripes in sorted order, locking each touched stripe once
+// for all of its keys instead of once per key.
 //
 // Holding one reader section across a batch is safe at any batch
 // size — reader sections never block writers — but it does extend the
@@ -15,6 +16,8 @@ package core
 // reclamation behind it. Batches of a few hundred keys are
 // microseconds; for unbounded traversals use RangeChunked, which
 // exits the section between chunks.
+
+import "slices"
 
 // GetBatch looks up ks[i] into vals[i] and oks[i] for every i, all
 // inside a single read-side critical section. len(vals) and len(oks)
@@ -47,32 +50,101 @@ func (t *Table[K, V]) GetBatchHashed(hs []uint64, ks []K, vals []V, oks []bool) 
 	})
 }
 
-// SetBatch upserts every (ks[i], vs[i]) pair under one acquisition of
-// the writer mutex, returning how many keys were newly inserted.
-// Duplicate keys in the batch apply in order (the last value wins).
-// The mutex is held for the whole batch, so other writers to this
-// table wait behind it; keep batches bounded where write latency
-// matters.
+// batchScratch is the pooled workspace of the batched write paths:
+// ord holds (stripe, batch-index) pairs packed into one uint64 each,
+// so a plain sort groups the batch by stripe while preserving the
+// original order within a stripe (the packed index breaks ties).
+type batchScratch struct {
+	ord []uint64
+}
+
+// stripeOrder returns a pooled workspace whose ord slice lists the
+// batch indices of hs grouped by stripe (ascending) and, within a
+// stripe, in original batch order — the order the write loops visit
+// so each touched stripe is locked once and duplicates keep
+// last-write-wins semantics. The stripe assignment uses a snapshot of
+// the stripe mask; if a resize boundary moves the mask mid-batch the
+// apply loop just re-locks more often (the per-op lock is always
+// taken under the live mask).
+func (t *Table[K, V]) stripeOrder(hs []uint64) *batchScratch {
+	sc, _ := t.batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	if cap(sc.ord) < len(hs) {
+		sc.ord = make([]uint64, len(hs))
+	}
+	ord := sc.ord[:len(hs)]
+	m := t.stripes.mask.Load()
+	for i, h := range hs {
+		ord[i] = (h&m)<<32 | uint64(i)
+	}
+	slices.Sort(ord)
+	sc.ord = ord
+	return sc
+}
+
+// batchWriter holds one stripe at a time across a stripe-ordered
+// batch, re-locking only when the next key maps elsewhere. At most
+// one stripe is ever held, so batches are deadlock-free against
+// point writers, Move, and resizes regardless of interleaving.
+type batchWriter[K comparable, V any] struct {
+	t    *Table[K, V]
+	held *stripeLock
+	slot uint64
+	mask uint64
+}
+
+// acquire ensures the stripe covering h is held. While a stripe is
+// held the mask cannot move, so the cached mask stays valid until
+// release.
+func (w *batchWriter[K, V]) acquire(h uint64) {
+	if w.held != nil {
+		if h&w.mask == w.slot {
+			return
+		}
+		w.held.mu.Unlock()
+		w.held = nil
+	}
+	for {
+		m := w.t.stripes.mask.Load()
+		s := &w.t.stripes.locks[h&m]
+		s.mu.Lock()
+		if w.t.stripes.mask.Load() == m {
+			w.held, w.slot, w.mask = s, h&m, m
+			return
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (w *batchWriter[K, V]) release() {
+	if w.held != nil {
+		w.held.mu.Unlock()
+		w.held = nil
+	}
+}
+
+// SetBatch upserts every (ks[i], vs[i]) pair, returning how many keys
+// were newly inserted. The batch is grouped by writer stripe and each
+// touched stripe is locked once for all of its keys (sorted-stripe
+// locking): a B-key batch over a table with E effective stripes costs
+// at most min(B, E) lock acquisitions. Duplicate keys in the batch
+// apply in order (the last value wins). Writers on other stripes
+// proceed in parallel; the batch is not atomic — point writes and
+// readers may interleave between stripe groups.
 func (t *Table[K, V]) SetBatch(ks []K, vs []V) (inserted int) {
 	if len(vs) != len(ks) {
 		panic("core: SetBatch length mismatch")
 	}
-	t.mu.Lock()
+	if len(ks) == 0 {
+		return 0
+	}
+	hs := make([]uint64, len(ks))
 	for i := range ks {
-		h := t.hash(ks[i])
-		if n := t.findLocked(h, ks[i]); n != nil {
-			v := vs[i]
-			n.val.Store(&v)
-			continue
-		}
-		t.insertLocked(h, ks[i], vs[i])
-		inserted++
+		hs[i] = t.hash(ks[i])
 	}
-	t.mu.Unlock()
-	if inserted > 0 {
-		t.maybeAutoResize()
-	}
-	return inserted
+	return t.SetBatchHashed(hs, ks, vs)
 }
 
 // SetBatchHashed is SetBatch with the keys' table hashes precomputed
@@ -81,8 +153,14 @@ func (t *Table[K, V]) SetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int)
 	if len(hs) != len(ks) || len(vs) != len(ks) {
 		panic("core: SetBatchHashed length mismatch")
 	}
-	t.mu.Lock()
-	for i := range ks {
+	if len(ks) == 0 {
+		return 0
+	}
+	sc := t.stripeOrder(hs)
+	w := batchWriter[K, V]{t: t}
+	for _, packed := range sc.ord {
+		i := int(packed & 0xffffffff)
+		w.acquire(hs[i])
 		if n := t.findLocked(hs[i], ks[i]); n != nil {
 			v := vs[i]
 			n.val.Store(&v)
@@ -91,32 +169,27 @@ func (t *Table[K, V]) SetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int)
 		t.insertLocked(hs[i], ks[i], vs[i])
 		inserted++
 	}
-	t.mu.Unlock()
+	w.release()
+	t.batchPool.Put(sc)
 	if inserted > 0 {
 		t.maybeAutoResize()
 	}
 	return inserted
 }
 
-// DeleteBatch removes every key in ks under one acquisition of the
-// writer mutex, returning how many were present. All unlinked nodes
-// retire through a single deferred callback — one grace period covers
-// the whole batch instead of one per key.
+// DeleteBatch removes every key in ks, returning how many were
+// present. Stripe grouping and lock amortization match SetBatch; all
+// unlinked nodes retire through a single deferred callback — one
+// grace period covers the whole batch instead of one per key.
 func (t *Table[K, V]) DeleteBatch(ks []K) (removed int) {
-	t.mu.Lock()
-	var victims []*node[K, V]
+	if len(ks) == 0 {
+		return 0
+	}
+	hs := make([]uint64, len(ks))
 	for i := range ks {
-		if n, _, ok := t.unlinkLocked(t.hash(ks[i]), ks[i], nil); ok {
-			victims = append(victims, n)
-			removed++
-		}
+		hs[i] = t.hash(ks[i])
 	}
-	t.mu.Unlock()
-	t.retireBatch(victims)
-	if removed > 0 {
-		t.maybeAutoResize()
-	}
-	return removed
+	return t.DeleteBatchHashed(hs, ks)
 }
 
 // DeleteBatchHashed is DeleteBatch with the keys' table hashes
@@ -125,15 +198,22 @@ func (t *Table[K, V]) DeleteBatchHashed(hs []uint64, ks []K) (removed int) {
 	if len(hs) != len(ks) {
 		panic("core: DeleteBatchHashed length mismatch")
 	}
-	t.mu.Lock()
+	if len(ks) == 0 {
+		return 0
+	}
+	sc := t.stripeOrder(hs)
+	w := batchWriter[K, V]{t: t}
 	var victims []*node[K, V]
-	for i := range ks {
+	for _, packed := range sc.ord {
+		i := int(packed & 0xffffffff)
+		w.acquire(hs[i])
 		if n, _, ok := t.unlinkLocked(hs[i], ks[i], nil); ok {
 			victims = append(victims, n)
 			removed++
 		}
 	}
-	t.mu.Unlock()
+	w.release()
+	t.batchPool.Put(sc)
 	t.retireBatch(victims)
 	if removed > 0 {
 		t.maybeAutoResize()

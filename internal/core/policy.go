@@ -2,11 +2,29 @@ package core
 
 import "rphash/internal/hashfn"
 
+// growBackpressureFactor: when the load factor exceeds this multiple
+// of the grow watermark, writers stop outrunning the resizer and
+// help instead (see maybeAutoResize). 2 means a table is allowed to
+// overshoot its target load by 2x while a background expansion is in
+// flight before writers throttle.
+const growBackpressureFactor = 2
+
 // maybeAutoResize checks the load factor against the policy
 // watermarks after a mutation and, if crossed, starts a background
 // resize. At most one auto-resize runs at a time per direction
-// trigger; the resize itself still serializes on t.mu with all
-// writers.
+// trigger; resizes serialize with each other on resizeMu and
+// coordinate with writers through the stripes.
+//
+// Backpressure: striped writers no longer block for the duration of
+// a resize the way the old table-wide mutex forced them to, so a
+// saturating writer could outrun a background expansion
+// indefinitely — chains lengthen, each doubling needs more unzip
+// passes, and the table spirals away from its target load. If the
+// load factor exceeds growBackpressureFactor times the watermark,
+// the writer that observes it performs the resize synchronously:
+// it blocks on resizeMu behind the in-flight expansion (the actual
+// throttle) and then closes whatever gap remains itself. Writers
+// below the threshold are never slowed.
 func (t *Table[K, V]) maybeAutoResize() {
 	p := t.policy
 	if p.MaxLoad <= 0 && p.MinLoad <= 0 {
@@ -22,6 +40,9 @@ func (t *Table[K, V]) maybeAutoResize() {
 				t.autoResizeTarget()
 				t.stats.autoGrows.Add(1)
 			}()
+		} else if count > growBackpressureFactor*p.MaxLoad*nbuckets {
+			t.autoResizeTarget()
+			t.stats.autoGrows.Add(1)
 		}
 		return
 	}

@@ -10,25 +10,37 @@ import (
 // power of two, floored at the policy minimum). It proceeds in
 // factor-of-two steps, each a complete zip or unzip with its own
 // grace periods, so lookups remain synchronization-free and correct
-// throughout. Resize serializes with all other writers.
+// throughout. Resizes serialize with each other on resizeMu; they
+// coordinate with writers through the stripes:
+//
+//   - Array construction and publication hold EVERY stripe — a brief
+//     O(buckets) window during which no writer can observe a
+//     half-built array or insert into a chain being captured.
+//   - Grace-period waits hold NO stripes, so writers flow freely
+//     while readers drain. This is where resizes spend nearly all
+//     their time, and it is the window the old table-wide mutex used
+//     to block writers for.
+//   - Unzip migration batches hold exactly one stripe each (all the
+//     parent chains mapped to that stripe), so writers to the other
+//     stripes proceed in parallel with the migration.
 func (t *Table[K, V]) Resize(n uint64) {
 	n = hashfn.NextPowerOfTwo(max(n, t.policy.MinBuckets))
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
 	for {
 		cur := t.ht.Load().size()
 		switch {
 		case cur < n:
-			t.expandLocked()
+			t.expandStep()
 		case cur > n:
-			t.shrinkLocked()
+			t.shrinkStep()
 		default:
 			return
 		}
 	}
 }
 
-// shrinkLocked halves the bucket count: the paper's "zip". Steps
+// shrinkStep halves the bucket count: the paper's "zip". Steps
 // (slide titles in quotes):
 //
 //  1. "Initialize new buckets": each new bucket j adopts old chain j.
@@ -40,10 +52,18 @@ func (t *Table[K, V]) Resize(n uint64) {
 //  4. "Wait for readers": after one grace period no reader can hold
 //     the old array.
 //  5. "Reclaim": the old array is garbage; Go's GC collects it.
-func (t *Table[K, V]) shrinkLocked() {
+//
+// Steps 1–3 run with every stripe held (writers would otherwise
+// mutate chains mid-capture); the effective stripe mask is lowered in
+// the same critical section, because a merged chain spans two old
+// sibling buckets and is only stripe-homogeneous under the new,
+// smaller mask. The grace period waits with no stripes held.
+func (t *Table[K, V]) shrinkStep() {
+	t.lockAllStripes()
 	old := t.ht.Load()
 	oldSize := old.size()
 	if oldSize <= t.policy.MinBuckets || oldSize == 1 {
+		t.unlockAllStripes()
 		return
 	}
 	newSize := oldSize / 2
@@ -67,12 +87,14 @@ func (t *Table[K, V]) shrinkLocked() {
 		tail.next.Store(high) // link: old-array readers see a superset
 	}
 
-	t.ht.Store(nb)      // publish
+	t.stripes.mask.Store(effectiveStripeMask(len(t.stripes.locks), newSize))
+	t.ht.Store(nb) // publish
+	t.unlockAllStripes()
 	t.dom.Synchronize() // wait for readers; old array now unreachable
 	t.stats.shrinks.Add(1)
 }
 
-// expandLocked doubles the bucket count: the paper's "unzip".
+// expandStep doubles the bucket count: the paper's "unzip".
 //
 //  1. "Initialize new buckets": child buckets b and b+m point at the
 //     first node of parent chain b that belongs to them. Chains stay
@@ -86,7 +108,20 @@ func (t *Table[K, V]) shrinkLocked() {
 //     child — then waits a grace period before the next pass. The
 //     grace period guarantees no reader is positioned inside a run
 //     that the next cut would detach from its traversal.
-func (t *Table[K, V]) expandLocked() {
+//
+// Stripe choreography: step 1 and the publish run with every stripe
+// held; t.unzipParent is set in the same critical section, switching
+// writers into zipped-chain mode (unlinks patch the sibling chain
+// too — see unlinkLocked). The effective stripe mask stays at the
+// PARENT granularity for the whole unzip, so one stripe always
+// covers a parent chain together with both of its children. Each
+// unzip pass then takes one stripe at a time and cuts every parent
+// chain mapped to it — a migration batch — leaving writers on other
+// stripes undisturbed; grace periods between passes hold no stripes
+// at all. A final all-stripes section clears unzipParent and raises
+// the mask to the doubled bucket count.
+func (t *Table[K, V]) expandStep() {
+	t.lockAllStripes()
 	old := t.ht.Load()
 	oldSize := old.size()
 	newSize := oldSize * 2
@@ -107,25 +142,74 @@ func (t *Table[K, V]) expandLocked() {
 		}
 	}
 
-	// Step 2: publish and wait. After this grace period no reader
-	// walks a chain via the old array's (coarser) mask.
+	// Collect the parents that can possibly need cuts — both children
+	// non-empty — ordered by stripe so each pass locks a stripe once
+	// for all of its parents. Built under the all-stripes section, so
+	// the heads are stable. Once a parent's children are disjoint
+	// they stay disjoint (head inserts only prepend to exclusive
+	// prefixes, deletes only shorten chains, and only a resize — which
+	// we serialize with via resizeMu — can zip chains together), so
+	// the list is filtered monotonically: pass N skips every parent
+	// pass N-1 finished, and the per-pass lock traffic shrinks with
+	// the remaining work instead of re-sweeping every stripe.
+	stripeMask := t.stripes.mask.Load() // frozen: only resizes change it, and we hold resizeMu
+	active := make([]uint64, 0, oldSize)
+	for s := uint64(0); s <= stripeMask; s++ {
+		for i := s; i < oldSize; i += stripeMask + 1 {
+			if nb.slot[i].Load() != nil && nb.slot[i+oldSize].Load() != nil {
+				active = append(active, i)
+			}
+		}
+	}
+
+	// Step 2: publish and wait. unzipParent is published in the same
+	// all-stripes section as the array, so any writer that sees the
+	// doubled array also sees the unzip window and vice versa. After
+	// the grace period no reader walks a chain via the old array's
+	// (coarser) mask.
+	t.unzipParent.Store(oldSize)
 	t.ht.Store(nb)
+	t.unlockAllStripes()
 	t.dom.Synchronize()
 
 	// Step 3: unzip passes. Cuts on different parent chains are
 	// independent, so each pass batches one cut per parent and the
 	// batch shares a single grace period — the paper's batching.
 	// (With WithUnzipGracePerCut — ablation only — each cut pays its
-	// own grace period, quantifying what batching buys.)
-	for pass := 1; ; pass++ {
+	// own grace period, quantifying what batching buys.) Writers
+	// interleave between migration batches and between passes; the
+	// cut-point derivation tolerates that because every pass
+	// re-derives its state from the live bucket heads.
+	for pass := 1; len(active) > 0; pass++ {
 		cuts := 0
-		for i := uint64(0); i < oldSize; i++ {
+		kept := active[:0]
+		var held *stripeLock
+		heldIdx := ^uint64(0)
+		for _, i := range active {
+			if s := i & stripeMask; s != heldIdx {
+				if held != nil {
+					held.mu.Unlock()
+				}
+				held = &t.stripes.locks[s]
+				held.mu.Lock()
+				heldIdx = s
+			}
 			c := t.unzipStep(nb, i, oldSize)
+			if c == 0 {
+				continue // disjoint now, disjoint forever: drop it
+			}
 			cuts += c
-			if c > 0 && t.unzipPerCutGrace {
+			kept = append(kept, i)
+			if t.unzipPerCutGrace {
+				held.mu.Unlock()
 				t.dom.Synchronize()
+				held.mu.Lock()
 			}
 		}
+		if held != nil {
+			held.mu.Unlock()
+		}
+		active = kept
 		if cuts == 0 {
 			break
 		}
@@ -138,15 +222,28 @@ func (t *Table[K, V]) expandLocked() {
 			t.testHookAfterUnzipPass(pass)
 		}
 	}
+
+	// Chains are fully disjoint now (and writers cannot re-zip them;
+	// only a resize can). Leave zipped-chain mode and raise the
+	// stripe mask to the new bucket count, under all stripes so no
+	// writer holds a stripe chosen under the old mask.
+	t.lockAllStripes()
+	t.unzipParent.Store(0)
+	t.stripes.mask.Store(effectiveStripeMask(len(t.stripes.locks), newSize))
+	t.unlockAllStripes()
 	t.stats.expands.Add(1)
 }
 
 // unzipStep performs at most one unzip cut for the chain pair that
 // parent bucket `parent` split into (children a = parent and
 // b = parent+oldSize). It returns the number of cuts made (0 or 1).
+// The caller holds the stripe covering the parent (and hence both
+// children).
 //
 // The cut point is re-derived from the bucket heads each pass, which
-// makes every pass self-validating:
+// makes every pass self-validating — including against writer
+// activity between passes (head inserts prepend to exclusive
+// prefixes; deletes shorten chains but never splice them together):
 //
 //   - Find s, the first node reachable from BOTH child heads (the
 //     chains are suffix-sharing, so this is the classic
@@ -211,8 +308,10 @@ func (t *Table[K, V]) unzipStep(nb *buckets[K, V], parent, oldSize uint64) int {
 	}
 	after := r.next.Load()
 	if prev == nil {
-		// Cannot occur while heads are initialized to own-bucket
-		// nodes, but handle it so the step stays self-contained.
+		// The non-owner child's head points straight at the foreign
+		// run — possible when a writer deleted that child's former
+		// head between passes. Redirecting the head slot is the same
+		// relativistic cut, just published one pointer earlier.
 		nb.slot[headSlot].Store(after)
 	} else {
 		prev.next.Store(after)
@@ -231,16 +330,16 @@ func chainLen[K comparable, V any](n *node[K, V]) int {
 // ExpandOnce doubles the table once (exported for tests and the
 // benchmark driver's precise 8k<->16k toggling).
 func (t *Table[K, V]) ExpandOnce() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.expandLocked()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	t.expandStep()
 }
 
 // ShrinkOnce halves the table once (no-op at the policy floor).
 func (t *Table[K, V]) ShrinkOnce() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.shrinkLocked()
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	t.shrinkStep()
 }
 
 // String describes the table shape for debugging.

@@ -22,6 +22,11 @@ type tableStats struct {
 type Stats struct {
 	Len         int
 	Buckets     int
+	// Stripes is the physical writer-lock stripe count (effective =
+	// min(Stripes, Buckets)). In aggregated Map stats it is the TOTAL
+	// across shards — the map's overall writer parallelism — with the
+	// per-table value in MapStats.PerShard.
+	Stripes int
 	LoadFactor  float64
 	MaxChain    int
 	Inserts     uint64
@@ -41,6 +46,7 @@ func (t *Table[K, V]) Stats() Stats {
 	s := Stats{
 		Len:         t.Len(),
 		Buckets:     t.Buckets(),
+		Stripes:     t.Stripes(),
 		Inserts:     t.stats.inserts.Load(),
 		Deletes:     t.stats.deletes.Load(),
 		Moves:       t.stats.moves.Load(),

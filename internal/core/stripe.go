@@ -1,0 +1,171 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rphash/internal/hashfn"
+)
+
+// Writer-side striped locking.
+//
+// The paper serializes every mutation on one per-table mutex; this
+// file replaces that mutex with an array of writer locks ("stripes")
+// so writers to different buckets proceed in parallel while the
+// read side stays exactly the paper's: wait-free, lock-free,
+// retry-free, never aware of stripes at all.
+//
+// The scheme rests on one structural fact: a chain never mixes
+// stripes. The stripe of a key is its hash masked by the effective
+// stripe mask, and the effective stripe count is kept <= the bucket
+// count at all times, so every node in bucket b satisfies
+// h & stripeMask == b & stripeMask — including mid-resize, where
+// chains span a parent bucket and both its children (expansion) or
+// two merged siblings (shrink), which differ only in bits ABOVE the
+// stripe mask. Locking stripe(h) therefore excludes every writer
+// that could touch any pointer on the chain(s) holding h, in every
+// intermediate resize state.
+//
+// Lock order, for deadlock freedom:
+//
+//   - Point writers hold exactly one stripe.
+//   - Move holds two, acquired in ascending index order.
+//   - Batch writers hold one at a time, visiting stripes in
+//     ascending (sorted) order.
+//   - Resize acquires ALL physical stripes in ascending order for
+//     its brief array-swap phases, and exactly one stripe per
+//     migration batch during the long unzip phase.
+//
+// The effective stripe mask changes only while every physical
+// stripe is held (resize boundaries). A writer therefore locks
+// optimistically — read mask, lock stripe, re-check mask — and the
+// re-check can only fail if a resize boundary crossed between the
+// two reads, in which case it retries with the new mask. While a
+// writer holds any stripe, both the mask and the bucket-array
+// pointer are frozen.
+
+// maxStripes caps the physical stripe count: past a few per core,
+// more stripes only add memory (64 B each) without reducing
+// collisions meaningfully.
+const maxStripes = 256
+
+// stripeCacheLine pads each lock to its own cache line so writers on
+// different stripes never false-share.
+const stripeCacheLine = 64
+
+// stripeLock is one padded writer lock.
+type stripeLock struct {
+	mu  sync.Mutex
+	_   [stripeCacheLine - 8]byte //nolint:unused // layout padding
+}
+
+// stripeSet is a table's writer-lock array plus the effective mask.
+type stripeSet struct {
+	locks []stripeLock
+	// mask is the effective stripe mask: min(len(locks), buckets)-1.
+	// Mutated only with every physical stripe held.
+	mask atomic.Uint64
+}
+
+// defaultStripeCount sizes the physical stripe array: a few stripes
+// per core's worth of writer parallelism, power of two, clamped to
+// [64, maxStripes]. The floor is deliberately generous — 64 padded
+// locks are 4 KB, and measurements show small stripe arrays (2–4
+// lines indexed by low hash bits) can alias badly in the cache while
+// 64+ run at single-mutex speed even single-threaded.
+func defaultStripeCount() uint64 {
+	n := hashfn.NextPowerOfTwo(uint64(4 * runtime.GOMAXPROCS(0)))
+	if n < 64 {
+		n = 64
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	return n
+}
+
+// effectiveStripeMask is min(physical, buckets) - 1: the stripe
+// count may never exceed the bucket count or chains would mix
+// stripes.
+func effectiveStripeMask(physical int, buckets uint64) uint64 {
+	n := uint64(physical)
+	if buckets < n {
+		n = buckets
+	}
+	return n - 1
+}
+
+// init sizes the physical array and sets the effective mask for the
+// initial bucket count.
+func (s *stripeSet) init(physical uint64, buckets uint64) {
+	s.locks = make([]stripeLock, physical)
+	s.mask.Store(effectiveStripeMask(len(s.locks), buckets))
+}
+
+// lockHash acquires the stripe covering hash h and returns it. The
+// caller unlocks it. On return the table's bucket array and stripe
+// mask are frozen until the stripe is released.
+func (t *Table[K, V]) lockHash(h uint64) *stripeLock {
+	for {
+		m := t.stripes.mask.Load()
+		s := &t.stripes.locks[h&m]
+		s.mu.Lock()
+		if t.stripes.mask.Load() == m {
+			return s
+		}
+		// A resize boundary crossed between the mask read and the
+		// lock: the stripe we hold may no longer cover h. Retry.
+		s.mu.Unlock()
+	}
+}
+
+// lockHash2 acquires the stripe(s) covering two hashes in ascending
+// index order (Move needs both chains). b is nil when one stripe
+// covers both.
+func (t *Table[K, V]) lockHash2(h1, h2 uint64) (a, b *stripeLock) {
+	for {
+		m := t.stripes.mask.Load()
+		i1, i2 := h1&m, h2&m
+		if i1 == i2 {
+			s := &t.stripes.locks[i1]
+			s.mu.Lock()
+			if t.stripes.mask.Load() == m {
+				return s, nil
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		s1, s2 := &t.stripes.locks[i1], &t.stripes.locks[i2]
+		s1.mu.Lock()
+		s2.mu.Lock()
+		if t.stripes.mask.Load() == m {
+			return s1, s2
+		}
+		s2.mu.Unlock()
+		s1.mu.Unlock()
+	}
+}
+
+// lockAllStripes acquires every physical stripe in ascending order.
+// Only resize uses it, for the array-construction/publish phases and
+// for stripe-mask changes.
+func (t *Table[K, V]) lockAllStripes() {
+	for i := range t.stripes.locks {
+		t.stripes.locks[i].mu.Lock()
+	}
+}
+
+// unlockAllStripes releases every physical stripe.
+func (t *Table[K, V]) unlockAllStripes() {
+	for i := range t.stripes.locks {
+		t.stripes.locks[i].mu.Unlock()
+	}
+}
+
+// Stripes returns the physical writer-stripe count (the effective
+// count is min(Stripes, Buckets)).
+func (t *Table[K, V]) Stripes() int { return len(t.stripes.locks) }

@@ -11,9 +11,14 @@
 // invariant at every intermediate step, using only pointer
 // publication and wait-for-readers from internal/rcu.
 //
-// Writers (including resizes) serialize on a per-table mutex; readers
-// never take it. This matches the paper's evaluation, which measures
-// lookup scalability against a single background resizer.
+// Writers serialize per bucket, not per table: each mutation locks
+// only the stripe (see stripe.go) covering the chain its key hashes
+// to, so writers to different buckets proceed in parallel. Resizes
+// acquire every stripe briefly to swap the bucket array and then one
+// stripe per migration batch for the long unzip phase, preserving
+// the paper's grace-period choreography. Readers never take any
+// lock. (The paper's evaluation serializes all writers on one mutex;
+// construct with WithStripes(1) to reproduce that baseline.)
 package core
 
 import (
@@ -58,8 +63,30 @@ type Table[K comparable, V any] struct {
 	dom  *rcu.Domain
 	hash func(K) uint64
 
-	mu    sync.Mutex // serializes Insert/Set/Delete/Move/Resize
+	// stripes is the per-bucket writer-lock array (see stripe.go).
+	// Point mutations hold the one stripe covering their key's
+	// chain; resizes coordinate through all of them.
+	stripes stripeSet
+
+	// resizeMu serializes resize operations (explicit Resize,
+	// ExpandOnce/ShrinkOnce, and the auto-resize goroutines) with
+	// each other. Writers never take it; resize phases synchronize
+	// with writers through the stripes.
+	resizeMu sync.Mutex
+
+	// unzipParent is nonzero during an expansion's unzip window and
+	// holds the PARENT (pre-doubling) bucket count. While set,
+	// chains may be zipped — a node can be reachable from both
+	// child buckets of its parent — so unlinks must also patch the
+	// sibling chain (see unlinkLocked). Mutated only with every
+	// stripe held; read by writers under their stripe.
+	unzipParent atomic.Uint64
+
 	count atomic.Int64
+
+	// batchPool recycles the stripe-sort workspaces of the batched
+	// write paths (batch.go).
+	batchPool sync.Pool
 
 	ownDom bool
 	policy Policy
@@ -75,8 +102,9 @@ type Table[K comparable, V any] struct {
 	stats tableStats
 
 	// testHookAfterUnzipPass, when set (tests only), runs after each
-	// unzip pass's grace period with the table mutex still held, so
-	// tests can assert the mid-resize reachability invariant.
+	// unzip pass's grace period, with resizeMu held but no stripes,
+	// so tests can assert the mid-resize reachability invariant in
+	// exactly the states concurrent readers and writers observe.
 	testHookAfterUnzipPass func(pass int)
 }
 
@@ -101,6 +129,7 @@ type resizeTrigger struct {
 type config struct {
 	dom         *rcu.Domain
 	initial     uint64
+	stripes     uint64
 	policy      Policy
 	perCutGrace bool
 }
@@ -119,6 +148,26 @@ func WithInitialBuckets(n uint64) Option { return func(c *config) { c.initial = 
 
 // WithPolicy installs an automatic resize policy.
 func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithStripes sets the physical writer-stripe count (rounded to a
+// power of two, clamped to [1, 256]). The default is a few stripes
+// per core. WithStripes(1) reproduces the paper's single writer
+// mutex — every mutation serializes — which is the ablation baseline
+// the striped scheme is measured against. The effective stripe count
+// is additionally capped by the bucket count at any moment, so tiny
+// tables degrade gracefully toward coarser locking.
+func WithStripes(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		s := hashfn.NextPowerOfTwo(uint64(n))
+		if s > maxStripes {
+			s = maxStripes
+		}
+		c.stripes = s
+	}
+}
 
 // WithUnzipGracePerCut disables unzip-cut batching (ablation only):
 // every pointer cut gets its own grace period instead of sharing one
@@ -147,6 +196,10 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] 
 	}
 	cfg.initial = hashfn.NextPowerOfTwo(cfg.initial)
 
+	if cfg.stripes == 0 {
+		cfg.stripes = defaultStripeCount()
+	}
+
 	t := &Table[K, V]{hash: hash, policy: cfg.policy, unzipPerCutGrace: cfg.perCutGrace}
 	if cfg.dom != nil {
 		t.dom = cfg.dom
@@ -155,6 +208,7 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] 
 		t.ownDom = true
 	}
 	t.ht.Store(newBuckets[K, V](cfg.initial))
+	t.stripes.init(cfg.stripes, cfg.initial)
 	return t
 }
 

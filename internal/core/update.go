@@ -1,10 +1,15 @@
 package core
 
-// Writer-side operations. All serialize on t.mu; none ever blocks a
-// reader. Each follows the relativistic discipline: fully initialize,
-// then publish with a single pointer store; destructive steps happen
-// only after the structure is consistent for every possible reader
-// trajectory.
+// Writer-side operations. Each locks only the stripe covering the
+// chain its key hashes to (see stripe.go), so writers to different
+// buckets run in parallel; none ever blocks a reader. Each follows
+// the relativistic discipline: fully initialize, then publish with a
+// single pointer store; destructive steps happen only after the
+// structure is consistent for every possible reader trajectory.
+//
+// While a writer holds its stripe, the bucket-array pointer and the
+// stripe mask are frozen (both change only under every stripe), so
+// the find/insert/unlink helpers may load t.ht once and trust it.
 
 // Set inserts or replaces the value for k, returning true if the key
 // was newly inserted.
@@ -17,16 +22,16 @@ func (t *Table[K, V]) Set(k K, v V) bool {
 // (internal/shard) hash once to route and pass the hash through
 // rather than paying a second hash inside the shard.
 func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
-	t.mu.Lock()
+	s := t.lockHash(h)
 	if n := t.findLocked(h, k); n != nil {
 		// In-place relativistic value replacement: readers observe
 		// either the complete old or complete new value.
 		n.val.Store(&v)
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return false
 	}
 	t.insertLocked(h, k, v)
-	t.mu.Unlock()
+	s.mu.Unlock()
 	t.maybeAutoResize()
 	return true
 }
@@ -34,7 +39,10 @@ func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
 // Swap upserts k and returns the value it displaced, if any. It is
 // Set with the previous value handed back — the primitive accounting
 // layers (internal/cache) need to adjust cost totals atomically with
-// respect to other writers on the same key.
+// respect to other writers on the same key. The read-out and the
+// replacement happen under the key's stripe, so two racing Swaps on
+// one key always observe each other's values in some order: no
+// displaced value is ever observed twice or lost.
 func (t *Table[K, V]) Swap(k K, v V) (old V, replaced bool) {
 	return t.SwapHashed(t.hash(k), k, v)
 }
@@ -42,15 +50,15 @@ func (t *Table[K, V]) Swap(k K, v V) (old V, replaced bool) {
 // SwapHashed is Swap with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
-	t.mu.Lock()
+	s := t.lockHash(h)
 	if n := t.findLocked(h, k); n != nil {
 		old = *n.val.Load()
 		n.val.Store(&v)
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return old, true
 	}
 	t.insertLocked(h, k, v)
-	t.mu.Unlock()
+	s.mu.Unlock()
 	t.maybeAutoResize()
 	return old, false
 }
@@ -63,13 +71,13 @@ func (t *Table[K, V]) Insert(k K, v V) bool {
 // InsertHashed is Insert with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) InsertHashed(h uint64, k K, v V) bool {
-	t.mu.Lock()
+	s := t.lockHash(h)
 	if t.findLocked(h, k) != nil {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return false
 	}
 	t.insertLocked(h, k, v)
-	t.mu.Unlock()
+	s.mu.Unlock()
 	t.maybeAutoResize()
 	return true
 }
@@ -83,8 +91,8 @@ func (t *Table[K, V]) Replace(k K, v V) bool {
 // ReplaceHashed is Replace with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) ReplaceHashed(h uint64, k K, v V) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	s := t.lockHash(h)
+	defer s.mu.Unlock()
 	n := t.findLocked(h, k)
 	if n == nil {
 		return false
@@ -109,7 +117,7 @@ func (t *Table[K, V]) DeleteHashed(h uint64, k K) bool {
 
 // CompareAndDelete removes k only if match accepts its current value
 // (nil match accepts anything), returning the removed value. The
-// check and the unlink happen under the writer mutex, so a concurrent
+// check and the unlink happen under the key's stripe, so a concurrent
 // Set cannot slip a fresh value in between: expiry sweepers and
 // eviction samplers use this to guarantee they only remove the exact
 // entry they examined.
@@ -120,9 +128,9 @@ func (t *Table[K, V]) CompareAndDelete(k K, match func(V) bool) (V, bool) {
 // CompareAndDeleteHashed is CompareAndDelete with the key's table
 // hash precomputed (see SetHashed).
 func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
-	t.mu.Lock()
+	s := t.lockHash(h)
 	victim, removed, ok := t.unlinkLocked(h, k, match)
-	t.mu.Unlock()
+	s.mu.Unlock()
 	if !ok {
 		var zero V
 		return zero, false
@@ -138,12 +146,13 @@ func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) 
 
 // unlinkLocked removes the node for (h, k) from its chain — provided
 // match (nil = always) accepts its current value — returning the node
-// and the removed value. Caller holds t.mu. This is the single copy
-// of the write-side unlink sequence: redirect the predecessor (or the
-// bucket head), decrement the count, bump the delete stat. The
-// returned node is unreachable to new readers but may still be held
-// by in-flight ones: sever its next pointer only after a grace period
-// (Defer or retireBatch).
+// and the removed value. The caller holds the stripe covering h. This
+// is the single copy of the write-side unlink sequence: redirect the
+// predecessor (or the bucket head), patch the zipped sibling chain if
+// an expansion is in flight, decrement the count, bump the delete
+// stat. The returned node is unreachable to new readers but may still
+// be held by in-flight ones: sever its next pointer only after a
+// grace period (Defer or retireBatch).
 func (t *Table[K, V]) unlinkLocked(h uint64, k K, match func(V) bool) (*node[K, V], V, bool) {
 	ht := t.ht.Load()
 	slot := ht.bucketFor(h)
@@ -160,6 +169,7 @@ func (t *Table[K, V]) unlinkLocked(h uint64, k K, match func(V) bool) (*node[K, 
 			} else {
 				prev.next.Store(next)
 			}
+			t.unlinkSiblingLocked(ht, h, n, next)
 			t.count.Add(-1)
 			t.stats.deletes.Add(1)
 			return n, removed, true
@@ -168,6 +178,39 @@ func (t *Table[K, V]) unlinkLocked(h uint64, k K, match func(V) bool) (*node[K, 
 	}
 	var zero V
 	return nil, zero, false
+}
+
+// unlinkSiblingLocked completes an unlink while an expansion's unzip
+// is in flight. Mid-unzip, chains are zipped: the victim may also be
+// reachable from its parent bucket's OTHER child — either because the
+// sibling's head slot still points through it or because the two
+// child chains converge at it (a node at the junction of a shared
+// suffix has a physical predecessor on EACH chain). If any such
+// pointer survived the home-chain unlink, the deferred severing of
+// victim.next would truncate the sibling chain and lose every element
+// behind it. So: walk the sibling chain and redirect whatever still
+// points at the victim. The sibling bucket differs from the home
+// bucket only in the old-size bit — above the stripe mask — so the
+// caller's stripe covers it too. Outside an unzip window this is a
+// single atomic load.
+func (t *Table[K, V]) unlinkSiblingLocked(ht *buckets[K, V], h uint64, victim, next *node[K, V]) {
+	parent := t.unzipParent.Load()
+	if parent == 0 {
+		return
+	}
+	// unzipParent and the bucket array are published together under
+	// all stripes, and we hold one, so ht is the doubled array.
+	sib := &ht.slot[(h&ht.mask)^parent]
+	if sib.Load() == victim {
+		sib.Store(next)
+		return
+	}
+	for n := sib.Load(); n != nil; n = n.next.Load() {
+		if n.next.Load() == victim {
+			n.next.Store(next)
+			return
+		}
+	}
 }
 
 // Move renames oldKey to newKey. It fails if oldKey is absent or
@@ -181,15 +224,25 @@ func (t *Table[K, V]) unlinkLocked(h uint64, k K, match func(V) bool) (*node[K, 
 // value raced the pair of probes (sequential probes are not a
 // snapshot; no reader-side scheme can make them one). A concurrent
 // reader may transiently observe the value under both keys.
+//
+// Move locks the stripes of both keys (in ascending index order, the
+// global lock order), so it is atomic with respect to every writer
+// touching either chain.
 func (t *Table[K, V]) Move(oldKey, newKey K) bool {
 	if oldKey == newKey {
 		return t.Contains(oldKey)
 	}
 	oh, nh := t.hash(oldKey), t.hash(newKey)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	s1, s2 := t.lockHash2(oh, nh)
+	unlock := func() {
+		if s2 != nil {
+			s2.mu.Unlock()
+		}
+		s1.mu.Unlock()
+	}
 	src := t.findLocked(oh, oldKey)
 	if src == nil || t.findLocked(nh, newKey) != nil {
+		unlock()
 		return false
 	}
 	// Publish the copy first (value shared via the same pointer), so
@@ -202,27 +255,31 @@ func (t *Table[K, V]) Move(oldKey, newKey K) bool {
 	slot.Store(cp)
 	t.stats.moves.Add(1)
 
-	// Now unlink the original.
+	// Now unlink the original (patching the zipped sibling chain if
+	// an expansion is mid-unzip, exactly like a delete).
 	oslot := ht.bucketFor(oh)
 	var prev *node[K, V]
 	for n := oslot.Load(); n != nil; n = n.next.Load() {
 		if n == src {
+			next := n.next.Load()
 			if prev == nil {
-				oslot.Store(n.next.Load())
+				oslot.Store(next)
 			} else {
-				prev.next.Store(n.next.Load())
+				prev.next.Store(next)
 			}
+			t.unlinkSiblingLocked(ht, oh, src, next)
 			break
 		}
 		prev = n
 	}
+	unlock()
 	victim := src
 	t.dom.Defer(func() { victim.next.Store(nil) })
 	return true
 }
 
 // findLocked returns the node for (h,k) in the current array, or nil.
-// Caller holds t.mu.
+// The caller holds the stripe covering h.
 func (t *Table[K, V]) findLocked(h uint64, k K) *node[K, V] {
 	ht := t.ht.Load()
 	for n := ht.bucketFor(h).Load(); n != nil; n = n.next.Load() {
@@ -233,10 +290,10 @@ func (t *Table[K, V]) findLocked(h uint64, k K) *node[K, V] {
 	return nil
 }
 
-// insertLocked publishes a new node at its bucket head. Caller holds
-// t.mu. Head insertion is always safe, even mid-unzip: unzip passes
-// only redirect interior next pointers of pre-existing nodes, never
-// bucket heads.
+// insertLocked publishes a new node at its bucket head. The caller
+// holds the stripe covering h. Head insertion is always safe, even
+// mid-unzip: a new head only prepends to the home chain's exclusive
+// prefix, never disturbing a shared suffix.
 func (t *Table[K, V]) insertLocked(h uint64, k K, v V) {
 	ht := t.ht.Load()
 	n := &node[K, V]{hash: h, key: k}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// Write-path benchmarks for `make bench-write` / benchstat
+// comparisons across PRs. The Striped/SingleLock pair is the
+// microbenchmark form of figure 5 and ablation A5: identical tables
+// and workloads, only the writer-lock granularity differs. Run with
+// -cpu to sweep writer parallelism, e.g.
+//
+//	go test -run '^$' -bench WriteUpsert -cpu 1,2,4,8 ./internal/core
+func benchmarkWriteUpsert(b *testing.B, opts ...Option) {
+	opts = append([]Option{WithInitialBuckets(8192)}, opts...)
+	tbl := NewUint64[int](opts...)
+	defer tbl.Close()
+	const keySpace = 16384
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// splitmix-style per-goroutine stream, disjoint seeds.
+		x := seq.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			x += 0x9e3779b97f4a7c15
+			k := (x ^ x>>31) % keySpace
+			tbl.Set(k, int(k))
+		}
+	})
+}
+
+// BenchmarkWriteUpsertStriped: default per-bucket writer stripes.
+func BenchmarkWriteUpsertStriped(b *testing.B) {
+	benchmarkWriteUpsert(b)
+}
+
+// BenchmarkWriteUpsertSingleLock: WithStripes(1) — the paper's
+// single writer mutex, the ablation baseline.
+func BenchmarkWriteUpsertSingleLock(b *testing.B) {
+	benchmarkWriteUpsert(b, WithStripes(1))
+}
+
+// BenchmarkWriteMixedStriped adds deletes (and hence unlink +
+// retirement traffic) to the striped write path.
+func BenchmarkWriteMixedStriped(b *testing.B) {
+	tbl := NewUint64[int](WithInitialBuckets(8192))
+	defer tbl.Close()
+	const keySpace = 16384
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := seq.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			x += 0x9e3779b97f4a7c15
+			k := (x ^ x>>31) % keySpace
+			if x&7 == 0 {
+				tbl.Delete(k)
+			} else {
+				tbl.Set(k, int(k))
+			}
+		}
+	})
+}
+
+// BenchmarkWriteContendedResize measures writer throughput while a
+// resizer continuously toggles the table — the stall the striped
+// scheme shrinks from "the whole resize" to "the array swap phases
+// plus my stripe's migration batches".
+func BenchmarkWriteContendedResize(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs >= 2 procs to overlap writers with a resizer")
+	}
+	tbl := NewUint64[int](WithInitialBuckets(4096))
+	defer tbl.Close()
+	for i := uint64(0); i < 8192; i++ {
+		tbl.Set(i, int(i))
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.ExpandOnce()
+			tbl.ShrinkOnce()
+		}
+	}()
+	const keySpace = 16384
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := seq.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			x += 0x9e3779b97f4a7c15
+			k := (x ^ x>>31) % keySpace
+			tbl.Set(k, int(k))
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkWriteSetBatch100 measures the sorted-stripe batch path:
+// 100 upserts per op, at most one lock hold per touched stripe.
+func BenchmarkWriteSetBatch100(b *testing.B) {
+	tbl := NewUint64[int](WithInitialBuckets(8192))
+	defer tbl.Close()
+	const batch = 100
+	const keySpace = 16384
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := seq.Add(1) * 0x9e3779b97f4a7c15
+		ks := make([]uint64, batch)
+		vs := make([]int, batch)
+		for pb.Next() {
+			for i := range ks {
+				x += 0x9e3779b97f4a7c15
+				ks[i] = (x ^ x>>31) % keySpace
+				vs[i] = int(ks[i])
+			}
+			tbl.SetBatch(ks, vs)
+		}
+	})
+}

@@ -10,10 +10,11 @@
 //
 //   - RPStore: the paper's patch. GET runs on the relativistic table
 //     with no locking at all (the item is read inside a delimited
-//     reader section); SET/DELETE/expiry/eviction take a writer
-//     mutex and use safe relativistic memory reclamation. The table
-//     auto-resizes by load factor, exercising the resize algorithm in
-//     production conditions.
+//     reader section); SET/DELETE/expiry/eviction lock only the
+//     key's writer stripe (the table's per-bucket lock) and use safe
+//     relativistic memory reclamation. The table auto-resizes by
+//     load factor, exercising the resize algorithm in production
+//     conditions.
 //
 // The protocol, connection handling, expiry, CAS and LRU eviction are
 // real; see DESIGN.md for what is simplified relative to memcached

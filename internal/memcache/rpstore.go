@@ -13,7 +13,8 @@ import (
 
 // RPStore is the paper's memcached patch: GETs are relativistic
 // lookups on the resizable hash table — no lock, no shared-counter
-// bump, no retry — while mutations serialize on a store mutex and
+// bump, no retry — while mutations lock per key (the table's writer
+// stripes, plus a store mutex for multi-step command sequences) and
 // retire replaced items through grace periods. The table auto-resizes
 // with load, so the unzip/zip algorithms run underneath live traffic.
 //
@@ -47,10 +48,18 @@ const rpSweepInterval = 100 * time.Millisecond
 // NewRPStore builds the relativistic engine. maxBytes <= 0 disables
 // eviction.
 //
-// The engine is backed by cache.Cache over shard.Map —
-// GOMAXPROCS-many relativistic tables behind one shared RCU domain —
-// so table writers hash to independent shard mutexes while every GET
-// stays a single lock-free chain walk. Expired items are reclaimed by
+// The engine is backed by cache.Cache over shard.Map — relativistic
+// tables behind one shared RCU domain, each with striped per-bucket
+// writer locks — so table-level writers to different chains never
+// contend while every GET stays a single lock-free chain walk. At
+// the store level, every mutating command (Set, Add, Replace, CAS,
+// Touch, Append, IncrDecr) still serializes on RPStore.mu: CAS-id
+// assignment and the conditional commands' check-then-store span a
+// cache Peek and a Set that must be atomic together, which the
+// per-key stripe alone cannot cover (Delete alone skips mu — it is
+// a single CompareAndDelete). Dropping mu for plain Set would need
+// a value-level CAS in the table; see the ROADMAP open item.
+// Expired items are reclaimed by
 // the cache's own incremental background sweeper (see
 // rpSweepInterval); the server's sweep ticker does not apply to this
 // store.

@@ -20,6 +20,18 @@ const quiescent = 0
 // use separate domains; a Synchronize in one domain does not wait for
 // readers of another.
 //
+// Lifecycle: NewDomain starts a background reclaimer goroutine that
+// runs Defer callbacks after grace periods; Close drains pending
+// callbacks and stops it. Synchronize, Register, and the reader
+// fast paths remain usable after Close — only the asynchronous
+// reclaimer is gone, so a post-Close Defer degrades gracefully: it
+// waits a full grace period and runs the callback synchronously on
+// the caller, preserving Defer's contract (fn runs only once no
+// reader can hold what it retires) at the cost of making the caller
+// pay the wait. That keeps late retirements from shutdown paths —
+// e.g. a final Delete racing a table Close — correct instead of
+// fatal.
+//
 // The zero value is not usable; call NewDomain.
 type Domain struct {
 	// epoch is the global grace-period clock. Always even. Starts at 2
@@ -243,12 +255,19 @@ func waitFor(state *atomic.Uint64, target uint64) {
 // every reader section that could currently hold a reference to
 // whatever fn retires has ended. Callbacks run on the domain's
 // reclaimer goroutine in queue order (batched: one grace period may
-// cover many callbacks).
+// cover many callbacks). After Close the reclaimer is gone, so Defer
+// falls back to synchronous execution: it waits a grace period and
+// runs fn on the calling goroutine before returning (see the Domain
+// lifecycle notes).
 func (d *Domain) Defer(fn func()) {
 	d.defMu.Lock()
 	if d.defClosed {
 		d.defMu.Unlock()
-		panic("rcu: Defer on closed Domain")
+		d.nDeferred.Add(1)
+		d.Synchronize()
+		fn()
+		d.nRan.Add(1)
+		return
 	}
 	d.defQ = append(d.defQ, fn)
 	d.defMu.Unlock()

@@ -332,15 +332,50 @@ func TestCloseIdempotent(t *testing.T) {
 	d.Close() // second Close must not hang or panic
 }
 
-func TestDeferAfterClosePanics(t *testing.T) {
+// TestDeferAfterCloseRunsSynchronously: with the reclaimer gone, a
+// post-Close Defer must still honor the contract — fn runs after a
+// full grace period — by synchronizing and running fn on the caller
+// before Defer returns.
+func TestDeferAfterCloseRunsSynchronously(t *testing.T) {
 	d := NewDomain()
+	before := d.Stats()
 	d.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Defer after Close should panic")
-		}
+	ran := false
+	d.Defer(func() { ran = true })
+	if !ran {
+		t.Fatal("post-Close Defer did not run the callback before returning")
+	}
+	after := d.Stats()
+	if after.GracePeriods <= before.GracePeriods {
+		t.Fatal("post-Close Defer did not wait a grace period before running fn")
+	}
+	if after.DeferredRan != after.Deferred {
+		t.Fatalf("counters out of sync after post-Close Defer: queued=%d ran=%d",
+			after.Deferred, after.DeferredRan)
+	}
+}
+
+// TestDeferAfterCloseWaitsForReaders: the synchronous fallback must
+// still wait for in-flight reader sections, not just return.
+func TestDeferAfterCloseWaitsForReaders(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	d.Close()
+
+	r.Lock()
+	done := make(chan struct{})
+	go func() {
+		d.Defer(func() {})
+		close(done)
 	}()
-	d.Defer(func() {})
+	select {
+	case <-done:
+		t.Fatal("post-Close Defer completed while a reader section was open")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Unlock() // the release: Defer's grace period may now complete
+	<-done
+	r.Close()
 }
 
 func TestManySynchronizersProgress(t *testing.T) {

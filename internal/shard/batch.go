@@ -1,13 +1,15 @@
 // Batched operations over the sharded map. A per-key Get pays a hash,
 // a shard dispatch, and a reader-section entry/exit; a per-key Set
-// additionally takes its shard's writer mutex. When callers arrive
+// additionally locks its key's writer stripe. When callers arrive
 // with many keys at once the map can do markedly better: hash every
 // key once, group keys by shard with a reusable per-call scratch (no
 // allocation after warm-up), then enter ONE reader section per
-// touched shard for reads and take each shard's writer mutex once per
-// group for writes. For a B-key batch over S shards that replaces B
-// section entries with at most min(B, S) and B mutex round-trips with
-// at most min(B, S).
+// touched shard for reads and hand each shard its whole group for
+// writes — the table applies the group in sorted-stripe order,
+// locking each touched stripe once (core.Table.SetBatchHashed). For
+// a B-key batch over S shards with E effective stripes per shard,
+// that replaces B section entries with at most min(B, S) and B lock
+// round-trips with at most min(B, S·E).
 package shard
 
 // batchScratch is the reusable per-call workspace for batch
@@ -152,11 +154,12 @@ func (m *Map[K, V]) BatchSections() uint64 { return m.batchSections.Total() }
 
 // SetBatch upserts every (ks[i], vs[i]) pair, returning how many keys
 // were newly inserted. Keys are hashed once and grouped by shard;
-// each touched shard's writer mutex is taken once for its whole
-// group (core.Table.SetBatchHashed), so a B-key batch over S shards
-// costs at most min(B, S) mutex acquisitions. Groups commit in shard
-// order — the batch is not atomic across shards — and duplicate keys
-// within the batch apply in order (last value wins).
+// each shard applies its group with sorted-stripe locking
+// (core.Table.SetBatchHashed) — every touched writer stripe locked
+// once for all of its keys — so concurrent writers on other stripes
+// keep flowing while the batch lands. Groups commit in shard order —
+// the batch is not atomic across shards — and duplicate keys within
+// the batch apply in order (last value wins).
 func (m *Map[K, V]) SetBatch(ks []K, vs []V) (inserted int) {
 	if len(vs) != len(ks) {
 		panic("shard: SetBatch length mismatch")
@@ -196,9 +199,9 @@ func (m *Map[K, V]) SetBatch(ks []K, vs []V) (inserted int) {
 }
 
 // DeleteBatch removes every key in ks, returning how many were
-// present. Grouping and mutex amortization match SetBatch; each
-// shard's unlinked nodes retire through one grace period rather than
-// one per key.
+// present. Grouping and stripe-lock amortization match SetBatch;
+// each shard's unlinked nodes retire through one grace period rather
+// than one per key.
 func (m *Map[K, V]) DeleteBatch(ks []K) (removed int) {
 	if len(ks) == 0 {
 		return 0

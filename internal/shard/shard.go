@@ -1,9 +1,18 @@
 // Package shard provides a sharded front-end over the relativistic
 // hash table: a Map partitions its keys across a power-of-two array
-// of core.Table shards so that writers — which serialize on a
-// per-table mutex in the paper's design — hash to independent shard
-// mutexes and scale with cores, while the read side stays exactly the
+// of core.Table shards, while the read side stays exactly the
 // paper's: wait-free, lock-free, retry-free.
+//
+// Since the core table gained per-bucket writer stripes, a single
+// table already scales with concurrent writers; shards are no longer
+// the primary write-scaling mechanism. What sharding still buys:
+// resize isolation (a resize's brief all-stripes phases and
+// migration batches stall only 1/Nth of the keyspace, and shards
+// resize independently and concurrently), shorter chains per resize
+// step, and more total write parallelism than one table's stripe
+// array under extreme writer counts. The default shard count is
+// accordingly modest — see DefaultShards — with WithShards as the
+// escape hatch in either direction.
 //
 // Shard routing uses the HIGH bits of the same 64-bit hash the tables
 // themselves use. Bucket selection inside a shard masks the LOW bits,
@@ -48,6 +57,7 @@ type Map[K comparable, V any] struct {
 type config struct {
 	shards  uint64
 	initial uint64 // total across shards; 0 = core default per shard
+	stripes int
 	policy  core.Policy
 	dom     *rcu.Domain
 }
@@ -56,8 +66,9 @@ type config struct {
 type Option func(*config)
 
 // WithShards sets the shard count (rounded up to a power of two,
-// minimum 1). The default is NextPowerOfTwo(GOMAXPROCS): one writer
-// mutex per core's worth of parallelism.
+// minimum 1), overriding the DefaultShards heuristic in either
+// direction: more shards for resize-heavy or extremely write-hot
+// workloads, one shard to get a single table with Map conveniences.
 func WithShards(n int) Option {
 	return func(c *config) {
 		if n < 1 {
@@ -80,10 +91,27 @@ func WithInitialBuckets(total uint64) Option { return func(c *config) { c.initia
 // is interpreted as a map-wide floor and divided across shards.
 func WithPolicy(p core.Policy) Option { return func(c *config) { c.policy = p } }
 
+// WithTableStripes sets each shard table's physical writer-stripe
+// count (see core.WithStripes). The core default — a few stripes per
+// core — is right for almost everyone; WithTableStripes(1) restores
+// the paper's one-mutex-per-table writer model for ablations.
+func WithTableStripes(n int) Option { return func(c *config) { c.stripes = n } }
+
 // DefaultShards returns the default shard count for this process:
-// NextPowerOfTwo(GOMAXPROCS).
+// one shard per ~4 cores (power of two, capped at 16). Before the
+// core table had striped writer locks this was
+// NextPowerOfTwo(GOMAXPROCS) — every core needed its own table
+// mutex to scale writes. Now each table carries its own stripe
+// array (a few stripes per core), so writer parallelism comes from
+// stripes and shards are kept for resize isolation; a handful is
+// enough, and fewer shards mean better per-table load statistics
+// and fewer resize storms.
 func DefaultShards() int {
-	return int(hashfn.NextPowerOfTwo(uint64(runtime.GOMAXPROCS(0))))
+	n := hashfn.NextPowerOfTwo(uint64(max(runtime.GOMAXPROCS(0)/4, 1)))
+	if n > 16 {
+		n = 16
+	}
+	return int(n)
 }
 
 // New creates a Map using hash to map keys to 64-bit hashes. The hash
@@ -114,6 +142,9 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Map[K, V] {
 	tblOpts := []core.Option{core.WithDomain(m.dom)}
 	if cfg.initial > 0 {
 		tblOpts = append(tblOpts, core.WithInitialBuckets(perShard(cfg.initial, cfg.shards)))
+	}
+	if cfg.stripes > 0 {
+		tblOpts = append(tblOpts, core.WithStripes(cfg.stripes))
 	}
 	p := cfg.policy
 	if p.MinBuckets > 0 {
@@ -203,8 +234,9 @@ func (m *Map[K, V]) Contains(k K) bool {
 }
 
 // Set upserts k, returning true if it inserted. Writers to different
-// shards proceed in parallel. The hash is computed once and passed
-// through to the shard.
+// shards — and, within a shard, to different writer stripes —
+// proceed in parallel. The hash is computed once and passed through
+// to the shard.
 func (m *Map[K, V]) Set(k K, v V) bool {
 	h := m.hash(k)
 	return m.shardFor(h).SetHashed(h, k, v)
@@ -334,6 +366,7 @@ func (m *Map[K, V]) Keys() []K {
 func accumulate(agg *core.Stats, st core.Stats) {
 	agg.Len += st.Len
 	agg.Buckets += st.Buckets
+	agg.Stripes += st.Stripes
 	agg.Inserts += st.Inserts
 	agg.Deletes += st.Deletes
 	agg.Moves += st.Moves

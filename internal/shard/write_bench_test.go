@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkWriteMapUpsert is the map-level companion of the core
+// write benchmarks picked up by `make bench-write`: concurrent
+// upserts through the full route (hash once, shard dispatch, striped
+// table write).
+func BenchmarkWriteMapUpsert(b *testing.B) {
+	m := NewUint64[int](WithInitialBuckets(8192))
+	defer m.Close()
+	const keySpace = 16384
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := seq.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			x += 0x9e3779b97f4a7c15
+			k := (x ^ x>>31) % keySpace
+			m.Set(k, int(k))
+		}
+	})
+}
+
+// BenchmarkWriteMapSetBatch100 drives the shard-grouped,
+// sorted-stripe batch write path end to end.
+func BenchmarkWriteMapSetBatch100(b *testing.B) {
+	m := NewUint64[int](WithInitialBuckets(8192))
+	defer m.Close()
+	const batch = 100
+	const keySpace = 16384
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := seq.Add(1) * 0x9e3779b97f4a7c15
+		ks := make([]uint64, batch)
+		vs := make([]int, batch)
+		for pb.Next() {
+			for i := range ks {
+				x += 0x9e3779b97f4a7c15
+				ks[i] = (x ^ x>>31) % keySpace
+				vs[i] = int(ks[i])
+			}
+			m.SetBatch(ks, vs)
+		}
+	})
+}

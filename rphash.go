@@ -73,17 +73,24 @@ func WithInitialBuckets(n uint64) Option { return core.WithInitialBuckets(n) }
 // WithPolicy installs an automatic resize policy.
 func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
 
+// WithStripes sets a table's physical writer-stripe count (rounded
+// to a power of two, clamped to [1, 256]; default a few per core).
+// WithStripes(1) reproduces the paper's single writer mutex — the
+// ablation baseline for the striped scheme.
+func WithStripes(n int) Option { return core.WithStripes(n) }
+
 // DefaultPolicy expands beyond 2 elements/bucket and shrinks below
 // 0.25, with a 64-bucket floor.
 func DefaultPolicy() Policy { return core.DefaultPolicy() }
 
 // Map is a sharded relativistic hash map: keys partition across a
-// power-of-two array of Tables so writers hash to independent shard
-// mutexes and scale with cores, while lookups keep the single-table
+// power-of-two array of Tables, while lookups keep the single-table
 // read side — wait-free, lock-free, retry-free — through one shared
-// Domain. Choose Table for single-writer workloads or when you need
-// Resize/Move atomicity across the whole structure; choose Map when
-// multiple goroutines write concurrently.
+// Domain. Since Table writers stripe per bucket, a single Table
+// already scales with concurrent writers; choose Map when resize
+// isolation matters (each shard resizes independently, stalling only
+// its own keys) or under extreme writer counts, and Table when you
+// need Resize/Move atomicity across the whole structure.
 //
 // Callers holding many keys at once should use the batch operations
 // (GetBatch/SetBatch/DeleteBatch): keys are hashed once and grouped
@@ -120,8 +127,14 @@ func NewMapString[V any](opts ...MapOption) *Map[string, V] {
 }
 
 // WithShards sets a Map's shard count (rounded up to a power of two).
-// The default is NextPowerOfTwo(GOMAXPROCS).
+// The default is one shard per ~4 cores, capped at 16 (writer
+// parallelism comes from each table's stripes; shards add resize
+// isolation).
 func WithShards(n int) MapOption { return shard.WithShards(n) }
+
+// WithMapTableStripes sets each shard table's writer-stripe count
+// (see WithStripes).
+func WithMapTableStripes(n int) MapOption { return shard.WithTableStripes(n) }
 
 // WithMapDomain shares an existing domain across a Map's shards (and
 // any other tables registered on it). Close will not close a shared
