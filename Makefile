@@ -5,7 +5,7 @@ GO      ?= go
 COUNT   ?= 10
 BENCHOUT ?= bench-write.txt
 
-.PHONY: test race bench-write bench-smoke fig5
+.PHONY: test race bench-write bench-adapt bench-shards bench-smoke fig5 ablation6
 
 test:
 	$(GO) build ./...
@@ -31,6 +31,23 @@ bench-write:
 	$(GO) test -run='^$$' -bench='Write' -benchmem -count=$(COUNT) \
 		./internal/core ./internal/shard | tee $(BENCHOUT)
 
+# bench-adapt produces benchstat-friendly output for the adaptive
+# maintenance paths: adaptive-vs-fixed upserts (controller overhead +
+# convergence), the SetStripes array-swap cost, and sequential vs
+# parallel unzip expansions. Same before/after flow as bench-write.
+bench-adapt:
+	$(GO) test -run='^$$' -bench='Adapt' -benchmem -count=$(COUNT) \
+		./internal/core | tee bench-adapt.txt
+
+# bench-shards is the shard-layer diet sweep: shards=1 vs the default
+# shard count on pure-upsert and 90/10 mixed workloads, striped
+# tables, adapt pinned off. Feed the two series to benchstat to decide
+# whether DefaultShards still earns its keep on your hardware (the
+# README records the reference result).
+bench-shards:
+	$(GO) test -run='^$$' -bench='Shards' -benchmem -count=$(COUNT) \
+		./internal/shard | tee bench-shards.txt
+
 # bench-smoke mirrors CI: every benchmark once, so bench code cannot rot.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
@@ -39,3 +56,9 @@ bench-smoke:
 # ablation vs sharded map vs lock baselines) and writes BENCH_fig5.json.
 fig5:
 	$(GO) run ./cmd/rphash-bench -fig 5 -json
+
+# ablation6 runs the adaptive-maintenance ablation (fixed-vs-adaptive
+# stripes on uniform and zipf writers; sequential vs parallel unzip)
+# and writes BENCH_ablation6.json.
+ablation6:
+	$(GO) run ./cmd/rphash-bench -adapt -json

@@ -1,0 +1,123 @@
+// Command benchgate compares two BENCH_fig<N>.json trajectory files
+// (see cmd/rphash-bench -json) and emits GitHub Actions warning
+// annotations for engines whose throughput dropped more than a
+// threshold at a given thread count. It ANNOTATES, never fails: the
+// exit status is 0 whenever both files parse, so a noisy CI box
+// cannot block a merge — the warning shows up on the run summary for
+// a human to judge.
+//
+// Usage:
+//
+//	benchgate -old prev/BENCH_fig5.json -new BENCH_fig5.json \
+//	          -threads 8 -drop 0.15
+//
+// CI uses it as the figure-5 regression gate: download the previous
+// successful run's bench-json artifact, compare the 8-writer upsert
+// points, and annotate any engine that lost more than 15%.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// figure mirrors cmd/rphash-bench's BENCH_fig<N>.json format.
+type figure struct {
+	Figure int     `json:"figure"`
+	Title  string  `json:"title"`
+	Points []point `json:"points"`
+}
+
+type point struct {
+	Engine    string  `json:"engine"`
+	Threads   int     `json:"threads"`
+	Batch     int     `json:"batch"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// regression is one engine's old-vs-new comparison at the gated
+// thread count.
+type regression struct {
+	Engine   string
+	Old, New float64
+	Drop     float64 // fractional: (old-new)/old
+}
+
+// compare pairs engines present in both figures at `threads` (batch
+// 1) and returns those whose throughput dropped by more than
+// `maxDrop`.
+func compare(oldFig, newFig figure, threads int, maxDrop float64) []regression {
+	at := func(f figure) map[string]float64 {
+		m := make(map[string]float64)
+		for _, p := range f.Points {
+			if p.Threads == threads && p.Batch <= 1 {
+				m[p.Engine] = p.OpsPerSec
+			}
+		}
+		return m
+	}
+	oldPts, newPts := at(oldFig), at(newFig)
+	var out []regression
+	for engine, oldOps := range oldPts {
+		newOps, ok := newPts[engine]
+		if !ok || oldOps <= 0 {
+			continue // engine renamed/removed: nothing to gate
+		}
+		if drop := (oldOps - newOps) / oldOps; drop > maxDrop {
+			out = append(out, regression{Engine: engine, Old: oldOps, New: newOps, Drop: drop})
+		}
+	}
+	return out
+}
+
+func readFigure(path string) (figure, error) {
+	var f figure
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "previous run's BENCH_fig<N>.json")
+		newPath = flag.String("new", "BENCH_fig5.json", "this run's BENCH_fig<N>.json")
+		threads = flag.Int("threads", 8, "thread count to gate on")
+		drop    = flag.Float64("drop", 0.15, "fractional throughput drop that triggers an annotation")
+	)
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old is required")
+		os.Exit(2)
+	}
+	oldFig, err := readFigure(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newFig, err := readFigure(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	regs := compare(oldFig, newFig, *threads, *drop)
+	if len(regs) == 0 {
+		fmt.Printf("benchgate: no engine dropped more than %.0f%% at %d threads (fig %d)\n",
+			*drop*100, *threads, newFig.Figure)
+		return
+	}
+	for _, r := range regs {
+		// ::warning:: renders as an annotation on the workflow run;
+		// plain echo keeps the numbers in the log too.
+		fmt.Printf("::warning title=fig%d throughput regression::engine %s at %d threads dropped %.1f%% (%.0f -> %.0f ops/s vs previous run)\n",
+			newFig.Figure, r.Engine, *threads, r.Drop*100, r.Old, r.New)
+	}
+	// Annotate-only by design: exit 0.
+}

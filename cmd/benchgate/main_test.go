@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func fig(points ...point) figure { return figure{Figure: 5, Points: points} }
+
+// TestCompare pins the gate semantics: only same-engine, same-thread,
+// batch<=1 points compare; drops over the threshold flag; rises,
+// small drops, and removed engines never do.
+func TestCompare(t *testing.T) {
+	oldFig := fig(
+		point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 1000},
+		point{Engine: "RP", Threads: 4, Batch: 1, OpsPerSec: 900},
+		point{Engine: "mutex", Threads: 8, Batch: 1, OpsPerSec: 500},
+		point{Engine: "gone", Threads: 8, Batch: 1, OpsPerSec: 500},
+	)
+	newFig := fig(
+		point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 800},    // -20%: flagged
+		point{Engine: "RP", Threads: 4, Batch: 1, OpsPerSec: 100},    // wrong threads: ignored
+		point{Engine: "mutex", Threads: 8, Batch: 1, OpsPerSec: 460}, // -8%: under threshold
+	)
+
+	regs := compare(oldFig, newFig, 8, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the RP drop", regs)
+	}
+	r := regs[0]
+	if r.Engine != "RP" || r.Drop < 0.19 || r.Drop > 0.21 {
+		t.Fatalf("regression = %+v, want RP at ~20%%", r)
+	}
+
+	// Improvement never flags.
+	better := fig(point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 2000})
+	if regs := compare(oldFig, better, 8, 0.15); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+
+	// Batched points (figure 7 style) are excluded from the gate.
+	batched := fig(point{Engine: "RP", Threads: 8, Batch: 100, OpsPerSec: 1})
+	if regs := compare(oldFig, batched, 8, 0.15); len(regs) != 0 {
+		t.Fatalf("batch point gated: %+v", regs)
+	}
+
+	// Zero/absent old throughput never divides by zero.
+	zero := fig(point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 0})
+	if regs := compare(zero, newFig, 8, 0.15); len(regs) != 0 {
+		t.Fatalf("zero-baseline flagged: %+v", regs)
+	}
+}

@@ -1,0 +1,379 @@
+// Package adapt is the table's adaptive maintenance control plane.
+//
+// The paper's thesis is that relativistic resizing turns the table's
+// shape into a runtime decision; this package extends that from the
+// bucket array to the two knobs the striped-writer design added: the
+// writer-stripe count and the unzip migration fan-out. A Controller
+// periodically samples cheap telemetry the table already maintains —
+// per-stripe lock contention counters and the live unzip backlog —
+// and actuates through two table operations that follow the same
+// relativistic swap discipline as a resize:
+//
+//   - Stripe retuning: when the sampled contention rate (blocked
+//     stripe acquisitions / total acquisitions) stays above the grow
+//     threshold for GrowStreak consecutive samples, the physical lock
+//     array doubles (SetStripes), up to MaxStripes; when it stays
+//     below the shrink threshold for ShrinkStreak samples, it halves,
+//     down to MinStripes. The two thresholds sit an order of
+//     magnitude apart and the shrink streak is much longer than the
+//     grow streak, so the controller reacts to bursts quickly but
+//     gives capacity back reluctantly — classic hysteresis, no
+//     thrash.
+//
+//   - Migration fan-out: while an expansion is unzipping, the
+//     controller sizes the table's unzip worker pool from the
+//     observed backlog (one extra worker per BacklogPerWorker parent
+//     chains, capped at MaxUnzipWorkers), so big resizes finish in a
+//     fraction of the sequential wall time while small ones stay on
+//     the cheap sequential path.
+//
+// The controller is deliberately decoupled from the table's generic
+// type: it drives the narrow Table interface, which *core.Table[K,V]
+// implements for every K and V. It never touches the read path, takes
+// no table locks itself (the actuators do their own choreography),
+// and stops promptly on either Stop or the close of the done channel
+// it was started with (normally the RCU domain's Done).
+package adapt
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rphash/internal/hashfn"
+)
+
+// Table is the maintenance surface a Controller drives. *core.Table
+// implements it; any table exposing the same telemetry/actuator pair
+// can be maintained.
+type Table interface {
+	// ContentionCounters returns cumulative stripe-lock telemetry:
+	// total writer stripe acquisitions, and how many blocked.
+	ContentionCounters() (acquires, contended uint64)
+	// Stripes returns the current physical stripe count.
+	Stripes() int
+	// TrySetStripes retunes the physical stripe count, reporting
+	// whether the array changed. It must NOT block behind in-flight
+	// maintenance (a resize): the controller calls it from its
+	// sampling loop, which has to stay live to keep sizing the
+	// migration fan-out while a resize runs. A false return is
+	// retried on a later qualifying sample.
+	TrySetStripes(n int) bool
+	// UnzipBacklog reports the parent chains an in-flight expansion
+	// still has to migrate (0 when idle).
+	UnzipBacklog() int
+	// UnzipWorkers returns the current migration fan-out setting.
+	UnzipWorkers() int
+	// SetUnzipWorkers sets the migration fan-out for unzip passes.
+	SetUnzipWorkers(n int)
+}
+
+// Config tunes a Controller. The zero value is not meaningful; start
+// from DefaultConfig and override.
+type Config struct {
+	// Interval is the sampling cadence.
+	Interval time.Duration
+
+	// GrowRate is the contention rate (contended/acquires per
+	// interval) at or above which the stripe count doubles once the
+	// streak requirement is met.
+	GrowRate float64
+	// ShrinkRate is the rate at or below which the stripe count
+	// halves once the (longer) shrink streak is met. Keep it well
+	// under GrowRate or the controller oscillates.
+	ShrinkRate float64
+	// GrowStreak / ShrinkStreak are how many consecutive qualifying
+	// samples must accumulate before acting — the hysteresis.
+	GrowStreak   int
+	ShrinkStreak int
+	// MinStripes / MaxStripes bound the retuning range (powers of
+	// two; the table clamps further to its own [1, 256]).
+	MinStripes int
+	MaxStripes int
+	// MinSamples is the minimum stripe acquisitions an interval must
+	// observe before its rate counts toward either streak; quieter
+	// intervals reset both streaks (an idle table drifts toward
+	// neither direction on noise).
+	MinSamples uint64
+
+	// MaxUnzipWorkers caps the migration fan-out (1 pins the
+	// sequential resizer). BacklogPerWorker is how many backlogged
+	// parent chains justify one more worker.
+	MaxUnzipWorkers  int
+	BacklogPerWorker int
+}
+
+// DefaultConfig returns the production defaults: 100ms sampling, grow
+// at >=5% contention for 2 samples, shrink at <=0.5% for 10 samples,
+// stripe range [64, 256] (the construction-time floor and cap), and a
+// migration fan-out of up to half the cores, one worker per 64
+// backlogged parents.
+func DefaultConfig() *Config {
+	return &Config{
+		Interval:         100 * time.Millisecond,
+		GrowRate:         0.05,
+		ShrinkRate:       0.005,
+		GrowStreak:       2,
+		ShrinkStreak:     10,
+		MinStripes:       64,
+		MaxStripes:       256,
+		MinSamples:       256,
+		MaxUnzipWorkers:  max(runtime.GOMAXPROCS(0)/2, 1),
+		BacklogPerWorker: 64,
+	}
+}
+
+// sanitize fills unusable fields with defaults so a partially
+// specified config behaves.
+func (c Config) sanitize() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.GrowRate <= 0 {
+		c.GrowRate = d.GrowRate
+	}
+	if c.ShrinkRate < 0 || c.ShrinkRate >= c.GrowRate {
+		c.ShrinkRate = min(d.ShrinkRate, c.GrowRate/10)
+	}
+	if c.GrowStreak <= 0 {
+		c.GrowStreak = d.GrowStreak
+	}
+	if c.ShrinkStreak <= 0 {
+		c.ShrinkStreak = d.ShrinkStreak
+	}
+	if c.MinStripes <= 0 {
+		c.MinStripes = d.MinStripes
+	}
+	// The table's stripe counts are powers of two (SetStripes rounds
+	// UP), so non-power-of-two bounds would be overshot: align the
+	// floor up and the ceiling down before clamping targets against
+	// them.
+	c.MinStripes = ceilPow2(c.MinStripes)
+	c.MaxStripes = floorPow2(c.MaxStripes)
+	if c.MaxStripes < c.MinStripes {
+		c.MaxStripes = max(floorPow2(d.MaxStripes), c.MinStripes)
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = d.MinSamples
+	}
+	if c.MaxUnzipWorkers <= 0 {
+		c.MaxUnzipWorkers = d.MaxUnzipWorkers
+	}
+	// The table itself caps the fan-out at 64 (core's maxUnzipWorkers)
+	// and silently clamps larger settings; capping here too keeps the
+	// controller's bookkeeping (lastWorkers, Stats.UnzipWorkers) equal
+	// to what the table actually runs on many-core hosts.
+	if c.MaxUnzipWorkers > 64 {
+		c.MaxUnzipWorkers = 64
+	}
+	if c.BacklogPerWorker <= 0 {
+		c.BacklogPerWorker = d.BacklogPerWorker
+	}
+	return c
+}
+
+// ceilPow2 rounds n up to a power of two (the same normalization the
+// table's clampStripes applies, via the same helper); floorPow2
+// rounds down.
+func ceilPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(hashfn.NextPowerOfTwo(uint64(n)))
+}
+
+func floorPow2(n int) int {
+	p := ceilPow2(n)
+	if p > n {
+		p >>= 1
+	}
+	return p
+}
+
+// Stats is a controller observability snapshot. Aggregate several
+// (one per shard table) with Accumulate.
+type Stats struct {
+	Samples       uint64  // sampling intervals processed
+	StripeGrows   uint64  // retunes that doubled the stripe count
+	StripeShrinks uint64  // retunes that halved it
+	WorkerRetunes uint64  // unzip fan-out adjustments applied
+	LastRate      float64 // most recent sampled contention rate
+	Stripes       int     // current physical stripe count
+	UnzipWorkers  int     // current fan-out setting
+}
+
+// Accumulate folds another controller's snapshot into s: counters
+// sum, Stripes and UnzipWorkers sum (total actuated capacity), and
+// LastRate keeps the maximum (the hottest table dominates).
+func (s *Stats) Accumulate(o Stats) {
+	s.Samples += o.Samples
+	s.StripeGrows += o.StripeGrows
+	s.StripeShrinks += o.StripeShrinks
+	s.WorkerRetunes += o.WorkerRetunes
+	s.Stripes += o.Stripes
+	s.UnzipWorkers += o.UnzipWorkers
+	if o.LastRate > s.LastRate {
+		s.LastRate = o.LastRate
+	}
+}
+
+// Controller is one table's maintenance goroutine. Create with Start;
+// Stop (idempotent) or the done channel ends it.
+type Controller struct {
+	t    Table
+	cfg  Config
+	done <-chan struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	samples       atomic.Uint64
+	grows         atomic.Uint64
+	shrinks       atomic.Uint64
+	workerRetunes atomic.Uint64
+	lastRateBits  atomic.Uint64
+	// baseWorkers is the table's fan-out when the controller
+	// attached — a caller-pinned WithUnzipWorkers value acts as the
+	// floor the backlog-driven setting never drops below.
+	// lastWorkers is the last setting this controller applied (or
+	// inherited), so Stats reports truthfully and unchanged wants
+	// skip the store.
+	baseWorkers int
+	lastWorkers atomic.Int32
+}
+
+// Start launches a controller sampling t on cfg's cadence. A nil cfg
+// uses DefaultConfig. The controller exits when Stop is called or
+// when done (if non-nil — normally the table's rcu Domain.Done) is
+// closed; both paths are prompt, no poll-on-defer.
+func Start(t Table, cfg *Config, done <-chan struct{}) *Controller {
+	c := &Controller{t: t, done: done, stop: make(chan struct{})}
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	c.cfg = cfg.sanitize() // defaults included: GOMAXPROCS-derived fields still need the caps
+	c.baseWorkers = max(t.UnzipWorkers(), 1)
+	c.lastWorkers.Store(int32(c.baseWorkers))
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// Stop ends the controller and waits for its goroutine. Safe to call
+// more than once and concurrently with the done channel closing.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Stats returns a point-in-time snapshot.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Samples:       c.samples.Load(),
+		StripeGrows:   c.grows.Load(),
+		StripeShrinks: c.shrinks.Load(),
+		WorkerRetunes: c.workerRetunes.Load(),
+		LastRate:      math.Float64frombits(c.lastRateBits.Load()),
+		Stripes:       c.t.Stripes(),
+		UnzipWorkers:  int(c.lastWorkers.Load()),
+	}
+}
+
+func (c *Controller) run() {
+	defer c.wg.Done()
+	// On exit, restore the fan-out the table had when this controller
+	// attached: a successor controller (Table.Maintain replacement)
+	// starts AFTER Stop returns and reads the table's setting as its
+	// own floor — it must inherit the caller-pinned baseline, not a
+	// transient backlog-raised value this controller happened to
+	// leave behind.
+	defer c.t.SetUnzipWorkers(c.baseWorkers)
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+
+	prevAcq, prevCon := c.t.ContentionCounters()
+	growStreak, shrinkStreak := 0, 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.done:
+			return
+		case <-tick.C:
+		}
+		c.samples.Add(1)
+
+		// Size the migration fan-out from the live unzip backlog
+		// before looking at contention: a resize in flight is the
+		// moment the setting matters, and each unzip pass re-reads
+		// it. The setting decays back to 1 when the backlog drains
+		// so the next small resize stays sequential.
+		c.retuneWorkers()
+
+		acq, con := c.t.ContentionCounters()
+		dAcq, dCon := acq-prevAcq, con-prevCon
+		prevAcq, prevCon = acq, con
+		if dAcq < c.cfg.MinSamples {
+			growStreak, shrinkStreak = 0, 0
+			continue
+		}
+		rate := float64(dCon) / float64(dAcq)
+		c.lastRateBits.Store(math.Float64bits(rate))
+
+		switch {
+		case rate >= c.cfg.GrowRate:
+			shrinkStreak = 0
+			if growStreak++; growStreak >= c.cfg.GrowStreak {
+				growStreak = 0
+				if s := c.t.Stripes(); s < c.cfg.MaxStripes {
+					// False when a resize holds the maintenance lock —
+					// the streak rebuilds and the retune lands after.
+					if c.t.TrySetStripes(min(s*2, c.cfg.MaxStripes)) {
+						c.grows.Add(1)
+					}
+				}
+			}
+		case rate <= c.cfg.ShrinkRate:
+			growStreak = 0
+			if shrinkStreak++; shrinkStreak >= c.cfg.ShrinkStreak {
+				shrinkStreak = 0
+				if s := c.t.Stripes(); s > c.cfg.MinStripes {
+					if c.t.TrySetStripes(max(s/2, c.cfg.MinStripes)) {
+						c.shrinks.Add(1)
+					}
+				}
+			}
+		default:
+			// Inside the hysteresis band: hold shape.
+			growStreak, shrinkStreak = 0, 0
+		}
+	}
+}
+
+// retuneWorkers maps the current unzip backlog to a fan-out and
+// applies it if it changed: one more worker per BacklogPerWorker
+// backlogged parents, capped at MaxUnzipWorkers, never below the
+// fan-out the table was configured with when the controller attached
+// (a pinned WithUnzipWorkers is a floor, not a suggestion).
+func (c *Controller) retuneWorkers() {
+	if c.cfg.MaxUnzipWorkers <= 1 {
+		return
+	}
+	want := 1 + c.t.UnzipBacklog()/c.cfg.BacklogPerWorker
+	if want < c.baseWorkers {
+		want = c.baseWorkers
+	}
+	if want > c.cfg.MaxUnzipWorkers {
+		want = c.cfg.MaxUnzipWorkers
+	}
+	if int32(want) == c.lastWorkers.Load() {
+		return
+	}
+	c.t.SetUnzipWorkers(want)
+	c.lastWorkers.Store(int32(want))
+	c.workerRetunes.Add(1)
+}

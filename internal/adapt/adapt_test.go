@@ -1,0 +1,343 @@
+package adapt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTable is a scripted Table: the test feeds contention deltas and
+// backlog values, and observes the controller's actuations.
+type fakeTable struct {
+	mu       sync.Mutex
+	acquires uint64
+	contends uint64
+	stripes  int
+	backlog  int
+
+	setStripes []int // history of TrySetStripes targets
+	workers    atomic.Int32
+}
+
+func (f *fakeTable) ContentionCounters() (uint64, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.acquires, f.contends
+}
+
+func (f *fakeTable) Stripes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stripes
+}
+
+func (f *fakeTable) TrySetStripes(n int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.setStripes = append(f.setStripes, n)
+	if n == f.stripes {
+		return false
+	}
+	f.stripes = n
+	return true
+}
+
+func (f *fakeTable) UnzipBacklog() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.backlog
+}
+
+func (f *fakeTable) UnzipWorkers() int     { return int(f.workers.Load()) }
+func (f *fakeTable) SetUnzipWorkers(n int) { f.workers.Store(int32(n)) }
+
+// feed adds one interval's worth of telemetry.
+func (f *fakeTable) feed(acquires, contended uint64) {
+	f.mu.Lock()
+	f.acquires += acquires
+	f.contends += contended
+	f.mu.Unlock()
+}
+
+func (f *fakeTable) setBacklog(n int) {
+	f.mu.Lock()
+	f.backlog = n
+	f.mu.Unlock()
+}
+
+// testConfig samples fast with single-interval hysteresis so the
+// tests stay deterministic at the sample level.
+func testConfig() *Config {
+	return &Config{
+		Interval:         2 * time.Millisecond,
+		GrowRate:         0.10,
+		ShrinkRate:       0.01,
+		GrowStreak:       2,
+		ShrinkStreak:     3,
+		MinStripes:       4,
+		MaxStripes:       64,
+		MinSamples:       100,
+		MaxUnzipWorkers:  8,
+		BacklogPerWorker: 50,
+	}
+}
+
+// waitFor polls until pred holds or the deadline passes.
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestControllerGrowsOnSustainedContention: a contention rate above
+// GrowRate for GrowStreak samples doubles the stripes; a single hot
+// sample does not.
+func TestControllerGrowsOnSustainedContention(t *testing.T) {
+	f := &fakeTable{stripes: 8}
+	done := make(chan struct{})
+	defer close(done)
+	feedStop := make(chan struct{})
+	go func() { // sustained 50% contention, plenty of samples
+		for {
+			select {
+			case <-feedStop:
+				return
+			default:
+			}
+			f.feed(1000, 500)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	c := Start(f, testConfig(), done)
+	defer c.Stop()
+
+	waitFor(t, "stripe grow", func() bool { return f.Stripes() > 8 })
+	close(feedStop)
+	st := c.Stats()
+	if st.StripeGrows == 0 {
+		t.Fatalf("Stats().StripeGrows = 0 after growth; stats = %+v", st)
+	}
+	if st.LastRate < 0.4 || st.LastRate > 0.6 {
+		t.Fatalf("LastRate = %.3f, want ~0.5", st.LastRate)
+	}
+	// Growth is by doubling.
+	for _, n := range f.setStripes {
+		if n != 16 && n != 32 && n != 64 {
+			t.Fatalf("TrySetStripes(%d): not a doubling from 8 within bounds", n)
+		}
+	}
+}
+
+// TestControllerRespectsMaxStripes: growth stops at the configured
+// ceiling no matter how hot the table stays.
+func TestControllerRespectsMaxStripes(t *testing.T) {
+	f := &fakeTable{stripes: 64} // already at MaxStripes
+	done := make(chan struct{})
+	defer close(done)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.feed(1000, 900)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	c := Start(f, testConfig(), done)
+	defer c.Stop()
+
+	waitFor(t, "samples", func() bool { return c.Stats().Samples >= 10 })
+	f.mu.Lock()
+	calls := len(f.setStripes)
+	f.mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("TrySetStripes called %d times at the MaxStripes ceiling", calls)
+	}
+}
+
+// TestControllerShrinksOnSustainedQuiet: a rate below ShrinkRate for
+// ShrinkStreak samples halves the stripes, and never below
+// MinStripes.
+func TestControllerShrinksOnSustainedQuiet(t *testing.T) {
+	f := &fakeTable{stripes: 8}
+	done := make(chan struct{})
+	defer close(done)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // busy but uncontended
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.feed(1000, 0)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	c := Start(f, testConfig(), done)
+	defer c.Stop()
+
+	waitFor(t, "shrink to MinStripes", func() bool { return f.Stripes() == 4 })
+	waitFor(t, "a few more samples", func() bool { return c.Stats().Samples >= 20 })
+	if got := f.Stripes(); got != 4 {
+		t.Fatalf("Stripes() = %d, want to stay at MinStripes 4", got)
+	}
+	if st := c.Stats(); st.StripeShrinks == 0 {
+		t.Fatalf("Stats().StripeShrinks = 0 after shrink; stats = %+v", st)
+	}
+}
+
+// TestControllerIgnoresIdleIntervals: intervals under MinSamples
+// never move the stripes, whatever their (noisy) rate.
+func TestControllerIgnoresIdleIntervals(t *testing.T) {
+	f := &fakeTable{stripes: 8}
+	done := make(chan struct{})
+	defer close(done)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // 10 acquisitions per ms, all contended — but < MinSamples per 2ms interval
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.feed(10, 10)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	c := Start(f, testConfig(), done)
+	defer c.Stop()
+
+	waitFor(t, "samples", func() bool { return c.Stats().Samples >= 20 })
+	f.mu.Lock()
+	calls := len(f.setStripes)
+	f.mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("TrySetStripes called %d times on idle-interval noise", calls)
+	}
+}
+
+// TestControllerSizesUnzipFanout: the worker setting follows the
+// backlog — 1 at idle, +1 per BacklogPerWorker parents, capped at
+// MaxUnzipWorkers — and decays back when the backlog drains.
+func TestControllerSizesUnzipFanout(t *testing.T) {
+	f := &fakeTable{stripes: 8}
+	done := make(chan struct{})
+	defer close(done)
+	c := Start(f, testConfig(), done)
+	defer c.Stop()
+
+	f.setBacklog(120) // 1 + 120/50 = 3
+	waitFor(t, "fan-out 3", func() bool { return f.workers.Load() == 3 })
+
+	f.setBacklog(100000) // capped at 8
+	waitFor(t, "fan-out cap", func() bool { return f.workers.Load() == 8 })
+
+	f.setBacklog(0)
+	waitFor(t, "fan-out decay", func() bool { return f.workers.Load() == 1 })
+
+	if st := c.Stats(); st.WorkerRetunes < 3 {
+		t.Fatalf("Stats().WorkerRetunes = %d, want >= 3", st.WorkerRetunes)
+	}
+}
+
+// TestControllerRespectsPinnedFanout: a table configured with an
+// explicit fan-out (WithUnzipWorkers) keeps it as a floor — the
+// controller adds workers for backlog but never decays below the
+// pinned value, and reports it truthfully from the start.
+func TestControllerRespectsPinnedFanout(t *testing.T) {
+	f := &fakeTable{stripes: 8}
+	f.workers.Store(4) // caller pinned 4 before the controller attached
+	done := make(chan struct{})
+	defer close(done)
+	c := Start(f, testConfig(), done)
+	defer c.Stop()
+
+	if got := c.Stats().UnzipWorkers; got != 4 {
+		t.Fatalf("Stats().UnzipWorkers = %d at start, want the table's pinned 4", got)
+	}
+
+	f.setBacklog(300) // 1 + 300/50 = 7 > floor
+	waitFor(t, "fan-out above floor", func() bool { return f.workers.Load() == 7 })
+
+	f.setBacklog(0) // decays to the floor, not to 1
+	waitFor(t, "decay to pinned floor", func() bool { return f.workers.Load() == 4 })
+	waitFor(t, "more samples at floor", func() bool { return c.Stats().Samples >= 10 })
+	if got := f.workers.Load(); got != 4 {
+		t.Fatalf("fan-out = %d after decay, want pinned floor 4", got)
+	}
+}
+
+// TestControllerStops: Stop is idempotent, and the done channel alone
+// also ends the run loop promptly.
+func TestControllerStops(t *testing.T) {
+	f := &fakeTable{stripes: 8}
+	done := make(chan struct{})
+	c := Start(f, testConfig(), done)
+	c.Stop()
+	c.Stop() // idempotent
+
+	done2 := make(chan struct{})
+	c2 := Start(f, testConfig(), done2)
+	close(done2) // domain-close path
+	fin := make(chan struct{})
+	go func() { c2.wg.Wait(); close(fin) }()
+	select {
+	case <-fin:
+	case <-time.After(2 * time.Second):
+		t.Fatal("controller did not exit after its done channel closed")
+	}
+	c2.Stop() // still safe afterwards
+}
+
+// TestSanitizeFillsDefaults: a partially specified config gets usable
+// values everywhere and never an inverted rate band.
+func TestSanitizeFillsDefaults(t *testing.T) {
+	c := Config{GrowRate: 0.2}.sanitize()
+	if c.Interval <= 0 || c.GrowStreak <= 0 || c.ShrinkStreak <= 0 ||
+		c.MinStripes <= 0 || c.MaxStripes < c.MinStripes ||
+		c.MinSamples == 0 || c.MaxUnzipWorkers <= 0 || c.BacklogPerWorker <= 0 {
+		t.Fatalf("sanitize left unusable fields: %+v", c)
+	}
+	if c.ShrinkRate >= c.GrowRate {
+		t.Fatalf("sanitize produced inverted band: shrink %.3f >= grow %.3f", c.ShrinkRate, c.GrowRate)
+	}
+	if d := DefaultConfig(); d.ShrinkRate >= d.GrowRate {
+		t.Fatalf("DefaultConfig has inverted band: %+v", d)
+	}
+
+	// Non-power-of-two bounds align inward (floor up, ceiling down),
+	// since the table rounds stripe counts up to powers of two and
+	// raw bounds would otherwise be overshot.
+	c = Config{MinStripes: 48, MaxStripes: 100}.sanitize()
+	if c.MinStripes != 64 || c.MaxStripes != 64 {
+		t.Fatalf("sanitize bounds = [%d, %d], want [64, 64]", c.MinStripes, c.MaxStripes)
+	}
+	c = Config{MinStripes: 3, MaxStripes: 1000}.sanitize()
+	if c.MinStripes != 4 || c.MaxStripes != 512 {
+		t.Fatalf("sanitize bounds = [%d, %d], want [4, 512]", c.MinStripes, c.MaxStripes)
+	}
+}
+
+// TestAccumulate pins the aggregate semantics shard.Map relies on.
+func TestAccumulate(t *testing.T) {
+	var agg Stats
+	agg.Accumulate(Stats{Samples: 2, StripeGrows: 1, Stripes: 8, UnzipWorkers: 1, LastRate: 0.1})
+	agg.Accumulate(Stats{Samples: 3, StripeShrinks: 2, Stripes: 16, UnzipWorkers: 4, LastRate: 0.5})
+	want := Stats{Samples: 5, StripeGrows: 1, StripeShrinks: 2, Stripes: 24, UnzipWorkers: 5, LastRate: 0.5}
+	if agg != want {
+		t.Fatalf("Accumulate = %+v, want %+v", agg, want)
+	}
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"rphash/internal/adapt"
+	"rphash/internal/core"
+)
+
+// Ablation A6: adaptive maintenance.
+//
+// A6a (AblationAdaptiveStripes) asks whether the adapt controller
+// removes the need to tune the stripe count per workload: it sweeps
+// fixed stripe counts over one table under a multi-writer upsert
+// load — once with uniform keys, once Zipf-skewed — and runs the
+// same load against a table whose stripes start at 1 and are retuned
+// at runtime from sampled contention. The acceptance bar is the
+// adaptive row landing within a few percent of the best fixed row on
+// BOTH workloads, with one configuration.
+//
+// A6b (AblationParallelUnzip) measures what the migration fan-out
+// buys: one doubling of a preloaded table, sequential resizer vs 2/4
+// workers, wall time and pass counts reported. Batches on different
+// stripes are independent and all workers share each pass's single
+// grace period, so the win is pure migration parallelism.
+
+// AdaptiveStripesResult is one row of ablation A6a (JSON tags match
+// the BENCH_ablation6.json trajectory format).
+type AdaptiveStripesResult struct {
+	Workload    string  `json:"workload"` // "uniform" or "zipf"
+	Setting     string  `json:"setting"`  // "fixed-N" or "adaptive"
+	Writers     int     `json:"writers"`
+	UpsertsPerS float64 `json:"ops_per_sec"`
+	// EndStripes is the table's stripe count when the run finished —
+	// for the adaptive rows, where the controller moved it.
+	EndStripes int `json:"end_stripes"`
+}
+
+// adaptBenchConfig is the controller configuration the adaptive rows
+// run: same thresholds as production, sampled fast enough to
+// converge inside a benchmark interval, allowed the full [1, 256]
+// range so it must FIND the right count rather than start near it.
+func adaptBenchConfig() *adapt.Config {
+	cfg := adapt.DefaultConfig()
+	cfg.Interval = 10 * time.Millisecond
+	cfg.GrowStreak = 1
+	cfg.MinStripes = 1
+	cfg.MinSamples = 64
+	return cfg
+}
+
+// AblationAdaptiveStripes (A6a) runs the fixed-vs-adaptive stripe
+// sweep at `writers` concurrent writers for each listed fixed count,
+// on uniform and Zipf(1.1)-skewed writer key streams.
+func AblationAdaptiveStripes(cfg Config, writers int, fixed []int) []AdaptiveStripesResult {
+	cfg.fillDefaults()
+	if writers <= 0 {
+		writers = 8
+	}
+	if len(fixed) == 0 {
+		fixed = []int{1, 4, 16, 64, 256}
+	}
+
+	var out []AdaptiveStripesResult
+	for _, wl := range []struct {
+		name string
+		skew float64
+	}{
+		{"uniform", 0},
+		{"zipf", 1.1},
+	} {
+		c := cfg
+		c.WriteSkew = wl.skew
+		run := func(setting string, opts ...core.Option) {
+			best := 0.0
+			endStripes := 0
+			for r := 0; r < c.Repeats; r++ {
+				t := core.NewUint64[int](append([]core.Option{
+					core.WithInitialBuckets(c.SmallBuckets)}, opts...)...)
+				e := &rpEngine{t: t}
+				Preload(e, c)
+				if ops := MeasureUpserts(e, writers, c); ops > best {
+					best = ops
+					endStripes = t.Stripes()
+				}
+				e.Close()
+			}
+			out = append(out, AdaptiveStripesResult{
+				Workload: wl.name, Setting: setting, Writers: writers,
+				UpsertsPerS: best, EndStripes: endStripes,
+			})
+		}
+		for _, n := range fixed {
+			run("fixed-"+strconv.Itoa(n), core.WithStripes(n))
+		}
+		run("adaptive", core.WithStripes(1), core.WithAdapt(adaptBenchConfig()))
+	}
+	return out
+}
+
+// BestFixed returns the highest fixed-setting throughput for a
+// workload in an A6a result set, and the adaptive throughput; used by
+// tests and the CLI summary to report the adaptive/best-fixed ratio.
+func BestFixed(rows []AdaptiveStripesResult, workload string) (bestFixed, adaptive float64) {
+	for _, r := range rows {
+		if r.Workload != workload {
+			continue
+		}
+		if r.Setting == "adaptive" {
+			adaptive = r.UpsertsPerS
+		} else if r.UpsertsPerS > bestFixed {
+			bestFixed = r.UpsertsPerS
+		}
+	}
+	return bestFixed, adaptive
+}
+
+// ParallelUnzipResult is one row of ablation A6b.
+type ParallelUnzipResult struct {
+	Workers     int
+	Keys        uint64
+	FromBuckets uint64
+	ToBuckets   uint64
+	Elapsed     time.Duration
+	UnzipPasses uint64
+	UnzipCuts   uint64
+	// ParallelPasses confirms the fan-out actually engaged (0 for
+	// the sequential row).
+	ParallelPasses uint64
+}
+
+// AblationParallelUnzip (A6b) expands a preloaded table once per
+// worker setting and reports wall time. A background reader
+// population keeps the grace periods real, exactly as in A2.
+func AblationParallelUnzip(keys, buckets uint64, workers []int) []ParallelUnzipResult {
+	if keys == 0 {
+		keys = 65536
+	}
+	if buckets == 0 {
+		buckets = 4096
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	var out []ParallelUnzipResult
+	for _, w := range workers {
+		t := core.NewUint64[int](core.WithInitialBuckets(buckets))
+		for i := uint64(0); i < keys; i++ {
+			t.Set(i, int(i))
+		}
+		t.SetUnzipWorkers(w)
+
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			h := t.NewReadHandle()
+			defer h.Close()
+			var k uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k++
+				h.Get(k % keys)
+			}
+		}()
+
+		start := time.Now()
+		t.ExpandOnce()
+		elapsed := time.Since(start)
+		st := t.Stats()
+		close(stop)
+		<-done
+		out = append(out, ParallelUnzipResult{
+			Workers:        w,
+			Keys:           keys,
+			FromBuckets:    buckets,
+			ToBuckets:      buckets * 2,
+			Elapsed:        elapsed,
+			UnzipPasses:    st.UnzipPasses,
+			UnzipCuts:      st.UnzipCuts,
+			ParallelPasses: st.UnzipParallelPasses,
+		})
+		t.Close()
+	}
+	return out
+}

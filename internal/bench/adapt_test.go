@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAblationAdaptiveStripesSmoke runs a tiny A6a sweep end to end:
+// both workloads, every setting measured, the adaptive rows driven by
+// a live controller.
+func TestAblationAdaptiveStripesSmoke(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Duration = 15 * time.Millisecond
+	cfg.WarmDuration = 5 * time.Millisecond
+	cfg.Repeats = 1
+	rows := AblationAdaptiveStripes(cfg, 2, []int{1, 16})
+	if len(rows) != 6 { // (2 fixed + adaptive) x 2 workloads
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.UpsertsPerS <= 0 {
+			t.Fatalf("row %+v measured no upserts", r)
+		}
+		if r.Workload != "uniform" && r.Workload != "zipf" {
+			t.Fatalf("row %+v has unknown workload", r)
+		}
+	}
+	for _, wl := range []string{"uniform", "zipf"} {
+		bestFixed, adaptive := BestFixed(rows, wl)
+		if bestFixed <= 0 || adaptive <= 0 {
+			t.Fatalf("%s: bestFixed=%v adaptive=%v", wl, bestFixed, adaptive)
+		}
+	}
+}
+
+// TestAblationParallelUnzipSmoke: every fan-out completes the same
+// doubling; the parallel rows actually engage the worker pool.
+func TestAblationParallelUnzipSmoke(t *testing.T) {
+	rows := AblationParallelUnzip(4096, 512, []int{1, 2})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	seq, par := rows[0], rows[1]
+	if seq.Workers != 1 || par.Workers != 2 {
+		t.Fatalf("worker settings = %d, %d; want 1, 2", seq.Workers, par.Workers)
+	}
+	if seq.ParallelPasses != 0 {
+		t.Fatalf("sequential row reported %d parallel passes", seq.ParallelPasses)
+	}
+	if par.ParallelPasses == 0 {
+		t.Fatal("parallel row never fanned a pass out")
+	}
+	if seq.ToBuckets != 1024 || par.ToBuckets != 1024 {
+		t.Fatalf("doublings incomplete: %+v %+v", seq, par)
+	}
+	if seq.Elapsed <= 0 || par.Elapsed <= 0 {
+		t.Fatal("unmeasured elapsed times")
+	}
+}
+
+// TestWriterGenSkew pins the workload switch: WriteSkew > 1 selects
+// the Zipf stream (heavily repeated keys), otherwise uniform.
+func TestWriterGenSkew(t *testing.T) {
+	cfg := Config{KeySpace: 1 << 20, WriteSkew: 1.2}
+	cfg.fillDefaults()
+	gen := writerGen(cfg, 1)
+	hits := make(map[uint64]int)
+	for i := 0; i < 4096; i++ {
+		hits[gen.Key()]++
+	}
+	maxHits := 0
+	for _, n := range hits {
+		if n > maxHits {
+			maxHits = n
+		}
+	}
+	// Zipf over 2^20 keys concentrates mass: the hottest key shows up
+	// far more than uniform's expected ~1.
+	if maxHits < 16 {
+		t.Fatalf("skewed generator looks uniform: hottest key drawn %d times", maxHits)
+	}
+
+	cfg.WriteSkew = 0
+	gen = writerGen(cfg, 1)
+	hits = make(map[uint64]int)
+	for i := 0; i < 4096; i++ {
+		hits[gen.Key()]++
+	}
+	for _, n := range hits {
+		if n > 8 {
+			t.Fatalf("uniform generator drew one key %d times over a 2^20 space", n)
+		}
+	}
+}

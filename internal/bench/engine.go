@@ -118,6 +118,35 @@ func (e *rpSingleLockEngine) Delete(k uint64)     { e.t.Delete(k) }
 func (e *rpSingleLockEngine) Resize(n uint64)     { e.t.Resize(n) }
 func (e *rpSingleLockEngine) Close()              { e.t.Close() }
 
+// ---- RP adaptive (runtime-maintained stripes; internal/adapt) ----
+
+type rpAdaptEngine struct{ t *core.Table[uint64, int] }
+
+// NewRPAdaptive builds the relativistic table with adaptive
+// maintenance on and the stripe array deliberately started at 1: the
+// controller must discover the right stripe count from sampled
+// contention at runtime. The A6 ablation measures it against the
+// fixed-stripe sweep.
+func NewRPAdaptive(buckets uint64) Engine {
+	return &rpAdaptEngine{t: core.NewUint64[int](
+		core.WithInitialBuckets(buckets),
+		core.WithStripes(1),
+		core.WithAdapt(adaptBenchConfig()))}
+}
+
+func (e *rpAdaptEngine) Name() string { return "rp-adapt" }
+func (e *rpAdaptEngine) NewLookup() (Lookup, func()) {
+	h := e.t.NewReadHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpAdaptEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *rpAdaptEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *rpAdaptEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *rpAdaptEngine) Close()              { e.t.Close() }
+
 // ---- RP sharded (internal/shard: write scaling over the RP core) ----
 
 type rpShardedEngine struct{ m *shard.Map[uint64, int] }
@@ -130,9 +159,12 @@ func NewRPSharded(buckets uint64) Engine {
 }
 
 // NewRPShardedN builds the sharded engine with an explicit shard
-// count (0 = auto).
+// count (0 = auto). Adaptive maintenance is pinned OFF — figure
+// sweeps measure a fixed shape, and the CI regression gate compares
+// their points across runs; rp-adapt is the engine that runs the
+// controller on purpose.
 func NewRPShardedN(shards int, buckets uint64) Engine {
-	opts := []shard.Option{shard.WithInitialBuckets(buckets)}
+	opts := []shard.Option{shard.WithInitialBuckets(buckets), shard.WithAdapt(nil)}
 	if shards > 0 {
 		opts = append(opts, shard.WithShards(shards))
 	}
@@ -188,6 +220,7 @@ func NewRPCache(buckets uint64) Engine {
 	opts := []cache.Option{
 		cache.WithInitialBuckets(buckets),
 		cache.WithPolicy(core.Policy{}), // pinned size, like the other engines
+		cache.WithAdapt(nil),            // pinned shape too (see NewRPShardedN)
 		cache.WithSweepInterval(50 * time.Millisecond),
 	}
 	if DefaultShards > 0 {
@@ -367,6 +400,7 @@ func (e *syncMapEngine) Close()              {}
 var Builders = map[string]func(buckets uint64) Engine{
 	"rp":         NewRP,
 	"rp-1lock":   NewRPSingleLock,
+	"rp-adapt":   NewRPAdaptive,
 	"rp-sharded": NewRPSharded,
 	"rp-cache":   NewRPCache,
 	"rpqsbr":     NewRPQSBR,

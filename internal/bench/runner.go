@@ -31,6 +31,11 @@ type Config struct {
 	// Repeats measures each point this many times and reports the
 	// median, suppressing scheduler and GC noise on small hosts.
 	Repeats int
+	// WriteSkew, when > 1, draws writer keys from a Zipf
+	// distribution with that exponent instead of uniformly — the
+	// hot-key workload the adaptive-stripes ablation (A6) contrasts
+	// with uniform writes. Readers always draw uniformly.
+	WriteSkew float64
 }
 
 // DefaultConfig mirrors the paper's parameters.

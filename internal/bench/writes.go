@@ -77,7 +77,7 @@ func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
 		done.Add(1)
 		go func(id int) {
 			defer done.Done()
-			gen := workload.NewUniform(cfg.KeySpace, uint64(id)*0x51afd7ed+7)
+			gen := writerGen(cfg, id)
 			ready.Done()
 			<-start
 			for {
@@ -127,8 +127,19 @@ func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
 	}
 }
 
+// writerGen builds one writer goroutine's key stream: uniform by
+// default, Zipf-skewed when cfg.WriteSkew > 1 (hot keys, as cache
+// write traffic sees them).
+func writerGen(cfg Config, id int) workload.KeyGen {
+	if cfg.WriteSkew > 1 {
+		return workload.NewZipf(cfg.KeySpace, cfg.WriteSkew, int64(id)*0x51afd7ed+7)
+	}
+	return workload.NewUniform(cfg.KeySpace, uint64(id)*0x51afd7ed+7)
+}
+
 // MeasureUpserts is the pure write-throughput sweep point: `writers`
-// goroutines upserting uniform-random keys, no readers.
+// goroutines upserting random keys (uniform, or Zipf when
+// cfg.WriteSkew is set), no readers.
 func MeasureUpserts(e Engine, writers int, cfg Config) float64 {
 	return MeasureMixed(e, 0, writers, cfg).UpsertsPerS
 }

@@ -1,0 +1,55 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCacheAdaptPlumbing: the cache surfaces its map's adaptive
+// maintenance — on by default, off with WithAdapt(nil) — and carries
+// the aggregate in Stats().Map.Adapt.
+func TestCacheAdaptPlumbing(t *testing.T) {
+	c := NewUint64[int]()
+	defer c.Close()
+	st, ok := c.AdaptStats()
+	if !ok || st.Stripes == 0 {
+		t.Fatalf("AdaptStats() = %+v, %v on a default cache; want on with stripes", st, ok)
+	}
+	if full := c.Stats(); !full.Map.AdaptOn {
+		t.Fatal("Stats().Map.AdaptOn = false on a default cache")
+	}
+
+	off := NewUint64[int](WithAdapt(nil))
+	defer off.Close()
+	if _, ok := off.AdaptStats(); ok {
+		t.Fatal("AdaptStats() ok with WithAdapt(nil)")
+	}
+}
+
+// TestSweeperExitsOnDomainClose: the background sweeper watches the
+// map's domain Done channel, so a cache whose domain shuts down
+// first releases its sweeper goroutine promptly instead of leaving
+// it to stall on synchronous post-Close grace periods. Close after
+// that must still return (sweepWG must not deadlock).
+func TestSweeperExitsOnDomainClose(t *testing.T) {
+	c := NewUint64[int](WithSweepInterval(time.Millisecond))
+	c.SetTTL(1, 1, time.Nanosecond)
+	time.Sleep(5 * time.Millisecond) // let the sweeper tick
+
+	// Close the shared domain out from under the sweeper; Done fires.
+	c.m.Domain().Close()
+
+	done := make(chan struct{})
+	go func() {
+		c.sweepWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sweeper did not exit after the domain closed")
+	}
+	if c.ownClk {
+		c.clk.Stop()
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rphash/internal/adapt"
 	"rphash/internal/clock"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
@@ -103,6 +104,8 @@ type config struct {
 	sweep     time.Duration
 	clk       *clock.Clock
 	sample    int
+	adapt     *adapt.Config
+	adaptSet  bool
 }
 
 // Option configures a Cache at construction.
@@ -149,6 +152,15 @@ func WithClock(clk *clock.Clock) Option { return func(c *config) { c.clk = clk }
 // higher eviction cost).
 func WithSampleSize(n int) Option { return func(c *config) { c.sample = n } }
 
+// WithAdapt configures the underlying map's adaptive maintenance
+// controllers (see shard.WithAdapt): on by default with
+// adapt.DefaultConfig so the cache's writer stripes and resize
+// fan-out track live contention; WithAdapt(nil) pins maintenance off
+// for reproducible benchmarks.
+func WithAdapt(cfg *adapt.Config) Option {
+	return func(c *config) { c.adapt, c.adaptSet = cfg, true }
+}
+
 // New creates a cache keyed by K using the supplied hash function
 // (same contract as shard.New: deterministic, well mixed high and low
 // bits).
@@ -173,6 +185,9 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Cache[K, V] 
 	}
 	if cfg.policy != (core.Policy{}) {
 		mopts = append(mopts, shard.WithPolicy(cfg.policy))
+	}
+	if cfg.adaptSet {
+		mopts = append(mopts, shard.WithAdapt(cfg.adapt))
 	}
 
 	c := &Cache[K, V]{

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"rphash/internal/adapt"
 	"rphash/internal/shard"
 )
 
@@ -58,6 +59,13 @@ func (c *Cache[K, V]) Counters() Stats {
 		Cost:        c.cost.Load(),
 		MaxCost:     c.maxCost,
 	}
+}
+
+// AdaptStats returns the underlying map's aggregated maintenance
+// controller snapshot; ok is false when adaptive maintenance is
+// disabled (WithAdapt(nil)). It is also carried by Stats().Map.Adapt.
+func (c *Cache[K, V]) AdaptStats() (adapt.Stats, bool) {
+	return c.m.AdaptStats()
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any lookups.

@@ -50,7 +50,12 @@ func (c *Cache[K, V]) sweepShard(i, limit int) int {
 
 // runSweeper is the background expiry pass: one shard per tick, in
 // rotation, so a large cache amortizes reclamation instead of
-// stalling on full scans.
+// stalling on full scans. Besides its own stop channel it watches
+// the map's RCU domain Done: if the domain shuts down first (a
+// shared-domain fleet closing, or a bug ordering teardown wrong),
+// the sweeper exits promptly instead of discovering closure by
+// tripping over a post-Close Defer on its next removal — each of
+// which would stall a full synchronous grace period.
 func (c *Cache[K, V]) runSweeper(interval time.Duration) {
 	defer c.sweepWG.Done()
 	t := time.NewTicker(interval)
@@ -59,6 +64,8 @@ func (c *Cache[K, V]) runSweeper(interval time.Duration) {
 	for {
 		select {
 		case <-c.sweepStop:
+			return
+		case <-c.m.Domain().Done():
 			return
 		case <-t.C:
 			c.sweepShard(cursor%c.m.NumShards(), sweepBatch)

@@ -75,7 +75,7 @@ func (t *Table[K, V]) stripeOrder(hs []uint64) *batchScratch {
 		sc.ord = make([]uint64, len(hs))
 	}
 	ord := sc.ord[:len(hs)]
-	m := t.stripes.mask.Load()
+	m := t.stripes.arr.Load().mask.Load()
 	for i, h := range hs {
 		ord[i] = (h&m)<<32 | uint64(i)
 	}
@@ -96,7 +96,8 @@ type batchWriter[K comparable, V any] struct {
 }
 
 // acquire ensures the stripe covering h is held. While a stripe is
-// held the mask cannot move, so the cached mask stays valid until
+// held, neither the mask nor the stripe array can move (both change
+// only under every stripe), so the cached mask stays valid until
 // release.
 func (w *batchWriter[K, V]) acquire(h uint64) {
 	if w.held != nil {
@@ -107,10 +108,11 @@ func (w *batchWriter[K, V]) acquire(h uint64) {
 		w.held = nil
 	}
 	for {
-		m := w.t.stripes.mask.Load()
-		s := &w.t.stripes.locks[h&m]
-		s.mu.Lock()
-		if w.t.stripes.mask.Load() == m {
+		a := w.t.stripes.arr.Load()
+		m := a.mask.Load()
+		s := &a.locks[h&m]
+		s.lockContended()
+		if w.t.stripes.arr.Load() == a && a.mask.Load() == m {
 			w.held, w.slot, w.mask = s, h&m, m
 			return
 		}

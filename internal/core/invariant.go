@@ -15,9 +15,18 @@ import "fmt"
 //  3. Hash integrity: node.hash equals hash(node.key).
 //  4. Count integrity: the number of distinct home-reachable elements
 //     equals Len().
+//  5. Stripe coverage (the PR 4 locking invariant, which runtime
+//     stripe retuning must also preserve): the effective stripe
+//     count never exceeds the bucket count or the physical stripe
+//     count, and mid-unzip it never exceeds the parent bucket count
+//     — so every chain, including zipped mid-resize chains spanning
+//     a parent and both children, is covered by exactly one stripe.
 //
 // It runs inside one read-side critical section.
 func (t *Table[K, V]) checkInvariants() error {
+	if err := t.checkStripeInvariants(); err != nil {
+		return err
+	}
 	var err error
 	t.dom.Read(func() {
 		ht := t.ht.Load()
@@ -64,4 +73,49 @@ func (t *Table[K, V]) checkInvariants() error {
 		}
 	})
 	return err
+}
+
+// checkStripeInvariants validates invariant 5 in isolation (it needs
+// no read-side section — every field is a single atomic load). The
+// checks are meaningful at any instant, including mid-unzip via
+// testHookAfterUnzipPass and immediately after a SetStripes retune:
+// these are exactly the bounds that keep every chain covered by one
+// stripe.
+//
+// Load order matters for a checker racing background maintenance:
+// the bucket array is loaded BEFORE the mask. shrinkStep lowers the
+// mask and then publishes the halved array, so ht-then-mask can only
+// pair a bucket array with its own mask or a LOWER one (if we see
+// the new array, the mask store already happened; if we see the old
+// array, the mask we read is at most the old — larger-bucket —
+// bound). Reading mask first could pair the pre-shrink mask with the
+// post-shrink array and report a violation no writer can observe
+// (writers hold stripes, which freeze both). unzipParent is read
+// after the mask for the same reason: expandStep clears it before
+// raising the mask, both under all stripes. A stripe-array RETUNE
+// can still invalidate the snapshot mid-check (a retired array's
+// mask paired with a newer bucket array), so the whole read is
+// retried if the stripe or bucket array pointer moved — writers do
+// the same re-check after locking.
+func (t *Table[K, V]) checkStripeInvariants() error {
+	for {
+		a := t.stripes.arr.Load()
+		ht := t.ht.Load()
+		eff := a.mask.Load() + 1
+		phys := uint64(len(a.locks))
+		parent := t.unzipParent.Load()
+		if t.stripes.arr.Load() != a || t.ht.Load() != ht {
+			continue // retune or resize moved an array mid-snapshot
+		}
+		if eff > phys {
+			return fmt.Errorf("effective stripes %d > physical stripes %d", eff, phys)
+		}
+		if buckets := ht.size(); eff > buckets {
+			return fmt.Errorf("effective stripes %d > buckets %d: chains would mix stripes", eff, buckets)
+		}
+		if parent != 0 && eff > parent {
+			return fmt.Errorf("effective stripes %d > parent buckets %d mid-unzip: a zipped chain would span stripes", eff, parent)
+		}
+		return nil
+	}
 }

@@ -36,9 +36,17 @@ func (t *Table[K, V]) maybeAutoResize() {
 	if p.MaxLoad > 0 && count > p.MaxLoad*nbuckets {
 		if t.grow.pending.CompareAndSwap(false, true) {
 			go func() {
-				defer t.grow.pending.Store(false)
 				t.autoResizeTarget()
 				t.stats.autoGrows.Add(1)
+				t.grow.pending.Store(false)
+				// Writes that crossed the watermark while we resized
+				// saw pending=true and skipped re-triggering; if the
+				// table outgrew our (point-in-time) target during the
+				// resize, nothing else will start the next one. Re-check
+				// now that pending is clear, so the trigger never gets
+				// lost between a finishing resize and a quiescent
+				// writer population.
+				t.maybeAutoResize()
 			}()
 		} else if count > growBackpressureFactor*p.MaxLoad*nbuckets {
 			t.autoResizeTarget()
@@ -49,9 +57,10 @@ func (t *Table[K, V]) maybeAutoResize() {
 	if p.MinLoad > 0 && nbuckets > float64(p.MinBuckets) && count < p.MinLoad*nbuckets {
 		if t.shrink.pending.CompareAndSwap(false, true) {
 			go func() {
-				defer t.shrink.pending.Store(false)
 				t.autoResizeTarget()
 				t.stats.autoShrinks.Add(1)
+				t.shrink.pending.Store(false)
+				t.maybeAutoResize() // see the grow path: close the skipped-trigger window
 			}()
 		}
 	}

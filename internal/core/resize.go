@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"rphash/internal/hashfn"
 )
@@ -59,11 +61,12 @@ func (t *Table[K, V]) Resize(n uint64) {
 // sibling buckets and is only stripe-homogeneous under the new,
 // smaller mask. The grace period waits with no stripes held.
 func (t *Table[K, V]) shrinkStep() {
-	t.lockAllStripes()
+	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu
+	t.lockAll(sa)
 	old := t.ht.Load()
 	oldSize := old.size()
 	if oldSize <= t.policy.MinBuckets || oldSize == 1 {
-		t.unlockAllStripes()
+		t.unlockAll(sa)
 		return
 	}
 	newSize := oldSize / 2
@@ -87,9 +90,9 @@ func (t *Table[K, V]) shrinkStep() {
 		tail.next.Store(high) // link: old-array readers see a superset
 	}
 
-	t.stripes.mask.Store(effectiveStripeMask(len(t.stripes.locks), newSize))
+	sa.mask.Store(effectiveStripeMask(len(sa.locks), newSize))
 	t.ht.Store(nb) // publish
-	t.unlockAllStripes()
+	t.unlockAll(sa)
 	t.dom.Synchronize() // wait for readers; old array now unreachable
 	t.stats.shrinks.Add(1)
 }
@@ -120,8 +123,17 @@ func (t *Table[K, V]) shrinkStep() {
 // stripes undisturbed; grace periods between passes hold no stripes
 // at all. A final all-stripes section clears unzipParent and raises
 // the mask to the doubled bucket count.
+//
+// Migration batches on different stripes are independent — each
+// touches only chains its own stripe covers — so when the unzip
+// fan-out (SetUnzipWorkers, driven by the adapt controller from the
+// observed backlog) is above one, each pass distributes its stripe
+// batches across that many goroutines. All workers of a pass share
+// the single grace period that follows it; the grace-period count
+// and the cut schedule are exactly the sequential ones.
 func (t *Table[K, V]) expandStep() {
-	t.lockAllStripes()
+	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu
+	t.lockAll(sa)
 	old := t.ht.Load()
 	oldSize := old.size()
 	newSize := oldSize * 2
@@ -152,7 +164,7 @@ func (t *Table[K, V]) expandStep() {
 	// the list is filtered monotonically: pass N skips every parent
 	// pass N-1 finished, and the per-pass lock traffic shrinks with
 	// the remaining work instead of re-sweeping every stripe.
-	stripeMask := t.stripes.mask.Load() // frozen: only resizes change it, and we hold resizeMu
+	stripeMask := sa.mask.Load() // frozen: only resizes change it, and we hold resizeMu
 	active := make([]uint64, 0, oldSize)
 	for s := uint64(0); s <= stripeMask; s++ {
 		for i := s; i < oldSize; i += stripeMask + 1 {
@@ -169,7 +181,7 @@ func (t *Table[K, V]) expandStep() {
 	// (coarser) mask.
 	t.unzipParent.Store(oldSize)
 	t.ht.Store(nb)
-	t.unlockAllStripes()
+	t.unlockAll(sa)
 	t.dom.Synchronize()
 
 	// Step 3: unzip passes. Cuts on different parent chains are
@@ -181,35 +193,17 @@ func (t *Table[K, V]) expandStep() {
 	// cut-point derivation tolerates that because every pass
 	// re-derives its state from the live bucket heads.
 	for pass := 1; len(active) > 0; pass++ {
-		cuts := 0
-		kept := active[:0]
-		var held *stripeLock
-		heldIdx := ^uint64(0)
-		for _, i := range active {
-			if s := i & stripeMask; s != heldIdx {
-				if held != nil {
-					held.mu.Unlock()
-				}
-				held = &t.stripes.locks[s]
-				held.mu.Lock()
-				heldIdx = s
-			}
-			c := t.unzipStep(nb, i, oldSize)
-			if c == 0 {
-				continue // disjoint now, disjoint forever: drop it
-			}
-			cuts += c
-			kept = append(kept, i)
-			if t.unzipPerCutGrace {
-				held.mu.Unlock()
-				t.dom.Synchronize()
-				held.mu.Lock()
-			}
+		t.unzipBacklog.Store(int64(len(active)))
+		workers := int(t.unzipWorkers.Load())
+		if workers < 1 || t.unzipPerCutGrace {
+			workers = 1 // per-cut grace is strictly sequential by design
 		}
-		if held != nil {
-			held.mu.Unlock()
+		var cuts int
+		if workers > 1 {
+			cuts, active = t.unzipPassParallel(sa, nb, active, oldSize, stripeMask, workers)
+		} else {
+			cuts, active = t.unzipPassSequential(sa, nb, active, oldSize, stripeMask)
 		}
-		active = kept
 		if cuts == 0 {
 			break
 		}
@@ -222,17 +216,157 @@ func (t *Table[K, V]) expandStep() {
 			t.testHookAfterUnzipPass(pass)
 		}
 	}
+	t.unzipBacklog.Store(0)
 
 	// Chains are fully disjoint now (and writers cannot re-zip them;
 	// only a resize can). Leave zipped-chain mode and raise the
 	// stripe mask to the new bucket count, under all stripes so no
 	// writer holds a stripe chosen under the old mask.
-	t.lockAllStripes()
+	t.lockAll(sa)
 	t.unzipParent.Store(0)
-	t.stripes.mask.Store(effectiveStripeMask(len(t.stripes.locks), newSize))
-	t.unlockAllStripes()
+	sa.mask.Store(effectiveStripeMask(len(sa.locks), newSize))
+	t.unlockAll(sa)
 	t.stats.expands.Add(1)
 }
+
+// unzipPassSequential makes one cut per active parent, holding one
+// stripe at a time (parents arrive grouped by stripe). It returns the
+// cut count and the parents still zipped, reusing active's storage.
+func (t *Table[K, V]) unzipPassSequential(sa *stripeArray, nb *buckets[K, V], active []uint64, oldSize, stripeMask uint64) (int, []uint64) {
+	cuts := 0
+	kept := active[:0]
+	var held *stripeLock
+	heldIdx := ^uint64(0)
+	for _, i := range active {
+		if s := i & stripeMask; s != heldIdx {
+			if held != nil {
+				held.mu.Unlock()
+			}
+			held = &sa.locks[s]
+			held.mu.Lock()
+			heldIdx = s
+		}
+		c := t.unzipStep(nb, i, oldSize)
+		if c == 0 {
+			continue // disjoint now, disjoint forever: drop it
+		}
+		cuts += c
+		kept = append(kept, i)
+		if t.unzipPerCutGrace {
+			held.mu.Unlock()
+			t.dom.Synchronize()
+			held.mu.Lock()
+		}
+	}
+	if held != nil {
+		held.mu.Unlock()
+	}
+	return cuts, kept
+}
+
+// unzipPassParallel distributes one pass's migration batches across
+// `workers` goroutines. A batch is all the active parents mapped to
+// one stripe; batches are independent (each worker locks its batch's
+// stripe, so it owns every chain the batch's cuts touch, and cuts on
+// different stripes touch disjoint chains), which is what makes the
+// fan-out safe without any new synchronization. Workers claim batches
+// from a shared cursor; the caller runs the pass's single shared
+// grace period after all workers drain. Surviving parents are
+// reassembled batch-by-batch so the next pass still sees them grouped
+// by stripe.
+func (t *Table[K, V]) unzipPassParallel(sa *stripeArray, nb *buckets[K, V], active []uint64, oldSize, stripeMask uint64, workers int) (int, []uint64) {
+	// Slice the stripe-ordered parent list into per-stripe batches.
+	var batches [][2]int
+	for start := 0; start < len(active); {
+		end := start + 1
+		for end < len(active) && active[end]&stripeMask == active[start]&stripeMask {
+			end++
+		}
+		batches = append(batches, [2]int{start, end})
+		start = end
+	}
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers > 1 {
+		// Counted before the fan-out (not after) so the stat means
+		// what it says: this pass's batches ran on >1 worker. Tail
+		// passes whose survivors collapse onto one stripe run on one
+		// goroutine and are not parallel passes.
+		t.stats.unzipParallelPasses.Add(1)
+	}
+
+	keptPer := make([][]uint64, len(batches))
+	var cuts atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= len(batches) {
+					return
+				}
+				lo, hi := batches[b][0], batches[b][1]
+				s := &sa.locks[active[lo]&stripeMask]
+				s.mu.Lock()
+				var kept []uint64
+				c := 0
+				for _, parent := range active[lo:hi] {
+					if n := t.unzipStep(nb, parent, oldSize); n > 0 {
+						c += n
+						kept = append(kept, parent)
+					}
+				}
+				s.mu.Unlock()
+				if c > 0 {
+					cuts.Add(int64(c))
+					keptPer[b] = kept
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	kept := active[:0]
+	for _, ks := range keptPer {
+		kept = append(kept, ks...)
+	}
+	return int(cuts.Load()), kept
+}
+
+// maxUnzipWorkers bounds the migration fan-out; past a handful of
+// goroutines the grace-period wait dominates the pass anyway.
+const maxUnzipWorkers = 64
+
+// SetUnzipWorkers sets the migration fan-out for expansion unzip
+// passes (clamped to [1, 64]; 1 = the sequential resizer). Each pass
+// re-reads it, so a controller can widen an in-flight resize as
+// backlog accumulates. The per-cut-grace ablation mode ignores it.
+func (t *Table[K, V]) SetUnzipWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxUnzipWorkers {
+		n = maxUnzipWorkers
+	}
+	t.unzipWorkers.Store(int32(n))
+}
+
+// UnzipWorkers returns the current migration fan-out setting.
+func (t *Table[K, V]) UnzipWorkers() int {
+	if n := int(t.unzipWorkers.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// UnzipBacklog reports how many parent chains the in-flight
+// expansion still has to unzip (0 when no unzip is running). The
+// adapt controller reads it to size the migration fan-out.
+func (t *Table[K, V]) UnzipBacklog() int { return int(t.unzipBacklog.Load()) }
 
 // unzipStep performs at most one unzip cut for the chain pair that
 // parent bucket `parent` split into (children a = parent and

@@ -16,46 +16,83 @@ type tableStats struct {
 	unzipCuts   atomic.Uint64
 	autoGrows   atomic.Uint64
 	autoShrinks atomic.Uint64
+
+	// retunes counts stripe-array swaps (SetStripes). The two base
+	// counters carry retired stripe arrays' contention telemetry
+	// forward across swaps; retuneSeq is the seqlock bracketing each
+	// fold+publish (odd = swap in progress) so ContentionCounters
+	// never pairs a folded base with the retiring array.
+	retunes             atomic.Uint64
+	retuneSeq           atomic.Uint64
+	stripeAcquiresBase  atomic.Uint64
+	stripeContendedBase atomic.Uint64
+
+	// unzipParallelPasses counts unzip passes whose migration batches
+	// ran on more than one worker.
+	unzipParallelPasses atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of table metrics.
 type Stats struct {
-	Len         int
-	Buckets     int
+	Len     int
+	Buckets int
 	// Stripes is the physical writer-lock stripe count (effective =
 	// min(Stripes, Buckets)). In aggregated Map stats it is the TOTAL
 	// across shards — the map's overall writer parallelism — with the
 	// per-table value in MapStats.PerShard.
 	Stripes int
-	LoadFactor  float64
-	MaxChain    int
-	Inserts     uint64
-	Deletes     uint64
-	Moves       uint64
-	Expands     uint64
-	Shrinks     uint64
-	UnzipPasses uint64 // grace-period-separated passes across all expands
-	UnzipCuts   uint64 // individual pointer cuts across all expands
-	AutoGrows   uint64
-	AutoShrinks uint64
+	// EffectiveStripes is the stripe count writers currently hash
+	// across: min(Stripes, Buckets), pinned at parent granularity
+	// mid-unzip. Aggregated Map stats sum it like Stripes.
+	EffectiveStripes int
+	// StripeAcquires / StripeContended are the cumulative writer
+	// stripe-lock telemetry (total acquisitions; those that had to
+	// block) the adapt controller samples. StripeRetunes counts
+	// runtime swaps of the physical stripe array.
+	StripeAcquires  uint64
+	StripeContended uint64
+	StripeRetunes   uint64
+	LoadFactor      float64
+	MaxChain        int
+	Inserts         uint64
+	Deletes         uint64
+	Moves           uint64
+	Expands         uint64
+	Shrinks         uint64
+	UnzipPasses     uint64 // grace-period-separated passes across all expands
+	UnzipCuts       uint64 // individual pointer cuts across all expands
+	// UnzipParallelPasses is how many of those passes fanned their
+	// migration batches across multiple workers. UnzipWorkers is the
+	// current fan-out setting (max over shards when aggregated).
+	UnzipParallelPasses uint64
+	UnzipWorkers        int
+	AutoGrows           uint64
+	AutoShrinks         uint64
 }
 
 // Stats gathers a snapshot. MaxChain walks every bucket inside one
 // read-side section; on huge tables prefer sampling via Buckets/Len.
 func (t *Table[K, V]) Stats() Stats {
+	acq, con := t.ContentionCounters()
 	s := Stats{
-		Len:         t.Len(),
-		Buckets:     t.Buckets(),
-		Stripes:     t.Stripes(),
-		Inserts:     t.stats.inserts.Load(),
-		Deletes:     t.stats.deletes.Load(),
-		Moves:       t.stats.moves.Load(),
-		Expands:     t.stats.expands.Load(),
-		Shrinks:     t.stats.shrinks.Load(),
-		UnzipPasses: t.stats.unzipPasses.Load(),
-		UnzipCuts:   t.stats.unzipCuts.Load(),
-		AutoGrows:   t.stats.autoGrows.Load(),
-		AutoShrinks: t.stats.autoShrinks.Load(),
+		Len:                 t.Len(),
+		Buckets:             t.Buckets(),
+		Stripes:             t.Stripes(),
+		EffectiveStripes:    t.EffectiveStripes(),
+		StripeAcquires:      acq,
+		StripeContended:     con,
+		StripeRetunes:       t.stats.retunes.Load(),
+		Inserts:             t.stats.inserts.Load(),
+		Deletes:             t.stats.deletes.Load(),
+		Moves:               t.stats.moves.Load(),
+		Expands:             t.stats.expands.Load(),
+		Shrinks:             t.stats.shrinks.Load(),
+		UnzipPasses:         t.stats.unzipPasses.Load(),
+		UnzipCuts:           t.stats.unzipCuts.Load(),
+		UnzipParallelPasses: t.stats.unzipParallelPasses.Load(),
+		UnzipWorkers:        t.UnzipWorkers(),
+		AutoGrows:           t.stats.autoGrows.Load(),
+		AutoShrinks:         t.stats.autoShrinks.Load(),
 	}
 	if s.Buckets > 0 {
 		s.LoadFactor = float64(s.Len) / float64(s.Buckets)

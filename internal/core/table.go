@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rphash/internal/adapt"
 	"rphash/internal/hashfn"
 	"rphash/internal/rcu"
 )
@@ -82,6 +83,23 @@ type Table[K comparable, V any] struct {
 	// stripe held; read by writers under their stripe.
 	unzipParent atomic.Uint64
 
+	// unzipWorkers is the migration fan-out for expansion unzip
+	// passes (see SetUnzipWorkers); <= 1 means sequential.
+	// unzipBacklog is the number of parent chains the in-flight
+	// expansion still has to unzip — the backlog signal the adapt
+	// controller sizes the fan-out from.
+	unzipWorkers atomic.Int32
+	unzipBacklog atomic.Int64
+
+	// ctrl is the table's adapt controller, if maintenance is on
+	// (WithAdapt or Maintain). ctrlMu orders Maintain against Close:
+	// once ctrlClosed is set no controller can be installed, so a
+	// Maintain racing Close can never leak a running controller on a
+	// shared-domain table (whose Done channel would never fire).
+	ctrlMu     sync.Mutex
+	ctrl       *adapt.Controller
+	ctrlClosed bool
+
 	count atomic.Int64
 
 	// batchPool recycles the stripe-sort workspaces of the batched
@@ -127,11 +145,13 @@ type resizeTrigger struct {
 }
 
 type config struct {
-	dom         *rcu.Domain
-	initial     uint64
-	stripes     uint64
-	policy      Policy
-	perCutGrace bool
+	dom          *rcu.Domain
+	initial      uint64
+	stripes      uint64
+	policy       Policy
+	perCutGrace  bool
+	unzipWorkers int
+	adapt        *adapt.Config
 }
 
 // Option configures a Table at construction.
@@ -157,16 +177,28 @@ func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
 // is additionally capped by the bucket count at any moment, so tiny
 // tables degrade gracefully toward coarser locking.
 func WithStripes(n int) Option {
-	return func(c *config) {
-		if n < 1 {
-			n = 1
-		}
-		s := hashfn.NextPowerOfTwo(uint64(n))
-		if s > maxStripes {
-			s = maxStripes
-		}
-		c.stripes = s
-	}
+	return func(c *config) { c.stripes = clampStripes(n) }
+}
+
+// WithUnzipWorkers sets the initial migration fan-out for expansion
+// unzip passes (see SetUnzipWorkers; default 1 = the sequential
+// resizer). The adapt controller, when enabled, retunes it at
+// runtime from the observed migration backlog.
+func WithUnzipWorkers(n int) Option {
+	return func(c *config) { c.unzipWorkers = n }
+}
+
+// WithAdapt starts an adaptive maintenance controller on the table at
+// construction (see internal/adapt): it samples the table's stripe
+// contention telemetry, grows or shrinks the writer-stripe array
+// under sustained pressure or sustained quiet, and sizes the unzip
+// migration fan-out from the live resize backlog. nil leaves
+// maintenance off — the core table's default, so benchmarks and
+// ablations pin their shape with WithStripes alone. The controller
+// stops on Close (and on the RCU domain's Done). Maintain is the
+// post-construction form.
+func WithAdapt(cfg *adapt.Config) Option {
+	return func(c *config) { c.adapt = cfg }
 }
 
 // WithUnzipGracePerCut disables unzip-cut batching (ablation only):
@@ -209,7 +241,50 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] 
 	}
 	t.ht.Store(newBuckets[K, V](cfg.initial))
 	t.stripes.init(cfg.stripes, cfg.initial)
+	if cfg.unzipWorkers > 1 {
+		t.SetUnzipWorkers(cfg.unzipWorkers)
+	}
+	if cfg.adapt != nil {
+		t.Maintain(cfg.adapt)
+	}
 	return t
+}
+
+// Maintain starts (or replaces) the table's adaptive maintenance
+// controller with the given configuration, returning it; nil stops
+// maintenance. The controller samples stripe contention and the
+// unzip backlog on its own goroutine and retunes the stripe array
+// and migration fan-out through TrySetStripes/SetUnzipWorkers — see
+// internal/adapt for the sampling and hysteresis model. It exits
+// promptly on Close via the domain's Done channel. Maintain after
+// (or racing) Close installs nothing and returns nil. The previous
+// controller is stopped BEFORE its replacement starts, so the
+// incoming controller observes the table's restored baseline fan-out
+// rather than a transient its predecessor set.
+func (t *Table[K, V]) Maintain(cfg *adapt.Config) *adapt.Controller {
+	t.ctrlMu.Lock()
+	defer t.ctrlMu.Unlock()
+	if old := t.ctrl; old != nil {
+		t.ctrl = nil
+		old.Stop()
+	}
+	if cfg == nil || t.ctrlClosed {
+		return nil
+	}
+	t.ctrl = adapt.Start(t, cfg, t.dom.Done())
+	return t.ctrl
+}
+
+// AdaptStats returns the maintenance controller's snapshot; ok is
+// false when maintenance is off.
+func (t *Table[K, V]) AdaptStats() (adapt.Stats, bool) {
+	t.ctrlMu.Lock()
+	c := t.ctrl
+	t.ctrlMu.Unlock()
+	if c == nil {
+		return adapt.Stats{}, false
+	}
+	return c.Stats(), true
 }
 
 // NewUint64 creates a table keyed by uint64 using the repository's
@@ -237,9 +312,18 @@ func (t *Table[K, V]) Len() int { return int(t.count.Load()) }
 // afterwards if a resize is in flight.
 func (t *Table[K, V]) Buckets() int { return int(t.ht.Load().size()) }
 
-// Close releases the table's domain if the table created it. The
-// table must not be used afterwards.
+// Close stops the table's maintenance controller (if any) and
+// releases the domain if the table created it. The table must not be
+// used afterwards.
 func (t *Table[K, V]) Close() {
+	t.ctrlMu.Lock()
+	t.ctrlClosed = true
+	c := t.ctrl
+	t.ctrl = nil
+	t.ctrlMu.Unlock()
+	if c != nil {
+		c.Stop()
+	}
 	if t.ownDom {
 		t.dom.Close()
 	}

@@ -58,6 +58,12 @@ type Domain struct {
 	defDone   chan struct{}
 	defClosed bool
 
+	// doneCh is closed the moment Close begins, before the reclaimer
+	// drains. Background maintenance goroutines (cache sweepers, adapt
+	// controllers) select on Done() so they observe shutdown promptly
+	// instead of discovering it on their next Defer.
+	doneCh chan struct{}
+
 	// gpWaiters counts Synchronize calls currently waiting. QSBR
 	// readers poll it (one shared read) to quiesce promptly when a
 	// writer is stalled on them.
@@ -86,6 +92,7 @@ func NewDomain() *Domain {
 		readers: make(map[*Reader]struct{}),
 		defWake: make(chan struct{}, 1),
 		defDone: make(chan struct{}),
+		doneCh:  make(chan struct{}),
 	}
 	d.epoch.Store(2)
 	d.pool.New = func() any { return d.Register() }
@@ -287,6 +294,13 @@ func (d *Domain) Barrier() {
 	<-done
 }
 
+// Done returns a channel closed when the domain's Close begins.
+// Long-running goroutines tied to the domain's lifetime (the cache's
+// expiry sweeper, adapt controllers, resize helpers) select on it to
+// exit promptly on shutdown rather than polling or waiting to trip
+// over a post-Close Defer.
+func (d *Domain) Done() <-chan struct{} { return d.doneCh }
+
 // Close shuts down the reclaimer after draining pending callbacks.
 // The domain must not be used afterwards.
 func (d *Domain) Close() {
@@ -296,6 +310,7 @@ func (d *Domain) Close() {
 		return
 	}
 	d.defClosed = true
+	close(d.doneCh)
 	d.defMu.Unlock()
 	select {
 	case d.defWake <- struct{}{}:

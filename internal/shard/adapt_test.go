@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"rphash/internal/adapt"
+)
+
+// TestMapAdaptDefaultOn: a plain Map runs one maintenance controller
+// per shard table and aggregates their stats; WithAdapt(nil) pins
+// maintenance off.
+func TestMapAdaptDefaultOn(t *testing.T) {
+	m := NewUint64[int](WithShards(4))
+	defer m.Close()
+	if !m.AdaptOn() {
+		t.Fatal("AdaptOn() = false on a default Map")
+	}
+	st, ok := m.AdaptStats()
+	if !ok {
+		t.Fatal("AdaptStats() not ok on a default Map")
+	}
+	// Each shard contributes its stripe count to the aggregate.
+	wantStripes := 0
+	for i := 0; i < m.NumShards(); i++ {
+		wantStripes += m.Shard(i).Stripes()
+	}
+	if st.Stripes != wantStripes {
+		t.Fatalf("aggregate Adapt.Stripes = %d, want %d (sum over shards)", st.Stripes, wantStripes)
+	}
+	if ms := m.DetailedStats(); !ms.AdaptOn || ms.Adapt.Stripes != wantStripes {
+		t.Fatalf("DetailedStats().Adapt = %+v (on=%v), want stripes %d", ms.Adapt, ms.AdaptOn, wantStripes)
+	}
+
+	off := NewUint64[int](WithShards(2), WithAdapt(nil))
+	defer off.Close()
+	if off.AdaptOn() {
+		t.Fatal("AdaptOn() = true with WithAdapt(nil)")
+	}
+	if _, ok := off.AdaptStats(); ok {
+		t.Fatal("AdaptStats() ok with WithAdapt(nil)")
+	}
+	if ms := off.DetailedStats(); ms.AdaptOn {
+		t.Fatal("DetailedStats().AdaptOn = true with WithAdapt(nil)")
+	}
+}
+
+// TestMapAdaptControllersSample: a custom fast-sampling config is
+// passed through to every shard's controller — the aggregate sample
+// counter climbs across all of them — and Close stops the
+// controllers (indirectly: it must not hang or race; run with -race).
+func TestMapAdaptControllersSample(t *testing.T) {
+	cfg := adapt.DefaultConfig()
+	cfg.Interval = 2 * time.Millisecond
+	m := NewUint64[int](WithShards(2), WithAdapt(cfg))
+	for i := uint64(0); i < 1000; i++ {
+		m.Set(i, int(i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := m.AdaptStats()
+		if !ok {
+			t.Fatal("AdaptStats() not ok")
+		}
+		if st.Samples >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("controllers never sampled: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m.Close()
+}

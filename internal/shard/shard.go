@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sync"
 
+	"rphash/internal/adapt"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
 	"rphash/internal/rcu"
@@ -45,6 +46,9 @@ type Map[K comparable, V any] struct {
 	hash   func(K) uint64
 	shift  uint // shard index = hash >> shift (high bits)
 	ownDom bool
+	// adaptOn records whether the shards run adapt controllers (the
+	// default; WithAdapt(nil) disables).
+	adaptOn bool
 
 	// scratchPool recycles batch-operation workspaces (see batch.go).
 	scratchPool sync.Pool
@@ -55,11 +59,13 @@ type Map[K comparable, V any] struct {
 }
 
 type config struct {
-	shards  uint64
-	initial uint64 // total across shards; 0 = core default per shard
-	stripes int
-	policy  core.Policy
-	dom     *rcu.Domain
+	shards   uint64
+	initial  uint64 // total across shards; 0 = core default per shard
+	stripes  int
+	policy   core.Policy
+	dom      *rcu.Domain
+	adapt    *adapt.Config
+	adaptSet bool
 }
 
 // Option configures a Map at construction.
@@ -94,8 +100,25 @@ func WithPolicy(p core.Policy) Option { return func(c *config) { c.policy = p } 
 // WithTableStripes sets each shard table's physical writer-stripe
 // count (see core.WithStripes). The core default — a few stripes per
 // core — is right for almost everyone; WithTableStripes(1) restores
-// the paper's one-mutex-per-table writer model for ablations.
+// the paper's one-mutex-per-table writer model for ablations. Note
+// that the Map's default adaptive maintenance (see WithAdapt) may
+// retune the stripe count away from this value at runtime under
+// sustained contention: a measurement or ablation that needs the
+// shape FROZEN must combine it with WithAdapt(nil), as the
+// repository's own benchmark engines do.
 func WithTableStripes(n int) Option { return func(c *config) { c.stripes = n } }
+
+// WithAdapt configures the adaptive maintenance controllers the Map
+// runs — one per shard table, started at construction and stopped on
+// Close. The default (option absent) is adapt.DefaultConfig():
+// production maps retune their writer stripes and migration fan-out
+// from live contention without being asked. WithAdapt(nil) pins
+// maintenance off — reproducible-benchmark and ablation runs combine
+// it with WithTableStripes to hold the shape fixed. A non-nil config
+// overrides the sampling cadence, hysteresis thresholds, and bounds.
+func WithAdapt(cfg *adapt.Config) Option {
+	return func(c *config) { c.adapt, c.adaptSet = cfg, true }
+}
 
 // DefaultShards returns the default shard count for this process:
 // one shard per ~4 cores (power of two, capped at 16). Before the
@@ -153,10 +176,40 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Map[K, V] {
 	if p != (core.Policy{}) {
 		tblOpts = append(tblOpts, core.WithPolicy(p))
 	}
+	if !cfg.adaptSet {
+		cfg.adapt = adapt.DefaultConfig()
+	}
+	if cfg.adapt != nil {
+		// One controller per shard table, sharing the domain's Done
+		// for prompt shutdown; core.Table.Close (called by Map.Close)
+		// stops each.
+		tblOpts = append(tblOpts, core.WithAdapt(cfg.adapt))
+		m.adaptOn = true
+	}
 	for i := range m.shards {
 		m.shards[i] = core.New[K, V](hash, tblOpts...)
 	}
 	return m
+}
+
+// AdaptOn reports whether the map runs adaptive maintenance
+// controllers on its shard tables.
+func (m *Map[K, V]) AdaptOn() bool { return m.adaptOn }
+
+// AdaptStats aggregates the per-shard maintenance controllers'
+// snapshots (counters sum, stripe totals sum, the hottest shard's
+// contention rate wins); ok is false when maintenance is off.
+func (m *Map[K, V]) AdaptStats() (adapt.Stats, bool) {
+	if !m.adaptOn {
+		return adapt.Stats{}, false
+	}
+	var agg adapt.Stats
+	for _, s := range m.shards {
+		if st, ok := s.AdaptStats(); ok {
+			agg.Accumulate(st)
+		}
+	}
+	return agg, true
 }
 
 // NewUint64 creates a map keyed by uint64 with the standard
@@ -367,6 +420,10 @@ func accumulate(agg *core.Stats, st core.Stats) {
 	agg.Len += st.Len
 	agg.Buckets += st.Buckets
 	agg.Stripes += st.Stripes
+	agg.EffectiveStripes += st.EffectiveStripes
+	agg.StripeAcquires += st.StripeAcquires
+	agg.StripeContended += st.StripeContended
+	agg.StripeRetunes += st.StripeRetunes
 	agg.Inserts += st.Inserts
 	agg.Deletes += st.Deletes
 	agg.Moves += st.Moves
@@ -374,8 +431,12 @@ func accumulate(agg *core.Stats, st core.Stats) {
 	agg.Shrinks += st.Shrinks
 	agg.UnzipPasses += st.UnzipPasses
 	agg.UnzipCuts += st.UnzipCuts
+	agg.UnzipParallelPasses += st.UnzipParallelPasses
 	agg.AutoGrows += st.AutoGrows
 	agg.AutoShrinks += st.AutoShrinks
+	if st.UnzipWorkers > agg.UnzipWorkers {
+		agg.UnzipWorkers = st.UnzipWorkers
+	}
 	if st.MaxChain > agg.MaxChain {
 		agg.MaxChain = st.MaxChain
 	}
@@ -402,6 +463,11 @@ func (m *Map[K, V]) Stats() core.Stats {
 type MapStats struct {
 	core.Stats              // map-wide aggregate
 	PerShard   []core.Stats // shard i's table snapshot
+	// Adapt aggregates the per-shard maintenance controllers'
+	// snapshots; AdaptOn is false (and Adapt zero) when maintenance
+	// is disabled (WithAdapt(nil)).
+	Adapt   adapt.Stats
+	AdaptOn bool
 }
 
 // DetailedStats gathers a MapStats snapshot. It walks every bucket of
@@ -416,6 +482,7 @@ func (m *Map[K, V]) DetailedStats() MapStats {
 	if ms.Buckets > 0 {
 		ms.LoadFactor = float64(ms.Len) / float64(ms.Buckets)
 	}
+	ms.Adapt, ms.AdaptOn = m.AdaptStats()
 	return ms
 }
 

@@ -3,12 +3,30 @@ package rphash
 import (
 	"time"
 
+	"rphash/internal/adapt"
 	"rphash/internal/cache"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
 	"rphash/internal/rcu"
 	"rphash/internal/shard"
 )
+
+// AdaptConfig tunes adaptive maintenance: the sampling cadence,
+// contention-rate hysteresis thresholds for runtime stripe retuning,
+// and the unzip-migration fan-out bounds. See internal/adapt and
+// DefaultAdaptConfig.
+type AdaptConfig = adapt.Config
+
+// AdaptStats is a maintenance-controller observability snapshot
+// (samples taken, stripe grows/shrinks, fan-out retunes, last
+// sampled contention rate).
+type AdaptStats = adapt.Stats
+
+// DefaultAdaptConfig returns the production maintenance defaults:
+// 100ms sampling, grow stripes at sustained >=5% lock contention,
+// shrink at sustained <=0.5%, fan unzip migration out up to half the
+// cores.
+func DefaultAdaptConfig() *AdaptConfig { return adapt.DefaultConfig() }
 
 // Table is a resizable relativistic hash table. See the package
 // documentation for the concurrency contract.
@@ -79,6 +97,19 @@ func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
 // ablation baseline for the striped scheme.
 func WithStripes(n int) Option { return core.WithStripes(n) }
 
+// WithAdapt starts an adaptive maintenance controller on the table
+// at construction: sampled stripe-lock contention grows or shrinks
+// the writer-stripe array at runtime, and resize migration fans out
+// across workers sized from the live backlog. The core Table default
+// is off (nil = off); Map and Cache enable it by default. See
+// AdaptConfig and Table.Maintain.
+func WithAdapt(cfg *AdaptConfig) Option { return core.WithAdapt(cfg) }
+
+// WithUnzipWorkers pins the initial unzip-migration fan-out for a
+// table's expansions (default 1 = the sequential resizer; the adapt
+// controller retunes it at runtime when enabled).
+func WithUnzipWorkers(n int) Option { return core.WithUnzipWorkers(n) }
+
 // DefaultPolicy expands beyond 2 elements/bucket and shrinks below
 // 0.25, with a 64-bucket floor.
 func DefaultPolicy() Policy { return core.DefaultPolicy() }
@@ -133,7 +164,9 @@ func NewMapString[V any](opts ...MapOption) *Map[string, V] {
 func WithShards(n int) MapOption { return shard.WithShards(n) }
 
 // WithMapTableStripes sets each shard table's writer-stripe count
-// (see WithStripes).
+// (see WithStripes). The Map's default adaptive maintenance may
+// retune the count at runtime; combine with WithMapAdapt(nil) to
+// freeze the shape for measurements.
 func WithMapTableStripes(n int) MapOption { return shard.WithTableStripes(n) }
 
 // WithMapDomain shares an existing domain across a Map's shards (and
@@ -149,6 +182,12 @@ func WithMapInitialBuckets(total uint64) MapOption { return shard.WithInitialBuc
 // shard (MinBuckets is interpreted map-wide and divided across
 // shards).
 func WithMapPolicy(p Policy) MapOption { return shard.WithPolicy(p) }
+
+// WithMapAdapt configures the Map's adaptive maintenance controllers
+// (one per shard table; on by default). WithMapAdapt(nil) pins
+// maintenance off — combine with WithMapTableStripes for
+// reproducible benchmark shapes.
+func WithMapAdapt(cfg *AdaptConfig) MapOption { return shard.WithAdapt(cfg) }
 
 // MapStats is a Map observability snapshot: the map-wide aggregate
 // (embedded Stats) plus every shard's own table snapshot, so bucket
@@ -221,6 +260,11 @@ func WithCachePolicy(p Policy) CacheOption { return cache.WithPolicy(p) }
 // (<= 0 disables it; expired entries are then reclaimed only by
 // SweepExpired calls, eviction sampling, and overwrites).
 func WithCacheSweepInterval(d time.Duration) CacheOption { return cache.WithSweepInterval(d) }
+
+// WithCacheAdapt configures the cache's underlying adaptive
+// maintenance controllers (on by default; nil pins them off). See
+// WithMapAdapt.
+func WithCacheAdapt(cfg *AdaptConfig) CacheOption { return cache.WithAdapt(cfg) }
 
 // HashBytes is the repository's standard byte-slice hash (seeded
 // FNV-1a with an avalanche finalizer), exported for callers building
