@@ -5,7 +5,7 @@ GO      ?= go
 COUNT   ?= 10
 BENCHOUT ?= bench-write.txt
 
-.PHONY: test race bench-write bench-adapt bench-shards bench-smoke fig5 ablation6
+.PHONY: test race lint test-invariants bench-write bench-adapt bench-shards bench-smoke fig5 ablation6
 
 test:
 	$(GO) build ./...
@@ -14,6 +14,23 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+# lint runs the in-tree RCU-discipline analyzers (cmd/rplint) over
+# the whole module, both standalone and through the `go vet -vettool`
+# protocol (the two drivers load packages differently; CI runs both,
+# so the local loop should too). Findings are fix-or-justify: a
+# deliberate exception needs `//lint:allow rplint/<name> <reason>`
+# on or above the flagged line.
+lint:
+	$(GO) build -o bin/rplint ./cmd/rplint
+	./bin/rplint ./...
+	$(GO) vet -vettool=$$(pwd)/bin/rplint ./...
+
+# test-invariants mirrors the CI invariants step: resize steps
+# re-validate the table's structural invariants live, racing real
+# writers, on every expansion and shrink the torture tests drive.
+test-invariants:
+	$(GO) test -tags=invariants -run 'Torture|Invariant|Resize|Churn' ./internal/core/
 
 # bench-write produces benchstat-friendly output for the write-path
 # benchmarks (striped vs single-lock upserts, resize contention,

@@ -1,0 +1,260 @@
+// Command rplint runs the project's custom static analyzers (see
+// internal/analysis/rplint). It speaks two dialects:
+//
+// Standalone, over go list patterns:
+//
+//	rplint ./...
+//
+// As a go vet tool, where cmd/go drives it once per package and
+// shuttles analyzer facts between processes as .vetx files:
+//
+//	go vet -vettool=$(pwd)/bin/rplint ./...
+//
+// In vet mode cmd/go probes the tool with -V=full and -flags before
+// handing it a vet.cfg describing one type-checked package (file list,
+// import map, export data, dependency fact files). Packages outside
+// this module are acknowledged with an empty fact set rather than
+// analyzed — their interiors are none of rplint's business and their
+// export data is all the analyzers need.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rphash/internal/analysis/framework"
+	"rphash/internal/analysis/rplint"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			// The version string feeds cmd/go's cache key; any
+			// non-"devel" token after "version" is accepted.
+			fmt.Println("rplint version v0.1.0")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(vetMode(args[len(args)-1]))
+	}
+	os.Exit(standalone(args))
+}
+
+// ---- standalone mode ----
+
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	load, err := framework.LoadModulePackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		return 1
+	}
+	analyzers := rplint.Analyzers()
+	store := framework.NewFactStore()
+	exit := 0
+	for _, p := range load.Pkgs {
+		diags, err := framework.RunAnalyzers(framework.PackageInput{
+			Fset:       load.Fset,
+			Files:      p.Files,
+			Pkg:        p.Pkg,
+			Info:       p.Info,
+			ModulePath: load.ModulePath,
+		}, analyzers, store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rplint:", err)
+			return 1
+		}
+		if p.DepOnly {
+			continue
+		}
+		if printDiags(load.Fset, diags) {
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// printDiags prints non-test-file diagnostics, reporting whether any
+// were printed. Tests may block inside reader sections on purpose
+// (torture tests park readers to stall grace periods), so _test.go
+// findings are not errors.
+func printDiags(fset *token.FileSet, diags []framework.Diagnostic) bool {
+	any := false
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: rplint/%s: %s\n", pos, d.Analyzer, d.Message)
+		any = true
+	}
+	return any
+}
+
+// ---- go vet tool mode ----
+
+// vetConfig mirrors the fields of cmd/go's vet.cfg that rplint reads.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	analyzers := rplint.Analyzers()
+	framework.RegisterFactTypes(analyzers)
+
+	// Test variants are named "path [path.test]" but compile as the
+	// base path; analyzers must see the canonical identity.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+
+	modulePath := cfg.ModulePath
+	if modulePath == "" {
+		modulePath = findModulePath(cfg.Dir)
+	}
+	if !framework.ModuleLocalPath(modulePath, importPath) {
+		// Out-of-module dependency: contribute an empty fact set.
+		return writeVetx(cfg.VetxOutput, framework.NewFactStore())
+	}
+
+	fset := token.NewFileSet()
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files[i] = f
+	}
+	imp := framework.LookupImporter(fset, cfg.ImportMap, func(path string) (io.ReadCloser, error) {
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	pkg, info, asts, err := framework.CheckFromSource(fset, importPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, framework.NewFactStore())
+		}
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		return 1
+	}
+
+	store := framework.NewFactStore()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for _, p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue // a dep that wrote no facts
+		}
+		if err := store.DecodeInto(b); err != nil {
+			fmt.Fprintf(os.Stderr, "rplint: decoding facts from %s: %v\n", p, err)
+			return 1
+		}
+	}
+
+	diags, err := framework.RunAnalyzers(framework.PackageInput{
+		Fset:       fset,
+		Files:      asts,
+		Pkg:        pkg,
+		Info:       info,
+		ModulePath: modulePath,
+	}, analyzers, store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput, store); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if printDiags(fset, diags) {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx serializes the fact store to the path cmd/go expects.
+func writeVetx(path string, store *framework.FactStore) int {
+	if path == "" {
+		return 0
+	}
+	data, err := store.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "rplint:", err)
+		return 1
+	}
+	return 0
+}
+
+// findModulePath walks up from dir to the nearest go.mod and returns
+// its module path ("" if none).
+func findModulePath(dir string) string {
+	for d := dir; ; {
+		b, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(b), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.Trim(strings.TrimSpace(rest), `"`)
+				}
+			}
+			return ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

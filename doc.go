@@ -192,6 +192,23 @@
 // fan-out counters (UnzipParallelPasses, UnzipWorkers) alongside the
 // resize internals.
 //
+// # Static analysis
+//
+// Relativistic code has rules the compiler cannot check, so the
+// repository checks them itself: cmd/rplint (runnable standalone or
+// as go vet -vettool) enforces three disciplines over the whole
+// module. Read-side critical sections must never block — no channel
+// operations, mutex acquisitions, sleeps, or blocking I/O inside
+// rcu.Read, including transitively through helpers (rplint/
+// readersection). A field accessed with sync/atomic anywhere must be
+// accessed with sync/atomic everywhere, across packages
+// (rplint/atomicmix). And no code path may wait for — or queue —
+// an RCU grace period while holding a writer stripe or mutex, or
+// inside a reader section, since the grace period cannot end until
+// those readers leave (rplint/gracewait). Violations fail CI;
+// deliberate exceptions carry a //lint:allow rplint/<name> <reason>
+// justification in the source.
+//
 // The internal packages contain the full reproduction apparatus: the
 // epoch-based RCU runtime (internal/rcu), the baseline tables the
 // paper compares against (internal/ddds, internal/lockht,

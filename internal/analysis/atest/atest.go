@@ -1,0 +1,216 @@
+// Package atest is a small analysistest-style harness for the rplint
+// analyzers. A test points it at a testdata directory laid out as
+// testdata/src/<import path>/*.go; the harness type-checks the target
+// package (and, recursively, any imports that also live under
+// testdata/src — loaded dependency-first so facts flow), runs the
+// analyzers, and compares the resulting diagnostics against
+// expectations written as trailing comments:
+//
+//	ch <- 1 // want `sends on a channel`
+//
+// Every want must be matched by a diagnostic on its line and every
+// diagnostic must be matched by a want; suppression directives are
+// applied first, so a //lint:allow line with no want asserts that the
+// suppression works. Imports not found under testdata/src (sync,
+// sync/atomic, time, ...) resolve through the source importer from
+// GOROOT, which needs no network and no prebuilt export data.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"rphash/internal/analysis/framework"
+)
+
+// ModulePath is the module identity testdata packages are checked
+// under; paths below it (e.g. rphash/atomicinner) count as
+// module-local for fact propagation.
+const ModulePath = "rphash"
+
+// Run loads pkgPath from testdataDir/src, runs the analyzers, and
+// compares diagnostics against the // want comments.
+func Run(t *testing.T, testdataDir string, pkgPath string, analyzers []*framework.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:     fset,
+		srcRoot:  filepath.Join(testdataDir, "src"),
+		pkgs:     make(map[string]*loadedPkg),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	if _, err := l.Import(pkgPath); err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+
+	store := framework.NewFactStore()
+	var diags []framework.Diagnostic
+	for _, path := range l.order {
+		p := l.pkgs[path]
+		ds, err := framework.RunAnalyzers(framework.PackageInput{
+			Fset:       fset,
+			Files:      p.files,
+			Pkg:        p.pkg,
+			Info:       p.info,
+			ModulePath: ModulePath,
+		}, analyzers, store)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	checkWants(t, fset, l, diags)
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader loads testdata packages from source, recursively through
+// their testdata-local imports, falling back to GOROOT source for
+// everything else.
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	pkgs     map[string]*loadedPkg
+	order    []string // post-order: dependencies before dependents
+	loading  []string
+	fallback types.Importer
+}
+
+// Import implements types.Importer over the testdata overlay.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return l.load(path, dir)
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *loader) load(path, dir string) (*types.Package, error) {
+	for _, p := range l.loading {
+		if p == path {
+			return nil, fmt.Errorf("testdata import cycle through %s", path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = &loadedPkg{pkg: pkg, files: files, info: info}
+	l.order = append(l.order, path)
+	return pkg, nil
+}
+
+// wantRx extracts the quoted or backquoted patterns of a want comment.
+var wantRx = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// checkWants compares diagnostics against // want comments across
+// every loaded testdata package.
+func checkWants(t *testing.T, fset *token.FileSet, l *loader, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, path := range l.order {
+		for _, f := range l.pkgs[path].files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(body, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, m := range wantRx.FindAllStringSubmatch(body[len("want "):], -1) {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, text: pat})
+					}
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			if pos.Filename == w.file && pos.Line == w.line && w.rx.MatchString(d.Message) {
+				matched[i] = true
+				w.hit = true
+				break
+			}
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+	unexpected := make([]string, 0)
+	for i, d := range diags {
+		if matched[i] {
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		unexpected = append(unexpected, fmt.Sprintf("%s:%d: unexpected diagnostic (rplint/%s): %s", pos.Filename, pos.Line, d.Analyzer, d.Message))
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+}

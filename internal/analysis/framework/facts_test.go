@@ -1,0 +1,56 @@
+package framework
+
+import (
+	"encoding/gob"
+	"testing"
+)
+
+type testFact struct {
+	Note  string
+	Count int
+}
+
+func (*testFact) AFact() {}
+
+func init() { gob.Register(&testFact{}) }
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.put("a", "pkg.Type.Method", &testFact{Note: "blocks", Count: 2})
+	s.put("a", "pkg.Func", &testFact{Note: "waits"})
+	s.put("b", "pkg.Func", &testFact{Count: 7})
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewFactStore()
+	if err := s2.DecodeInto(data); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("expected 3 facts after decode, got %d", s2.Len())
+	}
+	got, ok := s2.get("a", "pkg.Type.Method").(*testFact)
+	if !ok || got.Note != "blocks" || got.Count != 2 {
+		t.Fatalf("fact did not round-trip: %+v", got)
+	}
+	if s2.get("b", "pkg.Type.Method") != nil {
+		t.Fatal("fact leaked across analyzer namespaces")
+	}
+
+	// Encoding is deterministic: same store, same bytes.
+	data2, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("Encode is not deterministic")
+	}
+
+	// Empty input is a valid empty fact set (a dependency with no
+	// facts writes a zero-length vetx file).
+	if err := NewFactStore().DecodeInto(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package framework is a self-contained, dependency-free skeleton of
+// the golang.org/x/tools go/analysis vocabulary: analyzers, passes,
+// diagnostics, and cross-package facts. The real framework is not
+// vendorable here (the module deliberately has zero external
+// dependencies), so this package rebuilds the minimal surface the
+// rplint analyzers need on top of the standard library — go/ast,
+// go/types, and an export-data importer — while keeping the same
+// shape, so the analyzers would port to x/tools with mechanical
+// changes only.
+//
+// The pieces:
+//
+//   - Analyzer / Pass / Diagnostic mirror their x/tools namesakes.
+//     Analyzers declare Requires dependencies (run earlier, results
+//     available via Pass.ResultOf) and FactTypes (gob-registered for
+//     cross-process serialization under `go vet -vettool`).
+//   - FactStore holds facts keyed by (analyzer, stable object key).
+//     Object keys are strings like "pkg/path.Type.Method" rather than
+//     types.Object pointers, because a dependency analyzed from source
+//     in one process must match the same symbol imported from export
+//     data in another.
+//   - RunAnalyzers runs a topologically sorted analyzer set over one
+//     type-checked package and applies the //lint:allow suppression
+//     directives (see suppress.go).
+package framework
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Fact is a piece of analyzer-computed information attached to a
+// stable object key and serialized across package boundaries. A Fact
+// must be a pointer to a gob-encodable struct.
+type Fact interface{ AFact() }
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the analyzer's short name; diagnostics print as
+	// "rplint/<name>" and suppressions reference the same string.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Requires lists analyzers that must run first on the same
+	// package; their results are available in Pass.ResultOf.
+	Requires []*Analyzer
+	// FactTypes enumerates prototype fact values (pointers) for gob
+	// registration.
+	FactTypes []Fact
+	// Run performs the analysis.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ModulePath string // module being linted ("rphash")
+	ResultOf   map[*Analyzer]any
+
+	facts *FactStore
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ExportFact attaches a fact to a stable object key.
+func (p *Pass) ExportFact(objectKey string, f Fact) {
+	p.facts.put(p.Analyzer.Name, objectKey, f)
+}
+
+// ImportFact copies a previously exported fact for objectKey into f
+// (a pointer of the matching concrete type), reporting whether one
+// exists. Facts exported by the current package are visible too.
+func (p *Pass) ImportFact(objectKey string, f Fact) bool {
+	got := p.facts.get(p.Analyzer.Name, objectKey)
+	if got == nil {
+		return false
+	}
+	rv, gv := reflect.ValueOf(f), reflect.ValueOf(got)
+	if rv.Type() != gv.Type() {
+		return false
+	}
+	rv.Elem().Set(gv.Elem())
+	return true
+}
+
+// ModuleLocal reports whether an import path belongs to the module
+// being linted (facts flow only between module packages; everything
+// else is opaque export data).
+func (p *Pass) ModuleLocal(path string) bool {
+	return ModuleLocalPath(p.ModulePath, path)
+}
+
+// ModuleLocalPath reports whether path is modulePath or below it.
+func ModuleLocalPath(modulePath, path string) bool {
+	if modulePath == "" {
+		return false
+	}
+	return path == modulePath ||
+		(len(path) > len(modulePath) && path[:len(modulePath)] == modulePath && path[len(modulePath)] == '/')
+}
+
+// factKey identifies one fact.
+type factKey struct{ analyzer, object string }
+
+// FactStore accumulates facts across packages within one driver run
+// and serializes them for the multi-process `go vet` driver.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[factKey]Fact)} }
+
+func (s *FactStore) put(analyzer, object string, f Fact) {
+	s.m[factKey{analyzer, object}] = f
+}
+
+func (s *FactStore) get(analyzer, object string) Fact {
+	return s.m[factKey{analyzer, object}]
+}
+
+// Len returns the number of stored facts (used by tests).
+func (s *FactStore) Len() int { return len(s.m) }
+
+// factRecord is the gob wire form of one fact.
+type factRecord struct {
+	Analyzer string
+	Object   string
+	Fact     Fact
+}
+
+// RegisterFactTypes registers every analyzer's fact prototypes with
+// gob, walking the Requires closure (a dependency like rcuflow owns
+// facts even when only its dependents are requested). Call once before
+// Encode/DecodeInto.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	seen := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+		for _, dep := range a.Requires {
+			visit(dep)
+		}
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+}
+
+// Encode serializes the whole store (deterministically ordered).
+func (s *FactStore) Encode() ([]byte, error) {
+	recs := make([]factRecord, 0, len(s.m))
+	for k, f := range s.m {
+		recs = append(recs, factRecord{Analyzer: k.analyzer, Object: k.object, Fact: f})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Analyzer != recs[j].Analyzer {
+			return recs[i].Analyzer < recs[j].Analyzer
+		}
+		return recs[i].Object < recs[j].Object
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeInto merges serialized facts into the store. Empty input is a
+// valid empty fact set.
+func (s *FactStore) DecodeInto(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		s.put(r.Analyzer, r.Object, r.Fact)
+	}
+	return nil
+}
+
+// PackageInput is one type-checked package handed to RunAnalyzers.
+type PackageInput struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ModulePath string
+}
+
+// RunAnalyzers runs the analyzers (plus their Requires closure, in
+// dependency order) over one package, sharing facts through store.
+// Diagnostics from suppressed lines are dropped; malformed
+// suppression directives are themselves reported (analyzer
+// "rplint/allow" — see suppress.go).
+func RunAnalyzers(in PackageInput, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	order, err := topoSort(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	results := make(map[*Analyzer]any)
+	for _, a := range order {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       in.Fset,
+			Files:      in.Files,
+			Pkg:        in.Pkg,
+			Info:       in.Info,
+			ModulePath: in.ModulePath,
+			ResultOf:   results,
+			facts:      store,
+			diags:      &diags,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, in.Pkg.Path(), err)
+		}
+		results[a] = res
+	}
+	known := make(map[string]bool, len(order))
+	for _, a := range order {
+		known[a.Name] = true
+	}
+	return applySuppressions(in.Fset, in.Files, known, diags), nil
+}
+
+// topoSort orders analyzers so that every Requires entry precedes its
+// dependents, detecting cycles.
+func topoSort(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var order []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, dep := range a.Requires {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,188 @@
+// Package loading for the standalone rplint driver. The x/tools
+// go/packages loader is unavailable (zero external dependencies), so
+// this loader shells out to `go list -export -deps`, type-checks the
+// module's own packages from source, and resolves every import —
+// stdlib and module-internal alike — through the compiler's export
+// data. `go list -deps` lists dependencies before dependents, which
+// is exactly the order cross-package facts need.
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadedPackage is one module-local package type-checked from source.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// DepOnly marks packages pulled in as dependencies of the
+	// requested patterns; they are analyzed for facts but their
+	// diagnostics are not reported.
+	DepOnly bool
+}
+
+// Load is the result of LoadModulePackages: the module's packages in
+// dependency order, sharing one FileSet.
+type Load struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Pkgs       []*LoadedPackage
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Export     string
+	Standard   bool
+	Dir        string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// LoadModulePackages loads the packages matching patterns (plus their
+// module-local dependencies) from the module rooted at dir.
+func LoadModulePackages(dir string, patterns []string) (*Load, error) {
+	modulePath, err := goListModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Export,Standard,Dir,GoFiles,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFile := make(map[string]string)
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if e.Export != "" {
+			exportFile[e.ImportPath] = e.Export
+		}
+		entries = append(entries, e)
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, exportFile)
+	l := &Load{Fset: fset, ModulePath: modulePath}
+	for _, e := range entries {
+		if e.Standard || !ModuleLocalPath(modulePath, e.ImportPath) {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, info, asts, err := CheckFromSource(fset, e.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", e.ImportPath, err)
+		}
+		l.Pkgs = append(l.Pkgs, &LoadedPackage{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Files:      asts,
+			Pkg:        pkg,
+			Info:       info,
+			DepOnly:    e.DepOnly,
+		})
+	}
+	return l, nil
+}
+
+// goListModule returns the module path of the module rooted at dir.
+func goListModule(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// ExportDataImporter returns a types.Importer that resolves import
+// paths through compiler export data files (path -> filename). The gc
+// importer caches, so one importer should serve a whole run.
+func ExportDataImporter(fset *token.FileSet, exportFile map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// LookupImporter returns a types.Importer over caller-supplied export
+// data: importMap rewrites source-level import paths (vendoring, test
+// variants) and lookup opens the export data for a resolved path. This
+// is the importer shape `go vet` tool mode needs, where cmd/go hands
+// the tool both maps in vet.cfg.
+func LookupImporter(fset *token.FileSet, importMap map[string]string, lookup func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return lookup(path)
+	})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// CheckFromSource parses and type-checks one package from its source
+// files, resolving imports through imp.
+func CheckFromSource(fset *token.FileSet, importPath string, files []string, imp types.Importer) (*types.Package, *types.Info, []*ast.File, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		a, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		asts = append(asts, a)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, asts, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, info, asts, nil
+}

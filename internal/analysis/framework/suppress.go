@@ -1,0 +1,119 @@
+// Suppression directives. A deliberate exception to an rplint rule is
+// annotated in source as
+//
+//	//lint:allow rplint/<analyzer> <reason...>
+//
+// either on the offending line or on a line of its own directly above
+// it (a stack of consecutive directive lines covers the first
+// non-directive line below the stack). The reason is mandatory: a
+// directive without one, or one naming an unknown analyzer, is itself
+// reported (as analyzer "allow"), so the suppression inventory stays
+// auditable — every exception carries its justification next to the
+// code it exempts.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowName is the pseudo-analyzer name under which malformed
+// suppression directives are reported.
+const AllowName = "allow"
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:allow "
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Pos
+	line     int
+	analyzer string // "" if malformed
+	reason   string
+	problem  string // non-empty if the directive itself is a finding
+}
+
+// parseDirectives extracts every suppression directive from a file.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			d := directive{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			rest := strings.TrimSpace(text[len(directivePrefix):])
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			switch {
+			case !strings.HasPrefix(name, "rplint/"):
+				d.problem = "suppression directive must name an analyzer as rplint/<name>"
+			case !known[strings.TrimPrefix(name, "rplint/")]:
+				d.problem = "suppression directive names unknown analyzer " + name
+			case reason == "":
+				d.problem = "suppression of " + name + " requires a reason"
+			default:
+				d.analyzer = strings.TrimPrefix(name, "rplint/")
+				d.reason = reason
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics covered by a well-formed
+// directive and appends a diagnostic for each malformed one. A
+// directive covers its own line and the first following line that is
+// not itself a directive line (so stacked directives above one
+// statement all apply to it).
+func applySuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool, diags []Diagnostic) []Diagnostic {
+	// suppressed[file][line][analyzer]
+	suppressed := make(map[string]map[int]map[string]bool)
+	var problems []Diagnostic
+	for _, f := range files {
+		ds := parseDirectives(fset, f, known)
+		if len(ds) == 0 {
+			continue
+		}
+		fname := fset.Position(f.Pos()).Filename
+		lines := suppressed[fname]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			suppressed[fname] = lines
+		}
+		directiveLines := make(map[int]bool, len(ds))
+		for _, d := range ds {
+			directiveLines[d.line] = true
+		}
+		for _, d := range ds {
+			if d.problem != "" {
+				problems = append(problems, Diagnostic{Pos: d.pos, Message: d.problem, Analyzer: AllowName})
+				continue
+			}
+			cover := func(line int) {
+				if lines[line] == nil {
+					lines[line] = make(map[string]bool)
+				}
+				lines[line][d.analyzer] = true
+			}
+			cover(d.line)
+			next := d.line + 1
+			for directiveLines[next] {
+				next++
+			}
+			cover(next)
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if suppressed[pos.Filename][pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return append(out, problems...)
+}

@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse returns the fset, file, and a helper resolving a source
+// substring to its token.Pos.
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File, func(sub string) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, func(sub string) token.Pos {
+		off := strings.Index(src, sub)
+		if off < 0 {
+			t.Fatalf("substring %q not found", sub)
+		}
+		return fset.File(f.Pos()).Pos(off)
+	}
+}
+
+var known = map[string]bool{"gracewait": true, "readersection": true}
+
+func TestSuppressSameLineAndLineAbove(t *testing.T) {
+	src := `package p
+
+func f() {
+	sameLine() //lint:allow rplint/gracewait deliberate baseline design
+	//lint:allow rplint/gracewait the next line is exempt too
+	lineBelow()
+	unrelated()
+}
+`
+	fset, f, at := parseSrc(t, src)
+	diags := []Diagnostic{
+		{Pos: at("sameLine"), Message: "m1", Analyzer: "gracewait"},
+		{Pos: at("lineBelow"), Message: "m2", Analyzer: "gracewait"},
+		{Pos: at("unrelated"), Message: "m3", Analyzer: "gracewait"},
+	}
+	got := applySuppressions(fset, []*ast.File{f}, known, diags)
+	if len(got) != 1 || got[0].Message != "m3" {
+		t.Fatalf("expected only m3 to survive, got %+v", got)
+	}
+}
+
+func TestSuppressOnlyNamedAnalyzer(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow rplint/gracewait only gracewait is excused here
+	both()
+}
+`
+	fset, f, at := parseSrc(t, src)
+	diags := []Diagnostic{
+		{Pos: at("both"), Message: "g", Analyzer: "gracewait"},
+		{Pos: at("both"), Message: "r", Analyzer: "readersection"},
+	}
+	got := applySuppressions(fset, []*ast.File{f}, known, diags)
+	if len(got) != 1 || got[0].Analyzer != "readersection" {
+		t.Fatalf("expected only the readersection diagnostic to survive, got %+v", got)
+	}
+}
+
+func TestSuppressRequiresReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow rplint/gracewait
+	x()
+}
+`
+	fset, f, at := parseSrc(t, src)
+	diags := []Diagnostic{{Pos: at("x()"), Message: "m", Analyzer: "gracewait"}}
+	got := applySuppressions(fset, []*ast.File{f}, known, diags)
+	// The original diagnostic survives (the directive is void) and the
+	// directive itself is reported.
+	if len(got) != 2 {
+		t.Fatalf("expected 2 diagnostics, got %+v", got)
+	}
+	foundProblem := false
+	for _, d := range got {
+		if d.Analyzer == AllowName && strings.Contains(d.Message, "requires a reason") {
+			foundProblem = true
+		}
+	}
+	if !foundProblem {
+		t.Fatalf("missing reason-required finding in %+v", got)
+	}
+}
+
+func TestSuppressUnknownAnalyzer(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow rplint/nosuchcheck because I said so
+	x()
+}
+`
+	fset, f, _ := parseSrc(t, src)
+	got := applySuppressions(fset, []*ast.File{f}, known, nil)
+	if len(got) != 1 || got[0].Analyzer != AllowName || !strings.Contains(got[0].Message, "unknown analyzer") {
+		t.Fatalf("expected unknown-analyzer finding, got %+v", got)
+	}
+}
+
+func TestSuppressBadPrefix(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow gracewait missing the rplint/ prefix
+	x()
+}
+`
+	fset, f, _ := parseSrc(t, src)
+	got := applySuppressions(fset, []*ast.File{f}, known, nil)
+	if len(got) != 1 || got[0].Analyzer != AllowName || !strings.Contains(got[0].Message, "rplint/<name>") {
+		t.Fatalf("expected bad-prefix finding, got %+v", got)
+	}
+}

@@ -1,0 +1,204 @@
+// Package atomicmix enforces all-or-nothing atomicity: a struct field
+// that is accessed through sync/atomic anywhere in the module must be
+// accessed atomically everywhere. A single plain load racing with
+// atomic stores is undefined behavior the race detector only catches
+// when the schedule cooperates; the analyzer catches it statically,
+// across package boundaries, by exporting per-field access facts.
+//
+// Only function-style sync/atomic calls can mix (atomic.AddInt64(&x.n,
+// 1) versus x.n++); the typed atomic.Int64-style fields cannot be
+// accessed plainly at all and need no checking. Composite-literal
+// initialization is exempt — the struct is unpublished while being
+// built.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"rphash/internal/analysis/framework"
+)
+
+// maxPositions bounds how many representative positions a fact keeps
+// per access kind.
+const maxPositions = 4
+
+// FieldUse is the exported per-field fact: representative source
+// positions of atomic and plain accesses seen so far.
+type FieldUse struct {
+	Atomic []string
+	Plain  []string
+}
+
+// AFact marks FieldUse as a framework fact.
+func (*FieldUse) AFact() {}
+
+// Analyzer reports mixed atomic/plain access to the same field.
+var Analyzer = &framework.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "report struct fields accessed both through sync/atomic and by plain loads/stores",
+	FactTypes: []framework.Fact{&FieldUse{}},
+	Run:       run,
+}
+
+// use is one local access to a tracked field.
+type use struct {
+	pos    token.Pos
+	atomic bool
+}
+
+func run(pass *framework.Pass) (any, error) {
+	// First pass: find the &x.f arguments of function-style sync/atomic
+	// calls; those selector nodes are atomic accesses, not plain ones.
+	atomicSel := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Every function-style sync/atomic API takes the address
+			// as its first argument.
+			if addr, ok := call.Args[0].(*ast.UnaryExpr); ok && addr.Op == token.AND {
+				if target, ok := unparen(addr.X).(*ast.SelectorExpr); ok {
+					atomicSel[target] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Second pass: classify every field selector of an eligible type.
+	uses := make(map[string][]use)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok || !eligibleType(field.Type()) {
+				return true
+			}
+			key := fieldKey(pass, s, field)
+			if key == "" {
+				return true
+			}
+			uses[key] = append(uses[key], use{pos: sel.Pos(), atomic: atomicSel[sel]})
+			return true
+		})
+	}
+
+	keys := make([]string, 0, len(uses))
+	for k := range uses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		var merged FieldUse
+		pass.ImportFact(key, &merged)
+		importedAtomic := firstOr(merged.Atomic)
+		importedPlain := firstOr(merged.Plain)
+
+		var localAtomic, localPlain []use
+		for _, u := range uses[key] {
+			if u.atomic {
+				localAtomic = append(localAtomic, u)
+				addPos(&merged.Atomic, pass.Fset.Position(u.pos).String())
+			} else {
+				localPlain = append(localPlain, u)
+				addPos(&merged.Plain, pass.Fset.Position(u.pos).String())
+			}
+		}
+
+		// Mixed: report at the minority side that is local, preferring
+		// plain sites (the atomic side is usually the intended one).
+		atomicEvidence := importedAtomic
+		if len(localAtomic) > 0 {
+			atomicEvidence = pass.Fset.Position(localAtomic[0].pos).String()
+		}
+		switch {
+		case len(localPlain) > 0 && atomicEvidence != "":
+			for _, u := range localPlain {
+				pass.Reportf(u.pos, "field %s is accessed with sync/atomic (e.g. at %s) but accessed plainly here; mixing atomic and plain access is a data race", key, atomicEvidence)
+			}
+		case len(localAtomic) > 0 && importedPlain != "":
+			for _, u := range localAtomic {
+				pass.Reportf(u.pos, "field %s is accessed plainly elsewhere (at %s) but with sync/atomic here; mixing atomic and plain access is a data race", key, importedPlain)
+			}
+		}
+		pass.ExportFact(key, &merged)
+	}
+	return nil, nil
+}
+
+func firstOr(xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[0]
+}
+
+func addPos(xs *[]string, pos string) {
+	if len(*xs) < maxPositions {
+		*xs = append(*xs, pos)
+	}
+}
+
+// eligibleType reports whether a field's type can be the operand of a
+// function-style sync/atomic call.
+func eligibleType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	case *types.Pointer:
+		return false
+	}
+	return false
+}
+
+// fieldKey builds the stable cross-package key "pkg/path.Type.Field",
+// or "" for fields the analyzer does not track (non-module packages,
+// anonymous struct types).
+func fieldKey(pass *framework.Pass, s *types.Selection, field *types.Var) string {
+	if field.Pkg() == nil || !pass.ModuleLocal(field.Pkg().Path()) {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return field.Pkg().Path() + "." + n.Origin().Obj().Name() + "." + field.Name()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,39 @@
+// Package gracewait enforces the resize-protocol rule from PR 4: no
+// stripe lock may be held, and no reader section may be active, while
+// waiting for an RCU grace period. A writer inside a grace wait that
+// holds a stripe blocks every other writer hashing to that stripe for
+// a full grace period; a reader that grace-waits deadlocks against
+// itself under QSBR. The analyzer flags:
+//
+//   - calls that may transitively reach Domain.Synchronize or
+//     Domain.Barrier while any tracked mutex is definitely held or a
+//     reader section is active;
+//   - calls that may reach Domain.Defer while a stripe lock is held or
+//     a reader is active (Defer's post-Close fallback degrades to a
+//     synchronous grace wait, so the hazard is latent but real).
+//
+// Plain mutexes are reported too — holding any lock across a grace
+// wait couples unrelated critical sections to reader latency — but the
+// message distinguishes the two, and deliberate designs (the resize
+// mutex, the Xu-style global-lock baseline) carry //lint:allow
+// suppressions with their justification.
+package gracewait
+
+import (
+	"rphash/internal/analysis/framework"
+	"rphash/internal/analysis/rplint/rcuflow"
+)
+
+// Analyzer reports the grace-wait slice of the rcuflow result.
+var Analyzer = &framework.Analyzer{
+	Name:     "gracewait",
+	Doc:      "report RCU grace-period waits reachable while a stripe lock, mutex, or reader section is held",
+	Requires: []*framework.Analyzer{rcuflow.Analyzer},
+	Run: func(pass *framework.Pass) (any, error) {
+		res := pass.ResultOf[rcuflow.Analyzer].(*rcuflow.Result)
+		for _, f := range res.Grace {
+			pass.Reportf(f.Pos, "%s", f.Message)
+		}
+		return nil, nil
+	},
+}

@@ -1,0 +1,246 @@
+// Package rcuflow is the shared flow engine behind the rplint
+// analyzers readersection and gracewait. For every function in a
+// package it computes a summary — may it block, may it wait for an
+// RCU grace period, may it queue an RCU callback, which func-typed
+// parameters does it invoke inside a reader section, and which locks
+// does it acquire or release on behalf of its caller — by walking the
+// function body with a structured, definitely-held lock-state
+// analysis. Summaries are exported as facts keyed by stable symbol
+// strings ("pkg/path.Type.Method"), so the checks compose across
+// package boundaries: internal/cache holding a mutex across a call
+// into internal/shard that transitively reaches Domain.Synchronize in
+// internal/core is flagged at the cache call site.
+//
+// The rcu package itself is not analyzed from source; its primitives
+// get hand-written summaries (see builtins) because their interiors
+// legitimately violate the lexical discipline the engine enforces
+// (Domain.Read unlocks its pooled reader from a deferred closure,
+// Synchronize spins with sleeps, and so on).
+//
+// The lock-state model is deliberately "definitely held": state merges
+// intersect, loops are analyzed against the intersection of their
+// entry and one-iteration-exit states, and acquisitions whose handle
+// is discarded are dropped. That trades missed findings for a near
+// absence of false positives — the right trade for a lint gate that
+// must pass clean on every build.
+package rcuflow
+
+import (
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+
+	"rphash/internal/analysis/framework"
+)
+
+// RCUPkgPath is the import path of the RCU primitives package whose
+// API the engine models axiomatically.
+const RCUPkgPath = "rphash/internal/rcu"
+
+// Lock kinds, in increasing order of severity for the gracewait rule:
+// a plain mutex held across a grace wait is a latency/deadlock hazard,
+// a stripe held across one violates the resize protocol outright.
+const (
+	KindMutex  = "mutex"
+	KindStripe = "stripe lock"
+)
+
+// Lock effect operations.
+const (
+	OpAcquire = "acquire"
+	OpRelease = "release"
+)
+
+// LockEffect describes one lock a function acquires or releases on
+// behalf of its caller, rooted at a parameter, the receiver, or a
+// result: Root is "recv", "param:N", or "result:N"; Path is the
+// selector path from that root to the mutex (".mu", ".held.mu",
+// ".locks[].mu", ...).
+type LockEffect struct {
+	Root string
+	Path string
+	Kind string
+	Op   string
+}
+
+// FuncInfo is the exported per-function summary fact.
+type FuncInfo struct {
+	// Blocks is a non-empty reason if calling the function may block
+	// the caller (mutexes, channels, sleeps, I/O, grace waits).
+	Blocks string
+	// GraceWaits is a non-empty reason if the function may wait for an
+	// RCU grace period (Domain.Synchronize/Barrier, transitively).
+	GraceWaits string
+	// Defers is a non-empty reason if the function may queue an RCU
+	// callback via Domain.Defer (whose post-Close fallback waits a
+	// grace period synchronously).
+	Defers string
+	// SectionParams lists the indices of func-typed parameters the
+	// function invokes inside an RCU reader section.
+	SectionParams []int
+	// Lock lists caller-visible lock acquisitions and releases.
+	Lock []LockEffect
+}
+
+// AFact marks FuncInfo as a framework fact.
+func (*FuncInfo) AFact() {}
+
+func (fi *FuncInfo) equal(other *FuncInfo) bool { return reflect.DeepEqual(fi, other) }
+
+// Finding is one site-level problem discovered during the final walk.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Result is what dependent analyzers receive via Pass.ResultOf.
+type Result struct {
+	// Reader holds readersection findings: blocking operations inside
+	// reader sections and Lock/Unlock pairings that do not dominate
+	// every exit path.
+	Reader []Finding
+	// Grace holds gracewait findings: grace-period waits (and Defer
+	// calls) reachable while a stripe lock, mutex, or reader section
+	// is held.
+	Grace []Finding
+}
+
+// Analyzer computes the summaries and findings. readersection and
+// gracewait depend on it and report their slice of the Result.
+var Analyzer = &framework.Analyzer{
+	Name:      "rcuflow",
+	Doc:       "shared RCU/lock flow summaries for the rplint analyzers (reports nothing itself)",
+	FactTypes: []framework.Fact{&FuncInfo{}},
+	Run:       run,
+}
+
+// builtins are the axiomatic summaries of the rcu package's API.
+var builtins = map[string]*FuncInfo{
+	RCUPkgPath + ".Domain.Synchronize": {
+		Blocks:     "waits for an RCU grace period",
+		GraceWaits: "Domain.Synchronize",
+	},
+	RCUPkgPath + ".Domain.Barrier": {
+		Blocks:     "waits for queued RCU callbacks to run",
+		GraceWaits: "Domain.Barrier",
+		Defers:     "Domain.Barrier",
+	},
+	RCUPkgPath + ".Domain.Defer": {
+		Defers: "Domain.Defer",
+	},
+	RCUPkgPath + ".Domain.Close": {
+		Blocks: "waits for the RCU reclaimer to drain",
+	},
+	RCUPkgPath + ".Domain.Read": {
+		SectionParams: []int{0},
+	},
+}
+
+// Keys the walker treats as primitive operations rather than calls.
+var (
+	readerLockKey   = RCUPkgPath + ".Reader.Lock"
+	readerUnlockKey = RCUPkgPath + ".Reader.Unlock"
+)
+
+// blockingIOPkgs lists packages whose calls count as I/O (and hence
+// blocking) inside a reader section.
+var blockingIOPkgs = map[string]bool{
+	"os": true, "os/exec": true, "net": true, "net/http": true,
+	"bufio": true, "io": true, "log": true, "database/sql": true,
+}
+
+// fmtBlocking lists the fmt functions that perform I/O (the Sprint
+// family is pure).
+var fmtBlocking = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Scan": true, "Scanf": true, "Scanln": true,
+	"Fscan": true, "Fscanf": true, "Fscanln": true,
+}
+
+// FuncKey returns the stable cross-package key for a function or
+// method: "pkg/path.Name" or "pkg/path.Recv.Name", always in terms of
+// generic origins so instantiations share their origin's summary.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			return pkg + "." + n.Origin().Obj().Name() + "." + fn.Name()
+		}
+		return pkg + ".?." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// run drives the per-package fixed point and the final reporting walk.
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Path() == RCUPkgPath {
+		// The primitives package is modeled axiomatically, not
+		// analyzed; its interior is exempt by design.
+		return &Result{}, nil
+	}
+	w := &walker{
+		pass:   pass,
+		local:  make(map[string]*FuncInfo),
+		seen:   make(map[string]bool),
+		result: &Result{},
+	}
+	decls := w.collectFuncs()
+
+	// Fixed point: function summaries feed each other within the
+	// package (mutual recursion converges because every summary field
+	// only ever gains information).
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, d := range decls {
+			fi := w.analyzeFunc(d, false)
+			if prev := w.local[d.key]; prev == nil || !prev.equal(fi) {
+				w.local[d.key] = fi
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final walk with reporting on.
+	for _, d := range decls {
+		w.analyzeFunc(d, true)
+	}
+	// Export summaries for dependent packages.
+	keys := make([]string, 0, len(w.local))
+	for k := range w.local {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pass.ExportFact(k, w.local[k])
+	}
+	return w.result, nil
+}
+
+// resolve finds the summary for a function key: axioms first, then
+// this package's fixed point, then imported facts.
+func (w *walker) resolve(key string) *FuncInfo {
+	if fi, ok := builtins[key]; ok {
+		return fi
+	}
+	if fi, ok := w.local[key]; ok {
+		return fi
+	}
+	var fi FuncInfo
+	if w.pass.ImportFact(key, &fi) {
+		return &fi
+	}
+	return nil
+}

@@ -1,0 +1,1184 @@
+package rcuflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rphash/internal/analysis/framework"
+)
+
+// tok identifies a lock by the object at the root of the expression
+// that names it plus the selector path down to the mutex: s.mu is
+// (s, ".mu"), a.locks[i].mu is (a, ".locks[].mu"). Index expressions
+// collapse to "[]" — lockAll/unlockAll sweeps are tracked at array
+// granularity, which matches how the resize protocol uses them.
+type tok struct {
+	root types.Object
+	path string
+}
+
+func (t tok) String() string {
+	name := "?"
+	if t.root != nil {
+		name = t.root.Name()
+	}
+	return name + t.path
+}
+
+// flowState is the per-program-point analysis state.
+type flowState struct {
+	reader     int             // RCU reader-section nesting depth
+	held       map[tok]string  // definitely-held locks -> kind
+	terminated bool            // this path returned/panicked/branched away
+}
+
+func newState() *flowState { return &flowState{held: make(map[tok]string)} }
+
+func (st *flowState) clone() *flowState {
+	c := &flowState{reader: st.reader, terminated: st.terminated, held: make(map[tok]string, len(st.held))}
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// walker analyzes one package.
+type walker struct {
+	pass      *framework.Pass
+	local     map[string]*FuncInfo
+	seen      map[string]bool // finding dedupe across repeated walks
+	result    *Result
+	reporting bool
+	suppress  int // >0 while walking a loop body's silent pre-pass
+	commDepth int // >0 while walking a select comm clause's own op
+}
+
+// fnCtx is the per-function analysis context.
+type fnCtx struct {
+	fi       *FuncInfo
+	recvObj  types.Object
+	params   map[types.Object]int
+	bindings map[types.Object]*ast.FuncLit
+	walked   map[*ast.FuncLit]bool
+	pending  []*ast.FuncLit
+	inline   int
+}
+
+// frame distinguishes the outer function body from inline-walked
+// closures: returns, deferred releases, and summary recording are
+// per-frame.
+type frame struct {
+	fc               *fnCtx
+	isLit            bool
+	summarize        bool
+	entryReader      int
+	defReaderUnlocks int
+	defReleases      []tok
+	exits            []*flowState
+}
+
+type declInfo struct {
+	key  string
+	decl *ast.FuncDecl
+}
+
+// collectFuncs gathers the package's function declarations with
+// unique keys (init functions collide by name and get a suffix).
+func (w *walker) collectFuncs() []declInfo {
+	var out []declInfo
+	used := make(map[string]int)
+	for _, f := range w.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := w.pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := FuncKey(fn)
+			if n := used[key]; n > 0 {
+				key = key + "#" + strconv.Itoa(n)
+			}
+			used[FuncKey(fn)]++
+			out = append(out, declInfo{key: key, decl: fd})
+		}
+	}
+	return out
+}
+
+// analyzeFunc walks one function and returns its summary. With
+// reporting set, site findings are recorded into w.result.
+func (w *walker) analyzeFunc(d declInfo, reporting bool) *FuncInfo {
+	fc := &fnCtx{
+		fi:       &FuncInfo{},
+		params:   make(map[types.Object]int),
+		bindings: make(map[types.Object]*ast.FuncLit),
+		walked:   make(map[*ast.FuncLit]bool),
+	}
+	if r := d.decl.Recv; r != nil && len(r.List) > 0 && len(r.List[0].Names) > 0 {
+		fc.recvObj = w.pass.Info.Defs[r.List[0].Names[0]]
+	}
+	idx := 0
+	for _, field := range d.decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			fc.params[w.pass.Info.Defs[name]] = idx
+			idx++
+		}
+	}
+	w.reporting = reporting
+	fr := &frame{fc: fc, summarize: true}
+	st := newState()
+	w.walkStmts(d.decl.Body.List, st, fr)
+	if !st.terminated {
+		w.exit(st, nil, d.decl.Body.End(), fr)
+	}
+	// Closures that were never invoked synchronously (goroutine
+	// bodies, stored callbacks) are checked from a fresh state for
+	// their own internal consistency; they contribute nothing to the
+	// enclosing summary.
+	for len(fc.pending) > 0 {
+		lit := fc.pending[len(fc.pending)-1]
+		fc.pending = fc.pending[:len(fc.pending)-1]
+		if fc.walked[lit] {
+			continue
+		}
+		fc.walked[lit] = true
+		sub := &frame{fc: fc, isLit: true}
+		fst := newState()
+		w.walkStmts(lit.Body.List, fst, sub)
+		if !fst.terminated {
+			w.exit(fst, nil, lit.End(), sub)
+		}
+	}
+	finalize(fc.fi)
+	return fc.fi
+}
+
+// finalize makes the summary deterministic for convergence checks and
+// fact encoding.
+func finalize(fi *FuncInfo) {
+	sort.Ints(fi.SectionParams)
+	fi.SectionParams = dedupInts(fi.SectionParams)
+	sort.Slice(fi.Lock, func(i, j int) bool {
+		a, b := fi.Lock[i], fi.Lock[j]
+		if a.Root != b.Root {
+			return a.Root < b.Root
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return a.Op < b.Op
+	})
+	fi.Lock = dedupLocks(fi.Lock)
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupLocks(xs []LockEffect) []LockEffect {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (fc *fnCtx) addLockEffect(e LockEffect) {
+	for _, have := range fc.fi.Lock {
+		if have == e {
+			return
+		}
+	}
+	fc.fi.Lock = append(fc.fi.Lock, e)
+}
+
+// ---- findings ----
+
+func (w *walker) findReader(pos token.Pos, msg string) {
+	if !w.reporting || w.suppress > 0 {
+		return
+	}
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	w.result.Reader = append(w.result.Reader, Finding{Pos: pos, Message: msg})
+}
+
+func (w *walker) findGrace(pos token.Pos, msg string) {
+	if !w.reporting || w.suppress > 0 {
+		return
+	}
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	w.result.Grace = append(w.result.Grace, Finding{Pos: pos, Message: msg})
+}
+
+// blocking records a may-block operation: it taints the summary and,
+// inside a reader section, reports.
+func (w *walker) blocking(pos token.Pos, what string, st *flowState, fr *frame) {
+	if fr.summarize && fr.fc.fi.Blocks == "" {
+		fr.fc.fi.Blocks = what
+	}
+	if st.reader > 0 {
+		w.findReader(pos, "blocking operation inside an RCU reader section: "+what)
+	}
+}
+
+// ---- state merging ----
+
+// merge joins two branch exits: terminated paths drop out, held sets
+// intersect, and a reader-depth disagreement between live paths is the
+// "Lock/Unlock does not dominate" pairing finding.
+func (w *walker) merge(a, b *flowState, pos token.Pos) *flowState {
+	if a.terminated && b.terminated {
+		out := a.clone()
+		out.terminated = true
+		return out
+	}
+	if a.terminated {
+		return b.clone()
+	}
+	if b.terminated {
+		return a.clone()
+	}
+	out := newState()
+	if a.reader != b.reader {
+		w.findReader(pos, "RCU reader section held on some paths but not others (Lock/Unlock pairing does not dominate this merge)")
+	}
+	out.reader = min(a.reader, b.reader)
+	for k, v := range a.held {
+		if _, ok := b.held[k]; ok {
+			out.held[k] = v
+		}
+	}
+	return out
+}
+
+func (w *walker) mergeAll(states []*flowState, pos token.Pos) *flowState {
+	if len(states) == 0 {
+		out := newState()
+		out.terminated = true
+		return out
+	}
+	out := states[0].clone()
+	for _, s := range states[1:] {
+		out = w.merge(out, s, pos)
+	}
+	return out
+}
+
+// ---- statements ----
+
+func (w *walker) walkStmts(list []ast.Stmt, st *flowState, fr *frame) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		w.walkStmt(s, st, fr)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt, st *flowState, fr *frame) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, st, fr)
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, st, fr)
+		w.walkExpr(s.Value, st, fr)
+		if w.commDepth == 0 {
+			w.blocking(s.Pos(), "sends on a channel", st, fr)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X, st, fr)
+	case *ast.AssignStmt:
+		w.walkAssign(s, st, fr)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					w.walkExpr(v, st, fr)
+					if lit, ok := v.(*ast.FuncLit); ok && i < len(vs.Names) {
+						fr.fc.bindings[w.pass.Info.Defs[vs.Names[i]]] = lit
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r, st, fr)
+		}
+		w.exit(st, s.Results, s.Pos(), fr)
+		st.terminated = true
+	case *ast.DeferStmt:
+		w.walkDefer(s.Call, st, fr)
+	case *ast.GoStmt:
+		// Arguments are evaluated synchronously; the call itself runs
+		// on a new goroutine with its own reader/lock state.
+		for _, a := range s.Call.Args {
+			if lit, ok := a.(*ast.FuncLit); ok {
+				fr.fc.pending = append(fr.fc.pending, lit)
+				continue
+			}
+			w.walkExpr(a, st, fr)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			fr.fc.pending = append(fr.fc.pending, lit)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, st, fr)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, fr)
+		}
+		w.walkExpr(s.Cond, st, fr)
+		thenSt := st.clone()
+		w.walkStmts(s.Body.List, thenSt, fr)
+		elseSt := st.clone()
+		if s.Else != nil {
+			w.walkStmt(s.Else, elseSt, fr)
+		}
+		*st = *w.merge(thenSt, elseSt, s.Pos())
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, fr)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, st, fr)
+		}
+		w.walkLoopBody(s.Body, s.Post, st, fr, s.Pos())
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, st, fr)
+		if t := w.typeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.blocking(s.Pos(), "receives from a channel", st, fr)
+			}
+		}
+		w.walkLoopBody(s.Body, nil, st, fr, s.Pos())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, fr)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, st, fr)
+		}
+		w.walkClauses(s.Body, st, fr, s.Pos(), true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, fr)
+		}
+		w.walkStmt(s.Assign, st, fr)
+		w.walkClauses(s.Body, st, fr, s.Pos(), true)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocking(s.Pos(), "selects without a default case", st, fr)
+		}
+		if len(s.Body.List) == 0 {
+			st.terminated = true // select{} blocks forever
+			return
+		}
+		var exits []*flowState
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cSt := st.clone()
+			if cc.Comm != nil {
+				w.commDepth++
+				w.walkStmt(cc.Comm, cSt, fr)
+				w.commDepth--
+			}
+			w.walkStmts(cc.Body, cSt, fr)
+			exits = append(exits, cSt)
+		}
+		*st = *w.mergeAll(exits, s.Pos())
+	case *ast.BranchStmt:
+		if s.Tok != token.FALLTHROUGH {
+			st.terminated = true
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st, fr)
+	}
+}
+
+// walkClauses handles switch/type-switch bodies: every clause starts
+// from the entry state; with no default the entry state itself is a
+// possible exit (no case matched).
+func (w *walker) walkClauses(body *ast.BlockStmt, st *flowState, fr *frame, pos token.Pos, includeEntryIfNoDefault bool) {
+	hasDefault := false
+	var exits []*flowState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cSt := st.clone()
+		for _, e := range cc.List {
+			w.walkExpr(e, cSt, fr)
+		}
+		w.walkStmts(cc.Body, cSt, fr)
+		exits = append(exits, cSt)
+	}
+	if includeEntryIfNoDefault && !hasDefault {
+		exits = append(exits, st.clone())
+	}
+	if len(exits) == 0 {
+		return
+	}
+	*st = *w.mergeAll(exits, pos)
+}
+
+// walkLoopBody analyzes a loop body twice: once silently to learn the
+// one-iteration exit state, then for real against the intersection of
+// entry and that exit — the definitely-held state at the top of any
+// iteration.
+func (w *walker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, st *flowState, fr *frame, pos token.Pos) {
+	pre := st.clone()
+	w.suppress++
+	s1 := pre.clone()
+	w.walkStmts(body.List, s1, fr)
+	if post != nil && !s1.terminated {
+		w.walkStmt(post, s1, fr)
+	}
+	w.suppress--
+
+	merged := w.intersectLoop(pre, s1, pos)
+	s2 := merged.clone()
+	w.walkStmts(body.List, s2, fr)
+	if post != nil && !s2.terminated {
+		w.walkStmt(post, s2, fr)
+	}
+	*st = *w.intersectLoop(merged, s2, pos)
+	st.terminated = false
+}
+
+// intersectLoop is merge() without dropping the entry state when the
+// body terminated (the loop may run zero times), reporting a pairing
+// finding when the body changes the reader depth per iteration.
+func (w *walker) intersectLoop(entry, afterBody *flowState, pos token.Pos) *flowState {
+	if afterBody.terminated {
+		return entry.clone()
+	}
+	out := newState()
+	if entry.reader != afterBody.reader {
+		w.findReader(pos, "RCU reader section depth changes across loop iterations (Lock/Unlock pairing is not balanced in the loop body)")
+	}
+	out.reader = min(entry.reader, afterBody.reader)
+	for k, v := range entry.held {
+		if _, ok := afterBody.held[k]; ok {
+			out.held[k] = v
+		}
+	}
+	return out
+}
+
+// exit records one function/closure exit: the reader-balance check and
+// (for the outer frame) the summary's caller-visible acquisitions.
+func (w *walker) exit(st *flowState, results []ast.Expr, pos token.Pos, fr *frame) {
+	eff := st.reader - fr.defReaderUnlocks
+	if eff != fr.entryReader {
+		what := "function"
+		if fr.isLit {
+			what = "closure"
+		}
+		w.findReader(pos, what+" exits with an RCU reader section still open (Reader.Unlock does not dominate this exit path)")
+	}
+	after := st.clone()
+	after.reader = eff
+	for _, t := range fr.defReleases {
+		delete(after.held, t)
+	}
+	if fr.summarize && !fr.isLit {
+		for t, kind := range after.held {
+			if root := w.rootSpec(t.root, results, fr.fc); root != "" {
+				fr.fc.addLockEffect(LockEffect{Root: root, Path: t.path, Kind: kind, Op: OpAcquire})
+			}
+		}
+	}
+	fr.exits = append(fr.exits, after)
+}
+
+// rootSpec maps a token root object to a caller-visible position.
+func (w *walker) rootSpec(o types.Object, results []ast.Expr, fc *fnCtx) string {
+	if o == nil {
+		return ""
+	}
+	if fc.recvObj != nil && o == fc.recvObj {
+		return "recv"
+	}
+	if idx, ok := fc.params[o]; ok {
+		return "param:" + strconv.Itoa(idx)
+	}
+	for i, r := range results {
+		if id, ok := unparen(r).(*ast.Ident); ok && w.pass.Info.Uses[id] == o {
+			return "result:" + strconv.Itoa(i)
+		}
+	}
+	return ""
+}
+
+// ---- assignments ----
+
+func (w *walker) walkAssign(s *ast.AssignStmt, st *flowState, fr *frame) {
+	// f(...) results feeding multiple LHS: lock effects rooted at
+	// results attach to the assigned variables.
+	if len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			w.killLHS(s.Lhs, st)
+			w.walkCall(call, st, fr, s.Lhs)
+			return
+		}
+	}
+	for _, r := range s.Rhs {
+		w.walkExpr(r, st, fr)
+	}
+	// Alias transfer: `w.held = s` re-roots s's held locks at w.held,
+	// so a later w.held.mu.Unlock() matches.
+	type add struct {
+		t    tok
+		kind string
+	}
+	var adds []add
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			lt := w.exprToken(s.Lhs[i])
+			rt := w.exprToken(s.Rhs[i])
+			if lt == nil || rt == nil {
+				continue
+			}
+			for h, kind := range st.held {
+				if h.root == rt.root && strings.HasPrefix(h.path, rt.path) {
+					adds = append(adds, add{tok{lt.root, lt.path + h.path[len(rt.path):]}, kind})
+				}
+			}
+		}
+	}
+	w.killLHS(s.Lhs, st)
+	for _, a := range adds {
+		st.held[a.t] = a.kind
+	}
+	// Closure bindings for later inline invocation.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			lit, ok := s.Rhs[i].(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := s.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.pass.Info.Defs[id]
+			if obj == nil {
+				obj = w.pass.Info.Uses[id]
+			}
+			if obj != nil {
+				fr.fc.bindings[obj] = lit
+			}
+		}
+	}
+}
+
+// killLHS forgets held locks reached through a just-overwritten
+// expression (definitely-held must never survive reassignment).
+func (w *walker) killLHS(lhs []ast.Expr, st *flowState) {
+	for _, l := range lhs {
+		lt := w.exprToken(l)
+		if lt == nil {
+			continue
+		}
+		for h := range st.held {
+			if h.root == lt.root && strings.HasPrefix(h.path, lt.path) {
+				delete(st.held, h)
+			}
+		}
+	}
+}
+
+// ---- defer ----
+
+func (w *walker) walkDefer(call *ast.CallExpr, st *flowState, fr *frame) {
+	for _, a := range call.Args {
+		w.walkExpr(a, st, fr)
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure's releases count at every exit; scan its
+		// body for unlocks (the rcu.Domain.Read shape).
+		fr.fc.walked[lit] = true
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			w.applyDeferredCall(c, fr)
+			return true
+		})
+		return
+	}
+	w.applyDeferredCall(call, fr)
+}
+
+// applyDeferredCall records the lock/reader releases a deferred call
+// performs at function exit.
+func (w *walker) applyDeferredCall(call *ast.CallExpr, fr *frame) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn := w.methodOf(sel)
+	if fn == nil {
+		return
+	}
+	key := FuncKey(fn)
+	switch key {
+	case readerUnlockKey:
+		fr.defReaderUnlocks++
+		return
+	case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+		if t := w.exprToken(sel.X); t != nil {
+			fr.defReleases = append(fr.defReleases, *t)
+		}
+		return
+	}
+	if fi := w.resolve(key); fi != nil {
+		for _, eff := range fi.Lock {
+			if eff.Op != OpRelease || eff.Root != "recv" {
+				continue
+			}
+			if t := w.exprToken(sel.X); t != nil {
+				fr.defReleases = append(fr.defReleases, tok{t.root, t.path + eff.Path})
+			}
+		}
+	}
+}
+
+// ---- expressions ----
+
+func (w *walker) walkExpr(e ast.Expr, st *flowState, fr *frame) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.walkCall(e, st, fr, nil)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW && w.commDepth == 0 {
+			w.blocking(e.Pos(), "receives from a channel", st, fr)
+		}
+		w.walkExpr(e.X, st, fr)
+	case *ast.FuncLit:
+		fr.fc.pending = append(fr.fc.pending, e)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, st, fr)
+		w.walkExpr(e.Y, st, fr)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, st, fr)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, st, fr)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X, st, fr)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, st, fr)
+		w.walkExpr(e.Index, st, fr)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, st, fr)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, st, fr)
+		w.walkExpr(e.Low, st, fr)
+		w.walkExpr(e.High, st, fr)
+		w.walkExpr(e.Max, st, fr)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, st, fr)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.walkExpr(kv.Value, st, fr)
+				continue
+			}
+			w.walkExpr(el, st, fr)
+		}
+	}
+}
+
+// inlineLit walks a closure invoked synchronously at this point,
+// sharing the caller's state. readerBump is 1 when the closure runs
+// inside a reader section entered by the callee (Domain.Read).
+func (w *walker) inlineLit(lit *ast.FuncLit, st *flowState, fr *frame, readerBump int) {
+	fc := fr.fc
+	if fc.inline > 8 {
+		return
+	}
+	fc.inline++
+	fc.walked[lit] = true
+	st.reader += readerBump
+	sub := &frame{fc: fc, isLit: true, summarize: fr.summarize, entryReader: st.reader}
+	w.walkStmts(lit.Body.List, st, sub)
+	var states []*flowState
+	if !st.terminated {
+		fall := st.clone()
+		fall.reader -= sub.defReaderUnlocks
+		for _, t := range sub.defReleases {
+			delete(fall.held, t)
+		}
+		states = append(states, fall)
+	}
+	states = append(states, sub.exits...)
+	merged := w.mergeAll(states, lit.End())
+	*st = *merged
+	st.terminated = false
+	st.reader -= readerBump
+	if st.reader < 0 {
+		st.reader = 0
+	}
+	fc.inline--
+}
+
+// methodOf resolves a selector to the *types.Func it calls, or nil.
+func (w *walker) methodOf(sel *ast.SelectorExpr) *types.Func {
+	if s := w.pass.Info.Selections[sel]; s != nil {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	if fn, ok := w.pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// walkCall analyzes one call expression. results, when non-nil, are
+// the assignment LHS the call's values flow into (for result-rooted
+// lock effects).
+func (w *walker) walkCall(call *ast.CallExpr, st *flowState, fr *frame, results []ast.Expr) {
+	fc := fr.fc
+	// Type conversions are not calls.
+	if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.walkExpr(a, st, fr)
+		}
+		return
+	}
+	fun := unparen(call.Fun)
+	// Explicit generic instantiation f[T](...).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if w.isFuncExpr(ix.X) {
+			fun = unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		if w.isFuncExpr(ix.X) {
+			fun = unparen(ix.X)
+		}
+	}
+
+	var fn *types.Func
+	var recvExpr ast.Expr
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		for _, a := range call.Args {
+			w.walkExpr(a, st, fr)
+		}
+		w.inlineLit(f, st, fr, 0)
+		return
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[f]
+		switch o := obj.(type) {
+		case *types.Builtin, nil:
+			for _, a := range call.Args {
+				w.walkExpr(a, st, fr)
+			}
+			if f.Name == "panic" {
+				st.terminated = true
+			}
+			return
+		case *types.Var:
+			for _, a := range call.Args {
+				w.walkExpr(a, st, fr)
+			}
+			if idx, ok := fc.params[o]; ok {
+				// Invoking a func-typed parameter inside a reader
+				// section makes it a section param of this function.
+				if st.reader > 0 && fr.summarize {
+					fc.fi.SectionParams = append(fc.fi.SectionParams, idx)
+				}
+				return
+			}
+			if lit := fc.bindings[o]; lit != nil {
+				w.inlineLit(lit, st, fr, 0)
+			}
+			return
+		case *types.Func:
+			fn = o
+		default:
+			for _, a := range call.Args {
+				w.walkExpr(a, st, fr)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		fn = w.methodOf(f)
+		if fn == nil {
+			w.walkExpr(f.X, st, fr)
+			for _, a := range call.Args {
+				w.walkExpr(a, st, fr)
+			}
+			return
+		}
+		if w.pass.Info.Selections[f] != nil {
+			recvExpr = f.X
+		}
+	default:
+		w.walkExpr(fun, st, fr)
+		for _, a := range call.Args {
+			w.walkExpr(a, st, fr)
+		}
+		return
+	}
+
+	key := FuncKey(fn)
+	fi := w.resolve(key)
+
+	if recvExpr != nil {
+		w.walkExpr(recvExpr, st, fr)
+	}
+	// Arguments: closures at section-param positions run inside the
+	// callee's reader section; everything else is evaluated normally.
+	secParam := make(map[int]bool)
+	if fi != nil {
+		for _, i := range fi.SectionParams {
+			secParam[i] = true
+		}
+	}
+	for i, a := range call.Args {
+		if lit, ok := a.(*ast.FuncLit); ok {
+			if secParam[i] {
+				w.inlineLit(lit, st, fr, 1)
+			} else {
+				fc.pending = append(fc.pending, lit)
+			}
+			continue
+		}
+		w.walkExpr(a, st, fr)
+		if !secParam[i] {
+			continue
+		}
+		if id, ok := unparen(a).(*ast.Ident); ok {
+			switch o := w.pass.Info.Uses[id].(type) {
+			case *types.Func:
+				if afi := w.resolve(FuncKey(o)); afi != nil && afi.Blocks != "" {
+					w.findReader(a.Pos(), fmt.Sprintf(
+						"%s may block (%s) and is passed as a callback invoked inside an RCU reader section", shortKey(FuncKey(o)), afi.Blocks))
+				}
+			case *types.Var:
+				if idx, ok := fc.params[o]; ok && fr.summarize {
+					fc.fi.SectionParams = append(fc.fi.SectionParams, idx)
+				} else if lit := fc.bindings[o]; lit != nil {
+					w.inlineLit(lit, st, fr, 1)
+				}
+			}
+		}
+	}
+
+	// RCU reader and sync primitives.
+	switch key {
+	case readerLockKey:
+		st.reader++
+		return
+	case readerUnlockKey:
+		if st.reader > 0 {
+			st.reader--
+		} else {
+			w.findReader(call.Pos(), "Reader.Unlock without a Reader.Lock that dominates it")
+		}
+		return
+	case "sync.Mutex.Lock", "sync.RWMutex.Lock", "sync.RWMutex.RLock":
+		w.blocking(call.Pos(), "acquires a mutex", st, fr)
+		w.acquireMutex(recvExpr, st)
+		return
+	case "sync.Mutex.TryLock", "sync.RWMutex.TryLock", "sync.RWMutex.TryRLock":
+		w.acquireMutex(recvExpr, st) // modeled as acquired, never blocks
+		return
+	case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+		w.releaseMutex(recvExpr, st, fr)
+		return
+	case "sync.WaitGroup.Wait":
+		w.blocking(call.Pos(), "waits on a WaitGroup", st, fr)
+		return
+	case "sync.Cond.Wait":
+		w.blocking(call.Pos(), "waits on a sync.Cond", st, fr)
+		return
+	case "time.Sleep":
+		w.blocking(call.Pos(), "sleeps", st, fr)
+		return
+	}
+	if p := fn.Pkg(); p != nil {
+		if blockingIOPkgs[p.Path()] || (p.Path() == "fmt" && fmtBlocking[fn.Name()]) {
+			w.blocking(call.Pos(), "performs I/O via "+p.Path()+"."+fn.Name(), st, fr)
+			return
+		}
+	}
+
+	if fi == nil {
+		return
+	}
+	w.applySummary(call, key, fi, st, fr, recvExpr, results)
+}
+
+// applySummary applies a resolved callee summary at the call site.
+func (w *walker) applySummary(call *ast.CallExpr, key string, fi *FuncInfo, st *flowState, fr *frame, recvExpr ast.Expr, results []ast.Expr) {
+	fc := fr.fc
+	short := shortKey(key)
+	if fi.Blocks != "" {
+		if fr.summarize && fc.fi.Blocks == "" {
+			fc.fi.Blocks = "calls " + short + ", which " + fi.Blocks
+		}
+		if st.reader > 0 {
+			w.findReader(call.Pos(), fmt.Sprintf("call to %s may block inside an RCU reader section (%s)", short, fi.Blocks))
+		}
+	}
+	if fi.GraceWaits != "" {
+		if fr.summarize && fc.fi.GraceWaits == "" {
+			fc.fi.GraceWaits = "via " + short
+		}
+		if st.reader > 0 {
+			w.findGrace(call.Pos(), fmt.Sprintf("%s may wait for an RCU grace period (%s) while an RCU reader section is active", short, fi.GraceWaits))
+		}
+		for _, h := range sortedHeld(st.held) {
+			w.findGrace(call.Pos(), fmt.Sprintf("%s may wait for an RCU grace period (%s) while %s %q is held", short, fi.GraceWaits, st.held[h], h.String()))
+		}
+	}
+	if fi.Defers != "" {
+		if fr.summarize && fc.fi.Defers == "" {
+			fc.fi.Defers = "via " + short
+		}
+		for _, h := range sortedHeld(st.held) {
+			if st.held[h] == KindStripe {
+				w.findGrace(call.Pos(), fmt.Sprintf("%s queues an RCU callback (%s; the post-Close fallback waits a grace period synchronously) while stripe lock %q is held", short, fi.Defers, h.String()))
+			}
+		}
+	}
+	for _, eff := range fi.Lock {
+		var base *tok
+		switch {
+		case eff.Root == "recv" && recvExpr != nil:
+			base = w.exprToken(recvExpr)
+		case strings.HasPrefix(eff.Root, "param:"):
+			if n, err := strconv.Atoi(eff.Root[len("param:"):]); err == nil && n < len(call.Args) {
+				base = w.exprToken(call.Args[n])
+			}
+		case strings.HasPrefix(eff.Root, "result:"):
+			if n, err := strconv.Atoi(eff.Root[len("result:"):]); err == nil && n < len(results) {
+				base = w.exprToken(results[n])
+			}
+		}
+		if base == nil {
+			continue
+		}
+		t := tok{base.root, base.path + eff.Path}
+		if eff.Op == OpAcquire {
+			st.held[t] = eff.Kind
+		} else {
+			delete(st.held, t)
+		}
+	}
+}
+
+func sortedHeld(held map[tok]string) []tok {
+	out := make([]tok, 0, len(held))
+	for t := range held {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// acquireMutex marks the mutex named by ownerExpr (e.g. s.mu) held.
+func (w *walker) acquireMutex(ownerExpr ast.Expr, st *flowState) {
+	if ownerExpr == nil {
+		return
+	}
+	t := w.exprToken(ownerExpr)
+	if t == nil {
+		return
+	}
+	st.held[*t] = w.kindOf(ownerExpr)
+}
+
+// releaseMutex clears a held mutex; unlocking one this function never
+// acquired is a caller-visible release (recorded in the summary).
+func (w *walker) releaseMutex(ownerExpr ast.Expr, st *flowState, fr *frame) {
+	if ownerExpr == nil {
+		return
+	}
+	t := w.exprToken(ownerExpr)
+	if t == nil {
+		return
+	}
+	if _, ok := st.held[*t]; ok {
+		delete(st.held, *t)
+		return
+	}
+	if fr.summarize {
+		if root := w.rootSpec(t.root, nil, fr.fc); root != "" {
+			fr.fc.addLockEffect(LockEffect{Root: root, Path: t.path, Kind: w.kindOf(ownerExpr), Op: OpRelease})
+		}
+	}
+}
+
+// ---- tokens and types ----
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (w *walker) exprToken(e ast.Expr) *tok {
+	e = unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[e]
+		if obj == nil {
+			obj = w.pass.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return &tok{root: v}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		p := w.exprToken(e.X)
+		if p == nil {
+			return nil
+		}
+		return &tok{p.root, p.path + "." + e.Sel.Name}
+	case *ast.IndexExpr:
+		p := w.exprToken(e.X)
+		if p == nil {
+			return nil
+		}
+		return &tok{p.root, p.path + "[]"}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.exprToken(e.X)
+		}
+	case *ast.StarExpr:
+		return w.exprToken(e.X)
+	}
+	return nil
+}
+
+func (w *walker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.pass.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := w.pass.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := w.pass.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// kindOf classifies a lock by walking the owner expression chain: any
+// component whose named type mentions "stripe" makes it a stripe lock.
+func (w *walker) kindOf(ownerExpr ast.Expr) string {
+	e := ownerExpr
+	for {
+		e = unparen(e)
+		if isStripeType(w.typeOf(e)) {
+			return KindStripe
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return KindMutex
+		}
+	}
+}
+
+func isStripeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(strings.ToLower(n.Origin().Obj().Name()), "stripe")
+}
+
+// isFuncExpr reports whether e denotes a function (for unwrapping
+// explicit generic instantiations).
+func (w *walker) isFuncExpr(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := w.pass.Info.Uses[x].(*types.Func)
+		return ok
+	case *ast.SelectorExpr:
+		return w.methodOf(x) != nil
+	}
+	return false
+}
+
+// shortKey trims a fact key to its last two-or-three components for
+// messages: "rphash/internal/core.Table.Resize" -> "core.Table.Resize".
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

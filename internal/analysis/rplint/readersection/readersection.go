@@ -1,0 +1,32 @@
+// Package readersection reports blocking operations performed inside
+// an RCU reader-side critical section — between rcu.Reader.Lock and
+// Unlock, or inside a closure run by rcu.Domain.Read — and Lock/Unlock
+// pairings that do not dominate every exit path. Readers on the rphash
+// fast path must never block: a stalled reader stalls every grace
+// period behind it, which stalls resizes and memory reclamation for
+// the whole table.
+//
+// Blocking operations are channel sends/receives, selects without a
+// default, mutex acquisition, WaitGroup/Cond waits, time.Sleep, calls
+// into I/O packages, and any call whose transitive summary says it may
+// block (including Domain.Synchronize, the classic self-deadlock).
+package readersection
+
+import (
+	"rphash/internal/analysis/framework"
+	"rphash/internal/analysis/rplint/rcuflow"
+)
+
+// Analyzer reports the reader-section slice of the rcuflow result.
+var Analyzer = &framework.Analyzer{
+	Name:     "readersection",
+	Doc:      "report blocking operations and unbalanced Lock/Unlock pairs inside RCU reader sections",
+	Requires: []*framework.Analyzer{rcuflow.Analyzer},
+	Run: func(pass *framework.Pass) (any, error) {
+		res := pass.ResultOf[rcuflow.Analyzer].(*rcuflow.Result)
+		for _, f := range res.Reader {
+			pass.Reportf(f.Pos, "%s", f.Message)
+		}
+		return nil, nil
+	},
+}

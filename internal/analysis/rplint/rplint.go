@@ -1,0 +1,31 @@
+// Package rplint is the registry of the project's custom static
+// analyzers. Three checks enforce the concurrency disciplines the
+// relativistic hash table depends on but the compiler cannot see:
+//
+//   - readersection: RCU readers must not block, and Reader.Lock /
+//     Unlock must pair on every path.
+//   - gracewait: nothing may wait for a grace period while holding a
+//     stripe lock (or any mutex) or while inside a reader section.
+//   - atomicmix: a field touched through sync/atomic anywhere must be
+//     accessed atomically everywhere.
+//
+// Run via `make lint`, standalone (`rplint ./...`), or as a go vet
+// tool (`go vet -vettool=bin/rplint ./...`). Deliberate exceptions use
+// `//lint:allow rplint/<name> <reason>`; the reason is mandatory.
+package rplint
+
+import (
+	"rphash/internal/analysis/framework"
+	"rphash/internal/analysis/rplint/atomicmix"
+	"rphash/internal/analysis/rplint/gracewait"
+	"rphash/internal/analysis/rplint/readersection"
+)
+
+// Analyzers returns the full rplint suite in a deterministic order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		readersection.Analyzer,
+		gracewait.Analyzer,
+		atomicmix.Analyzer,
+	}
+}

@@ -1,0 +1,43 @@
+package rplint_test
+
+import (
+	"testing"
+
+	"rphash/internal/analysis/atest"
+	"rphash/internal/analysis/framework"
+	"rphash/internal/analysis/rplint"
+	"rphash/internal/analysis/rplint/atomicmix"
+	"rphash/internal/analysis/rplint/gracewait"
+	"rphash/internal/analysis/rplint/readersection"
+)
+
+func TestReaderSection(t *testing.T) {
+	atest.Run(t, "testdata", "readertest", []*framework.Analyzer{readersection.Analyzer})
+}
+
+func TestGraceWait(t *testing.T) {
+	atest.Run(t, "testdata", "gracetest", []*framework.Analyzer{gracewait.Analyzer})
+}
+
+func TestAtomicMix(t *testing.T) {
+	// Loading atomicuser pulls in atomicinner first, so facts flow
+	// across the package boundary in both directions.
+	atest.Run(t, "testdata", "rphash/atomicuser", []*framework.Analyzer{atomicmix.Analyzer})
+}
+
+func TestRegistry(t *testing.T) {
+	as := rplint.Analyzers()
+	if len(as) != 3 {
+		t.Fatalf("expected 3 analyzers, got %d", len(as))
+	}
+	names := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing metadata", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+}

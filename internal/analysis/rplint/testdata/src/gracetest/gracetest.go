@@ -1,0 +1,114 @@
+// Package gracetest exercises the gracewait analyzer: grace-period
+// waits while holding stripe locks or mutexes, or inside reader
+// sections, are flagged; dropping the lock first, or Defer under a
+// plain mutex, is not.
+package gracetest
+
+import (
+	"sync"
+
+	"rphash/internal/rcu"
+)
+
+// stripeLock matches the stripe-kind heuristic by name.
+type stripeLock struct {
+	mu  sync.Mutex
+	pad [6]uint64
+}
+
+type table struct {
+	d       *rcu.Domain
+	mu      sync.Mutex
+	stripes []stripeLock
+}
+
+func syncUnderStripe(t *table, i int) {
+	t.stripes[i].mu.Lock()
+	t.d.Synchronize() // want `while stripe lock`
+	t.stripes[i].mu.Unlock()
+}
+
+func syncUnderMutex(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.d.Synchronize() // want `while mutex`
+}
+
+func syncInReader(t *table) {
+	r := t.d.Reader()
+	r.Lock()
+	t.d.Synchronize() // want `while an RCU reader section is active`
+	r.Unlock()
+}
+
+func deferUnderStripe(t *table, i int) {
+	t.stripes[i].mu.Lock()
+	t.d.Defer(func() {}) // want `queues an RCU callback`
+	t.stripes[i].mu.Unlock()
+}
+
+func barrierUnderStripe(t *table, i int) {
+	t.stripes[i].mu.Lock()
+	t.d.Barrier() // want `may wait for an RCU grace period` `queues an RCU callback`
+	t.stripes[i].mu.Unlock()
+}
+
+// reclaim grace-waits; its callers inherit the hazard through the
+// exported summary.
+func reclaim(t *table) {
+	t.d.Synchronize()
+}
+
+func transitive(t *table) {
+	t.mu.Lock()
+	reclaim(t) // want `may wait for an RCU grace period`
+	t.mu.Unlock()
+}
+
+// lockStripe acquires on behalf of the caller; the held state must
+// survive the call boundary and flag the later Synchronize.
+func lockStripe(t *table, i int) {
+	t.stripes[i].mu.Lock()
+}
+
+func crossCallHeld(t *table, i int) {
+	lockStripe(t, i)
+	t.d.Synchronize() // want `while stripe lock`
+	t.stripes[i].mu.Unlock()
+}
+
+// ---- allowed cases: no diagnostics expected below ----
+
+// dropping the stripe before waiting is the sanctioned protocol.
+func unlockFirst(t *table, i int) {
+	t.stripes[i].mu.Lock()
+	t.stripes[i].mu.Unlock()
+	t.d.Synchronize()
+}
+
+// Defer under a plain mutex is fine: only stripes (and readers) make
+// the deferred-callback fallback hazardous.
+func deferUnderMutex(t *table) {
+	t.mu.Lock()
+	t.d.Defer(func() {})
+	t.mu.Unlock()
+}
+
+// a conditionally released stripe is not definitely held afterwards.
+func conditionalRelease(t *table, i int, flag bool) {
+	t.stripes[i].mu.Lock()
+	if flag {
+		t.stripes[i].mu.Unlock()
+		t.d.Synchronize()
+		return
+	}
+	t.stripes[i].mu.Unlock()
+}
+
+// a deliberate exception carries its justification.
+func suppressed(t *table) {
+	t.mu.Lock()
+	//lint:allow rplint/gracewait baseline design waits for the grace period under the global lock on purpose
+	t.d.Synchronize()
+	t.mu.Unlock()
+}

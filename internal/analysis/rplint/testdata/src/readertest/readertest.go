@@ -1,0 +1,165 @@
+// Package readertest exercises the readersection analyzer: blocking
+// operations inside reader sections are flagged, balanced sections and
+// non-blocking work are not.
+package readertest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rphash/internal/rcu"
+)
+
+var sink string
+
+func sleepInSection(d *rcu.Domain) {
+	r := d.Reader()
+	r.Lock()
+	time.Sleep(time.Millisecond) // want `blocking operation inside an RCU reader section: sleeps`
+	r.Unlock()
+}
+
+func sendInRead(d *rcu.Domain, ch chan int) {
+	d.Read(func() {
+		ch <- 1 // want `sends on a channel`
+	})
+}
+
+func recvInSection(d *rcu.Domain, ch chan int) int {
+	r := d.Reader()
+	r.Lock()
+	v := <-ch // want `receives from a channel`
+	r.Unlock()
+	return v
+}
+
+func mutexInSection(d *rcu.Domain, mu *sync.Mutex) {
+	r := d.Reader()
+	r.Lock()
+	mu.Lock() // want `acquires a mutex`
+	mu.Unlock()
+	r.Unlock()
+}
+
+func selectNoDefaultInRead(d *rcu.Domain, ch chan int) {
+	d.Read(func() {
+		select { // want `selects without a default case`
+		case <-ch:
+		}
+	})
+}
+
+func printInSection(d *rcu.Domain) {
+	r := d.Reader()
+	r.Lock()
+	fmt.Println("inside") // want `performs I/O via fmt.Println`
+	r.Unlock()
+}
+
+// slowHelper blocks; calling it inside a section is flagged at the
+// call site through the function summary.
+func slowHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+func transitiveBlock(d *rcu.Domain) {
+	d.Read(func() {
+		slowHelper() // want `call to readertest.slowHelper may block`
+	})
+}
+
+func earlyReturn(d *rcu.Domain, cond bool) {
+	r := d.Reader()
+	r.Lock()
+	if cond {
+		return // want `exits with an RCU reader section still open`
+	}
+	r.Unlock()
+}
+
+func unlockWithoutLock(r *rcu.Reader) {
+	r.Unlock() // want `Reader.Unlock without a Reader.Lock that dominates it`
+}
+
+func lockOnOneBranch(d *rcu.Domain, cond bool) {
+	r := d.Reader()
+	if cond { // want `held on some paths but not others`
+		r.Lock()
+	}
+	r.Unlock() // want `Reader.Unlock without a Reader.Lock that dominates it`
+}
+
+// ---- allowed cases: no diagnostics expected below ----
+
+// balanced sections, including deferred unlock and the deferred
+// closure shape Domain.Read itself uses.
+func balanced(d *rcu.Domain) {
+	r := d.Reader()
+	r.Lock()
+	sink = "x"
+	r.Unlock()
+}
+
+func balancedDefer(d *rcu.Domain) {
+	r := d.Reader()
+	r.Lock()
+	defer r.Unlock()
+	sink = "x"
+}
+
+func balancedDeferClosure(d *rcu.Domain) {
+	r := d.Reader()
+	r.Lock()
+	defer func() {
+		r.Unlock()
+	}()
+	sink = "x"
+}
+
+// TryLock never blocks.
+func tryLockInSection(d *rcu.Domain, mu *sync.Mutex) {
+	r := d.Reader()
+	r.Lock()
+	if mu.TryLock() {
+		mu.Unlock()
+	}
+	r.Unlock()
+}
+
+// select with a default polls instead of blocking.
+func selectWithDefault(d *rcu.Domain, ch chan int) {
+	d.Read(func() {
+		select {
+		case <-ch:
+		default:
+		}
+	})
+}
+
+// Sprintf is pure; only the printing fmt functions count as I/O.
+func sprintfInSection(d *rcu.Domain) {
+	d.Read(func() {
+		sink = fmt.Sprintf("%d", 42)
+	})
+}
+
+// blocking before and after the section is fine.
+func blockOutsideSection(d *rcu.Domain, ch chan int) {
+	<-ch
+	r := d.Reader()
+	r.Lock()
+	sink = "x"
+	r.Unlock()
+	ch <- 1
+}
+
+// a loop that locks and unlocks per iteration stays balanced.
+func loopBalanced(d *rcu.Domain, n int) {
+	r := d.Reader()
+	for i := 0; i < n; i++ {
+		r.Lock()
+		sink = "x"
+		r.Unlock()
+	}
+}

@@ -1,0 +1,37 @@
+// Package atomicinner declares counters accessed through sync/atomic
+// (and one accessed only plainly), exporting per-field access facts
+// for the cross-package half of the atomicmix test.
+package atomicinner
+
+import "sync/atomic"
+
+// Counter mixes field disciplines on purpose.
+type Counter struct {
+	N int64 // atomic here, plain in atomicuser: flagged there
+	M int64 // plain everywhere: fine
+	P int64 // atomic and plain in this package: flagged here
+	Q int64 // plain here, atomic in atomicuser: flagged there
+}
+
+// Inc and Get keep N strictly atomic inside this package.
+func (c *Counter) Inc() { atomic.AddInt64(&c.N, 1) }
+
+// Get loads N atomically.
+func (c *Counter) Get() int64 { return atomic.LoadInt64(&c.N) }
+
+// NewCounter initializes by composite literal, which is exempt: the
+// struct is unpublished while being built.
+func NewCounter() *Counter { return &Counter{N: 0, M: 0} }
+
+// AddM only ever touches M plainly; with no atomic access anywhere it
+// is not flagged.
+func (c *Counter) AddM(v int64) { c.M += v }
+
+// Mixed races against Inc-style atomics within one package.
+func (c *Counter) Mixed() int64 {
+	atomic.AddInt64(&c.P, 1)
+	return c.P // want `mixing atomic and plain access is a data race`
+}
+
+// TouchQ accesses Q plainly; the atomic side lives in atomicuser.
+func (c *Counter) TouchQ() { c.Q = 1 }

@@ -1,0 +1,29 @@
+// Package atomicuser exercises both cross-package directions of the
+// atomicmix check against the facts exported by atomicinner.
+package atomicuser
+
+import (
+	"sync/atomic"
+
+	"rphash/atomicinner"
+)
+
+// Bump races against atomicinner's atomic.AddInt64 on N.
+func Bump(c *atomicinner.Counter) {
+	c.N++ // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// BumpQ is atomic here, but atomicinner touches Q plainly.
+func BumpQ(c *atomicinner.Counter) {
+	atomic.AddInt64(&c.Q, 1) // want `accessed plainly elsewhere`
+}
+
+// ReadM is fine: M is plain everywhere.
+func ReadM(c *atomicinner.Counter) int64 {
+	return c.M
+}
+
+// GetViaAPI is fine: it uses the atomic accessors.
+func GetViaAPI(c *atomicinner.Counter) int64 {
+	return c.Get()
+}

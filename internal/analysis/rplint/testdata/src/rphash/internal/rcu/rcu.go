@@ -1,0 +1,38 @@
+// Package rcu is a testdata stand-in sharing the real RCU package's
+// import path, so the rcuflow builtin summaries (keyed by
+// "rphash/internal/rcu.<Type>.<Method>") apply to testdata code. The
+// bodies are irrelevant: rcuflow never analyzes this package.
+package rcu
+
+// Reader is a per-goroutine reader handle.
+type Reader struct{ _ int }
+
+// Lock enters a reader-side critical section.
+func (r *Reader) Lock() {}
+
+// Unlock leaves a reader-side critical section.
+func (r *Reader) Unlock() {}
+
+// Domain is an RCU domain.
+type Domain struct{ _ int }
+
+// NewDomain returns a new domain.
+func NewDomain() *Domain { return &Domain{} }
+
+// Reader returns a reader handle.
+func (d *Domain) Reader() *Reader { return &Reader{} }
+
+// Read runs fn inside a reader section.
+func (d *Domain) Read(fn func()) { fn() }
+
+// Synchronize waits for a grace period.
+func (d *Domain) Synchronize() {}
+
+// Defer queues fn to run after a grace period.
+func (d *Domain) Defer(fn func()) {}
+
+// Barrier waits for all queued callbacks.
+func (d *Domain) Barrier() {}
+
+// Close shuts the domain down.
+func (d *Domain) Close() {}

@@ -174,7 +174,7 @@ func (t *Table[K, V]) SetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int)
 	w.release()
 	t.batchPool.Put(sc)
 	if inserted > 0 {
-		t.maybeAutoResize()
+		t.maybeAutoResizeBackpressure()
 	}
 	return inserted
 }

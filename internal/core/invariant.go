@@ -75,6 +75,58 @@ func (t *Table[K, V]) checkInvariants() error {
 	return err
 }
 
+// checkInvariantsLive is the subset of checkInvariants that stays
+// sound while writers mutate the table concurrently: stripe coverage
+// (invariant 5), chain termination (2), and hash integrity (3).
+// Count integrity (4) is deliberately absent — t.count and the chain
+// contents are updated by different instructions, so any live
+// snapshot can legitimately disagree by in-flight mutations — and
+// home reachability (1) is covered per-node by the home-bucket walk
+// itself. The cycle bound is padded because count races with the
+// walk.
+//
+// It is the -tags=invariants production check (assertInvariantsLive);
+// tests that quiesce writers should call checkInvariants instead for
+// the stronger count and reachability checks.
+func (t *Table[K, V]) checkInvariantsLive() error {
+	if err := t.checkStripeInvariants(); err != nil {
+		return err
+	}
+	var err error
+	t.dom.Read(func() {
+		ht := t.ht.Load()
+		limit := 2*int(t.count.Load()) + len(ht.slot) + 1024
+		for i := range ht.slot {
+			steps := 0
+			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
+				if steps++; steps > limit {
+					err = fmt.Errorf("bucket %d: walk exceeded %d steps; cycle or stray link", i, limit)
+					return
+				}
+				if n.hash != t.hash(n.key) {
+					err = fmt.Errorf("bucket %d: node key %v has stale hash", i, n.key)
+					return
+				}
+			}
+		}
+	})
+	return err
+}
+
+// assertInvariantsLive panics on a live invariant violation. It is
+// compiled to a no-op unless built with -tags=invariants; resize
+// steps call it after publishing their new state, so every expansion
+// and shrink is self-checking in an invariants build while the
+// default build pays only a constant-false branch.
+func (t *Table[K, V]) assertInvariantsLive() {
+	if !invariantsEnabled {
+		return
+	}
+	if err := t.checkInvariantsLive(); err != nil {
+		panic("core: invariant violation after resize step: " + err.Error())
+	}
+}
+
 // checkStripeInvariants validates invariant 5 in isolation (it needs
 // no read-side section — every field is a single atomic load). The
 // checks are meaningful at any instant, including mid-unzip via

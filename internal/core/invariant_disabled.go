@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package core
+
+// invariantsEnabled is off in normal builds; see invariant_enabled.go.
+const invariantsEnabled = false

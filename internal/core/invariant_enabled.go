@@ -1,0 +1,10 @@
+//go:build invariants
+
+package core
+
+// invariantsEnabled gates live structural checking at the end of
+// every resize step (see assertInvariantsLive). Build or test with
+// -tags=invariants to turn it on outside the test suite's explicit
+// checkInvariants calls; the default build compiles the checks out
+// entirely.
+const invariantsEnabled = true

@@ -15,16 +15,15 @@ const growBackpressureFactor = 2
 // trigger; resizes serialize with each other on resizeMu and
 // coordinate with writers through the stripes.
 //
-// Backpressure: striped writers no longer block for the duration of
-// a resize the way the old table-wide mutex forced them to, so a
-// saturating writer could outrun a background expansion
-// indefinitely — chains lengthen, each doubling needs more unzip
-// passes, and the table spirals away from its target load. If the
-// load factor exceeds growBackpressureFactor times the watermark,
-// the writer that observes it performs the resize synchronously:
-// it blocks on resizeMu behind the in-flight expansion (the actual
-// throttle) and then closes whatever gap remains itself. Writers
-// below the threshold are never slowed.
+// This variant never resizes synchronously — everything it starts
+// runs on a fresh goroutine — so it is the one delete paths call:
+// a delete can only lower the load factor, and deleting callers may
+// hold their own locks across the call (cache eviction holds its
+// evictMu around CompareAndDelete), which must therefore never wait
+// for a grace period. Insert paths, which can drive the load factor
+// up, call maybeAutoResizeBackpressure instead. Keeping the two as
+// separate functions (rather than a flag) lets rplint/gracewait
+// prove the delete path cannot reach Synchronize.
 func (t *Table[K, V]) maybeAutoResize() {
 	p := t.policy
 	if p.MaxLoad <= 0 && p.MinLoad <= 0 {
@@ -45,12 +44,11 @@ func (t *Table[K, V]) maybeAutoResize() {
 				// resize, nothing else will start the next one. Re-check
 				// now that pending is clear, so the trigger never gets
 				// lost between a finishing resize and a quiescent
-				// writer population.
-				t.maybeAutoResize()
+				// writer population. (This goroutine holds no locks, so
+				// the backpressure variant is safe here and preserves
+				// the synchronous gap-closing the re-check exists for.)
+				t.maybeAutoResizeBackpressure()
 			}()
-		} else if count > growBackpressureFactor*p.MaxLoad*nbuckets {
-			t.autoResizeTarget()
-			t.stats.autoGrows.Add(1)
 		}
 		return
 	}
@@ -60,10 +58,39 @@ func (t *Table[K, V]) maybeAutoResize() {
 				t.autoResizeTarget()
 				t.stats.autoShrinks.Add(1)
 				t.shrink.pending.Store(false)
-				t.maybeAutoResize() // see the grow path: close the skipped-trigger window
+				t.maybeAutoResizeBackpressure() // see the grow path: close the skipped-trigger window
 			}()
 		}
 	}
+}
+
+// maybeAutoResizeBackpressure is maybeAutoResize for insert paths:
+// the same background triggers, plus the synchronous throttle.
+//
+// Backpressure: striped writers no longer block for the duration of
+// a resize the way the old table-wide mutex forced them to, so a
+// saturating writer could outrun a background expansion
+// indefinitely — chains lengthen, each doubling needs more unzip
+// passes, and the table spirals away from its target load. If the
+// load factor exceeds growBackpressureFactor times the watermark
+// while an expansion is already in flight, the writer that observes
+// it performs the resize synchronously: it blocks on resizeMu behind
+// the in-flight expansion (the actual throttle) and then closes
+// whatever gap remains itself. Writers below the threshold are never
+// slowed. Callers must hold no locks: the synchronous path waits for
+// grace periods inside Resize.
+func (t *Table[K, V]) maybeAutoResizeBackpressure() {
+	p := t.policy
+	if p.MaxLoad > 0 {
+		count := float64(t.count.Load())
+		nbuckets := float64(t.ht.Load().size())
+		if count > growBackpressureFactor*p.MaxLoad*nbuckets && t.grow.pending.Load() {
+			t.autoResizeTarget()
+			t.stats.autoGrows.Add(1)
+			return
+		}
+	}
+	t.maybeAutoResize()
 }
 
 // autoResizeTarget resizes toward a mid-band load factor so small

@@ -32,7 +32,7 @@ func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
 	}
 	t.insertLocked(h, k, v)
 	s.mu.Unlock()
-	t.maybeAutoResize()
+	t.maybeAutoResizeBackpressure()
 	return true
 }
 
@@ -59,7 +59,7 @@ func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
 	}
 	t.insertLocked(h, k, v)
 	s.mu.Unlock()
-	t.maybeAutoResize()
+	t.maybeAutoResizeBackpressure()
 	return old, false
 }
 
@@ -78,7 +78,7 @@ func (t *Table[K, V]) InsertHashed(h uint64, k K, v V) bool {
 	}
 	t.insertLocked(h, k, v)
 	s.mu.Unlock()
-	t.maybeAutoResize()
+	t.maybeAutoResizeBackpressure()
 	return true
 }
 

