@@ -11,9 +11,12 @@
 //	benchgate -old prev/BENCH_fig5.json -new BENCH_fig5.json \
 //	          -threads 8 -drop 0.15
 //
-// CI uses it as the figure-5 regression gate: download the previous
-// successful run's bench-json artifact, compare the 8-writer upsert
-// points, and annotate any engine that lost more than 15%.
+// CI uses it as the regression gate for figure 5 (8-writer upsert
+// points) and figure 7 (every batch-size series at the multi-get
+// thread count): each (engine, batch) series present in both files at
+// the gated thread count is compared independently, so a regression
+// confined to the batch-100 path cannot hide behind a healthy batch-1
+// number.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // figure mirrors cmd/rphash-bench's BENCH_fig<N>.json format.
@@ -35,40 +39,60 @@ type point struct {
 	Threads   int     `json:"threads"`
 	Batch     int     `json:"batch"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	P99NS     float64 `json:"p99_ns,omitempty"`
 }
 
-// regression is one engine's old-vs-new comparison at the gated
+// seriesKey identifies one gated comparison series: figure-5 points
+// are all batch 1, figure-7 sweeps batch at fixed threads — every
+// batch size gates independently.
+type seriesKey struct {
+	Engine string
+	Batch  int
+}
+
+// regression is one series' old-vs-new comparison at the gated
 // thread count.
 type regression struct {
 	Engine   string
+	Batch    int
 	Old, New float64
 	Drop     float64 // fractional: (old-new)/old
 }
 
-// compare pairs engines present in both figures at `threads` (batch
-// 1) and returns those whose throughput dropped by more than
-// `maxDrop`.
+// compare pairs every (engine, batch) series present in both figures
+// at `threads` and returns those whose throughput dropped by more
+// than `maxDrop`, deterministically ordered.
 func compare(oldFig, newFig figure, threads int, maxDrop float64) []regression {
-	at := func(f figure) map[string]float64 {
-		m := make(map[string]float64)
+	at := func(f figure) map[seriesKey]float64 {
+		m := make(map[seriesKey]float64)
 		for _, p := range f.Points {
-			if p.Threads == threads && p.Batch <= 1 {
-				m[p.Engine] = p.OpsPerSec
+			if p.Threads == threads {
+				b := p.Batch
+				if b < 1 {
+					b = 1
+				}
+				m[seriesKey{p.Engine, b}] = p.OpsPerSec
 			}
 		}
 		return m
 	}
 	oldPts, newPts := at(oldFig), at(newFig)
 	var out []regression
-	for engine, oldOps := range oldPts {
-		newOps, ok := newPts[engine]
+	for key, oldOps := range oldPts {
+		newOps, ok := newPts[key]
 		if !ok || oldOps <= 0 {
-			continue // engine renamed/removed: nothing to gate
+			continue // series renamed/removed: nothing to gate
 		}
 		if drop := (oldOps - newOps) / oldOps; drop > maxDrop {
-			out = append(out, regression{Engine: engine, Old: oldOps, New: newOps, Drop: drop})
+			out = append(out, regression{Engine: key.Engine, Batch: key.Batch, Old: oldOps, New: newOps, Drop: drop})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Batch < out[j].Batch
+	})
 	return out
 }
 
@@ -116,8 +140,12 @@ func main() {
 	for _, r := range regs {
 		// ::warning:: renders as an annotation on the workflow run;
 		// plain echo keeps the numbers in the log too.
+		series := r.Engine
+		if r.Batch > 1 {
+			series = fmt.Sprintf("%s batch=%d", r.Engine, r.Batch)
+		}
 		fmt.Printf("::warning title=fig%d throughput regression::engine %s at %d threads dropped %.1f%% (%.0f -> %.0f ops/s vs previous run)\n",
-			newFig.Figure, r.Engine, *threads, r.Drop*100, r.Old, r.New)
+			newFig.Figure, series, *threads, r.Drop*100, r.Old, r.New)
 	}
 	// Annotate-only by design: exit 0.
 }

@@ -4,8 +4,8 @@ import "testing"
 
 func fig(points ...point) figure { return figure{Figure: 5, Points: points} }
 
-// TestCompare pins the gate semantics: only same-engine, same-thread,
-// batch<=1 points compare; drops over the threshold flag; rises,
+// TestCompare pins the gate semantics: same-engine, same-thread,
+// same-batch series compare; drops over the threshold flag; rises,
 // small drops, and removed engines never do.
 func TestCompare(t *testing.T) {
 	oldFig := fig(
@@ -25,8 +25,8 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("regressions = %+v, want exactly the RP drop", regs)
 	}
 	r := regs[0]
-	if r.Engine != "RP" || r.Drop < 0.19 || r.Drop > 0.21 {
-		t.Fatalf("regression = %+v, want RP at ~20%%", r)
+	if r.Engine != "RP" || r.Batch != 1 || r.Drop < 0.19 || r.Drop > 0.21 {
+		t.Fatalf("regression = %+v, want RP batch 1 at ~20%%", r)
 	}
 
 	// Improvement never flags.
@@ -35,15 +35,45 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("improvement flagged: %+v", regs)
 	}
 
-	// Batched points (figure 7 style) are excluded from the gate.
-	batched := fig(point{Engine: "RP", Threads: 8, Batch: 100, OpsPerSec: 1})
-	if regs := compare(oldFig, batched, 8, 0.15); len(regs) != 0 {
-		t.Fatalf("batch point gated: %+v", regs)
-	}
-
 	// Zero/absent old throughput never divides by zero.
 	zero := fig(point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 0})
 	if regs := compare(zero, newFig, 8, 0.15); len(regs) != 0 {
 		t.Fatalf("zero-baseline flagged: %+v", regs)
+	}
+}
+
+// TestCompareBatchSeries pins the figure-7 semantics: every (engine,
+// batch) series at the gated thread count compares independently, and
+// a batch-100 regression is caught even when batch 1 is healthy.
+func TestCompareBatchSeries(t *testing.T) {
+	oldFig := fig(
+		point{Engine: "rp-sharded", Threads: 8, Batch: 1, OpsPerSec: 1000},
+		point{Engine: "rp-sharded", Threads: 8, Batch: 10, OpsPerSec: 5000},
+		point{Engine: "rp-sharded", Threads: 8, Batch: 100, OpsPerSec: 9000},
+		point{Engine: "rp-cache", Threads: 8, Batch: 100, OpsPerSec: 8000},
+	)
+	newFig := fig(
+		point{Engine: "rp-sharded", Threads: 8, Batch: 1, OpsPerSec: 1000},   // flat
+		point{Engine: "rp-sharded", Threads: 8, Batch: 10, OpsPerSec: 4900},  // -2%: fine
+		point{Engine: "rp-sharded", Threads: 8, Batch: 100, OpsPerSec: 6000}, // -33%: flagged
+		point{Engine: "rp-cache", Threads: 8, Batch: 100, OpsPerSec: 4000},   // -50%: flagged
+	)
+
+	regs := compare(oldFig, newFig, 8, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want the two batch-100 drops", regs)
+	}
+	// Deterministic order: engine, then batch.
+	if regs[0].Engine != "rp-cache" || regs[0].Batch != 100 {
+		t.Fatalf("regs[0] = %+v, want rp-cache batch 100", regs[0])
+	}
+	if regs[1].Engine != "rp-sharded" || regs[1].Batch != 100 || regs[1].Drop < 0.32 || regs[1].Drop > 0.34 {
+		t.Fatalf("regs[1] = %+v, want rp-sharded batch 100 at ~33%%", regs[1])
+	}
+
+	// A batch series missing on one side is skipped, not flagged.
+	partial := fig(point{Engine: "rp-sharded", Threads: 8, Batch: 1, OpsPerSec: 1000})
+	if regs := compare(oldFig, partial, 8, 0.15); len(regs) != 0 {
+		t.Fatalf("missing series flagged: %+v", regs)
 	}
 }

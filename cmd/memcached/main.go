@@ -8,32 +8,55 @@
 // append/prepend/cas, delete, incr/decr, touch, flush_all, stats,
 // version, verbosity, quit — with noreply, expiry (relative and
 // absolute), CAS, and LRU eviction under -max-bytes.
+//
+// With -debug-addr, a second HTTP listener exposes the observability
+// plane: /metrics (Prometheus text), /debug/vars (expvar-style JSON),
+// /debug/events (resize/retune lifecycle timeline), and /debug/pprof.
+// The rp engine additionally records grace-period waits, stripe-lock
+// waits, and per-command service latency into the same plane.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"rphash/internal/memcache"
+	"rphash/internal/obs"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
-		engine   = flag.String("engine", "rp", "storage engine: rp | lock")
-		maxBytes = flag.Int64("max-bytes", 64<<20, "memory budget in bytes (0 = unlimited)")
-		sweep    = flag.Duration("sweep", time.Second, "expired-item sweep interval for engines that expose an external sweep pass (the rp engine sweeps itself incrementally; lock expires lazily)")
-		quiet    = flag.Bool("quiet", false, "suppress connection error logs")
+		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
+		engine    = flag.String("engine", "rp", "storage engine: rp | lock")
+		maxBytes  = flag.Int64("max-bytes", 64<<20, "memory budget in bytes (0 = unlimited)")
+		sweep     = flag.Duration("sweep", time.Second, "expired-item sweep interval for engines that expose an external sweep pass (the rp engine sweeps itself incrementally; lock expires lazily)")
+		quiet     = flag.Bool("quiet", false, "suppress connection error logs")
+		debugAddr = flag.String("debug-addr", "", "HTTP listen address for /metrics, /debug/vars, /debug/events and /debug/pprof (empty = observability off)")
 	)
 	flag.Parse()
+
+	// One observer hub spans every layer: the store threads it down
+	// through cache/shard/core/rcu, and the server times command
+	// dispatch into it. Only allocated when the debug listener is on,
+	// so the default run keeps the instrumentation compiled to nil
+	// checks.
+	var o *obs.Observer
+	if *debugAddr != "" {
+		o = obs.NewObserver()
+	}
 
 	var store memcache.Store
 	switch *engine {
 	case "rp":
-		store = memcache.NewRPStore(*maxBytes)
+		if o != nil {
+			store = memcache.NewRPStore(*maxBytes, memcache.WithStoreObserver(o))
+		} else {
+			store = memcache.NewRPStore(*maxBytes)
+		}
 	case "lock":
 		store = memcache.NewLockStore(*maxBytes)
 	default:
@@ -44,6 +67,23 @@ func main() {
 	srv := memcache.NewServer(store, *sweep)
 	if !*quiet {
 		srv.Logf = log.Printf
+	}
+	if o != nil {
+		srv.Observer = o
+		reg := obs.NewRegistry()
+		if rp, ok := store.(*memcache.RPStore); ok {
+			rp.RegisterMetrics(reg)
+		} else {
+			o.Register(reg)
+		}
+		mux := http.NewServeMux()
+		obs.Mount(mux, reg, o)
+		go func() {
+			log.Printf("memcached: debug listener on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("memcached: debug listener: %v", err)
+			}
+		}()
 	}
 	log.Printf("memcached: engine=%s addr=%s max-bytes=%d", *engine, *addr, *maxBytes)
 	if err := srv.ListenAndServe(*addr); err != nil {

@@ -135,12 +135,15 @@ func main() {
 
 // jsonPoint is one measured point in the machine-readable output:
 // enough context (engine, threads, batch) that successive PRs can
-// diff ops/sec without re-deriving what an x value meant.
+// diff ops/sec without re-deriving what an x value meant. P99NS is
+// the sampled 99th-percentile per-op latency in nanoseconds, present
+// for the figures that measure it (5 and 7).
 type jsonPoint struct {
 	Engine    string  `json:"engine"`
 	Threads   int     `json:"threads"`
 	Batch     int     `json:"batch"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	P99NS     float64 `json:"p99_ns,omitempty"`
 }
 
 type jsonFigure struct {
@@ -157,7 +160,7 @@ func writeJSONFigure(n int, fig stats.Figure) error {
 	out := jsonFigure{Figure: n, Title: fig.Title}
 	for _, s := range fig.Series {
 		for _, p := range s.Points {
-			jp := jsonPoint{Engine: s.Name, Threads: int(p.X), Batch: 1, OpsPerSec: p.Y * 1e6}
+			jp := jsonPoint{Engine: s.Name, Threads: int(p.X), Batch: 1, OpsPerSec: p.Y * 1e6, P99NS: p.P99NS}
 			if n == bench.Fig7MultiGet {
 				jp.Threads = bench.MultiGetReaders
 				jp.Batch = int(p.X)

@@ -192,6 +192,20 @@
 // fan-out counters (UnzipParallelPasses, UnzipWorkers) alongside the
 // resize internals.
 //
+// For latency distributions and lifecycle tracing, pass an Observer
+// (NewObserver) via WithObserver, WithMapObserver, or
+// WithCacheObserver: lock-free power-of-two histograms then record
+// RCU grace-period waits, contended writer stripe-lock waits, and
+// cache loader latency (each Record is one atomic add, zero
+// allocations), and a fixed-size concurrent event ring captures every
+// resize's full lifecycle — publish, per-pass unzip batches, grace
+// waits, completion — plus stripe retunes, emitting runtime/trace
+// regions when tracing is active. Snapshot folds it all into plain
+// values; Registry + Observe export everything as Prometheus text and
+// expvar-style JSON alongside net/http/pprof. A nil Observer (the
+// default) costs one pointer compare per instrumented site, and the
+// lock-free read path is never instrumented.
+//
 // # Static analysis
 //
 // Relativistic code has rules the compiler cannot check, so the

@@ -23,12 +23,22 @@ var MultiGetBatchSizes = []int{1, 10, 100}
 // batch path (one reader section per shard group); otherwise the
 // group is a plain per-key loop — the unamortized baseline.
 func MeasureLookupBatch(e Engine, readers, batch int, batched bool, cfg Config) float64 {
+	ops, _ := MeasureLookupBatchLatency(e, readers, batch, batched, cfg)
+	return ops
+}
+
+// MeasureLookupBatchLatency is MeasureLookupBatch returning the
+// sampled per-key p99 latency too: one batch call in sixteen is
+// timed, and the batch-call latency is divided by the batch size (the
+// per-key cost a multi-get client experiences).
+func MeasureLookupBatchLatency(e Engine, readers, batch int, batched bool, cfg Config) (opsPerSec, p99NS float64) {
 	cfg.fillDefaults()
 	if batch < 1 {
 		batch = 1
 	}
 
 	counters := stats.NewCounterSet(readers)
+	hists := make([]stats.Histogram, readers)
 	stopWarm := make(chan struct{})
 	stop := make(chan struct{})
 	start := make(chan struct{})
@@ -71,7 +81,8 @@ func MeasureLookupBatch(e Engine, readers, batch int, batched bool, cfg Config) 
 			}
 		measured:
 			slot := counters.Slot(id)
-			var local uint64
+			hist := &hists[id]
+			var local, calls uint64
 			for {
 				select {
 				case <-stop:
@@ -80,7 +91,14 @@ func MeasureLookupBatch(e Engine, readers, batch int, batched bool, cfg Config) 
 				default:
 				}
 				fill()
-				lookup(ks, oks)
+				if calls&15 == 0 {
+					t0 := time.Now()
+					lookup(ks, oks)
+					hist.Observe(uint64(time.Since(t0).Nanoseconds()))
+				} else {
+					lookup(ks, oks)
+				}
+				calls++
 				local += uint64(batch)
 			}
 		}(r)
@@ -96,7 +114,12 @@ func MeasureLookupBatch(e Engine, readers, batch int, batched bool, cfg Config) 
 	done.Wait()
 	elapsed := time.Since(t0)
 
-	return float64(counters.Total()) / elapsed.Seconds()
+	var merged stats.Histogram
+	for i := range hists {
+		merged.Merge(&hists[i])
+	}
+	return float64(counters.Total()) / elapsed.Seconds(),
+		float64(merged.Quantile(0.99)) / float64(batch)
 }
 
 // measureBatchSeries sweeps MultiGetBatchSizes for one engine
@@ -106,16 +129,16 @@ func measureBatchSeries(name string, mk func() Engine, batched bool, cfg Config)
 	cfg.fillDefaults()
 	s := stats.Series{Name: name}
 	for _, batch := range MultiGetBatchSizes {
-		best := 0.0
+		best, bestP99 := 0.0, 0.0
 		for i := 0; i < cfg.Repeats; i++ {
 			e := mk()
 			Preload(e, cfg)
-			if ops := MeasureLookupBatch(e, MultiGetReaders, batch, batched, cfg); ops > best {
-				best = ops
+			if ops, p99 := MeasureLookupBatchLatency(e, MultiGetReaders, batch, batched, cfg); ops > best {
+				best, bestP99 = ops, p99
 			}
 			e.Close()
 		}
-		s.Add(float64(batch), best/1e6)
+		s.AddWithP99(float64(batch), best/1e6, bestP99)
 	}
 	return s
 }

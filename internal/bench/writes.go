@@ -8,10 +8,13 @@ import (
 	"rphash/internal/workload"
 )
 
-// MixedResult is the outcome of a MeasureMixed run.
+// MixedResult is the outcome of a MeasureMixed run. UpsertP99NS is
+// the sampled 99th-percentile single-upsert latency in nanoseconds
+// (one op timed per 16-op writer batch; 0 when writers == 0).
 type MixedResult struct {
 	LookupsPerS float64
 	UpsertsPerS float64
+	UpsertP99NS float64
 }
 
 // MeasureMixed runs `readers` lookup goroutines and `writers` upsert
@@ -29,6 +32,7 @@ func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
 
 	readCounters := stats.NewCounterSet(max(readers, 1))
 	writeCounters := stats.NewCounterSet(max(writers, 1))
+	writeHists := make([]stats.Histogram, max(writers, 1))
 	stopWarm := make(chan struct{})
 	stop := make(chan struct{})
 	start := make(chan struct{})
@@ -91,6 +95,7 @@ func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
 			}
 		measured:
 			slot := writeCounters.Slot(id)
+			hist := &writeHists[id]
 			var local uint64
 			for {
 				select {
@@ -101,8 +106,14 @@ func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
 				}
 				// Smaller batches than the read side: upserts are
 				// slower, and oversized batches would smear the stop
-				// edge into the rate.
-				for i := 0; i < 16; i++ {
+				// edge into the rate. The first op of each batch is
+				// timed (1-in-16 sampling) for the p99 estimate,
+				// keeping clock reads off the other fifteen.
+				k := gen.Key()
+				t0 := time.Now()
+				e.Set(k, int(k))
+				hist.Observe(uint64(time.Since(t0).Nanoseconds()))
+				for i := 1; i < 16; i++ {
 					k := gen.Key()
 					e.Set(k, int(k))
 				}
@@ -121,9 +132,14 @@ func MeasureMixed(e Engine, readers, writers int, cfg Config) MixedResult {
 	done.Wait()
 	elapsed := time.Since(t0)
 
+	var merged stats.Histogram
+	for i := range writeHists {
+		merged.Merge(&writeHists[i])
+	}
 	return MixedResult{
 		LookupsPerS: float64(readCounters.Total()) / elapsed.Seconds(),
 		UpsertsPerS: float64(writeCounters.Total()) / elapsed.Seconds(),
+		UpsertP99NS: float64(merged.Quantile(0.99)),
 	}
 }
 
@@ -151,16 +167,16 @@ func measureWriteSeries(name string, mk func() Engine, cfg Config) stats.Series 
 	cfg.fillDefaults()
 	s := stats.Series{Name: name}
 	for _, w := range cfg.Readers {
-		best := 0.0
+		best, bestP99 := 0.0, 0.0
 		for i := 0; i < cfg.Repeats; i++ {
 			e := mk()
 			Preload(e, cfg)
-			if ops := MeasureUpserts(e, w, cfg); ops > best {
-				best = ops
+			if res := MeasureMixed(e, 0, w, cfg); res.UpsertsPerS > best {
+				best, bestP99 = res.UpsertsPerS, res.UpsertP99NS
 			}
 			e.Close()
 		}
-		s.Add(float64(w), best/1e6)
+		s.AddWithP99(float64(w), best/1e6, bestP99)
 	}
 	return s
 }

@@ -35,6 +35,8 @@ import (
 	"rphash/internal/clock"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
+	"rphash/internal/obs"
+	"rphash/internal/rcu"
 	"rphash/internal/shard"
 	"rphash/internal/stats"
 )
@@ -77,6 +79,11 @@ type Cache[K comparable, V any] struct {
 	evictMu  sync.Mutex
 	evictSeq atomic.Uint64 // scrambled into the sampling start offset
 
+	// obsv, when set (WithObserver), receives GetOrLoad loader
+	// latency; the underlying map and domain are wired through
+	// shard.WithObserver. The hit path is never instrumented.
+	obsv *obs.Observer
+
 	flights [flightStripes]flightShard[K, V]
 
 	// multiPool recycles GetMulti/GetOrLoadMulti workspaces (multi.go).
@@ -106,6 +113,7 @@ type config struct {
 	sample    int
 	adapt     *adapt.Config
 	adaptSet  bool
+	obsv      *obs.Observer
 }
 
 // Option configures a Cache at construction.
@@ -161,6 +169,13 @@ func WithAdapt(cfg *adapt.Config) Option {
 	return func(c *config) { c.adapt, c.adaptSet = cfg, true }
 }
 
+// WithObserver wires the cache into an observability hub (see
+// internal/obs): singleflight loader latency feeds o.CacheLoad, and
+// the underlying sharded map — stripe waits, resize lifecycle, RCU
+// grace waits — is wired through shard.WithObserver. The lock-free
+// hit path is deliberately not instrumented: its cost budget is zero.
+func WithObserver(o *obs.Observer) Option { return func(c *config) { c.obsv = o } }
+
 // New creates a cache keyed by K using the supplied hash function
 // (same contract as shard.New: deterministic, well mixed high and low
 // bits).
@@ -189,6 +204,9 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Cache[K, V] 
 	if cfg.adaptSet {
 		mopts = append(mopts, shard.WithAdapt(cfg.adapt))
 	}
+	if cfg.obsv != nil {
+		mopts = append(mopts, shard.WithObserver(cfg.obsv))
+	}
 
 	c := &Cache[K, V]{
 		m:          shard.New[K, *entry[V]](hash, mopts...),
@@ -196,6 +214,7 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Cache[K, V] 
 		defaultTTL: cfg.ttl,
 		maxCost:    cfg.maxCost,
 		sample:     cfg.sample,
+		obsv:       cfg.obsv,
 	}
 	if cfg.clk != nil {
 		c.clk = cfg.clk
@@ -384,6 +403,16 @@ func (c *Cache[K, V]) Buckets() int { return c.m.Buckets() }
 
 // NumShards returns the underlying map's shard count.
 func (c *Cache[K, V]) NumShards() int { return c.m.NumShards() }
+
+// Domain exposes the underlying map's shared RCU domain (metrics
+// export reads its grace-period counters; embedders can run
+// multi-lookup read sections against it).
+func (c *Cache[K, V]) Domain() *rcu.Domain { return c.m.Domain() }
+
+// MapCounters returns the underlying sharded map's aggregated
+// counter snapshot without any bucket walk (see
+// shard.Map.CounterStats): scrape-endpoint safe at any table size.
+func (c *Cache[K, V]) MapCounters() core.Stats { return c.m.CounterStats() }
 
 // Resize retargets the total bucket count, divided across shards.
 func (c *Cache[K, V]) Resize(total uint64) { c.m.Resize(total) }

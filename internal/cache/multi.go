@@ -253,7 +253,13 @@ func (c *Cache[K, V]) leadMulti(ledKeys []K, ledHashes []uint64, led map[K]*flig
 
 	var loaded map[K]V
 	if len(toLoad) > 0 {
-		loaded, err = load(toLoad)
+		if o := c.obsv; o != nil {
+			t0 := time.Now()
+			loaded, err = load(toLoad)
+			o.CacheLoad.RecordSince(0, t0)
+		} else {
+			loaded, err = load(toLoad)
+		}
 	}
 	completed = true
 	if err != nil {

@@ -95,7 +95,13 @@ func (c *Cache[K, V]) GetOrLoadTTL(k K, ttl time.Duration, load func() (V, error
 		completed = true
 		return f.val, nil
 	}
-	f.val, f.err = load()
+	if o := c.obsv; o != nil {
+		t0 := time.Now()
+		f.val, f.err = load()
+		o.CacheLoad.RecordSince(int((h>>24)&(flightStripes-1)), t0)
+	} else {
+		f.val, f.err = load()
+	}
 	completed = true
 	if f.err == nil {
 		c.loads.Add(1)

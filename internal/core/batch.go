@@ -111,7 +111,7 @@ func (w *batchWriter[K, V]) acquire(h uint64) {
 		a := w.t.stripes.arr.Load()
 		m := a.mask.Load()
 		s := &a.locks[h&m]
-		s.lockContended()
+		s.lockContended(w.t.stripeWaitHist(), int(h&m))
 		if w.t.stripes.arr.Load() == a && a.mask.Load() == m {
 			w.held, w.slot, w.mask = s, h&m, m
 			return

@@ -1,6 +1,9 @@
 package core
 
-import "rphash/internal/hashfn"
+import (
+	"rphash/internal/hashfn"
+	"rphash/internal/obs"
+)
 
 // growBackpressureFactor: when the load factor exceeds this multiple
 // of the grow watermark, writers stop outrunning the resizer and
@@ -34,6 +37,7 @@ func (t *Table[K, V]) maybeAutoResize() {
 
 	if p.MaxLoad > 0 && count > p.MaxLoad*nbuckets {
 		if t.grow.pending.CompareAndSwap(false, true) {
+			t.obsEvent(obs.EvAutoGrow, int64(count), int64(nbuckets), 0)
 			go func() {
 				t.autoResizeTarget()
 				t.stats.autoGrows.Add(1)
@@ -54,6 +58,7 @@ func (t *Table[K, V]) maybeAutoResize() {
 	}
 	if p.MinLoad > 0 && nbuckets > float64(p.MinBuckets) && count < p.MinLoad*nbuckets {
 		if t.shrink.pending.CompareAndSwap(false, true) {
+			t.obsEvent(obs.EvAutoShrink, int64(count), int64(nbuckets), 0)
 			go func() {
 				t.autoResizeTarget()
 				t.stats.autoShrinks.Add(1)

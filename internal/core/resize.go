@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rphash/internal/hashfn"
+	"rphash/internal/obs"
 )
 
 // Resize grows or shrinks the table to n buckets (rounded up to a
@@ -44,6 +48,33 @@ func (t *Table[K, V]) Resize(n uint64) {
 	}
 }
 
+// syncResize is Synchronize with resize-lifecycle instrumentation:
+// when an observer is installed, each grace period the resize waits
+// out becomes an EvGraceWait ring event carrying its wall time. The
+// caller holds resizeMu but no stripes (grace waits never run under
+// stripes — that is the resize protocol's core rule, and
+// rplint/gracewait checks it).
+func (t *Table[K, V]) syncResize() {
+	if t.obsv == nil {
+		t.dom.Synchronize()
+		return
+	}
+	t0 := time.Now()
+	t.dom.Synchronize()
+	t.obsEvent(obs.EvGraceWait, time.Since(t0).Nanoseconds(), 0, 0)
+}
+
+// resizeTraceTask opens a runtime/trace user task when tracing is
+// active, so `go tool trace` shows each resize as a task with its
+// unzip passes as regions. Returns a no-op ender otherwise.
+func resizeTraceTask(name string) (context.Context, func()) {
+	if !trace.IsEnabled() {
+		return context.Background(), func() {}
+	}
+	ctx, task := trace.NewTask(context.Background(), name)
+	return ctx, task.End
+}
+
 // shrinkStep halves the bucket count: the paper's "zip". Steps
 // (slide titles in quotes):
 //
@@ -71,7 +102,12 @@ func (t *Table[K, V]) shrinkStep() {
 		t.unlockAll(sa)
 		return
 	}
+	start := time.Now()
+	ctx, endTask := resizeTraceTask("rphash.shrink")
+	defer endTask()
+	defer trace.StartRegion(ctx, "zip").End()
 	newSize := oldSize / 2
+	t.obsEvent(obs.EvShrinkStart, int64(oldSize), int64(newSize), 0)
 	nb := newBuckets[K, V](newSize)
 
 	for j := uint64(0); j < newSize; j++ {
@@ -95,8 +131,9 @@ func (t *Table[K, V]) shrinkStep() {
 	sa.mask.Store(effectiveStripeMask(len(sa.locks), newSize))
 	t.ht.Store(nb) // publish
 	t.unlockAll(sa)
-	t.dom.Synchronize() // wait for readers; old array now unreachable
+	t.syncResize() // wait for readers; old array now unreachable
 	t.stats.shrinks.Add(1)
+	t.obsEvent(obs.EvShrinkDone, time.Since(start).Nanoseconds(), 0, 0)
 	t.assertInvariantsLive()
 }
 
@@ -135,11 +172,15 @@ func (t *Table[K, V]) shrinkStep() {
 // the single grace period that follows it; the grace-period count
 // and the cut schedule are exactly the sequential ones.
 func (t *Table[K, V]) expandStep() {
+	start := time.Now()
+	ctx, endTask := resizeTraceTask("rphash.expand")
+	defer endTask()
 	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu
 	t.lockAll(sa)
 	old := t.ht.Load()
 	oldSize := old.size()
 	newSize := oldSize * 2
+	t.obsEvent(obs.EvExpandStart, int64(oldSize), int64(newSize), 0)
 	nb := newBuckets[K, V](newSize)
 
 	// Step 1: point each child bucket into the parent chain.
@@ -185,7 +226,10 @@ func (t *Table[K, V]) expandStep() {
 	t.unzipParent.Store(oldSize)
 	t.ht.Store(nb)
 	t.unlockAll(sa)
-	t.dom.Synchronize()
+	t.obsEvent(obs.EvExpandPublish, int64(len(active)), 0, 0)
+	publishRegion := trace.StartRegion(ctx, "publish-grace")
+	t.syncResize()
+	publishRegion.End()
 
 	// Step 3: unzip passes. Cuts on different parent chains are
 	// independent, so each pass batches one cut per parent and the
@@ -195,12 +239,14 @@ func (t *Table[K, V]) expandStep() {
 	// interleave between migration batches and between passes; the
 	// cut-point derivation tolerates that because every pass
 	// re-derives its state from the live bucket heads.
+	passes := 0
 	for pass := 1; len(active) > 0; pass++ {
 		t.unzipBacklog.Store(int64(len(active)))
 		workers := int(t.unzipWorkers.Load())
 		if workers < 1 || t.unzipPerCutGrace {
 			workers = 1 // per-cut grace is strictly sequential by design
 		}
+		passRegion := trace.StartRegion(ctx, "unzip-pass")
 		var cuts int
 		if workers > 1 {
 			cuts, active = t.unzipPassParallel(sa, nb, active, oldSize, stripeMask, workers)
@@ -208,11 +254,15 @@ func (t *Table[K, V]) expandStep() {
 			cuts, active = t.unzipPassSequential(sa, nb, active, oldSize, stripeMask)
 		}
 		if cuts == 0 {
+			passRegion.End()
 			break
 		}
+		t.obsEvent(obs.EvUnzipPass, int64(pass), int64(cuts), int64(workers))
 		if !t.unzipPerCutGrace {
-			t.dom.Synchronize()
+			t.syncResize()
 		}
+		passRegion.End()
+		passes = pass
 		t.stats.unzipPasses.Add(1)
 		t.stats.unzipCuts.Add(uint64(cuts))
 		if t.testHookAfterUnzipPass != nil {
@@ -230,6 +280,7 @@ func (t *Table[K, V]) expandStep() {
 	sa.mask.Store(effectiveStripeMask(len(sa.locks), newSize))
 	t.unlockAll(sa)
 	t.stats.expands.Add(1)
+	t.obsEvent(obs.EvExpandDone, int64(passes), time.Since(start).Nanoseconds(), 0)
 	t.assertInvariantsLive()
 }
 
@@ -258,7 +309,7 @@ func (t *Table[K, V]) unzipPassSequential(sa *stripeArray, nb *buckets[K, V], ac
 		kept = append(kept, i)
 		if t.unzipPerCutGrace {
 			held.mu.Unlock()
-			t.dom.Synchronize()
+			t.syncResize()
 			held.mu.Lock()
 		}
 	}
@@ -356,7 +407,13 @@ func (t *Table[K, V]) SetUnzipWorkers(n int) {
 	if n > maxUnzipWorkers {
 		n = maxUnzipWorkers
 	}
-	t.unzipWorkers.Store(int32(n))
+	old := t.unzipWorkers.Swap(int32(n))
+	if old < 1 {
+		old = 1
+	}
+	if int32(n) != old {
+		t.obsEvent(obs.EvUnzipWorkers, int64(old), int64(n), 0)
+	}
 }
 
 // UnzipWorkers returns the current migration fan-out setting.

@@ -71,8 +71,29 @@ type Stats struct {
 }
 
 // Stats gathers a snapshot. MaxChain walks every bucket inside one
-// read-side section; on huge tables prefer sampling via Buckets/Len.
+// read-side section; on huge tables prefer CounterStats (the metrics
+// export plane scrapes through it) or sampling via Buckets/Len.
 func (t *Table[K, V]) Stats() Stats {
+	s := t.CounterStats()
+	t.dom.Read(func() {
+		ht := t.ht.Load()
+		for i := range ht.slot {
+			l := 0
+			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
+				l++
+			}
+			if l > s.MaxChain {
+				s.MaxChain = l
+			}
+		}
+	})
+	return s
+}
+
+// CounterStats is Stats minus the MaxChain bucket walk: a pure
+// counter snapshot whose cost is O(stripes), independent of table
+// size, so scrape endpoints can poll it freely. MaxChain is left 0.
+func (t *Table[K, V]) CounterStats() Stats {
 	acq, con := t.ContentionCounters()
 	s := Stats{
 		Len:                 t.Len(),
@@ -97,18 +118,6 @@ func (t *Table[K, V]) Stats() Stats {
 	if s.Buckets > 0 {
 		s.LoadFactor = float64(s.Len) / float64(s.Buckets)
 	}
-	t.dom.Read(func() {
-		ht := t.ht.Load()
-		for i := range ht.slot {
-			l := 0
-			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
-				l++
-			}
-			if l > s.MaxChain {
-				s.MaxChain = l
-			}
-		}
-	})
 	return s
 }
 

@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rphash/internal/hashfn"
+	"rphash/internal/obs"
 )
 
 // Writer-side striped locking.
@@ -85,11 +87,21 @@ type stripeLock struct {
 }
 
 // lockContended acquires the stripe's mutex, counting the acquisition
-// and whether it had to block.
-func (s *stripeLock) lockContended() {
+// and whether it had to block. When an observer is wired (hist
+// non-nil), the contended branch — and only that branch — also times
+// its wait into the stripe-acquire histogram, so the uncontended fast
+// path pays exactly one nil compare for the instrumentation. hint
+// picks the histogram's counter bank (callers pass the stripe index).
+func (s *stripeLock) lockContended(hist *obs.Histogram, hint int) {
 	if !s.mu.TryLock() {
 		s.contended.Add(1)
-		s.mu.Lock()
+		if hist != nil {
+			t0 := time.Now()
+			s.mu.Lock()
+			hist.RecordSince(hint, t0)
+		} else {
+			s.mu.Lock()
+		}
 	}
 	s.acquires.Add(1)
 }
@@ -175,7 +187,7 @@ func (t *Table[K, V]) lockHash(h uint64) *stripeLock {
 		a := t.stripes.arr.Load()
 		m := a.mask.Load()
 		s := &a.locks[h&m]
-		s.lockContended()
+		s.lockContended(t.stripeWaitHist(), int(h&m))
 		if t.stripes.arr.Load() == a && a.mask.Load() == m {
 			return s
 		}
@@ -196,7 +208,7 @@ func (t *Table[K, V]) lockHash2(h1, h2 uint64) (a, b *stripeLock) {
 		i1, i2 := h1&m, h2&m
 		if i1 == i2 {
 			s := &arr.locks[i1]
-			s.lockContended()
+			s.lockContended(t.stripeWaitHist(), int(i1))
 			if t.stripes.arr.Load() == arr && arr.mask.Load() == m {
 				return s, nil
 			}
@@ -207,8 +219,8 @@ func (t *Table[K, V]) lockHash2(h1, h2 uint64) (a, b *stripeLock) {
 			i1, i2 = i2, i1
 		}
 		s1, s2 := &arr.locks[i1], &arr.locks[i2]
-		s1.lockContended()
-		s2.lockContended()
+		s1.lockContended(t.stripeWaitHist(), int(i1))
+		s2.lockContended(t.stripeWaitHist(), int(i2))
 		if t.stripes.arr.Load() == arr && arr.mask.Load() == m {
 			return s1, s2
 		}
@@ -340,5 +352,6 @@ func (t *Table[K, V]) setStripesLocked(want uint64) bool {
 	t.stats.retuneSeq.Add(1)
 	t.unlockAll(old)
 	t.stats.retunes.Add(1)
+	t.obsEvent(obs.EvStripeRetune, int64(len(old.locks)), int64(want), 0)
 	return true
 }

@@ -27,6 +27,7 @@ import (
 
 	"rphash/internal/adapt"
 	"rphash/internal/hashfn"
+	"rphash/internal/obs"
 	"rphash/internal/rcu"
 )
 
@@ -119,6 +120,13 @@ type Table[K comparable, V any] struct {
 
 	stats tableStats
 
+	// obsv is the table's observability hub (WithObserver); nil means
+	// every instrumentation point reduces to a pointer compare.
+	// obsShard tags this table's events and histogram records with its
+	// shard index (WithShardID; 0 for unsharded tables).
+	obsv     *obs.Observer
+	obsShard int
+
 	// testHookAfterUnzipPass, when set (tests only), runs after each
 	// unzip pass's grace period, with resizeMu held but no stripes,
 	// so tests can assert the mid-resize reachability invariant in
@@ -152,6 +160,8 @@ type config struct {
 	perCutGrace  bool
 	unzipWorkers int
 	adapt        *adapt.Config
+	obsv         *obs.Observer
+	shardID      int
 }
 
 // Option configures a Table at construction.
@@ -201,6 +211,20 @@ func WithAdapt(cfg *adapt.Config) Option {
 	return func(c *config) { c.adapt = cfg }
 }
 
+// WithObserver wires the table into an observability hub (see
+// internal/obs): writer stripe-acquire waits feed o.StripeWait
+// (contended acquisitions only), resize/retune lifecycle events feed
+// o.Events, and the table's RCU domain reports grace-period wait
+// latency into o.GraceWait. nil is the default: all instrumentation
+// points compile down to one pointer compare.
+func WithObserver(o *obs.Observer) Option { return func(c *config) { c.obsv = o } }
+
+// WithShardID tags the table's observer records with a shard index,
+// so a sharded front end (internal/shard) can tell which shard's
+// resize or retune produced an event. Meaningless without
+// WithObserver.
+func WithShardID(n int) Option { return func(c *config) { c.shardID = n } }
+
 // WithUnzipGracePerCut disables unzip-cut batching (ablation only):
 // every pointer cut gets its own grace period instead of sharing one
 // per pass. Resizes become dramatically slower; lookups are
@@ -233,11 +257,18 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] 
 	}
 
 	t := &Table[K, V]{hash: hash, policy: cfg.policy, unzipPerCutGrace: cfg.perCutGrace}
+	t.obsv = cfg.obsv
+	t.obsShard = cfg.shardID
 	if cfg.dom != nil {
 		t.dom = cfg.dom
 	} else {
 		t.dom = rcu.NewDomain()
 		t.ownDom = true
+	}
+	if cfg.obsv != nil {
+		// Idempotent across shards sharing one domain: every table of
+		// a sharded map installs the same histogram pointer.
+		t.dom.ObserveGraceWaits(&cfg.obsv.GraceWait)
 	}
 	t.ht.Store(newBuckets[K, V](cfg.initial))
 	t.stripes.init(cfg.stripes, cfg.initial)
@@ -327,6 +358,23 @@ func (t *Table[K, V]) Close() {
 	if t.ownDom {
 		t.dom.Close()
 	}
+}
+
+// obsEvent records a lifecycle event when an observer is installed.
+// Nil-safe and non-blocking: safe under any stripe or resizeMu.
+func (t *Table[K, V]) obsEvent(typ obs.EventType, a, b, c int64) {
+	if o := t.obsv; o != nil {
+		o.Events.Record(typ, t.obsShard, a, b, c)
+	}
+}
+
+// stripeWaitHist returns the stripe-acquire wait histogram, or nil
+// when observability is off (the common case — one pointer compare).
+func (t *Table[K, V]) stripeWaitHist() *obs.Histogram {
+	if o := t.obsv; o != nil {
+		return &o.StripeWait
+	}
+	return nil
 }
 
 // bucketFor returns the chain head slot for a hash in array b.

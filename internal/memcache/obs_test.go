@@ -1,0 +1,154 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"rphash/internal/obs"
+)
+
+func TestCmdClassOf(t *testing.T) {
+	cases := []struct {
+		line string
+		want obs.CmdClass
+	}{
+		{"get k", obs.CmdGet},
+		{"gets a b c", obs.CmdGet},
+		{"set k 0 0 1", obs.CmdStore},
+		{"cas k 0 0 1 7", obs.CmdStore},
+		{"append k 0 0 1", obs.CmdStore},
+		{"delete k", obs.CmdDelete},
+		{"incr k 1", obs.CmdArith},
+		{"decr k 1", obs.CmdArith},
+		{"touch k 60", obs.CmdTouch},
+		{"stats", obs.CmdOther},
+		{"version", obs.CmdOther},
+		{"bogus", obs.CmdOther},
+	}
+	for _, c := range cases {
+		if got := cmdClassOf([]byte(c.line)); got != c.want {
+			t.Errorf("cmdClassOf(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+// TestServerObservedStats drives commands through an instrumented
+// server and asserts the stats command surfaces per-class latency
+// percentiles and grace/stripe wait metrics.
+func TestServerObservedStats(t *testing.T) {
+	o := obs.NewObserver()
+	srv := NewServer(NewRPStore(0, WithStoreObserver(o)), 0)
+	srv.Observer = o
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	w := bufio.NewWriter(nc)
+	r := bufio.NewReader(nc)
+	expect := func(want string) {
+		t.Helper()
+		w.Flush()
+		line, err := r.ReadString('\n')
+		if err != nil || line != want+"\r\n" {
+			t.Fatalf("read %q, %v; want %q", line, err, want)
+		}
+	}
+	fmt.Fprintf(w, "set k 0 0 3\r\nabc\r\n")
+	expect("STORED")
+	fmt.Fprintf(w, "get k\r\n")
+	w.Flush()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "END\r\n" {
+			break
+		}
+	}
+	fmt.Fprintf(w, "delete k\r\n")
+	expect("DELETED")
+
+	fmt.Fprintf(w, "stats\r\n")
+	w.Flush()
+	got := map[string]string{}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "END\r\n" {
+			break
+		}
+		f := strings.Fields(strings.TrimSuffix(line, "\r\n"))
+		if len(f) != 3 || f[0] != "STAT" {
+			t.Fatalf("malformed stats line %q", line)
+		}
+		got[f[1]] = f[2]
+	}
+	for _, k := range []string{
+		"cmd_get_count", "cmd_get_p50_us", "cmd_get_p99_us",
+		"cmd_store_count", "cmd_store_p50_us", "cmd_store_p99_us",
+		"cmd_delete_count",
+		"grace_waits", "grace_wait_p50_us", "grace_wait_p99_us", "grace_wait_max_us",
+		"stripe_waits", "stripe_wait_p50_us", "stripe_wait_p99_us",
+	} {
+		if _, ok := got[k]; !ok {
+			t.Errorf("stats missing %q (got %v)", k, got)
+		}
+	}
+	for _, k := range []string{"cmd_get_count", "cmd_store_count", "cmd_delete_count"} {
+		if got[k] != "1" {
+			t.Errorf("stats %s = %q, want 1", k, got[k])
+		}
+	}
+}
+
+// TestRegisterMetrics checks the store's scrape surface renders both
+// Prometheus text and JSON with the expected metric families.
+func TestRegisterMetrics(t *testing.T) {
+	o := obs.NewObserver()
+	s := NewRPStore(0, WithStoreObserver(o))
+	defer s.Close()
+	if s.Observer() != o {
+		t.Fatal("Observer() did not return the configured hub")
+	}
+	s.Set(NewItem("a", 0, []byte("xyz"), 0))
+	s.Get("a")
+	s.Get("missing")
+
+	var reg obs.Registry
+	s.RegisterMetrics(&reg)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, m := range []string{
+		"rphash_cache_hits_total 1",
+		"rphash_cache_misses_total 1",
+		"rphash_store_sets_total 1",
+		"rphash_store_items 1",
+		"rphash_map_buckets",
+		"rphash_stripe_acquires_total",
+		"rphash_rcu_grace_periods_total",
+		"rphash_grace_wait_seconds_count",
+		"rphash_stripe_wait_seconds_count",
+		"rphash_cache_load_seconds_count",
+		"rphash_cmd_get_seconds_count",
+		"rphash_events_total",
+	} {
+		if !strings.Contains(out, m) {
+			t.Errorf("Prometheus output missing %q", m)
+		}
+	}
+}

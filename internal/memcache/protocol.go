@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"time"
 	"unsafe"
+
+	"rphash/internal/obs"
 )
 
 // Version is the string reported by the version command.
@@ -31,6 +33,11 @@ type conn struct {
 	// none); multi-key get/gets route through it so one request enters
 	// at most one reader section per shard instead of one per key.
 	getMulti func(keys []string, out []*Item)
+	// obsv, when non-nil, times every dispatched command into the
+	// per-class service-latency histograms; obsStripe is this
+	// connection's counter-bank affinity hint.
+	obsv      *obs.Observer
+	obsStripe int
 	// hdrBuf, fieldsBuf, keysBuf and itemsBuf are per-connection
 	// scratch space.
 	hdrBuf    []byte
@@ -57,7 +64,19 @@ func (c *conn) serve() error {
 		if len(line) == 0 {
 			continue
 		}
-		quit, err := c.dispatch(line)
+		var quit bool
+		if o := c.obsv; o != nil {
+			// Classify before dispatch: parsing aliases (and consumes)
+			// the line buffer. The window covers parse through
+			// response-buffer write; the flush below is deliberately
+			// outside it, so slow clients don't pollute service time.
+			class := cmdClassOf(line)
+			t0 := time.Now()
+			quit, err = c.dispatch(line)
+			o.Cmd[class].RecordSince(c.obsStripe, t0)
+		} else {
+			quit, err = c.dispatch(line)
+		}
 		if err != nil {
 			return err
 		}
@@ -101,6 +120,29 @@ func (c *conn) fields(line []byte) [][]byte {
 	}
 	c.fieldsBuf = out
 	return out
+}
+
+// cmdClassOf buckets a raw command line into its latency class from
+// the first token alone. Alloc-free: the string conversions compile
+// to comparisons.
+func cmdClassOf(line []byte) obs.CmdClass {
+	tok := line
+	if i := bytes.IndexByte(line, ' '); i >= 0 {
+		tok = line[:i]
+	}
+	switch string(tok) {
+	case "get", "gets":
+		return obs.CmdGet
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return obs.CmdStore
+	case "delete":
+		return obs.CmdDelete
+	case "incr", "decr":
+		return obs.CmdArith
+	case "touch":
+		return obs.CmdTouch
+	}
+	return obs.CmdOther
 }
 
 // dispatch parses and executes one command line. It returns quit=true
@@ -392,7 +434,47 @@ func (c *conn) handleStats() error {
 			return err
 		}
 	}
+	if err := c.writeObsStats(); err != nil {
+		return err
+	}
 	return c.writeLine("END")
+}
+
+// writeObsStats appends the observability plane's latency numbers to a
+// stats response: per-command-class count/p50/p99 (microseconds, like
+// memcached's own timings) plus grace-period and stripe-lock wait
+// distributions. Silent when the server has no Observer.
+func (c *conn) writeObsStats() error {
+	o := c.obsv
+	if o == nil {
+		return nil
+	}
+	us := func(ns uint64) string { return strconv.FormatUint(ns/1000, 10) }
+	for cl := obs.CmdClass(0); cl < obs.NumCmdClasses; cl++ {
+		h := o.Cmd[cl].Snapshot()
+		if h.Count == 0 {
+			continue
+		}
+		name := cl.String()
+		if _, err := fmt.Fprintf(c.rw,
+			"STAT cmd_%s_count %d\r\nSTAT cmd_%s_p50_us %s\r\nSTAT cmd_%s_p99_us %s\r\n",
+			name, h.Count, name, us(h.P50()), name, us(h.P99())); err != nil {
+			return err
+		}
+	}
+	gw := o.GraceWait.Snapshot()
+	if _, err := fmt.Fprintf(c.rw,
+		"STAT grace_waits %d\r\nSTAT grace_wait_p50_us %s\r\nSTAT grace_wait_p99_us %s\r\nSTAT grace_wait_max_us %s\r\n",
+		gw.Count, us(gw.P50()), us(gw.P99()), us(gw.MaxNS)); err != nil {
+		return err
+	}
+	sw := o.StripeWait.Snapshot()
+	if _, err := fmt.Fprintf(c.rw,
+		"STAT stripe_waits %d\r\nSTAT stripe_wait_p50_us %s\r\nSTAT stripe_wait_p99_us %s\r\n",
+		sw.Count, us(sw.P50()), us(sw.P99())); err != nil {
+		return err
+	}
+	return nil
 }
 
 var errBadDataChunk = fmt.Errorf("memcache: bad data chunk")

@@ -9,6 +9,7 @@ import (
 	"rphash/internal/cache"
 	"rphash/internal/clock"
 	"rphash/internal/core"
+	"rphash/internal/obs"
 )
 
 // RPStore is the paper's memcached patch: GETs are relativistic
@@ -34,6 +35,23 @@ type RPStore struct {
 	casSeq  atomic.Uint64
 	sets    atomic.Uint64
 	deletes atomic.Uint64
+
+	obsv *obs.Observer
+}
+
+// StoreOption configures NewRPStore.
+type StoreOption func(*rpConfig)
+
+type rpConfig struct {
+	obsv *obs.Observer
+}
+
+// WithStoreObserver threads an observability hub through the store
+// into the cache, shard map, tables, and RCU domain underneath: grace
+// waits, stripe waits, load latency, and resize lifecycle events all
+// land in o. nil (the default) leaves every layer uninstrumented.
+func WithStoreObserver(o *obs.Observer) StoreOption {
+	return func(cfg *rpConfig) { cfg.obsv = o }
 }
 
 // rpSweepInterval is the cadence of the cache's incremental expiry
@@ -63,17 +81,29 @@ const rpSweepInterval = 100 * time.Millisecond
 // the cache's own incremental background sweeper (see
 // rpSweepInterval); the server's sweep ticker does not apply to this
 // store.
-func NewRPStore(maxBytes int64) *RPStore {
+func NewRPStore(maxBytes int64, opts ...StoreOption) *RPStore {
+	var cfg rpConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	clk := clock.New(clock.DefaultGranularity)
-	c := cache.NewString[*Item](
+	copts := []cache.Option{
 		cache.WithClock(clk),
 		cache.WithMaxCost(maxBytes),
 		cache.WithInitialBuckets(1024),
 		cache.WithPolicy(core.Policy{MaxLoad: 2, MinLoad: 0.125, MinBuckets: 1024}),
 		cache.WithSweepInterval(rpSweepInterval),
-	)
-	return &RPStore{c: c, clk: clk}
+	}
+	if cfg.obsv != nil {
+		copts = append(copts, cache.WithObserver(cfg.obsv))
+	}
+	c := cache.NewString[*Item](copts...)
+	return &RPStore{c: c, clk: clk, obsv: cfg.obsv}
 }
+
+// Observer returns the store's observability hub (nil when not
+// configured). The server reads it to time command dispatch.
+func (s *RPStore) Observer() *obs.Observer { return s.obsv }
 
 // Get is the lock-free fast path. Expired items are treated as misses
 // by the cache; their removal is left to writers and the sweeper
@@ -257,6 +287,78 @@ func (s *RPStore) Stats() StoreStats {
 		Expired:   cs.Expirations,
 		Buckets:   s.c.Buckets(),
 	}
+}
+
+// RegisterMetrics publishes the store's full metric surface into reg:
+// cache hit/miss/load/eviction counters, byte and item gauges, the
+// map's structural counters (buckets, stripe-lock telemetry, resize
+// and unzip totals), RCU domain counters, adaptive-maintenance stats
+// when enabled, and — when the store was built WithStoreObserver —
+// every latency histogram and the event-ring depth. All closures read
+// O(1)/O(stripes) counter snapshots, so scraping never walks buckets.
+func (s *RPStore) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("rphash_cache_hits_total", "Live-entry GET hits.",
+		func() uint64 { return s.c.Counters().Hits })
+	reg.Counter("rphash_cache_misses_total", "Absent or expired GET misses.",
+		func() uint64 { return s.c.Counters().Misses })
+	reg.Counter("rphash_cache_evictions_total", "Live entries evicted for capacity.",
+		func() uint64 { return s.c.Counters().Evictions })
+	reg.Counter("rphash_cache_expirations_total", "Expired entries reclaimed.",
+		func() uint64 { return s.c.Counters().Expirations })
+	reg.Counter("rphash_store_sets_total", "Store commands applied (set/add/replace/cas/...).",
+		func() uint64 { return s.sets.Load() })
+	reg.Counter("rphash_store_deletes_total", "Successful deletes.",
+		func() uint64 { return s.deletes.Load() })
+	reg.Gauge("rphash_store_bytes", "Accounted value bytes.",
+		func() float64 { return float64(s.c.Cost()) })
+	reg.Gauge("rphash_store_items", "Current item count (incl. unswept expired).",
+		func() float64 { return float64(s.c.Len()) })
+
+	reg.Gauge("rphash_map_buckets", "Hash buckets across all shards.",
+		func() float64 { return float64(s.c.Buckets()) })
+	reg.Gauge("rphash_map_load_factor", "Entries per bucket across all shards.",
+		func() float64 { return s.c.MapCounters().LoadFactor })
+	reg.Counter("rphash_stripe_acquires_total", "Writer stripe-lock acquisitions.",
+		func() uint64 { return s.c.MapCounters().StripeAcquires })
+	reg.Counter("rphash_stripe_contended_total", "Writer stripe-lock acquisitions that blocked.",
+		func() uint64 { return s.c.MapCounters().StripeContended })
+	reg.Counter("rphash_stripe_retunes_total", "Runtime stripe-array swaps.",
+		func() uint64 { return s.c.MapCounters().StripeRetunes })
+	reg.Counter("rphash_map_expands_total", "Table expansions (unzip).",
+		func() uint64 { return s.c.MapCounters().Expands })
+	reg.Counter("rphash_map_shrinks_total", "Table shrinks (zip).",
+		func() uint64 { return s.c.MapCounters().Shrinks })
+	reg.Counter("rphash_unzip_passes_total", "Grace-period-separated unzip passes.",
+		func() uint64 { return s.c.MapCounters().UnzipPasses })
+	reg.Counter("rphash_unzip_cuts_total", "Individual unzip pointer cuts.",
+		func() uint64 { return s.c.MapCounters().UnzipCuts })
+
+	reg.Counter("rphash_rcu_grace_periods_total", "Completed Synchronize calls.",
+		func() uint64 { return s.c.Domain().Stats().GracePeriods })
+	reg.Counter("rphash_rcu_deferred_total", "Callbacks queued via Defer.",
+		func() uint64 { return s.c.Domain().Stats().Deferred })
+	reg.Counter("rphash_rcu_deferred_ran_total", "Deferred callbacks executed.",
+		func() uint64 { return s.c.Domain().Stats().DeferredRan })
+	reg.Gauge("rphash_rcu_readers", "Currently registered delimited readers.",
+		func() float64 { return float64(s.c.Domain().Stats().Readers) })
+
+	if _, on := s.c.AdaptStats(); on {
+		reg.Counter("rphash_adapt_samples_total", "Adaptive-maintenance sampling intervals.",
+			func() uint64 { st, _ := s.c.AdaptStats(); return st.Samples })
+		reg.Counter("rphash_adapt_stripe_grows_total", "Retunes that doubled stripes.",
+			func() uint64 { st, _ := s.c.AdaptStats(); return st.StripeGrows })
+		reg.Counter("rphash_adapt_stripe_shrinks_total", "Retunes that halved stripes.",
+			func() uint64 { st, _ := s.c.AdaptStats(); return st.StripeShrinks })
+		reg.Counter("rphash_adapt_worker_retunes_total", "Unzip fan-out adjustments.",
+			func() uint64 { st, _ := s.c.AdaptStats(); return st.WorkerRetunes })
+		reg.Gauge("rphash_adapt_contention_rate", "Most recent sampled contention rate (max over shards).",
+			func() float64 { st, _ := s.c.AdaptStats(); return st.LastRate })
+	}
+
+	s.obsv.Register(reg)
 }
 
 // Close releases the cache (stopping its background sweeper and RCU

@@ -5,13 +5,24 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"rphash/internal/obs"
 )
 
 // Server is a TCP memcached-protocol server over a Store.
 type Server struct {
 	store   Store
 	started time.Time
+
+	// Observer, when set before Serve, times every command dispatch
+	// into per-class latency histograms (and handleStats surfaces
+	// them). Set it to the same hub the store was built with so one
+	// scrape covers both layers. connSeq spreads connections across
+	// the histograms' counter banks.
+	Observer *obs.Observer
+	connSeq  atomic.Uint64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -131,7 +142,9 @@ func (s *Server) handle(nc net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	c := &conn{
-		srv: s,
+		srv:       s,
+		obsv:      s.Observer,
+		obsStripe: int(s.connSeq.Add(1)),
 		rw: bufio.NewReadWriter(
 			bufio.NewReaderSize(nc, 16<<10),
 			bufio.NewWriterSize(nc, 16<<10),

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// histStripes spreads recorders across independent counter banks
+	// so concurrent Record calls from different goroutines do not
+	// serialize on one cache line. Callers pass a cheap stripe hint
+	// (shard index, connection id); 4 banks is enough to take striped
+	// recording off the contention radar while keeping Snapshot's
+	// fold trivial.
+	histStripes = 4
+	// histBuckets covers the full int64 nanosecond range in
+	// power-of-two buckets: bucket 0 is <=0ns (clock granularity
+	// floor), bucket i holds [2^(i-1), 2^i) ns, and the last bucket
+	// absorbs everything from ~73 days up.
+	histBuckets = 64
+)
+
+// histStripe is one independent bank of bucket counters. The trailing
+// pad keeps the next stripe's first (hottest) counters off this
+// stripe's last cache line.
+type histStripe struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	_      [48]byte
+}
+
+// Histogram is a lock-free latency histogram with power-of-two
+// nanosecond buckets. The zero value is ready to use; embed it by
+// value. Record never allocates and never blocks (its only loop is a
+// CAS race on the running max), so it is safe inside RCU reader
+// sections and under stripe locks.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// histBucketIdx maps a nanosecond duration to its bucket.
+func histBucketIdx(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns)) // 1..63 for positive int64
+	if i > histBuckets-1 {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperNS returns bucket i's inclusive upper bound in
+// nanoseconds (the value Quantile reports when the quantile lands in
+// bucket i).
+func BucketUpperNS(i int) uint64 {
+	if i <= 0 {
+		return 0 // bucket 0 holds only <=0ns observations
+	}
+	if i >= histBuckets-1 {
+		return 1 << (histBuckets - 1)
+	}
+	return (uint64(1) << i) - 1
+}
+
+// Record adds one observation of ns nanoseconds. stripe is a cheap
+// affinity hint (shard index, worker id, connection id) used only to
+// pick a counter bank; any int is valid.
+func (h *Histogram) Record(stripe int, ns int64) {
+	if h == nil {
+		return
+	}
+	s := &h.stripes[uint(stripe)%histStripes]
+	s.counts[histBucketIdx(ns)].Add(1)
+	if ns > 0 {
+		s.sum.Add(uint64(ns))
+		for {
+			cur := s.max.Load()
+			if uint64(ns) <= cur || s.max.CompareAndSwap(cur, uint64(ns)) {
+				break
+			}
+		}
+	}
+}
+
+// RecordSince records the elapsed time from t0 to now.
+func (h *Histogram) RecordSince(stripe int, t0 time.Time) {
+	h.Record(stripe, time.Since(t0).Nanoseconds())
+}
+
+// HistogramSnapshot is a folded, point-in-time copy of a Histogram.
+// Snapshots from different histograms (per-worker, per-shard) merge
+// into aggregate views.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNS   uint64
+	MaxNS   uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot folds all stripes into one snapshot. Concurrent Record
+// calls may or may not be included; each observation is counted at
+// most once per snapshot because the per-bucket loads are atomic.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var out HistogramSnapshot
+	if h == nil {
+		return out
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := range s.counts {
+			n := s.counts[b].Load()
+			out.Buckets[b] += n
+			out.Count += n
+		}
+		out.SumNS += s.sum.Load()
+		if m := s.max.Load(); m > out.MaxNS {
+			out.MaxNS = m
+		}
+	}
+	return out
+}
+
+// Merge folds o into s.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	if o.MaxNS > s.MaxNS {
+		s.MaxNS = o.MaxNS
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns an upper bound (in nanoseconds) for the q-th
+// quantile, q in [0,1]. The bound is the containing bucket's upper
+// edge — for the top bucket, the true observed maximum — so the
+// estimate is conservative by at most one power of two.
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			if i == histBuckets-1 || BucketUpperNS(i) > s.MaxNS {
+				return s.MaxNS
+			}
+			return BucketUpperNS(i)
+		}
+	}
+	return s.MaxNS
+}
+
+// P50 returns the median upper bound in nanoseconds.
+func (s *HistogramSnapshot) P50() uint64 { return s.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound in nanoseconds.
+func (s *HistogramSnapshot) P95() uint64 { return s.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound in nanoseconds.
+func (s *HistogramSnapshot) P99() uint64 { return s.Quantile(0.99) }
+
+// MeanNS returns the arithmetic mean in nanoseconds.
+func (s *HistogramSnapshot) MeanNS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{1<<62 - 1, 62}, {1 << 62, 63}, {1<<63 - 1, 63},
+	}
+	for _, c := range cases {
+		if got := histBucketIdx(c.ns); got != c.want {
+			t.Errorf("histBucketIdx(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Upper bounds must bound their bucket's contents and be strictly
+	// increasing so the Prometheus le sequence is valid.
+	prev := BucketUpperNS(0)
+	for i := 1; i < histBuckets; i++ {
+		up := BucketUpperNS(i)
+		if up <= prev {
+			t.Fatalf("BucketUpperNS not increasing at %d: %d <= %d", i, up, prev)
+		}
+		prev = up
+	}
+}
+
+func TestHistogramRecordSnapshot(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(int(i), i) // all stripes exercised
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.SumNS != 1000*1001/2 {
+		t.Fatalf("SumNS = %d, want %d", s.SumNS, 1000*1001/2)
+	}
+	if s.MaxNS != 1000 {
+		t.Fatalf("MaxNS = %d, want 1000", s.MaxNS)
+	}
+	// The true median is 500; the p50 upper bound must cover it
+	// within one power of two.
+	if p := s.P50(); p < 500 || p > 1023 {
+		t.Fatalf("P50 = %d, want in [500,1023]", p)
+	}
+	if p := s.P99(); p < 990 || p > 1023 {
+		t.Fatalf("P99 = %d, want in [990,1023]", p)
+	}
+	if m := s.MeanNS(); m < 500 || m > 501 {
+		t.Fatalf("MeanNS = %v, want ~500.5", m)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if empty.Quantile(0.99) != 0 || empty.MeanNS() != 0 {
+		t.Fatal("empty snapshot should report zeros")
+	}
+	var h Histogram
+	h.Record(0, 0)
+	h.Record(0, -3)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Quantile(1) != 0 {
+		t.Fatalf("all-zero observations: count=%d q1=%d", s.Count, s.Quantile(1))
+	}
+	// Top bucket quantiles report the observed max, not 2^63.
+	var big Histogram
+	big.Record(0, 1<<62+12345)
+	bs := big.Snapshot()
+	if got := bs.P99(); got != 1<<62+12345 {
+		t.Fatalf("top-bucket P99 = %d, want observed max", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(0, 10)
+		b.Record(1, 1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged Count = %d, want 200", sa.Count)
+	}
+	if sa.MaxNS != 1000 {
+		t.Fatalf("merged MaxNS = %d, want 1000", sa.MaxNS)
+	}
+	if sa.SumNS != 100*10+100*1000 {
+		t.Fatalf("merged SumNS = %d", sa.SumNS)
+	}
+	if p := sa.P99(); p < 1000 || p > 1023 {
+		t.Fatalf("merged P99 = %d, want ~1000", p)
+	}
+}
+
+// TestHistogramConcurrent hammers Record from many goroutines while
+// snapshots run; run with -race. Total count must come out exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(w, int64(i%4096)+1)
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.MaxNS != 4096 {
+		t.Fatalf("MaxNS = %d, want 4096", s.MaxNS)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(0, 5) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot should be empty")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Record(i, int64(i&1023)+1)
+			i++
+		}
+	})
+}

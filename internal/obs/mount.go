@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry in Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar publishes the registry under name in the process-wide
+// expvar namespace, so the standard /debug/vars document (which also
+// carries cmdline and memstats) includes it. Call at most once per
+// name per process — expvar.Publish panics on duplicates by design.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		snap := make(map[string]any)
+		for _, m := range r.snapshot() {
+			switch m.kind {
+			case kindCounter, kindGauge:
+				snap[m.name] = m.fn()
+			case kindHistogram:
+				s := m.hist.Snapshot()
+				snap[m.name] = map[string]any{
+					"count": s.Count, "sum_ns": s.SumNS, "max_ns": s.MaxNS,
+					"mean_ns": s.MeanNS(), "p50_ns": s.P50(), "p95_ns": s.P95(), "p99_ns": s.P99(),
+				}
+			}
+		}
+		return snap
+	}))
+}
+
+// Mount wires the full debug surface onto mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar-style JSON of reg (standalone document)
+//	/debug/events  human-readable lifecycle timeline from o.Events
+//	/debug/pprof/  the standard pprof index and profiles
+//
+// Any of reg, o may be nil; their endpoints are skipped.
+func Mount(mux *http.ServeMux, reg *Registry, o *Observer) {
+	if reg != nil {
+		mux.Handle("/metrics", reg.MetricsHandler())
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			reg.WriteJSON(w)
+		})
+	}
+	if o != nil && o.Events != nil {
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			o.Events.Dump(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

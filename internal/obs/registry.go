@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	fn   func() float64 // counter/gauge
+	hist *Histogram     // histogram
+}
+
+// Registry collects named metrics behind closures and renders them in
+// Prometheus text exposition format or as an expvar-style JSON
+// document. Registration order is preserved in the output. Metric
+// reads happen at render time, so registering a closure over a live
+// Stats() call is the intended usage. The zero value is ready to use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names == nil {
+		r.names = make(map[string]bool)
+	}
+	if r.names[m.name] {
+		// Last registration wins; duplicate names would emit an
+		// invalid exposition document.
+		for i := range r.metrics {
+			if r.metrics[i].name == m.name {
+				r.metrics[i] = m
+				return
+			}
+		}
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a monotone counter read through fn.
+func (r *Registry) Counter(name, help string, fn func() uint64) {
+	r.add(metric{name: name, help: help, kind: kindCounter, fn: func() float64 { return float64(fn()) }})
+}
+
+// Gauge registers an instantaneous value read through fn.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers a live histogram; it is snapshotted at render
+// time. name should end in _seconds: bucket bounds are exported in
+// seconds per Prometheus convention (recorded nanoseconds / 1e9).
+func (r *Registry) Histogram(name, help string, h *Histogram) {
+	r.add(metric{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// WritePrometheus renders every metric in text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, m := range r.snapshot() {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", m.name, m.name, formatFloat(m.fn()))
+		case kindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.fn()))
+		case kindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m.name)
+			writePromHistogram(w, m.name, m.hist.Snapshot())
+		}
+	}
+}
+
+// writePromHistogram emits cumulative le buckets in seconds. Empty
+// leading/trailing buckets are elided (cumulative counts make the
+// omitted bounds recoverable), keeping the document compact while the
+// le sequence stays monotone.
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) {
+	lo, hi := 0, -1
+	for i, n := range s.Buckets {
+		if n != 0 {
+			if hi < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	var cum uint64
+	if hi >= 0 {
+		if lo > 0 {
+			lo-- // one empty bucket below the first hit anchors the lower edge
+		}
+		for i := lo; i <= hi; i++ {
+			cum += s.Buckets[i]
+			le := float64(BucketUpperNS(i)) / 1e9
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(s.SumNS)/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders every metric as one JSON object, expvar-style:
+// counters and gauges as numbers, histograms as objects with count,
+// sum_ns, max_ns, mean_ns, and quantile upper bounds. Keys are the
+// registered metric names, emitted in sorted order. The document is
+// built by hand (names and values are all machine-generated, so no
+// escaping is needed beyond what %q provides).
+func (r *Registry) WriteJSON(w io.Writer) {
+	ms := r.snapshot()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	io.WriteString(w, "{")
+	for i, m := range ms {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "\n  %q: ", m.name)
+		switch m.kind {
+		case kindCounter, kindGauge:
+			io.WriteString(w, formatFloat(m.fn()))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			fmt.Fprintf(w,
+				`{"count": %d, "sum_ns": %d, "max_ns": %d, "mean_ns": %s, "p50_ns": %d, "p95_ns": %d, "p99_ns": %d}`,
+				s.Count, s.SumNS, s.MaxNS, formatFloat(s.MeanNS()), s.P50(), s.P95(), s.P99())
+		}
+	}
+	io.WriteString(w, "\n}\n")
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testRegistry() (*Registry, *Observer) {
+	o := NewObserver()
+	o.GraceWait.Record(0, 1500)
+	o.GraceWait.Record(0, 3000)
+	o.Cmd[CmdGet].Record(0, 800)
+	o.Events.Record(EvExpandStart, 0, 64, 128, 0)
+	r := NewRegistry()
+	o.Register(r)
+	r.Counter("rphash_test_ops_total", "test counter", func() uint64 { return 42 })
+	r.Gauge("rphash_test_items", "test gauge", func() float64 { return 7 })
+	return r, o
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r, _ := testRegistry()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE rphash_grace_wait_seconds histogram",
+		"rphash_grace_wait_seconds_count 2",
+		`rphash_grace_wait_seconds_bucket{le="+Inf"} 2`,
+		"rphash_cmd_get_seconds_count 1",
+		"# TYPE rphash_test_ops_total counter",
+		"rphash_test_ops_total 42",
+		"rphash_test_items 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// _sum is in seconds: 4500ns = 4.5e-06.
+	if !strings.Contains(out, "rphash_grace_wait_seconds_sum 4.5e-06") {
+		t.Errorf("sum not in seconds:\n%s", out)
+	}
+	// le bounds must be strictly increasing per histogram and each
+	// cumulative count non-decreasing.
+	var lastLE float64 = -1
+	var lastCum uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "rphash_grace_wait_seconds_bucket") {
+			continue
+		}
+		q1 := strings.Index(line, `le="`) + 4
+		q2 := strings.Index(line[q1:], `"`) + q1
+		leStr := line[q1:q2]
+		cum, err := strconv.ParseUint(strings.TrimSpace(line[q2+2:]), 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		le := 1e18
+		if leStr != "+Inf" {
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", leStr, err)
+			}
+		}
+		if le <= lastLE {
+			t.Fatalf("le not increasing: %v after %v", le, lastLE)
+		}
+		if cum < lastCum {
+			t.Fatalf("cumulative count decreased: %d after %d", cum, lastCum)
+		}
+		lastLE, lastCum = le, cum
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r, _ := testRegistry()
+	var sb strings.Builder
+	r.WriteJSON(&sb)
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	gw, ok := doc["rphash_grace_wait_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram missing: %v", doc)
+	}
+	if gw["count"].(float64) != 2 {
+		t.Fatalf("count = %v, want 2", gw["count"])
+	}
+	if gw["p99_ns"].(float64) <= 0 {
+		t.Fatalf("p99_ns = %v, want > 0", gw["p99_ns"])
+	}
+	if doc["rphash_test_ops_total"].(float64) != 42 {
+		t.Fatalf("counter = %v", doc["rphash_test_ops_total"])
+	}
+}
+
+func TestMountEndpoints(t *testing.T) {
+	r, o := testRegistry()
+	srvMux := http.NewServeMux()
+	Mount(srvMux, r, o)
+
+	get := func(path string) string {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		srvMux.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s -> %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "rphash_grace_wait_seconds_count") {
+		t.Fatalf("/metrics missing histogram:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "rphash_grace_wait_seconds") {
+		t.Fatalf("/debug/vars missing histogram:\n%s", body)
+	}
+	if body := get("/debug/events"); !strings.Contains(body, "expand_start") {
+		t.Fatalf("/debug/events missing event:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ not an index:\n%s", body)
+	}
+}
+
+func TestRegistryDuplicateName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "first", func() uint64 { return 1 })
+	r.Counter("x_total", "second", func() uint64 { return 2 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if strings.Count(sb.String(), "x_total 2") != 1 || strings.Contains(sb.String(), "x_total 1") {
+		t.Fatalf("duplicate registration should replace:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime/trace"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventType classifies ring events. The A/B/C payload meaning is
+// per-type; see Event.String for the rendering.
+type EventType uint8
+
+const (
+	EvNone EventType = iota
+	// EvExpandStart: an expansion began. A=old buckets, B=new buckets.
+	EvExpandStart
+	// EvExpandPublish: the doubled array and unzip window were
+	// published under all stripes; lock-free readers can now land in
+	// either half. A=active parent chains to unzip.
+	EvExpandPublish
+	// EvUnzipPass: one unzip pass over the remaining parents
+	// finished. A=pass number (1-based), B=cuts made, C=workers used.
+	EvUnzipPass
+	// EvGraceWait: the resize waited out one grace period. A=wait ns.
+	EvGraceWait
+	// EvExpandDone: the expansion completed. A=passes, B=total ns.
+	EvExpandDone
+	// EvShrinkStart: a shrink began. A=old buckets, B=new buckets.
+	EvShrinkStart
+	// EvShrinkDone: the shrink completed (zip + one grace period).
+	// A=total ns.
+	EvShrinkDone
+	// EvStripeRetune: the stripe-lock array was swapped. A=old
+	// stripes, B=new stripes.
+	EvStripeRetune
+	// EvUnzipWorkers: the unzip worker fan-out was changed. A=old
+	// workers, B=new workers.
+	EvUnzipWorkers
+	// EvAutoGrow: the load policy triggered a background expansion.
+	// A=len, B=buckets at trigger time.
+	EvAutoGrow
+	// EvAutoShrink: the load policy triggered a background shrink.
+	// A=len, B=buckets at trigger time.
+	EvAutoShrink
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EvExpandStart:
+		return "expand_start"
+	case EvExpandPublish:
+		return "expand_publish"
+	case EvUnzipPass:
+		return "unzip_pass"
+	case EvGraceWait:
+		return "grace_wait"
+	case EvExpandDone:
+		return "expand_done"
+	case EvShrinkStart:
+		return "shrink_start"
+	case EvShrinkDone:
+		return "shrink_done"
+	case EvStripeRetune:
+		return "stripe_retune"
+	case EvUnzipWorkers:
+		return "unzip_workers"
+	case EvAutoGrow:
+		return "auto_grow"
+	case EvAutoShrink:
+		return "auto_shrink"
+	}
+	return "none"
+}
+
+// Event is one decoded ring entry.
+type Event struct {
+	Seq   uint64 // global record order (monotone per ring)
+	Nanos int64  // wall clock, unix nanoseconds
+	Type  EventType
+	Shard int32 // shard index, or 0 for unsharded tables
+	A     int64
+	B     int64
+	C     int64
+}
+
+// String renders the event payload for timelines and trace logs.
+func (e Event) String() string {
+	switch e.Type {
+	case EvExpandStart:
+		return fmt.Sprintf("shard %d: expand start %d -> %d buckets", e.Shard, e.A, e.B)
+	case EvExpandPublish:
+		return fmt.Sprintf("shard %d: expand publish (doubled array live, %d parents to unzip)", e.Shard, e.A)
+	case EvUnzipPass:
+		return fmt.Sprintf("shard %d: unzip pass %d: %d cuts, %d workers", e.Shard, e.A, e.B, e.C)
+	case EvGraceWait:
+		return fmt.Sprintf("shard %d: grace wait %v", e.Shard, time.Duration(e.A))
+	case EvExpandDone:
+		return fmt.Sprintf("shard %d: expand done after %d passes in %v", e.Shard, e.A, time.Duration(e.B))
+	case EvShrinkStart:
+		return fmt.Sprintf("shard %d: shrink start %d -> %d buckets", e.Shard, e.A, e.B)
+	case EvShrinkDone:
+		return fmt.Sprintf("shard %d: shrink done in %v", e.Shard, time.Duration(e.A))
+	case EvStripeRetune:
+		return fmt.Sprintf("shard %d: stripe retune %d -> %d", e.Shard, e.A, e.B)
+	case EvUnzipWorkers:
+		return fmt.Sprintf("shard %d: unzip workers %d -> %d", e.Shard, e.A, e.B)
+	case EvAutoGrow:
+		return fmt.Sprintf("shard %d: auto-grow trigger (len=%d buckets=%d)", e.Shard, e.A, e.B)
+	case EvAutoShrink:
+		return fmt.Sprintf("shard %d: auto-shrink trigger (len=%d buckets=%d)", e.Shard, e.A, e.B)
+	}
+	return fmt.Sprintf("shard %d: event %d a=%d b=%d c=%d", e.Shard, e.Type, e.A, e.B, e.C)
+}
+
+// ringSlot holds one event with every field individually atomic, so
+// concurrent Record/Snapshot never race at the memory level. The
+// marker is a per-slot seqlock: 0 empty, 2*seq+1 while the owner of
+// ticket seq is writing, 2*seq+2 once stable. A reader that sees the
+// same stable marker before and after decoding the fields has a
+// consistent event; anything else is skipped.
+type ringSlot struct {
+	marker atomic.Uint64
+	nanos  atomic.Int64
+	tysh   atomic.Uint64 // EventType<<32 | uint32(shard)
+	a      atomic.Int64
+	b      atomic.Int64
+	c      atomic.Int64
+}
+
+// Ring is a fixed-size concurrent event log. Writers claim a slot
+// with one atomic increment and overwrite the oldest entry on wrap;
+// Record never blocks and never allocates (unless runtime/trace is
+// active, in which case each event is also logged to the trace).
+//
+// Two writers can only collide on a slot when one laps the other by a
+// full ring — with the default 1024 slots and resize-lifecycle event
+// rates, effectively never. If it does happen, the marker protocol
+// makes the slot decode as torn and Snapshot drops it: the ring
+// degrades by losing an event, not by fabricating one.
+type Ring struct {
+	head  atomic.Uint64
+	mask  uint64
+	slots []ringSlot
+}
+
+// DefaultRingSize is the event capacity used by NewRing(0).
+const DefaultRingSize = 1024
+
+// NewRing returns a ring with capacity rounded up to a power of two
+// (DefaultRingSize if n <= 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	capacity := 1
+	for capacity < n {
+		capacity <<= 1
+	}
+	return &Ring{mask: uint64(capacity - 1), slots: make([]ringSlot, capacity)}
+}
+
+// Record appends one event. Safe from any goroutine; never blocks.
+func (r *Ring) Record(typ EventType, shard int, a, b, c int64) {
+	if r == nil {
+		return
+	}
+	seq := r.head.Add(1) - 1
+	now := time.Now().UnixNano()
+	s := &r.slots[seq&r.mask]
+	s.marker.Store(2*seq + 1)
+	s.nanos.Store(now)
+	s.tysh.Store(uint64(typ)<<32 | uint64(uint32(int32(shard))))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.marker.Store(2*seq + 2)
+	if trace.IsEnabled() {
+		ev := Event{Seq: seq, Nanos: now, Type: typ, Shard: int32(shard), A: a, B: b, C: c}
+		trace.Log(context.Background(), "rphash", ev.String())
+	}
+}
+
+// Len returns the number of events recorded so far (monotone; may
+// exceed capacity once the ring wraps).
+func (r *Ring) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Snapshot decodes the stable slots into events sorted by sequence
+// (oldest first). Slots caught mid-write are skipped.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		m1 := s.marker.Load()
+		if m1 == 0 || m1%2 == 1 {
+			continue
+		}
+		ev := Event{
+			Seq:   m1/2 - 1,
+			Nanos: s.nanos.Load(),
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+			C:     s.c.Load(),
+		}
+		tysh := s.tysh.Load()
+		ev.Type = EventType(tysh >> 32)
+		ev.Shard = int32(uint32(tysh))
+		if s.marker.Load() != m1 {
+			continue
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the captured events as a human-readable timeline with
+// timestamps relative to the first retained event.
+func (r *Ring) Dump(w io.Writer) {
+	evs := r.Snapshot()
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	t0 := evs[0].Nanos
+	total := r.Len()
+	if total > uint64(len(evs)) {
+		fmt.Fprintf(w, "(%d events recorded, oldest %d overwritten)\n", total, total-uint64(len(evs)))
+	}
+	for _, e := range evs {
+		fmt.Fprintf(w, "%12v  #%-6d %-14s %s\n",
+			time.Duration(e.Nanos-t0).Round(time.Microsecond), e.Seq, e.Type, e)
+	}
+}

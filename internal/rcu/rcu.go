@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rphash/internal/obs"
 )
 
 // cacheLine is the assumed cache-line size used to pad per-reader
@@ -73,6 +75,12 @@ type Domain struct {
 	nSync     atomic.Uint64
 	nDeferred atomic.Uint64
 	nRan      atomic.Uint64
+
+	// graceObs, when set (ObserveGraceWaits), receives the wall time
+	// of every completed Synchronize — the grace-period wait latency
+	// distribution. Off (nil) costs one atomic pointer load per grace
+	// period.
+	graceObs atomic.Pointer[obs.Histogram]
 }
 
 // DomainStats is a snapshot of a domain's counters.
@@ -202,10 +210,22 @@ func (d *Domain) ReleaseReader(r *Reader) {
 	d.pool.Put(r)
 }
 
+// ObserveGraceWaits installs a histogram that receives every
+// subsequent Synchronize's wall time (nil uninstalls). The histogram
+// must be lock-free to record into, which obs.Histogram is; the wait
+// itself is not perturbed — timing costs two clock reads per grace
+// period, which last microseconds at minimum.
+func (d *Domain) ObserveGraceWaits(h *obs.Histogram) { d.graceObs.Store(h) }
+
 // Synchronize waits for a full grace period: it returns only after
 // every read-side critical section that began before the call has
 // ended. It never blocks readers; it only blocks the caller.
 func (d *Domain) Synchronize() {
+	var t0 time.Time
+	gobs := d.graceObs.Load()
+	if gobs != nil {
+		t0 = time.Now()
+	}
 	d.syncMu.Lock()
 	defer d.syncMu.Unlock()
 	d.gpWaiters.Add(1)
@@ -235,6 +255,12 @@ func (d *Domain) Synchronize() {
 		waitFor(&r.state, target)
 	}
 	d.nSync.Add(1)
+	if gobs != nil {
+		// Measured from before syncMu: a Synchronize queued behind
+		// another's grace period reports its full wait, which is what
+		// a blocked writer experiences.
+		gobs.RecordSince(0, t0)
+	}
 }
 
 // GPWaiting reports whether a grace period is currently waiting for

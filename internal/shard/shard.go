@@ -34,6 +34,7 @@ import (
 	"rphash/internal/adapt"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
+	"rphash/internal/obs"
 	"rphash/internal/rcu"
 	"rphash/internal/stats"
 )
@@ -66,6 +67,7 @@ type config struct {
 	dom      *rcu.Domain
 	adapt    *adapt.Config
 	adaptSet bool
+	obsv     *obs.Observer
 }
 
 // Option configures a Map at construction.
@@ -119,6 +121,13 @@ func WithTableStripes(n int) Option { return func(c *config) { c.stripes = n } }
 func WithAdapt(cfg *adapt.Config) Option {
 	return func(c *config) { c.adapt, c.adaptSet = cfg, true }
 }
+
+// WithObserver wires every shard table — and the map's shared RCU
+// domain — into an observability hub (see internal/obs and
+// core.WithObserver). Each shard tags its events and histogram
+// records with its shard index. nil (the default) keeps every
+// instrumentation point at one pointer compare.
+func WithObserver(o *obs.Observer) Option { return func(c *config) { c.obsv = o } }
 
 // DefaultShards returns the default shard count for this process:
 // one shard per ~4 cores (power of two, capped at 16). Before the
@@ -187,7 +196,12 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Map[K, V] {
 		m.adaptOn = true
 	}
 	for i := range m.shards {
-		m.shards[i] = core.New[K, V](hash, tblOpts...)
+		opts := tblOpts
+		if cfg.obsv != nil {
+			opts = append(opts[:len(opts):len(opts)],
+				core.WithObserver(cfg.obsv), core.WithShardID(i))
+		}
+		m.shards[i] = core.New[K, V](hash, opts...)
 	}
 	return m
 }
@@ -448,6 +462,21 @@ func (m *Map[K, V]) Stats() core.Stats {
 	var agg core.Stats
 	for _, s := range m.shards {
 		accumulate(&agg, s.Stats())
+	}
+	if agg.Buckets > 0 {
+		agg.LoadFactor = float64(agg.Len) / float64(agg.Buckets)
+	}
+	return agg
+}
+
+// CounterStats aggregates per-shard counter snapshots without any
+// bucket walk (see core.Table.CounterStats): O(shards × stripes)
+// regardless of map size, so metrics scrapes can poll it freely.
+// MaxChain is 0.
+func (m *Map[K, V]) CounterStats() core.Stats {
+	var agg core.Stats
+	for _, s := range m.shards {
+		accumulate(&agg, s.CounterStats())
 	}
 	if agg.Buckets > 0 {
 		agg.LoadFactor = float64(agg.Len) / float64(agg.Buckets)

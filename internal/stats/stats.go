@@ -113,10 +113,14 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
-// Point is one measured (x, y) pair in a Series.
+// Point is one measured (x, y) pair in a Series. P99NS optionally
+// carries the sampled 99th-percentile per-op latency in nanoseconds
+// (0 = not measured); tables render only Y, but the JSON trajectory
+// output includes it so successive runs can diff tail latency too.
 type Point struct {
-	X float64
-	Y float64
+	X     float64
+	Y     float64
+	P99NS float64
 }
 
 // Series is one labelled curve of a figure.
@@ -127,6 +131,11 @@ type Series struct {
 
 // Add appends a point.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// AddWithP99 appends a point carrying a sampled p99 latency (ns).
+func (s *Series) AddWithP99(x, y, p99NS float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, P99NS: p99NS})
+}
 
 // Figure is a set of series over a common x-axis, renderable as the
 // text analogue of one of the paper's plots.

@@ -1,0 +1,66 @@
+package rphash_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rphash"
+)
+
+// TestPublicObserve wires the veneer end to end: an observed cache, a
+// registry, and the mounted export plane.
+func TestPublicObserve(t *testing.T) {
+	o := rphash.NewObserver()
+	c := rphash.NewCacheString[int](
+		rphash.WithCacheObserver(o),
+		rphash.WithCacheInitialBuckets(64),
+	)
+	defer c.Close()
+
+	c.Set("k", 1)
+	c.Get("k")
+	if _, err := c.GetOrLoad("miss", func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Force resizes so the event ring and grace histogram populate.
+	c.Resize(4096)
+	c.Resize(64)
+
+	snap := o.Snapshot()
+	if snap.CacheLoad.Count != 1 {
+		t.Fatalf("CacheLoad count = %d, want 1", snap.CacheLoad.Count)
+	}
+	if snap.GraceWait.Count == 0 {
+		t.Fatal("resizes recorded no grace-period waits")
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("resizes recorded no lifecycle events")
+	}
+
+	reg := rphash.NewRegistry()
+	o.Register(reg)
+	mux := http.NewServeMux()
+	rphash.Observe(mux, reg, o)
+
+	get := func(path string) string {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "rphash_grace_wait_seconds_count") ||
+		!strings.Contains(body, "rphash_cache_load_seconds_count 1") {
+		t.Fatalf("/metrics missing expected families:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "rphash_grace_wait_seconds") {
+		t.Fatalf("/debug/vars missing histogram:\n%s", body)
+	}
+	if body := get("/debug/events"); !strings.Contains(body, "expand") {
+		t.Fatalf("/debug/events missing expand timeline:\n%s", body)
+	}
+}

@@ -1,12 +1,14 @@
 package rphash
 
 import (
+	"net/http"
 	"time"
 
 	"rphash/internal/adapt"
 	"rphash/internal/cache"
 	"rphash/internal/core"
 	"rphash/internal/hashfn"
+	"rphash/internal/obs"
 	"rphash/internal/rcu"
 	"rphash/internal/shard"
 )
@@ -265,6 +267,65 @@ func WithCacheSweepInterval(d time.Duration) CacheOption { return cache.WithSwee
 // maintenance controllers (on by default; nil pins them off). See
 // WithMapAdapt.
 func WithCacheAdapt(cfg *AdaptConfig) CacheOption { return cache.WithAdapt(cfg) }
+
+// Observer is the observability hub: lock-free latency histograms
+// for RCU grace-period waits, contended writer stripe-lock waits, and
+// cache loader latency, plus a fixed-size concurrent event ring
+// capturing resize/unzip lifecycle and stripe-retune decisions. One
+// Observer can span any number of tables, maps, and caches; pass it
+// via WithObserver/WithMapObserver/WithCacheObserver. A nil Observer
+// disables all instrumentation at the cost of one pointer compare per
+// site.
+type Observer = obs.Observer
+
+// ObserverSnapshot is a point-in-time copy of every Observer metric.
+type ObserverSnapshot = obs.ObserverSnapshot
+
+// HistogramSnapshot is a folded latency histogram with Count, SumNS,
+// MaxNS, power-of-two buckets, and P50/P95/P99/Quantile accessors.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Event is one captured lifecycle event (resize phase, grace wait,
+// stripe retune); its String method renders a human-readable line.
+type Event = obs.Event
+
+// Registry collects named metrics behind closures and renders them as
+// Prometheus text exposition or expvar-style JSON. The zero value is
+// ready to use.
+type Registry = obs.Registry
+
+// NewObserver returns an Observer with a default-capacity event ring.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Observe mounts the observability export plane onto mux: /metrics
+// (Prometheus text over every metric in reg), /debug/vars
+// (expvar-style JSON), /debug/events (the observer's event-ring
+// timeline), and /debug/pprof. reg and o may each be nil to skip
+// their endpoints. Typical wiring:
+//
+//	o := rphash.NewObserver()
+//	c := rphash.NewCacheString[V](rphash.WithCacheObserver(o))
+//	reg := rphash.NewRegistry()
+//	o.Register(reg)
+//	rphash.Observe(http.DefaultServeMux, reg, o)
+func Observe(mux *http.ServeMux, reg *Registry, o *Observer) { obs.Mount(mux, reg, o) }
+
+// WithObserver instruments a Table with o: grace-period waits,
+// contended stripe-lock waits, and resize lifecycle events all record
+// into it. nil (the default) disables instrumentation.
+func WithObserver(o *Observer) Option { return core.WithObserver(o) }
+
+// WithMapObserver instruments every shard table of a Map with o (see
+// WithObserver); ring events carry the shard index.
+func WithMapObserver(o *Observer) MapOption { return shard.WithObserver(o) }
+
+// WithCacheObserver instruments a Cache and its underlying map with
+// o; additionally records GetOrLoad leader loader latency. The
+// lock-free hit path is deliberately not instrumented.
+func WithCacheObserver(o *Observer) CacheOption { return cache.WithObserver(o) }
 
 // HashBytes is the repository's standard byte-slice hash (seeded
 // FNV-1a with an avalanche finalizer), exported for callers building
