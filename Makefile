@@ -5,7 +5,7 @@ GO      ?= go
 COUNT   ?= 10
 BENCHOUT ?= bench-write.txt
 
-.PHONY: test race lint test-invariants bench-write bench-adapt bench-shards bench-smoke fig5 ablation6
+.PHONY: test race lint test-invariants bench-write bench-adapt bench-shards bench-smoke fig5 ablation6 ablation7
 
 test:
 	$(GO) build ./...
@@ -79,3 +79,9 @@ fig5:
 # and writes BENCH_ablation6.json.
 ablation6:
 	$(GO) run ./cmd/rphash-bench -adapt -json
+
+# ablation7 runs the lock-free write fast-path ablation (locked vs
+# CAS insert, striped vs CAS value RMW, uniform and zipf writers) and
+# writes BENCH_ablation7.json.
+ablation7:
+	$(GO) run ./cmd/rphash-bench -caswrite -json

@@ -33,7 +33,12 @@
 //	                (uniform + zipf writers) and sequential-vs-parallel
 //	                unzip migration; with -json also writes
 //	                BENCH_ablation6.json
-//	-writers N      writer count for the A6 stripe sweep (default 8)
+//	-caswrite       run only ablation A7: the lock-free write fast
+//	                path (locked vs CAS insert, striped vs CAS value
+//	                RMW, uniform + zipf); with -json also writes
+//	                BENCH_ablation7.json
+//	-writers N      writer count for the A6 stripe sweep, and the top
+//	                of the A7 writer sweep (default 8)
 package main
 
 import (
@@ -67,7 +72,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "shard count for the rp-sharded engine (0 = shard.DefaultShards: one per ~4 cores, cap 16)")
 		ablation = flag.Bool("ablation", false, "run the ablation suite (A1-A6) instead of the paper figures")
 		adaptA6  = flag.Bool("adapt", false, "run only ablation A6 (adaptive stripes + parallel unzip); with -json writes BENCH_ablation6.json")
-		writers  = flag.Int("writers", 8, "writer count for the A6 adaptive-stripes sweep")
+		casA7    = flag.Bool("caswrite", false, "run only ablation A7 (lock-free write fast path); with -json writes BENCH_ablation7.json")
+		writers  = flag.Int("writers", 8, "writer count for the A6 adaptive-stripes sweep and the top of the A7 sweep")
 	)
 	flag.Parse()
 	bench.DefaultShards = *shards
@@ -98,9 +104,20 @@ func main() {
 		}
 		return
 	}
+	if *casA7 {
+		if err := runAblationA7(cfg, *writers, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ablation {
 		runAblations(cfg, *csv)
 		if err := runAblationA6(cfg, *writers, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+			os.Exit(1)
+		}
+		if err := runAblationA7(cfg, *writers, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
 			os.Exit(1)
 		}
@@ -303,6 +320,61 @@ func runAblationA6(cfg bench.Config, writers int, jsonOut bool) error {
 		return err
 	}
 	fmt.Printf("wrote BENCH_ablation6.json\n\n")
+	return nil
+}
+
+// a7Writers expands the -writers flag into the A7 sweep: powers of
+// two from 1 up to and including `top` (so -writers 8 gives 1,2,4,8
+// and the CI smoke's -writers 4 gives 1,2,4).
+func a7Writers(top int) []int {
+	if top < 1 {
+		top = 8
+	}
+	var out []int
+	for w := 1; w <= top; w *= 2 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// runAblationA7 runs the lock-free write fast-path ablation (locked
+// vs CAS insert, striped vs CAS value RMW), printing a table and
+// optionally writing BENCH_ablation7.json in the same points format
+// as the figure trajectories, so benchgate can gate it: the engine
+// field encodes arm and workload ("cas-insert/zipf"), threads is the
+// writer count.
+func runAblationA7(cfg bench.Config, writers int, jsonOut bool) error {
+	fmt.Println("== Ablation A7: lock-free write fast path ==")
+	rows := bench.AblationCASWrite(cfg, a7Writers(writers))
+	fmt.Printf("%-9s %-14s %8s %16s\n", "workload", "arm", "writers", "ops/s")
+	for _, r := range rows {
+		fmt.Printf("%-9s %-14s %8d %16.0f\n", r.Workload, r.Arm, r.Writers, r.OpsPerS)
+	}
+	fmt.Println()
+
+	if !jsonOut {
+		return nil
+	}
+	out := jsonFigure{
+		Figure: 7,
+		Title:  "Ablation A7: lock-free write fast path (locked vs CAS insert, striped vs CAS value)",
+	}
+	for _, r := range rows {
+		out.Points = append(out.Points, jsonPoint{
+			Engine:    r.Arm + "/" + r.Workload,
+			Threads:   r.Writers,
+			Batch:     1,
+			OpsPerSec: r.OpsPerS,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ablation7.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote BENCH_ablation7.json\n\n")
 	return nil
 }
 

@@ -25,6 +25,13 @@ func TestAtomicMix(t *testing.T) {
 	atest.Run(t, "testdata", "rphash/atomicuser", []*framework.Analyzer{atomicmix.Analyzer})
 }
 
+func TestAtomicMixCASPublish(t *testing.T) {
+	// The lock-free write fast path's shapes: CAS-published
+	// unsafe.Pointer heads, CompareAndSwap state machines, and epoch
+	// counters must be all-atomic; one plain peek is flagged.
+	atest.Run(t, "testdata", "rphash/caspub", []*framework.Analyzer{atomicmix.Analyzer})
+}
+
 func TestRegistry(t *testing.T) {
 	as := rplint.Analyzers()
 	if len(as) != 3 {

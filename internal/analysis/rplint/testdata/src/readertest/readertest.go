@@ -6,7 +6,9 @@ package readertest
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"rphash/internal/rcu"
 )
@@ -162,4 +164,58 @@ func loopBalanced(d *rcu.Domain, n int) {
 		sink = "x"
 		r.Unlock()
 	}
+}
+
+// ---- lock-free write fast path shapes ----
+
+// casPublishInSection models the CAS insert: walk and publish on the
+// bucket head happen inside the reader section. Atomic operations
+// never block, so the section stays legal.
+func casPublishInSection(d *rcu.Domain, head *unsafe.Pointer, n unsafe.Pointer) bool {
+	r := d.Reader()
+	r.Lock()
+	old := atomic.LoadPointer(head)
+	ok := atomic.CompareAndSwapPointer(head, old, n)
+	r.Unlock()
+	return ok
+}
+
+// casRetryLoopInSection keeps retrying the head CAS without leaving
+// the section, like tryInsertCAS's bounded loop; still non-blocking.
+func casRetryLoopInSection(d *rcu.Domain, head *unsafe.Pointer, n unsafe.Pointer) bool {
+	r := d.Reader()
+	r.Lock()
+	defer r.Unlock()
+	for i := 0; i < 4; i++ {
+		old := atomic.LoadPointer(head)
+		if atomic.CompareAndSwapPointer(head, old, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripedFallbackAfterSection is the required fallback discipline:
+// the fast path leaves the reader section before taking the stripe
+// mutex, so the lock acquisition is outside the section and fine.
+func stripedFallbackAfterSection(d *rcu.Domain, mu *sync.Mutex) {
+	r := d.Reader()
+	r.Lock()
+	sink = "probe"
+	r.Unlock()
+	mu.Lock()
+	sink = "fallback"
+	mu.Unlock()
+}
+
+// stripedFallbackInSection takes the stripe mutex with the section
+// still open — a stalled stripe holder would then stall every grace
+// period behind this reader, so it is flagged.
+func stripedFallbackInSection(d *rcu.Domain, mu *sync.Mutex) {
+	r := d.Reader()
+	r.Lock()
+	mu.Lock() // want `acquires a mutex`
+	sink = "fallback"
+	mu.Unlock()
+	r.Unlock()
 }

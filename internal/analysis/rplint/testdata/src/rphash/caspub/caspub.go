@@ -1,0 +1,81 @@
+// Package caspub models the lock-free write fast path's atomic
+// shapes for the atomicmix analyzer: CAS publication on an
+// unsafe.Pointer bucket head, a CompareAndSwap-driven node state
+// machine, and an epoch generation counter. Fields kept strictly
+// under function-style sync/atomic draw no diagnostics; a single
+// plain peek at any of them is the data race the analyzer exists to
+// catch.
+package caspub
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// bucket mirrors the fast path's hot fields on function-style atomic
+// operands (basic types, not the atomic.Uint32 wrappers, which the
+// type system already keeps honest).
+type bucket struct {
+	head  unsafe.Pointer // chain head, CAS-published
+	state uint32         // speculative -> committed -> consumed
+	epoch uint64         // resize generation, validated after CAS
+	depth int64          // plain everywhere: not the analyzer's business
+}
+
+// publish CASes a new node onto the chain head, retry-loop style.
+func (b *bucket) publish(n unsafe.Pointer) bool {
+	for i := 0; i < 4; i++ {
+		old := atomic.LoadPointer(&b.head)
+		if atomic.CompareAndSwapPointer(&b.head, old, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// commit races the resize path for the speculative->committed edge.
+func (b *bucket) commit() bool {
+	return atomic.CompareAndSwapUint32(&b.state, 1, 2)
+}
+
+// consume marks the node dead unconditionally, unlink-style.
+func (b *bucket) consume() { atomic.StoreUint32(&b.state, 3) }
+
+// validate re-reads the epoch after a successful CAS.
+func (b *bucket) validate(e uint64) bool {
+	return atomic.LoadUint64(&b.epoch) == e
+}
+
+// bumpEpoch is the writer side of the generation counter.
+func (b *bucket) bumpEpoch() { atomic.AddUint64(&b.epoch, 1) }
+
+// peek reads the CAS-published head plainly: a racing publish makes
+// this load undefined, so it is flagged.
+func (b *bucket) peek() unsafe.Pointer {
+	return b.head // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// quickState short-circuits the state machine with a plain load: the
+// exact bug the consumed-mark check would hide at runtime.
+func (b *bucket) quickState() bool {
+	return b.state == 2 // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// staleEpochWrite resets the generation without atomics: flagged.
+func (b *bucket) staleEpochWrite() {
+	b.epoch = 0 // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// plainDepth never touches sync/atomic, so plain access is fine.
+func (b *bucket) plainDepth() int64 {
+	b.depth++
+	return b.depth
+}
+
+// newBucket initializes by composite literal, exempt while
+// unpublished.
+func newBucket() *bucket {
+	return &bucket{state: 1, depth: 0}
+}
+
+var _ = newBucket

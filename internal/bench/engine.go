@@ -118,6 +118,45 @@ func (e *rpSingleLockEngine) Delete(k uint64)     { e.t.Delete(k) }
 func (e *rpSingleLockEngine) Resize(n uint64)     { e.t.Resize(n) }
 func (e *rpSingleLockEngine) Close()              { e.t.Close() }
 
+// ---- RP locked-write / CAS-write (write fast-path ablation pair) ----
+
+// NewRPLockedWrite builds the relativistic table with the lock-free
+// insert fast path disabled: every write takes its stripe, exactly
+// this repository's pre-fast-path write behavior. It is the striped
+// baseline the CAS write path is measured against in figure 5 and
+// ablation A7.
+func NewRPLockedWrite(buckets uint64) Engine {
+	return &rpCASWriteEngine{name: "rp-lockedwrite", t: core.NewUint64[int](
+		core.WithInitialBuckets(buckets), core.WithCASInsert(false))}
+}
+
+// NewRPCASWrite builds the relativistic table with the lock-free
+// insert fast path explicitly enabled (the shipping default, pinned
+// here so the series keeps measuring the fast path even if the
+// default ever changes).
+func NewRPCASWrite(buckets uint64) Engine {
+	return &rpCASWriteEngine{name: "rp-caswrite", t: core.NewUint64[int](
+		core.WithInitialBuckets(buckets), core.WithCASInsert(true))}
+}
+
+type rpCASWriteEngine struct {
+	name string
+	t    *core.Table[uint64, int]
+}
+
+func (e *rpCASWriteEngine) Name() string { return e.name }
+func (e *rpCASWriteEngine) NewLookup() (Lookup, func()) {
+	h := e.t.NewReadHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpCASWriteEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *rpCASWriteEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *rpCASWriteEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *rpCASWriteEngine) Close()              { e.t.Close() }
+
 // ---- RP adaptive (runtime-maintained stripes; internal/adapt) ----
 
 type rpAdaptEngine struct{ t *core.Table[uint64, int] }
@@ -398,16 +437,18 @@ func (e *syncMapEngine) Close()              {}
 
 // Builders maps engine names to constructors, for the CLI.
 var Builders = map[string]func(buckets uint64) Engine{
-	"rp":         NewRP,
-	"rp-1lock":   NewRPSingleLock,
-	"rp-adapt":   NewRPAdaptive,
-	"rp-sharded": NewRPSharded,
-	"rp-cache":   NewRPCache,
-	"rpqsbr":     NewRPQSBR,
-	"ddds":       NewDDDS,
-	"rwlock":     NewRWLock,
-	"mutex":      NewMutex,
-	"sharded":    NewSharded,
-	"xu":         NewXu,
-	"syncmap":    NewSyncMap,
+	"rp":             NewRP,
+	"rp-1lock":       NewRPSingleLock,
+	"rp-caswrite":    NewRPCASWrite,
+	"rp-lockedwrite": NewRPLockedWrite,
+	"rp-adapt":       NewRPAdaptive,
+	"rp-sharded":     NewRPSharded,
+	"rp-cache":       NewRPCache,
+	"rpqsbr":         NewRPQSBR,
+	"ddds":           NewDDDS,
+	"rwlock":         NewRWLock,
+	"mutex":          NewMutex,
+	"sharded":        NewSharded,
+	"xu":             NewXu,
+	"syncmap":        NewSyncMap,
 }

@@ -183,12 +183,18 @@ func measureWriteSeries(name string, mk func() Engine, cfg Config) stats.Series 
 
 // FigWriteScaling is the repository's write-scaling extension figure
 // (figure 5): aggregate upsert throughput versus concurrent writers
-// for one striped relativistic table (the default), the same table
+// for the striped relativistic table, the same table with the
+// lock-free CAS insert fast path (the shipping default), the table
 // pinned to a single writer lock (the paper's writer model, kept as
 // the ablation baseline), the sharded relativistic map, and the
 // lock-based baselines. This is the measurement the paper does not
 // have — its evaluation runs one writer — and the axis the striped
-// writer locks exist to scale.
+// writer locks and the CAS fast path exist to scale.
+//
+// The RP series is pinned to WithCASInsert(false) so it keeps
+// measuring the striped write path it has always measured (the CI
+// regression gate compares series across runs by name); rp-caswrite
+// is the same table with the fast path on.
 func FigWriteScaling(cfg Config) stats.Figure {
 	cfg.fillDefaults()
 	return stats.Figure{
@@ -196,7 +202,8 @@ func FigWriteScaling(cfg Config) stats.Figure {
 		XLabel: "writers",
 		YLabel: "upserts/second (millions)",
 		Series: []stats.Series{
-			measureWriteSeries("RP", func() Engine { return NewRP(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("RP", func() Engine { return NewRPLockedWrite(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("rp-caswrite", func() Engine { return NewRPCASWrite(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("RP-1lock", func() Engine { return NewRPSingleLock(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("rp-sharded", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("sharded-lock", func() Engine { return NewSharded(cfg.SmallBuckets) }, cfg),

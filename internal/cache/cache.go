@@ -360,6 +360,57 @@ func (c *Cache[K, V]) setAbs(h uint64, k K, v V, expireAt, cost int64) {
 	}
 }
 
+// Update runs a read-modify-write for k under its writer stripe: fn
+// receives the current value (zero if absent or expired) and whether
+// a live entry exists, and returns the value to store, its absolute
+// expiry (the zero time = never), its cost, and whether to store at
+// all. The whole sequence — examine, decide, publish — is atomic with
+// respect to every other writer on the key, which is what the
+// memcached-style conditional commands (add, cas, incr) need without
+// a store-wide mutex. fn runs with the stripe held: keep it fast,
+// never block, never touch the cache from inside it.
+//
+// Accounting follows setAbs exactly: the cost delta is settled once
+// from the exact entry displaced, and the writer that pushes the
+// budget over pays for eviction after the stripe is released.
+func (c *Cache[K, V]) Update(k K, fn func(cur V, live bool) (V, time.Time, int64, bool)) bool {
+	h := c.hash(k)
+	var newCost int64
+	prev, hadPrev, stored := c.m.UpdateHashed(h, k, func(cur *entry[V], present bool) (*entry[V], bool) {
+		var curV V
+		live := present && !c.expired(cur)
+		if live {
+			curV = cur.val
+		}
+		v, at, cost, store := fn(curV, live)
+		if !store {
+			return nil, false
+		}
+		if cost < 0 {
+			cost = 0
+		}
+		var abs int64
+		if !at.IsZero() {
+			abs = at.UnixNano()
+		}
+		e := &entry[V]{val: v, expireAt: abs, cost: cost}
+		e.lastUsed.Store(c.clk.Nanos())
+		newCost = cost
+		return e, true
+	})
+	if !stored {
+		return false
+	}
+	delta := newCost
+	if hadPrev {
+		delta -= prev.cost
+	}
+	if c.cost.Add(delta) > c.maxCost && c.maxCost > 0 {
+		c.evict(c.m.ShardIndex(h))
+	}
+	return true
+}
+
 // Delete removes k, reporting whether an entry was removed (expired
 // entries count: they were still occupying memory). Removing an
 // expired entry is recorded as an expiration.

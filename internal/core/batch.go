@@ -163,12 +163,14 @@ func (t *Table[K, V]) SetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int)
 	for _, packed := range sc.ord {
 		i := int(packed & 0xffffffff)
 		w.acquire(hs[i])
+		// Copy before boxing either way: the box must not alias the
+		// caller's slice, which it may reuse after the call.
+		v := vs[i]
 		if n := t.findLocked(hs[i], ks[i]); n != nil {
-			v := vs[i]
 			n.val.Store(&v)
 			continue
 		}
-		t.insertLocked(hs[i], ks[i], vs[i])
+		t.insertLocked(hs[i], ks[i], &v)
 		inserted++
 	}
 	w.release()

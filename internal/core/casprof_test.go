@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+// Benchmark pairs for the lock-free write fast path: each shape runs
+// once with the CAS fast path on (the shipping default) and once
+// pinned to the striped write path (WithCASInsert(false)), so
+// benchstat can price the fast path per workload shape on one
+// goroutine. The multi-writer story is the figure-5 sweep and
+// ablation A7 (cmd/rphash-bench); these exist to catch single-thread
+// regressions in the fast path's constant costs — the open-coded
+// replace hint and the sectioned insert probe are only worth shipping
+// if the uncontended op stays at striped-path cost.
+
+// benchCASReplace upserts over a fully preloaded keyspace: every op
+// takes the replace path (hint walk + stripe-held revalidation when
+// the fast path is on; stripe + chain walk when off).
+func benchCASReplace(b *testing.B, casOn bool, keys uint64) {
+	opts := []Option{WithInitialBuckets(8192)}
+	if !casOn {
+		opts = append(opts, WithCASInsert(false))
+	}
+	t := NewUint64[int](opts...)
+	defer t.Close()
+	for i := uint64(0); i < keys; i++ {
+		t.Set(i, 0)
+	}
+	s := uint64(0x9e3779b97f4a7c15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// xorshift keeps key draw cost trivial and allocation-free.
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		t.Set(s&(keys-1), i)
+	}
+}
+
+// Load factor 0.5: chains of 0-1 nodes, the fast path's best case.
+func BenchmarkSetReplaceCASOn(b *testing.B)  { benchCASReplace(b, true, 4096) }
+func BenchmarkSetReplaceCASOff(b *testing.B) { benchCASReplace(b, false, 4096) }
+
+// Load factor 2: multi-node chains, so the hint walk's per-node loads
+// dominate and any double-walk regression shows up immediately.
+func BenchmarkSetReplaceDeepCASOn(b *testing.B)  { benchCASReplace(b, true, 16384) }
+func BenchmarkSetReplaceDeepCASOff(b *testing.B) { benchCASReplace(b, false, 16384) }
+
+// benchCASInsert grows a table with pure inserts (every key fresh):
+// the CAS-publish path against the striped insert. Sized so the
+// bucket array never resizes during the run.
+func benchCASInsert(b *testing.B, casOn bool) {
+	opts := []Option{WithInitialBuckets(1 << 22)}
+	if !casOn {
+		opts = append(opts, WithCASInsert(false))
+	}
+	t := NewUint64[int](opts...)
+	defer t.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Set(uint64(i), i)
+	}
+}
+
+func BenchmarkSetInsertCASOn(b *testing.B)  { benchCASInsert(b, true) }
+func BenchmarkSetInsertCASOff(b *testing.B) { benchCASInsert(b, false) }

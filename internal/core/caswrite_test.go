@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Torture tests for the lock-free write fast path: CAS inserts, the
+// open-coded replace hint, and value-level compare-and-swap racing
+// resizes (whose unzip windows force the fallback and undo paths) and
+// stripe retunes (whose odd-epoch windows force the preamble
+// fallback). Run them under -race; they are also in the
+// -tags=invariants CI sweep via the Torture name prefix.
+
+// churnMaintenance runs resize and stripe-retune churn until stop
+// closes, crossing unzip windows (ExpandOnce/ShrinkOnce) and stripe
+// swaps (SetStripes) so fast-path writers keep hitting epoch changes
+// mid-flight.
+func churnMaintenance(tbl *Table[uint64, int], stop chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.ExpandOnce()
+			tbl.ShrinkOnce()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		n := 4
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.SetStripes(n)
+			if n = n * 4; n > 64 {
+				n = 4
+			}
+		}
+	}()
+}
+
+// TestTortureCASInsertExactlyOneWinner races several goroutines
+// inserting the same fresh keys (each with a writer-unique value)
+// while resizes and retunes churn. Insert must admit exactly one
+// winner per key — a speculative node that is undone after losing its
+// epoch validation must not have reported success, and a key must
+// never be won twice — and the surviving value must be the recorded
+// winner's.
+func TestTortureCASInsertExactlyOneWinner(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(64))
+	const keys = 4096
+	const writers = 4
+
+	winner := make([]atomic.Int32, keys)
+	for i := range winner {
+		winner[i].Store(-1)
+	}
+
+	stop := make(chan struct{})
+	var maint sync.WaitGroup
+	churnMaintenance(tbl, stop, &maint)
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for _, i := range rng.Perm(keys) {
+				if tbl.Insert(uint64(i), i*writers+g) {
+					if !winner[i].CompareAndSwap(-1, int32(g)) {
+						t.Errorf("key %d won twice (writers %d and %d)",
+							i, winner[i].Load(), g)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	maint.Wait()
+
+	if got := tbl.Len(); got != keys {
+		t.Fatalf("Len = %d, want %d", got, keys)
+	}
+	for i := 0; i < keys; i++ {
+		w := winner[i].Load()
+		if w < 0 {
+			t.Fatalf("key %d was never won", i)
+		}
+		if v, ok := tbl.Get(uint64(i)); !ok || v != i*writers+int(w) {
+			t.Fatalf("Get(%d) = %d,%v; want winner %d's value %d",
+				i, v, ok, w, i*writers+int(w))
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureValueCASIncrementLedger drives the value plane: writers
+// increment a small set of counters purely through
+// CompareAndSwapValue while resizes and retunes churn. Every
+// successful swap transitions the value it matched to exactly
+// matched+1 (the value box pointer makes the CAS ABA-free), so each
+// final counter must equal the successes recorded against it — a lost
+// or double-applied swap breaks the ledger. The keys are never
+// deleted, so the documented swap-vs-delete caveat is out of scope
+// here.
+func TestTortureValueCASIncrementLedger(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(128))
+	const keys = 64
+	const writers = 4
+	const attempts = 20000
+	for i := uint64(0); i < keys; i++ {
+		tbl.Set(i, 0)
+	}
+
+	stop := make(chan struct{})
+	var maint sync.WaitGroup
+	churnMaintenance(tbl, stop, &maint)
+
+	var successes [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < attempts; n++ {
+				k := uint64(rng.Intn(keys))
+				cur, ok := tbl.Get(k)
+				if !ok {
+					t.Errorf("counter key %d missing", k)
+					return
+				}
+				swapped, present := tbl.CompareAndSwapValue(k,
+					func(v int) bool { return v == cur }, cur+1)
+				if !present {
+					t.Errorf("counter key %d reported absent", k)
+					return
+				}
+				if swapped {
+					successes[k].Add(1)
+				}
+			}
+		}(int64(g + 300))
+	}
+	wg.Wait()
+	close(stop)
+	maint.Wait()
+
+	for k := uint64(0); k < keys; k++ {
+		want := int(successes[k].Load())
+		if v, ok := tbl.Get(k); !ok || v != want {
+			t.Fatalf("counter %d = %d,%v after churn; ledger says %d successful swaps",
+				k, v, ok, want)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTortureReplaceHintRacingDeleteResize exercises the open-coded
+// replace fast path (the unprotected hint walk revalidated under the
+// stripe) against everything that can kill a hint: deletes unlink the
+// hinted node mid-flight on the volatile range, and resizes/retunes
+// move the epoch so hints go stale wholesale. Stable keys take
+// continuous Set/Swap traffic and must never be missed by concurrent
+// readers nor hold a foreign value; a disjoint absent range must stay
+// absent throughout — a speculative insert that leaked past its undo
+// would surface there as a phantom key (writers never touch it, so
+// any sighting is a fast-path bug).
+func TestTortureReplaceHintRacingDeleteResize(t *testing.T) {
+	tbl := newT(t, WithInitialBuckets(128))
+	const stable = 512
+	const volatileBase = 1 << 20
+	const absentBase = 1 << 30
+	fill(tbl, stable)
+
+	stop := make(chan struct{})
+	var misses, phantoms atomic.Int64
+	var wg sync.WaitGroup
+	churnMaintenance(tbl, stop, &wg)
+
+	// Readers: stable keys always present with a value some writer
+	// wrote; absent keys never appear.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tbl.NewReadHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				if v, ok := h.Get(k); !ok || v != int(k) {
+					misses.Add(1)
+				}
+				if _, ok := h.Get(absentBase + uint64(rng.Intn(4096))); ok {
+					phantoms.Add(1)
+				}
+			}
+		}(int64(g + 400))
+	}
+
+	// Writers: replace traffic on the stable range (Set re-publishing
+	// the same value, Swap asserting it read that value back), and
+	// Set/Delete churn on the volatile range so replace hints race
+	// unlinks of the very node they point at.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				switch rng.Intn(4) {
+				case 0:
+					if tbl.Set(k, int(k)) {
+						t.Errorf("Set(%d) claims insert on a stable key", k)
+						return
+					}
+				case 1:
+					if old, replaced := tbl.Swap(k, int(k)); !replaced || old != int(k) {
+						t.Errorf("Swap(%d) = %d,%v; want %d,true", k, old, replaced, k)
+						return
+					}
+				default:
+					vk := volatileBase + uint64(rng.Intn(1024))
+					if rng.Intn(2) == 0 {
+						tbl.Set(vk, int(vk))
+					} else {
+						tbl.Delete(vk)
+					}
+				}
+			}
+		}(int64(g + 500))
+	}
+
+	time.Sleep(1200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := misses.Load(); n != 0 {
+		t.Fatalf("%d reads missed stable keys during replace churn", n)
+	}
+	if n := phantoms.Load(); n != 0 {
+		t.Fatalf("%d phantom sightings in the absent key range (leaked speculative insert?)", n)
+	}
+	for i := uint64(0); i < stable; i++ {
+		if v, ok := tbl.Get(i); !ok || v != int(i) {
+			t.Fatalf("stable key %d = %d,%v after churn", i, v, ok)
+		}
+	}
+	if err := tbl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

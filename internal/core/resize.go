@@ -102,6 +102,11 @@ func (t *Table[K, V]) shrinkStep() {
 		t.unlockAll(sa)
 		return
 	}
+	// Odd before the first chain-head read: a CAS-path insert that
+	// publishes after this point fails its epoch re-validation, so the
+	// zip capture below cannot silently drop it. (The early return
+	// above mutates nothing and must not leave the epoch odd.)
+	t.resizeEpoch.Add(1)
 	start := time.Now()
 	ctx, endTask := resizeTraceTask("rphash.shrink")
 	defer endTask()
@@ -130,6 +135,7 @@ func (t *Table[K, V]) shrinkStep() {
 
 	sa.mask.Store(effectiveStripeMask(len(sa.locks), newSize))
 	t.ht.Store(nb) // publish
+	t.resizeEpoch.Add(1)
 	t.unlockAll(sa)
 	t.syncResize() // wait for readers; old array now unreachable
 	t.stats.shrinks.Add(1)
@@ -177,6 +183,10 @@ func (t *Table[K, V]) expandStep() {
 	defer endTask()
 	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu
 	t.lockAll(sa)
+	// Odd before the child-head capture walks: any CAS-path insert
+	// publishing after this point re-validates and recovers instead of
+	// trusting a head the capture may have read too early.
+	t.resizeEpoch.Add(1)
 	old := t.ht.Load()
 	oldSize := old.size()
 	newSize := oldSize * 2
@@ -225,6 +235,7 @@ func (t *Table[K, V]) expandStep() {
 	// (coarser) mask.
 	t.unzipParent.Store(oldSize)
 	t.ht.Store(nb)
+	t.resizeEpoch.Add(1)
 	t.unlockAll(sa)
 	t.obsEvent(obs.EvExpandPublish, int64(len(active)), 0, 0)
 	publishRegion := trace.StartRegion(ctx, "publish-grace")
@@ -276,8 +287,10 @@ func (t *Table[K, V]) expandStep() {
 	// stripe mask to the new bucket count, under all stripes so no
 	// writer holds a stripe chosen under the old mask.
 	t.lockAll(sa)
+	t.resizeEpoch.Add(1) // odd: window close in progress
 	t.unzipParent.Store(0)
 	sa.mask.Store(effectiveStripeMask(len(sa.locks), newSize))
+	t.resizeEpoch.Add(1)
 	t.unlockAll(sa)
 	t.stats.expands.Add(1)
 	t.obsEvent(obs.EvExpandDone, int64(passes), time.Since(start).Nanoseconds(), 0)

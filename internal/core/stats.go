@@ -30,6 +30,18 @@ type tableStats struct {
 	// unzipParallelPasses counts unzip passes whose migration batches
 	// ran on more than one worker.
 	unzipParallelPasses atomic.Uint64
+
+	// CAS write fast-path telemetry (update.go). casFastInserts counts
+	// inserts committed lock-free; casFallbacks counts fast-path
+	// attempts that declined to the striped slow path (epoch moved,
+	// unzip window, contention budget, or an undo); casUndos counts
+	// published-then-dropped nodes recovery had to roll back (a strict
+	// subset of the fallbacks); valueCASSwaps counts successful
+	// lock-free value publishes (CompareAndSwapValue).
+	casFastInserts atomic.Uint64
+	casFallbacks   atomic.Uint64
+	casUndos       atomic.Uint64
+	valueCASSwaps  atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of table metrics.
@@ -68,6 +80,14 @@ type Stats struct {
 	UnzipWorkers        int
 	AutoGrows           uint64
 	AutoShrinks         uint64
+	// CASFastInserts / CASFallbacks / CASUndos are the lock-free
+	// insert fast path's hit, decline, and rollback counters;
+	// ValueCASSwaps counts successful lock-free value publishes. See
+	// tableStats for exact semantics.
+	CASFastInserts uint64
+	CASFallbacks   uint64
+	CASUndos       uint64
+	ValueCASSwaps  uint64
 }
 
 // Stats gathers a snapshot. MaxChain walks every bucket inside one
@@ -114,6 +134,10 @@ func (t *Table[K, V]) CounterStats() Stats {
 		UnzipWorkers:        t.UnzipWorkers(),
 		AutoGrows:           t.stats.autoGrows.Load(),
 		AutoShrinks:         t.stats.autoShrinks.Load(),
+		CASFastInserts:      t.stats.casFastInserts.Load(),
+		CASFallbacks:        t.stats.casFallbacks.Load(),
+		CASUndos:            t.stats.casUndos.Load(),
+		ValueCASSwaps:       t.stats.valueCASSwaps.Load(),
 	}
 	if s.Buckets > 0 {
 		s.LoadFactor = float64(s.Len) / float64(s.Buckets)

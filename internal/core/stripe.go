@@ -336,6 +336,7 @@ func (t *Table[K, V]) setStripesLocked(want uint64) bool {
 		return false
 	}
 	t.lockAll(old)
+	t.resizeEpoch.Add(1) // odd: stripe swap in progress (CAS fast path falls back)
 	// Fold the retiring array's telemetry into the table-level base
 	// so ContentionCounters stays monotonic across the swap. The
 	// seqlock (odd = swap in progress) keeps readers from pairing
@@ -350,6 +351,7 @@ func (t *Table[K, V]) setStripesLocked(want uint64) bool {
 	t.stats.stripeContendedBase.Add(con)
 	t.stripes.arr.Store(newStripeArray(want, t.ht.Load().size()))
 	t.stats.retuneSeq.Add(1)
+	t.resizeEpoch.Add(1) // even again: fast-path windows spanning the swap re-validate
 	t.unlockAll(old)
 	t.stats.retunes.Add(1)
 	t.obsEvent(obs.EvStripeRetune, int64(len(old.locks)), int64(want), 0)

@@ -12,13 +12,22 @@
 // publication and wait-for-readers from internal/rcu.
 //
 // Writers serialize per bucket, not per table: each mutation locks
-// only the stripe (see stripe.go) covering the chain its key hashes
-// to, so writers to different buckets proceed in parallel. Resizes
+// at most the stripe (see stripe.go) covering the chain its key
+// hashes to, so writers to different buckets proceed in parallel.
+// The common write takes no lock at all: pure inserts publish by a
+// CAS on the bucket head and validate against the resize epoch
+// (tryInsertCAS in update.go, undo via the stripe on mismatch), and
+// upserts on existing keys store through a hint located without
+// protection and revalidated under the stripe (casHintValid).
+// Value-level read-modify-write compare-and-swaps the node's value
+// pointer (CompareAndSwapValue), with no lock either. Resizes
 // acquire every stripe briefly to swap the bucket array and then one
 // stripe per migration batch for the long unzip phase, preserving
-// the paper's grace-period choreography. Readers never take any
+// the paper's grace-period choreography; the fast paths stand down
+// to the striped route during those windows. Readers never take any
 // lock. (The paper's evaluation serializes all writers on one mutex;
-// construct with WithStripes(1) to reproduce that baseline.)
+// construct with WithStripes(1) to reproduce that baseline, or
+// WithCASInsert(false) to pin writes to the striped path.)
 package core
 
 import (
@@ -34,12 +43,32 @@ import (
 // node is a chain element. hash and key are immutable after
 // publication; val is swapped atomically by Set/Replace so readers
 // always observe a complete value.
+//
+// casState is the lock-free write path's per-node state machine
+// (tryInsertCAS in update.go): casCommitted for every node published
+// under a stripe, casSpeculative while a fast-path insert is published
+// but not yet epoch-validated, casConsumed once a stripe-holding
+// writer unlinks the node from the live structure (delete, or move of
+// its key). The consumed mark is set unconditionally at every unlink:
+// for a still-speculative node it tells the fast-path owner its insert
+// took effect before being removed (recovery must not re-insert), and
+// for any node it is the dead mark the upsert in-place replace
+// revalidates against (casHintValid in update.go).
 type node[K comparable, V any] struct {
-	next atomic.Pointer[node[K, V]]
-	val  atomic.Pointer[V]
-	hash uint64
-	key  K
+	next     atomic.Pointer[node[K, V]]
+	val      atomic.Pointer[V]
+	casState atomic.Uint32
+	hash     uint64
+	key      K
 }
+
+// casState values. The zero value is committed so the striped write
+// path never touches the field when publishing.
+const (
+	casCommitted uint32 = iota
+	casSpeculative
+	casConsumed
+)
 
 // buckets is one immutable-size bucket array. The table swaps whole
 // arrays on resize; readers capture one array pointer per operation
@@ -75,6 +104,22 @@ type Table[K comparable, V any] struct {
 	// each other. Writers never take it; resize phases synchronize
 	// with writers through the stripes.
 	resizeMu sync.Mutex
+
+	// resizeEpoch is a seqlock over every all-stripes critical
+	// section: stripe retunes (setStripesLocked), shrink publication,
+	// and both of an expansion's all-stripes sections (array publish
+	// and final mask raise) increment it to odd on entry and back to
+	// even on exit. The CAS-insert fast path (tryInsertCAS) reads it
+	// before publishing and re-validates it after: an unchanged even
+	// value proves no resize or retune captured the bucket array or
+	// swapped the stripe array across the publication window, so the
+	// lock-free insert could not have been missed by a capture walk.
+	resizeEpoch atomic.Uint64
+
+	// noCASInsert disables the CAS-insert fast path (WithCASInsert);
+	// pure inserts then always take the striped slow path. Exists for
+	// the A7 ablation baseline.
+	noCASInsert bool
 
 	// unzipParent is nonzero during an expansion's unzip window and
 	// holds the PARENT (pre-doubling) bucket count. While set,
@@ -162,6 +207,7 @@ type config struct {
 	adapt        *adapt.Config
 	obsv         *obs.Observer
 	shardID      int
+	noCASInsert  bool
 }
 
 // Option configures a Table at construction.
@@ -225,6 +271,18 @@ func WithObserver(o *obs.Observer) Option { return func(c *config) { c.obsv = o 
 // WithObserver.
 func WithShardID(n int) Option { return func(c *config) { c.shardID = n } }
 
+// WithCASInsert enables or disables the lock-free write fast path
+// (default on): a pure insert whose key is provably absent publishes
+// by CAS on the bucket head and epoch-validates instead of locking
+// its stripe, and upserts on existing keys locate their node by an
+// unlocked hint walk revalidated under the stripe (casHintValid).
+// Disabling it pins every write to the striped slow path — the A7
+// ablation's "locked" baseline. Lookups and value-level
+// CompareAndSwapValue are unaffected either way.
+func WithCASInsert(enabled bool) Option {
+	return func(c *config) { c.noCASInsert = !enabled }
+}
+
 // WithUnzipGracePerCut disables unzip-cut batching (ablation only):
 // every pointer cut gets its own grace period instead of sharing one
 // per pass. Resizes become dramatically slower; lookups are
@@ -257,6 +315,7 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] 
 	}
 
 	t := &Table[K, V]{hash: hash, policy: cfg.policy, unzipPerCutGrace: cfg.perCutGrace}
+	t.noCASInsert = cfg.noCASInsert
 	t.obsv = cfg.obsv
 	t.obsShard = cfg.shardID
 	if cfg.dom != nil {

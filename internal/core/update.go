@@ -1,5 +1,11 @@
 package core
 
+import (
+	"sync/atomic"
+
+	"rphash/internal/obs"
+)
+
 // Writer-side operations. Each locks only the stripe covering the
 // chain its key hashes to (see stripe.go), so writers to different
 // buckets run in parallel; none ever blocks a reader. Each follows
@@ -10,6 +16,15 @@ package core
 // While a writer holds its stripe, the bucket-array pointer and the
 // stripe mask are frozen (both change only under every stripe), so
 // the find/insert/unlink helpers may load t.ht once and trust it.
+//
+// Pure inserts additionally have a lock-free fast path (tryInsertCAS
+// below): publish by CAS on the bucket head, then re-validate the
+// resize epoch. Because fast-path inserts can land on a bucket head
+// at any instant, every stripe-holding publication of a bucket head
+// in this file is itself a CAS (or a CAS with a predecessor-walk
+// retry), never a plain store — a plain store could silently drop a
+// concurrent fast-path prepend. Interior next-pointer stores stay
+// plain: the fast path never touches an existing node's next field.
 
 // Set inserts or replaces the value for k, returning true if the key
 // was newly inserted.
@@ -22,15 +37,52 @@ func (t *Table[K, V]) Set(k K, v V) bool {
 // (internal/shard) hash once to route and pass the hash through
 // rather than paying a second hash inside the shard.
 func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
+	if !t.noCASInsert {
+		// Replace fast path, open-coded so the common upsert-on-
+		// existing-key case pays no extra call frames: an unprotected
+		// hint walk locates the node, then a stripe-held revalidation
+		// proves it is still THE live node for the key (the soundness
+		// argument lives on casHintValid). Only the locator is
+		// lock-free; the value store is an exact striped replace. The
+		// hint can never prove absence — a miss falls through to the
+		// section-protected insert fast path, the only absence proof.
+		e1 := t.resizeEpoch.Load()
+		if e1&1 == 0 && t.unzipParent.Load() == 0 {
+			ht := t.ht.Load()
+			for c := ht.bucketFor(h).Load(); c != nil; c = c.next.Load() {
+				if c.hash == h && c.key == k {
+					s := t.lockHash(h)
+					if t.casHintValid(e1, c) {
+						// In-place relativistic value replacement:
+						// readers observe either the complete old or
+						// complete new value.
+						c.val.Store(&v)
+						s.mu.Unlock()
+						return false
+					}
+					s.mu.Unlock()
+					goto striped // dead hint (rare): redo under stripes
+				}
+			}
+			switch t.tryInsertCAS(h, k, &v) {
+			case casInsertDone:
+				t.maybeAutoResizeBackpressure()
+				return true
+			case casInsertKeyPresent, casInsertFallback:
+				// The sectioned walk saw the key after all (the hint
+				// raced an insert), or contention/epoch motion: redo
+				// under the stripes below.
+			}
+		}
+	}
+striped:
 	s := t.lockHash(h)
 	if n := t.findLocked(h, k); n != nil {
-		// In-place relativistic value replacement: readers observe
-		// either the complete old or complete new value.
 		n.val.Store(&v)
 		s.mu.Unlock()
 		return false
 	}
-	t.insertLocked(h, k, v)
+	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
 	return true
@@ -50,6 +102,34 @@ func (t *Table[K, V]) Swap(k K, v V) (old V, replaced bool) {
 // SwapHashed is Swap with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
+	if !t.noCASInsert {
+		// Mirrors SetHashed's open-coded replace fast path, with the
+		// displaced value read under the same stripe that validates
+		// the hint — the read-out/replacement atomicity the accounting
+		// layers depend on is exactly the striped path's.
+		e1 := t.resizeEpoch.Load()
+		if e1&1 == 0 && t.unzipParent.Load() == 0 {
+			ht := t.ht.Load()
+			for c := ht.bucketFor(h).Load(); c != nil; c = c.next.Load() {
+				if c.hash == h && c.key == k {
+					s := t.lockHash(h)
+					if t.casHintValid(e1, c) {
+						old = *c.val.Load()
+						c.val.Store(&v)
+						s.mu.Unlock()
+						return old, true
+					}
+					s.mu.Unlock()
+					goto striped // dead hint (rare): redo under stripes
+				}
+			}
+			if t.tryInsertCAS(h, k, &v) == casInsertDone {
+				t.maybeAutoResizeBackpressure()
+				return old, false
+			}
+		}
+	}
+striped:
 	s := t.lockHash(h)
 	if n := t.findLocked(h, k); n != nil {
 		old = *n.val.Load()
@@ -57,7 +137,7 @@ func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
 		s.mu.Unlock()
 		return old, true
 	}
-	t.insertLocked(h, k, v)
+	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
 	return old, false
@@ -71,12 +151,23 @@ func (t *Table[K, V]) Insert(k K, v V) bool {
 // InsertHashed is Insert with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) InsertHashed(h uint64, k K, v V) bool {
+	if !t.noCASInsert {
+		switch t.tryInsertCAS(h, k, &v) {
+		case casInsertDone:
+			t.maybeAutoResizeBackpressure()
+			return true
+		case casInsertKeyPresent:
+			// The in-section walk observed the key: the insert
+			// linearizes at that observation and fails.
+			return false
+		}
+	}
 	s := t.lockHash(h)
 	if t.findLocked(h, k) != nil {
 		s.mu.Unlock()
 		return false
 	}
-	t.insertLocked(h, k, v)
+	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
 	return true
@@ -165,11 +256,18 @@ func (t *Table[K, V]) unlinkLocked(h uint64, k K, match func(V) bool) (*node[K, 
 			}
 			next := n.next.Load()
 			if prev == nil {
-				slot.Store(next)
+				t.casUnlinkHead(slot, n, next)
 			} else {
 				prev.next.Store(next)
 			}
 			t.unlinkSiblingLocked(ht, h, n, next)
+			// Dead-mark the victim under the stripe. Two readers of the
+			// mark: fast-path insert recovery (a still-speculative node
+			// marked here took effect before being removed, so recovery
+			// must not re-insert it) and the upsert in-place replace
+			// (a node NOT marked, revalidated under this same stripe,
+			// is still the live node for its key).
+			n.casState.Store(casConsumed)
 			t.count.Add(-1)
 			t.stats.deletes.Add(1)
 			return n, removed, true
@@ -201,8 +299,7 @@ func (t *Table[K, V]) unlinkSiblingLocked(ht *buckets[K, V], h uint64, victim, n
 	// unzipParent and the bucket array are published together under
 	// all stripes, and we hold one, so ht is the doubled array.
 	sib := &ht.slot[(h&ht.mask)^parent]
-	if sib.Load() == victim {
-		sib.Store(next)
+	if sib.CompareAndSwap(victim, next) {
 		return
 	}
 	for n := sib.Load(); n != nil; n = n.next.Load() {
@@ -246,13 +343,20 @@ func (t *Table[K, V]) Move(oldKey, newKey K) bool {
 		return false
 	}
 	// Publish the copy first (value shared via the same pointer), so
-	// there is no instant with the value unreachable.
+	// there is no instant with the value unreachable. CAS loop: a
+	// fast-path insert of another key may prepend to this head at any
+	// instant.
 	ht := t.ht.Load()
 	cp := &node[K, V]{hash: nh, key: newKey}
 	cp.val.Store(src.val.Load())
 	slot := ht.bucketFor(nh)
-	cp.next.Store(slot.Load())
-	slot.Store(cp)
+	for {
+		head := slot.Load()
+		cp.next.Store(head)
+		if slot.CompareAndSwap(head, cp) {
+			break
+		}
+	}
 	t.stats.moves.Add(1)
 
 	// Now unlink the original (patching the zipped sibling chain if
@@ -263,11 +367,12 @@ func (t *Table[K, V]) Move(oldKey, newKey K) bool {
 		if n == src {
 			next := n.next.Load()
 			if prev == nil {
-				oslot.Store(next)
+				t.casUnlinkHead(oslot, src, next)
 			} else {
 				prev.next.Store(next)
 			}
 			t.unlinkSiblingLocked(ht, oh, src, next)
+			src.casState.Store(casConsumed) // dead mark (see unlinkLocked)
 			break
 		}
 		prev = n
@@ -291,16 +396,348 @@ func (t *Table[K, V]) findLocked(h uint64, k K) *node[K, V] {
 }
 
 // insertLocked publishes a new node at its bucket head. The caller
-// holds the stripe covering h. Head insertion is always safe, even
-// mid-unzip: a new head only prepends to the home chain's exclusive
-// prefix, never disturbing a shared suffix.
-func (t *Table[K, V]) insertLocked(h uint64, k K, v V) {
+// holds the stripe covering h and owns *vp, the node's value box —
+// passing the box instead of the value lets callers whose value
+// already escaped (every public upsert boxes once for its fast path)
+// insert with no second allocation; the box must not be mutated after
+// the call. Head insertion is always safe, even mid-unzip: a new head
+// only prepends to the home chain's exclusive prefix, never
+// disturbing a shared suffix. The publish is a CAS loop: holding the
+// stripe excludes other stripe writers but not the lock-free insert
+// fast path, which may prepend a different key to this head
+// concurrently.
+func (t *Table[K, V]) insertLocked(h uint64, k K, vp *V) {
 	ht := t.ht.Load()
 	n := &node[K, V]{hash: h, key: k}
-	n.val.Store(&v)
+	n.val.Store(vp)
 	slot := ht.bucketFor(h)
-	n.next.Store(slot.Load()) // initialize ...
-	slot.Store(n)             // ... then publish
+	for {
+		head := slot.Load()
+		n.next.Store(head)                // initialize ...
+		if slot.CompareAndSwap(head, n) { // ... then publish
+			break
+		}
+	}
 	t.count.Add(1)
 	t.stats.inserts.Add(1)
+}
+
+// casUnlinkHead redirects a bucket head past victim (whose current
+// successor is next). The caller holds the stripe, but fast-path
+// inserts may have prepended new nodes above the victim since the
+// caller's walk, so a plain store could drop them: CAS first, and on
+// failure walk from the new head to the victim's current predecessor.
+// That predecessor is stable once found — fast-path inserts only
+// prepend at the head, and every other mutation of this chain needs
+// the stripe we hold.
+func (t *Table[K, V]) casUnlinkHead(slot *atomic.Pointer[node[K, V]], victim, next *node[K, V]) {
+	if slot.CompareAndSwap(victim, next) {
+		return
+	}
+	for n := slot.Load(); n != nil; n = n.next.Load() {
+		if n.next.Load() == victim {
+			n.next.Store(next)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Lock-free insert fast path.
+
+// casInsertOutcome is tryInsertCAS's verdict.
+type casInsertOutcome int
+
+const (
+	// casInsertDone: the node was published by CAS and committed (or
+	// committed and then consumed by a later stripe writer). The
+	// insert happened.
+	casInsertDone casInsertOutcome = iota
+	// casInsertKeyPresent: the in-section walk observed the key.
+	// Nothing was published; a pure insert (InsertHashed) linearizes
+	// at that observation and fails, an upsert redoes the operation
+	// under its stripe.
+	casInsertKeyPresent
+	// casInsertFallback: the fast path declined (resize epoch odd or
+	// moved, unzip window open, head contention budget exhausted, or
+	// a published node had to be undone). The caller must redo the
+	// operation under its stripe.
+	casInsertFallback
+)
+
+// casInsertRetries bounds head-CAS retries before declining to the
+// striped path: under heavy same-bucket contention the stripe's queue
+// is fairer (and cheaper) than an unbounded CAS storm.
+const casInsertRetries = 4
+
+// tryInsertCAS attempts a pure insert without taking any lock: prove
+// the key absent with a chain walk inside a read-side critical
+// section, publish the new node with a single CAS on the bucket head,
+// then re-validate the resize epoch (see Table.resizeEpoch).
+//
+// The epoch protocol makes the lock-free publish safe against the
+// swap-everything operations. Reading an even epoch before the walk
+// and the same value after the CAS proves no all-stripes critical
+// section — shrink capture, expand publish, unzip-window close,
+// stripe retune — overlapped the window, so the node went into the
+// live array and no capture walk can have missed it. On mismatch the
+// node may have been captured into a newly published array (fine) or
+// silently dropped by a capture that read the bucket head before the
+// CAS landed; recoverInsertCAS distinguishes the two under the
+// stripe. The unzip window is excluded wholesale: while
+// unzipParent != 0 chains are zipped and cut in place by blind
+// stores, so the fast path declines up front, and the epoch check
+// catches windows that opened after the unzipParent load.
+//
+// Speculative-state choreography: the node is published with
+// casState == casSpeculative. A stripe writer that unlinks it before
+// it commits flips it to casConsumed (unlinkLocked, Move), which
+// recovery reads as "the insert took effect, then a later operation
+// removed it" — it must NOT be re-inserted. The count is incremented
+// immediately after the CAS so that racing delete's decrement always
+// balances; the undo path rolls it back.
+//
+// vp is the value already boxed by the caller (whose own striped
+// fallback needs the address anyway); passing the pointer instead of
+// the value keeps the fast path at two heap objects (node + box) per
+// insert.
+func (t *Table[K, V]) tryInsertCAS(h uint64, k K, vp *V) casInsertOutcome {
+	e1 := t.resizeEpoch.Load()
+	if e1&1 != 0 || t.unzipParent.Load() != 0 {
+		t.stats.casFallbacks.Add(1)
+		return casInsertFallback
+	}
+	var n *node[K, V]
+	r := t.dom.AcquireReader()
+	for attempt := 0; attempt < casInsertRetries; attempt++ {
+		// The head load and the walk run inside a read-side section:
+		// every node reachable from a head loaded in-section is
+		// protected from next-pointer severing until we leave, so the
+		// absence proof cannot be truncated by a concurrent retire.
+		r.Lock()
+		ht := t.ht.Load()
+		slot := ht.bucketFor(h)
+		head := slot.Load()
+		var found *node[K, V]
+		for c := head; c != nil; c = c.next.Load() {
+			if c.hash == h && c.key == k {
+				found = c
+				break
+			}
+		}
+		r.Unlock()
+		if found != nil {
+			t.dom.ReleaseReader(r)
+			return casInsertKeyPresent
+		}
+		if n == nil {
+			// Allocate only once absence has actually been observed, so
+			// an upsert that lands on an existing key pays no
+			// allocation for the probe.
+			n = &node[K, V]{hash: h, key: k}
+			n.val.Store(vp)
+			n.casState.Store(casSpeculative)
+		}
+		// The CAS itself needs no section: success proves the head is
+		// still the one the walk started from, and the key cannot have
+		// appeared without changing the head (all inserts prepend).
+		n.next.Store(head)
+		if !slot.CompareAndSwap(head, n) {
+			continue // head moved; re-prove absence against the new head
+		}
+		t.dom.ReleaseReader(r)
+		t.count.Add(1)
+		if t.resizeEpoch.Load() == e1 {
+			// Commit. A lost flip means a stripe writer already
+			// consumed the node — possible only after the insert took
+			// effect, so the outcome is the same.
+			n.casState.CompareAndSwap(casSpeculative, casCommitted)
+			t.stats.inserts.Add(1)
+			t.stats.casFastInserts.Add(1)
+			return casInsertDone
+		}
+		return t.recoverInsertCAS(h, n)
+	}
+	t.dom.ReleaseReader(r)
+	t.stats.casFallbacks.Add(1)
+	return casInsertFallback
+}
+
+// casHintValid is the revalidation step of the open-coded replace
+// fast path in SetHashed/SwapHashed: those walk the key's chain with
+// no protection at all (no stripe, no read-side section) to locate a
+// candidate node cheaply, then lock the stripe and call this. The two
+// checks together prove from scratch that n is still THE live node
+// for its key, no matter how stale the hint walk was:
+//
+//   - resizeEpoch unchanged (and even) since before the walk, with
+//     unzipParent zero at the same point: no all-stripes section ran,
+//     so the bucket array and the stripe array are the ones the walk
+//     used, and the stripe held here is the stripe that covered the
+//     key throughout. This also rules out the walk having surfaced a
+//     node a superseding array silently dropped (recoverInsertCAS's
+//     undo case): dropping one requires an array publish, which moves
+//     the epoch.
+//   - casState != casConsumed: every unlink of this node (delete,
+//     move) serializes on that same stripe and dead-marks the node
+//     before releasing it, so an unmarked node has not been unlinked
+//     — and since an insert of the key requires its absence, no rival
+//     node for the key can exist either.
+//
+// The caller's value store is then an exact striped replace —
+// serialized with every other writer on the key — with the chain walk
+// already paid for lock-free. On a false return (rare: a resize or
+// retune overlapped, or the node died between walk and lock) the
+// caller redoes the full upsert under the stripe.
+func (t *Table[K, V]) casHintValid(e1 uint64, n *node[K, V]) bool {
+	return t.resizeEpoch.Load() == e1 && n.casState.Load() != casConsumed
+}
+
+// recoverInsertCAS resolves a fast-path insert whose epoch validation
+// failed: some all-stripes section (resize or retune) overlapped the
+// publication window, so the published node's fate is ambiguous. Under
+// the key's stripe — which freezes the bucket array, the unzip state,
+// and every competing writer on this chain — exactly one of three
+// things is true:
+//
+//  1. casState == casConsumed: a stripe writer found and unlinked the
+//     node, which means it was visible — the insert happened (and a
+//     later delete/move removed it, as could happen to any insert).
+//  2. The node is reachable from its home bucket in the CURRENT
+//     array (pointer identity): the section that moved the epoch
+//     captured it, or never touched its bucket. Adopt it by flipping
+//     casSpeculative → casCommitted.
+//  3. Neither: a capture walk read the bucket head before the CAS
+//     landed and the superseding array dropped the node. Nothing
+//     durable ever pointed at it — undo (roll the count back, retire
+//     the node for in-flight readers of the superseded array) and
+//     have the caller redo the insert under the stripe.
+//
+// A blind "re-CAS the head back" undo would be unsound here: after an
+// expand publish the node can be live in the NEW array while the old
+// array — where the CAS landed — is already garbage, so only the
+// reachability walk above can tell adoption from loss.
+func (t *Table[K, V]) recoverInsertCAS(h uint64, n *node[K, V]) casInsertOutcome {
+	s := t.lockHash(h)
+	if n.casState.Load() == casConsumed {
+		s.mu.Unlock()
+		t.stats.inserts.Add(1)
+		t.stats.casFastInserts.Add(1)
+		return casInsertDone
+	}
+	ht := t.ht.Load()
+	for c := ht.bucketFor(h).Load(); c != nil; c = c.next.Load() {
+		if c == n {
+			n.casState.CompareAndSwap(casSpeculative, casCommitted)
+			s.mu.Unlock()
+			t.stats.inserts.Add(1)
+			t.stats.casFastInserts.Add(1)
+			return casInsertDone
+		}
+	}
+	s.mu.Unlock()
+	t.count.Add(-1)
+	t.stats.casUndos.Add(1)
+	t.stats.casFallbacks.Add(1)
+	t.obsEvent(obs.EvCASUndo, 0, 0, 0)
+	t.dom.Defer(func() {
+		// In-flight readers of the superseded array may still hold the
+		// node; sever its next only after they drain so it cannot pin
+		// the live chain it once pointed into.
+		n.next.Store(nil)
+	})
+	return casInsertFallback
+}
+
+// ---------------------------------------------------------------------
+// Value-plane primitives: per-node read-modify-write that rides the
+// stripes (Update) or no lock at all (CompareAndSwapValue).
+
+// Update runs a read-modify-write for k under its writer stripe: fn
+// receives the current value (zero if absent) and presence, and
+// returns the value to store plus whether to store it. The whole
+// sequence is atomic with respect to every other writer on the key.
+// fn runs with the stripe held — it must be fast, must not block, and
+// must not call operations on the same table. Returns the
+// pre-existing value (if any) and whether fn's result was stored.
+func (t *Table[K, V]) Update(k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
+	return t.UpdateHashed(t.hash(k), k, fn)
+}
+
+// UpdateHashed is Update with the key's table hash precomputed (see
+// SetHashed).
+func (t *Table[K, V]) UpdateHashed(h uint64, k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
+	s := t.lockHash(h)
+	n := t.findLocked(h, k)
+	if n != nil {
+		prev = *n.val.Load()
+		hadPrev = true
+	}
+	v, store := fn(prev, hadPrev)
+	if !store {
+		s.mu.Unlock()
+		return prev, hadPrev, false
+	}
+	if n != nil {
+		n.val.Store(&v)
+		s.mu.Unlock()
+		return prev, hadPrev, true
+	}
+	t.insertLocked(h, k, &v)
+	s.mu.Unlock()
+	t.maybeAutoResizeBackpressure()
+	return prev, false, true
+}
+
+// CompareAndSwapValue publishes v for k only if match accepts the
+// current value, with no lock at all: the node is located inside a
+// read-side section, then the value pointer is compare-and-swapped.
+// It returns whether the swap was published and whether the key was
+// present. A nil match publishes unconditionally (a lock-free
+// Replace). match may run multiple times (once per CAS attempt) and
+// must be pure.
+//
+// Caveats of lock-freedom, for callers that mix primitives on the
+// same keys: a swap racing a Delete may publish into a node that is
+// already unlinked — the pair linearizes as update-then-delete and
+// the swap still reports true; a swap racing a Move of the same key
+// may land on the old node after the copy captured the value pointer,
+// in which case the moved key keeps the pre-swap value; and
+// CompareAndDelete's "removes exactly the examined entry" guarantee
+// does not extend to values swapped in between its examine and its
+// unlink. Resizes are immune by construction — they relink the same
+// nodes, never copy them — so a successful swap is never lost to a
+// concurrent expand, shrink, or retune.
+func (t *Table[K, V]) CompareAndSwapValue(k K, match func(V) bool, v V) (swapped, present bool) {
+	return t.CompareAndSwapValueHashed(t.hash(k), k, match, v)
+}
+
+// CompareAndSwapValueHashed is CompareAndSwapValue with the key's
+// table hash precomputed (see SetHashed).
+func (t *Table[K, V]) CompareAndSwapValueHashed(h uint64, k K, match func(V) bool, v V) (swapped, present bool) {
+	var n *node[K, V]
+	t.dom.Read(func() {
+		ht := t.ht.Load()
+		for c := ht.bucketFor(h).Load(); c != nil; c = c.next.Load() {
+			if c.hash == h && c.key == k {
+				n = c
+				break
+			}
+		}
+	})
+	if n == nil {
+		return false, false
+	}
+	// The node outlives the section (Go GC); publishing into it after
+	// a concurrent unlink is the documented update-then-delete race.
+	for {
+		p := n.val.Load()
+		if match != nil && !match(*p) {
+			return false, true
+		}
+		if n.val.CompareAndSwap(p, &v) {
+			t.stats.valueCASSwaps.Add(1)
+			return true, true
+		}
+	}
 }

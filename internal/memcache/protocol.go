@@ -427,6 +427,10 @@ func (c *conn) handleStats() error {
 		{"evictions", strconv.FormatUint(st.Evictions, 10)},
 		{"expired_unfetched", strconv.FormatUint(st.Expired, 10)},
 		{"hash_buckets", strconv.Itoa(st.Buckets)},
+		{"cas_fast_inserts", strconv.FormatUint(st.CASFastInserts, 10)},
+		{"cas_fallbacks", strconv.FormatUint(st.CASFallbacks, 10)},
+		{"cas_undos", strconv.FormatUint(st.CASUndos, 10)},
+		{"value_cas_swaps", strconv.FormatUint(st.ValueCASSwaps, 10)},
 		{"uptime", strconv.FormatInt(int64(time.Since(c.srv.started)/time.Second), 10)},
 	}
 	for _, kv := range stats {

@@ -2,7 +2,6 @@ package memcache
 
 import (
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,10 +13,23 @@ import (
 
 // RPStore is the paper's memcached patch: GETs are relativistic
 // lookups on the resizable hash table — no lock, no shared-counter
-// bump, no retry — while mutations lock per key (the table's writer
-// stripes, plus a store mutex for multi-step command sequences) and
-// retire replaced items through grace periods. The table auto-resizes
-// with load, so the unzip/zip algorithms run underneath live traffic.
+// bump, no retry — while mutations ride the table's per-key writer
+// stripes (pure inserts even skip those, publishing lock-free via the
+// table's CAS fast path) and retire replaced items through grace
+// periods. The table auto-resizes with load, so the unzip/zip
+// algorithms run underneath live traffic.
+//
+// There is no store-wide mutex anywhere in the command path. The
+// read-modify-write commands (Add, Replace, CAS, Touch, Append,
+// Prepend, IncrDecr) each run as one cache.Update: examine, decide,
+// and publish atomically under the key's stripe. CAS-id sequencing
+// lives in the value plane — ids are drawn from one atomic counter
+// and attached to the item inside the same Update, so a `cas` command
+// compares against exactly the item it would displace. Plain Set
+// draws its id and publishes with no lock at all; two Sets racing on
+// one key may therefore publish ids out of arrival order (last
+// writer wins either way, and ids stay unique — memcached promises
+// nothing stronger for concurrent unconditioned stores).
 //
 // Expiry, sampled-LRU eviction, byte accounting, and hit/miss stats
 // all live in internal/cache (the reusable subsystem this engine
@@ -28,10 +40,6 @@ type RPStore struct {
 	c   *cache.Cache[string, *Item]
 	clk *clock.Clock
 
-	// mu serializes read-modify-write command sequences (Add, CAS,
-	// Append, IncrDecr, ...) so their check-then-store is atomic; the
-	// cache and its table writers lock internally for plain stores.
-	mu      sync.Mutex
 	casSeq  atomic.Uint64
 	sets    atomic.Uint64
 	deletes atomic.Uint64
@@ -69,16 +77,12 @@ const rpSweepInterval = 100 * time.Millisecond
 // The engine is backed by cache.Cache over shard.Map — relativistic
 // tables behind one shared RCU domain, each with striped per-bucket
 // writer locks — so table-level writers to different chains never
-// contend while every GET stays a single lock-free chain walk. At
-// the store level, every mutating command (Set, Add, Replace, CAS,
-// Touch, Append, IncrDecr) still serializes on RPStore.mu: CAS-id
-// assignment and the conditional commands' check-then-store span a
-// cache Peek and a Set that must be atomic together, which the
-// per-key stripe alone cannot cover (Delete alone skips mu — it is
-// a single CompareAndDelete). Dropping mu for plain Set would need
-// a value-level CAS in the table; see the ROADMAP open item.
-// Expired items are reclaimed by
-// the cache's own incremental background sweeper (see
+// contend while every GET stays a single lock-free chain walk. No
+// command serializes wider than its own key: conditional commands
+// run as one cache.Update under the key's stripe, and plain Set and
+// Delete take no store-level lock at all (see the RPStore type
+// comment for the CAS-id ordering this implies). Expired items are
+// reclaimed by the cache's own incremental background sweeper (see
 // rpSweepInterval); the server's sweep ticker does not apply to this
 // store.
 func NewRPStore(maxBytes int64, opts ...StoreOption) *RPStore {
@@ -125,65 +129,84 @@ func (s *RPStore) GetMulti(keys []string, out []*Item) {
 	s.c.GetMulti(keys, out, nil)
 }
 
-// Set stores unconditionally.
-func (s *RPStore) Set(it *Item) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(it)
+// itemExpiry converts an Item's unix-seconds expiry to the cache's
+// absolute form (zero time = never).
+func itemExpiry(it *Item) time.Time {
+	if it.ExpireAt == 0 {
+		return time.Time{}
+	}
+	return time.Unix(it.ExpireAt, 0)
 }
 
-// setLocked assigns the CAS id and hands the item to the cache, which
-// settles byte accounting against whatever it displaces and evicts if
-// the budget is crossed.
-func (s *RPStore) setLocked(it *Item) {
+// Set stores unconditionally, with no lock at the store level: the
+// CAS id comes off the atomic sequence and the cache publishes the
+// item (pure inserts ride the table's lock-free fast path; replaces
+// ride the key's stripe).
+func (s *RPStore) Set(it *Item) {
 	it.CAS = s.casSeq.Add(1)
-	var at time.Time
-	if it.ExpireAt != 0 {
-		at = time.Unix(it.ExpireAt, 0)
-	}
-	s.c.SetExpiresAt(it.Key, it, at, it.Size())
+	s.c.SetExpiresAt(it.Key, it, itemExpiry(it), it.Size())
 	s.sets.Add(1)
+}
+
+// update runs one conditional command as a single cache.Update: fn
+// examines the live item (nil if absent or expired) and returns the
+// item to store, or nil to leave the store untouched. The examine and
+// the publish are atomic under the key's writer stripe; the CAS id is
+// assigned inside the same critical section, so a concurrent `cas`
+// compares against exactly the item it would displace.
+func (s *RPStore) update(key string, fn func(cur *Item) *Item) bool {
+	stored := s.c.Update(key, func(cur *Item, live bool) (*Item, time.Time, int64, bool) {
+		if !live {
+			cur = nil
+		}
+		next := fn(cur)
+		if next == nil {
+			return nil, time.Time{}, 0, false
+		}
+		next.CAS = s.casSeq.Add(1)
+		return next, itemExpiry(next), next.Size(), true
+	})
+	if stored {
+		s.sets.Add(1)
+	}
+	return stored
 }
 
 // Add stores only if absent or expired.
 func (s *RPStore) Add(it *Item) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.c.Peek(it.Key); ok {
-		return false
-	}
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(it)
-	return true
+	return s.update(it.Key, func(cur *Item) *Item {
+		if cur != nil {
+			return nil
+		}
+		return it
+	})
 }
 
 // Replace stores only if present and live.
 func (s *RPStore) Replace(it *Item) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.c.Peek(it.Key); !ok {
-		return false
-	}
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(it)
-	return true
+	return s.update(it.Key, func(cur *Item) *Item {
+		if cur == nil {
+			return nil
+		}
+		return it
+	})
 }
 
 // CompareAndSwap stores only when cas matches the live item.
 func (s *RPStore) CompareAndSwap(it *Item, cas uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.c.Peek(it.Key)
-	if !ok {
-		return ErrNotFound
-	}
-	if cur.CAS != cas {
-		return ErrCASMismatch
-	}
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(it)
-	return nil
+	var err error
+	s.update(it.Key, func(cur *Item) *Item {
+		switch {
+		case cur == nil:
+			err = ErrNotFound
+			return nil
+		case cur.CAS != cas:
+			err = ErrCASMismatch
+			return nil
+		}
+		return it
+	})
+	return err
 }
 
 // Delete removes the key.
@@ -198,15 +221,12 @@ func (s *RPStore) Delete(key string) bool {
 // Touch replaces the item with one bearing the new expiry (items are
 // immutable; readers see old or new).
 func (s *RPStore) Touch(key string, expireAt int64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.c.Peek(key)
-	if !ok {
-		return false
-	}
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(NewItem(cur.Key, cur.Flags, cur.Value, expireAt))
-	return true
+	return s.update(key, func(cur *Item) *Item {
+		if cur == nil {
+			return nil
+		}
+		return NewItem(cur.Key, cur.Flags, cur.Value, expireAt)
+	})
 }
 
 // Append concatenates after the existing value.
@@ -216,47 +236,51 @@ func (s *RPStore) Append(key string, data []byte) bool { return s.concat(key, da
 func (s *RPStore) Prepend(key string, data []byte) bool { return s.concat(key, data, true) }
 
 func (s *RPStore) concat(key string, data []byte, front bool) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.c.Peek(key)
-	if !ok {
-		return false
-	}
-	buf := make([]byte, 0, len(cur.Value)+len(data))
-	if front {
-		buf = append(append(buf, data...), cur.Value...)
-	} else {
-		buf = append(append(buf, cur.Value...), data...)
-	}
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(NewItem(cur.Key, cur.Flags, buf, cur.ExpireAt))
-	return true
+	return s.update(key, func(cur *Item) *Item {
+		if cur == nil {
+			return nil
+		}
+		buf := make([]byte, 0, len(cur.Value)+len(data))
+		if front {
+			buf = append(append(buf, data...), cur.Value...)
+		} else {
+			buf = append(append(buf, cur.Value...), data...)
+		}
+		return NewItem(cur.Key, cur.Flags, buf, cur.ExpireAt)
+	})
 }
 
-// IncrDecr adjusts a decimal value by full-item replacement.
+// IncrDecr adjusts a decimal value by full-item replacement. The
+// parse-compute-store sequence runs inside one cache.Update, so two
+// concurrent incr commands on one key serialize under its stripe and
+// neither adjustment is lost.
 func (s *RPStore) IncrDecr(key string, delta uint64, decr bool) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.c.Peek(key)
-	if !ok {
-		return 0, ErrNotFound
-	}
-	val, err := strconv.ParseUint(string(cur.Value), 10, 64)
-	if err != nil {
-		return 0, ErrNotNumeric
-	}
 	var next uint64
-	if decr {
-		if delta > val {
-			next = 0
-		} else {
-			next = val - delta
+	err := ErrNotFound
+	s.update(key, func(cur *Item) *Item {
+		if cur == nil {
+			return nil
 		}
-	} else {
-		next = val + delta
+		val, perr := strconv.ParseUint(string(cur.Value), 10, 64)
+		if perr != nil {
+			err = ErrNotNumeric
+			return nil
+		}
+		if decr {
+			if delta > val {
+				next = 0
+			} else {
+				next = val - delta
+			}
+		} else {
+			next = val + delta
+		}
+		err = nil
+		return NewItem(cur.Key, cur.Flags, []byte(strconv.FormatUint(next, 10)), cur.ExpireAt)
+	})
+	if err != nil {
+		return 0, err
 	}
-	//lint:allow rplint/gracewait mu orders full read-modify-write command sequences; a backpressured Set under it is the documented cost of CAS semantics (see ROADMAP: value-level CAS)
-	s.setLocked(NewItem(cur.Key, cur.Flags, []byte(strconv.FormatUint(next, 10)), cur.ExpireAt))
 	return next, nil
 }
 
@@ -275,17 +299,22 @@ func (s *RPStore) Bytes() int64 { return s.c.Cost() }
 // table size; Buckets comes from the map's own counter.
 func (s *RPStore) Stats() StoreStats {
 	cs := s.c.Counters()
+	ms := s.c.MapCounters()
 	return StoreStats{
-		Engine:    "rp",
-		CurrItems: int64(cs.Entries),
-		Bytes:     cs.Cost,
-		GetHits:   cs.Hits,
-		GetMisses: cs.Misses,
-		Sets:      s.sets.Load(),
-		Deletes:   s.deletes.Load(),
-		Evictions: cs.Evictions,
-		Expired:   cs.Expirations,
-		Buckets:   s.c.Buckets(),
+		Engine:         "rp",
+		CurrItems:      int64(cs.Entries),
+		Bytes:          cs.Cost,
+		GetHits:        cs.Hits,
+		GetMisses:      cs.Misses,
+		Sets:           s.sets.Load(),
+		Deletes:        s.deletes.Load(),
+		Evictions:      cs.Evictions,
+		Expired:        cs.Expirations,
+		Buckets:        s.c.Buckets(),
+		CASFastInserts: ms.CASFastInserts,
+		CASFallbacks:   ms.CASFallbacks,
+		CASUndos:       ms.CASUndos,
+		ValueCASSwaps:  ms.ValueCASSwaps,
 	}
 }
 
@@ -335,6 +364,14 @@ func (s *RPStore) RegisterMetrics(reg *obs.Registry) {
 		func() uint64 { return s.c.MapCounters().UnzipPasses })
 	reg.Counter("rphash_unzip_cuts_total", "Individual unzip pointer cuts.",
 		func() uint64 { return s.c.MapCounters().UnzipCuts })
+	reg.Counter("rphash_cas_fast_inserts_total", "Pure inserts published lock-free by head CAS.",
+		func() uint64 { return s.c.MapCounters().CASFastInserts })
+	reg.Counter("rphash_cas_fallbacks_total", "Fast-path inserts that fell back to the striped slow path.",
+		func() uint64 { return s.c.MapCounters().CASFallbacks })
+	reg.Counter("rphash_cas_undos_total", "Fast-path inserts rolled back after losing to a resize capture.",
+		func() uint64 { return s.c.MapCounters().CASUndos })
+	reg.Counter("rphash_value_cas_total", "Successful lock-free value compare-and-publishes.",
+		func() uint64 { return s.c.MapCounters().ValueCASSwaps })
 
 	reg.Counter("rphash_rcu_grace_periods_total", "Completed Synchronize calls.",
 		func() uint64 { return s.c.Domain().Stats().GracePeriods })

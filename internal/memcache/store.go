@@ -62,4 +62,15 @@ type StoreStats struct {
 	// Buckets is the hash-table bucket count (post-resize), where the
 	// engine exposes it.
 	Buckets int
+	// Lock-free write-path counters (rp engine only; zero elsewhere).
+	// CASFastInserts counts pure inserts published by a bucket-head
+	// CAS without taking a stripe; CASFallbacks counts fast-path
+	// attempts that redid themselves under the striped slow path;
+	// CASUndos (a subset of fallbacks) counts published inserts rolled
+	// back after losing to a resize capture; ValueCASSwaps counts
+	// successful lock-free value compare-and-publishes.
+	CASFastInserts uint64
+	CASFallbacks   uint64
+	CASUndos       uint64
+	ValueCASSwaps  uint64
 }

@@ -46,6 +46,11 @@ const (
 	// EvAutoShrink: the load policy triggered a background shrink.
 	// A=len, B=buckets at trigger time.
 	EvAutoShrink
+	// EvCASUndo: a lock-free fast-path insert was published, lost to a
+	// concurrent resize capture, and rolled back (the write then redid
+	// itself under its stripe). Rare by construction — it needs a
+	// head CAS inside an all-stripes capture window.
+	EvCASUndo
 )
 
 func (t EventType) String() string {
@@ -72,6 +77,8 @@ func (t EventType) String() string {
 		return "auto_grow"
 	case EvAutoShrink:
 		return "auto_shrink"
+	case EvCASUndo:
+		return "cas_undo"
 	}
 	return "none"
 }
@@ -112,6 +119,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("shard %d: auto-grow trigger (len=%d buckets=%d)", e.Shard, e.A, e.B)
 	case EvAutoShrink:
 		return fmt.Sprintf("shard %d: auto-shrink trigger (len=%d buckets=%d)", e.Shard, e.A, e.B)
+	case EvCASUndo:
+		return fmt.Sprintf("shard %d: cas fast-path insert undone (lost to resize capture)", e.Shard)
 	}
 	return fmt.Sprintf("shard %d: event %d a=%d b=%d c=%d", e.Shard, e.Type, e.A, e.B, e.C)
 }

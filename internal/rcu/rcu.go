@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"weak"
 
 	"rphash/internal/obs"
 )
@@ -46,8 +47,20 @@ type Domain struct {
 	syncMu sync.Mutex
 
 	// regMu protects the reader registries.
+	//
+	// The delimited-reader registry holds WEAK pointers. The reader
+	// pool below is drained wholesale by the garbage collector
+	// (sync.Pool semantics), and the write fast path refills it
+	// constantly; with strong registry references every drained
+	// reader would stay registered forever — quiescent, but a
+	// permanent extra scan slot for every future grace period, and a
+	// slow leak. A weak registry instead tracks exactly the readers
+	// somebody can still use: a reader is strongly referenced while
+	// pooled, checked out, or held by a handle, and one the collector
+	// has dropped can never enter a section again, so Synchronize
+	// skipping (and pruning) it is precisely correct.
 	regMu   sync.Mutex
-	readers map[*Reader]struct{}
+	readers map[weak.Pointer[Reader]]struct{}
 	qsbr    []*QSBRReader
 
 	// pool recycles anonymous readers used by Domain.Read.
@@ -97,7 +110,7 @@ type DomainStats struct {
 // Defer callbacks.
 func NewDomain() *Domain {
 	d := &Domain{
-		readers: make(map[*Reader]struct{}),
+		readers: make(map[weak.Pointer[Reader]]struct{}),
 		defWake: make(chan struct{}, 1),
 		defDone: make(chan struct{}),
 		doneCh:  make(chan struct{}),
@@ -116,7 +129,24 @@ func NewDomain() *Domain {
 func (d *Domain) Register() *Reader {
 	r := &Reader{dom: d}
 	d.regMu.Lock()
-	d.readers[r] = struct{}{}
+	// Amortized registry hygiene: probe a few entries and drop the
+	// collected ones. Synchronize also prunes, but a workload that
+	// never resizes never synchronizes, and the pool refill cycle
+	// (GC drains the pool, the write fast path re-registers) would
+	// otherwise grow the map without bound — each Register can orphan
+	// at most one prior entry, and four random-start probes reclaim
+	// dead ones faster than that, so the map stays within a small
+	// factor of the live reader count.
+	probes := 0
+	for w := range d.readers {
+		if w.Value() == nil {
+			delete(d.readers, w)
+		}
+		if probes++; probes >= 4 {
+			break
+		}
+	}
+	d.readers[weak.Make(r)] = struct{}{}
 	d.regMu.Unlock()
 	return r
 }
@@ -171,8 +201,10 @@ func (r *Reader) Close() {
 	if r.nest != 0 {
 		panic("rcu: Reader.Close inside critical section")
 	}
+	// weak.Make on the same pointer yields the same (comparable)
+	// handle, so this deletes the entry Register created.
 	r.dom.regMu.Lock()
-	delete(r.dom.readers, r)
+	delete(r.dom.readers, weak.Make(r))
 	r.dom.regMu.Unlock()
 }
 
@@ -238,8 +270,16 @@ func (d *Domain) Synchronize() {
 	// target.
 	d.regMu.Lock()
 	snapshot := make([]*Reader, 0, len(d.readers))
-	for r := range d.readers {
-		snapshot = append(snapshot, r)
+	for w := range d.readers {
+		if r := w.Value(); r != nil {
+			snapshot = append(snapshot, r)
+		} else {
+			// The collector dropped this reader (pool drain): it was
+			// quiescent then and can never enter a section again.
+			// Prune the dead handle so the registry tracks only
+			// usable readers.
+			delete(d.readers, w)
+		}
 	}
 	qsnapshot := make([]*QSBRReader, len(d.qsbr))
 	copy(qsnapshot, d.qsbr)
@@ -348,7 +388,14 @@ func (d *Domain) Close() {
 // Stats returns a snapshot of domain counters.
 func (d *Domain) Stats() DomainStats {
 	d.regMu.Lock()
-	n := len(d.readers)
+	n := 0
+	for w := range d.readers {
+		// Count only readers still reachable; dead handles linger
+		// until the next Synchronize prunes them.
+		if w.Value() != nil {
+			n++
+		}
+	}
 	q := len(d.qsbr)
 	d.regMu.Unlock()
 	return DomainStats{

@@ -331,6 +331,31 @@ func (m *Map[K, V]) SwapHashed(h uint64, k K, v V) (V, bool) {
 	return m.shardFor(h).SwapHashed(h, k, v)
 }
 
+// Update runs a read-modify-write for k under its shard's writer
+// stripe; see core.Table.Update for fn's contract.
+func (m *Map[K, V]) Update(k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
+	return m.UpdateHashed(m.hash(k), k, fn)
+}
+
+// UpdateHashed is Update with the key's hash precomputed.
+func (m *Map[K, V]) UpdateHashed(h uint64, k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
+	return m.shardFor(h).UpdateHashed(h, k, fn)
+}
+
+// CompareAndSwapValue publishes v for k only if match accepts the
+// current value, without taking any lock; see
+// core.Table.CompareAndSwapValue for the semantics and the caveats of
+// mixing it with CompareAndDelete or Move on the same keys.
+func (m *Map[K, V]) CompareAndSwapValue(k K, match func(V) bool, v V) (swapped, present bool) {
+	return m.CompareAndSwapValueHashed(m.hash(k), k, match, v)
+}
+
+// CompareAndSwapValueHashed is CompareAndSwapValue with the key's
+// hash precomputed.
+func (m *Map[K, V]) CompareAndSwapValueHashed(h uint64, k K, match func(V) bool, v V) (swapped, present bool) {
+	return m.shardFor(h).CompareAndSwapValueHashed(h, k, match, v)
+}
+
 // Delete removes k, reporting whether it was present.
 func (m *Map[K, V]) Delete(k K) bool {
 	h := m.hash(k)
@@ -448,6 +473,10 @@ func accumulate(agg *core.Stats, st core.Stats) {
 	agg.UnzipParallelPasses += st.UnzipParallelPasses
 	agg.AutoGrows += st.AutoGrows
 	agg.AutoShrinks += st.AutoShrinks
+	agg.CASFastInserts += st.CASFastInserts
+	agg.CASFallbacks += st.CASFallbacks
+	agg.CASUndos += st.CASUndos
+	agg.ValueCASSwaps += st.ValueCASSwaps
 	if st.UnzipWorkers > agg.UnzipWorkers {
 		agg.UnzipWorkers = st.UnzipWorkers
 	}

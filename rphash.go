@@ -99,6 +99,15 @@ func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
 // ablation baseline for the striped scheme.
 func WithStripes(n int) Option { return core.WithStripes(n) }
 
+// WithCASInsert enables or disables the lock-free write fast path
+// (default on): pure inserts publish by CAS on the bucket head with
+// epoch validation, and upserts on existing keys revalidate an
+// unlocked hint under the stripe, instead of taking the striped slow
+// path up front. Disabling it pins every write to the striped path —
+// the ablation A7 "locked" baseline. Lookups and value-level
+// CompareAndSwapValue are unaffected either way.
+func WithCASInsert(enabled bool) Option { return core.WithCASInsert(enabled) }
+
 // WithAdapt starts an adaptive maintenance controller on the table
 // at construction: sampled stripe-lock contention grows or shrinks
 // the writer-stripe array at runtime, and resize migration fans out
