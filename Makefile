@@ -5,7 +5,7 @@ GO      ?= go
 COUNT   ?= 10
 BENCHOUT ?= bench-write.txt
 
-.PHONY: test race lint test-invariants bench-write bench-adapt bench-shards bench-smoke fig5 ablation6 ablation7
+.PHONY: test race lint test-invariants bench-write bench-adapt bench-shards bench-smoke fig5 ablation6 ablation7 ablation8
 
 test:
 	$(GO) build ./...
@@ -85,3 +85,9 @@ ablation6:
 # writes BENCH_ablation7.json.
 ablation7:
 	$(GO) run ./cmd/rphash-bench -caswrite -json
+
+# ablation8 runs the bucket-engine ablation (flat cache-line groups vs
+# relativistic chains: read-uniform/read-zipf/mixed throughput plus
+# bytes/element) and writes BENCH_ablation8.json.
+ablation8:
+	$(GO) run ./cmd/rphash-bench -flatengine -json

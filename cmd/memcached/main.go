@@ -1,8 +1,9 @@
 // Command memcached runs the mini-memcached server with a selectable
 // storage engine:
 //
-//	memcached -addr :11211 -engine rp    # relativistic hash table (lock-free GET)
-//	memcached -addr :11211 -engine lock  # stock-style global cache lock
+//	memcached -addr :11211 -engine rp       # relativistic chains (lock-free GET)
+//	memcached -addr :11211 -engine rp-flat  # relativistic flat cell groups
+//	memcached -addr :11211 -engine lock     # stock-style global cache lock
 //
 // The text protocol subset implemented: get/gets, set/add/replace/
 // append/prepend/cas, delete, incr/decr, touch, flush_all, stats,
@@ -24,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"rphash/internal/core"
 	"rphash/internal/memcache"
 	"rphash/internal/obs"
 )
@@ -31,7 +33,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
-		engine    = flag.String("engine", "rp", "storage engine: rp | lock")
+		engine    = flag.String("engine", "rp", "storage engine: rp | rp-flat | lock")
 		maxBytes  = flag.Int64("max-bytes", 64<<20, "memory budget in bytes (0 = unlimited)")
 		sweep     = flag.Duration("sweep", time.Second, "expired-item sweep interval for engines that expose an external sweep pass (the rp engine sweeps itself incrementally; lock expires lazily)")
 		quiet     = flag.Bool("quiet", false, "suppress connection error logs")
@@ -51,16 +53,19 @@ func main() {
 
 	var store memcache.Store
 	switch *engine {
-	case "rp":
+	case "rp", "rp-flat":
+		var sopts []memcache.StoreOption
 		if o != nil {
-			store = memcache.NewRPStore(*maxBytes, memcache.WithStoreObserver(o))
-		} else {
-			store = memcache.NewRPStore(*maxBytes)
+			sopts = append(sopts, memcache.WithStoreObserver(o))
 		}
+		if *engine == "rp-flat" {
+			sopts = append(sopts, memcache.WithStoreEngine(core.EngineFlat))
+		}
+		store = memcache.NewRPStore(*maxBytes, sopts...)
 	case "lock":
 		store = memcache.NewLockStore(*maxBytes)
 	default:
-		fmt.Fprintf(os.Stderr, "memcached: unknown engine %q (want rp or lock)\n", *engine)
+		fmt.Fprintf(os.Stderr, "memcached: unknown engine %q (want rp, rp-flat, or lock)\n", *engine)
 		os.Exit(2)
 	}
 

@@ -37,6 +37,11 @@
 //	                path (locked vs CAS insert, striped vs CAS value
 //	                RMW, uniform + zipf); with -json also writes
 //	                BENCH_ablation7.json
+//	-flatengine     run only ablation A8: the flat bucket engine vs
+//	                the chain engine (read-uniform, read-zipf, mixed
+//	                at 1..-writers threads; bytes/element for both
+//	                layouts via the A4 methodology); with -json also
+//	                writes BENCH_ablation8.json
 //	-writers N      writer count for the A6 stripe sweep, and the top
 //	                of the A7 writer sweep (default 8)
 package main
@@ -73,6 +78,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the ablation suite (A1-A6) instead of the paper figures")
 		adaptA6  = flag.Bool("adapt", false, "run only ablation A6 (adaptive stripes + parallel unzip); with -json writes BENCH_ablation6.json")
 		casA7    = flag.Bool("caswrite", false, "run only ablation A7 (lock-free write fast path); with -json writes BENCH_ablation7.json")
+		flatA8   = flag.Bool("flatengine", false, "run only ablation A8 (flat vs chain bucket engine); with -json writes BENCH_ablation8.json")
 		writers  = flag.Int("writers", 8, "writer count for the A6 adaptive-stripes sweep and the top of the A7 sweep")
 	)
 	flag.Parse()
@@ -111,6 +117,13 @@ func main() {
 		}
 		return
 	}
+	if *flatA8 {
+		if err := runAblationA8(cfg, *writers, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ablation {
 		runAblations(cfg, *csv)
 		if err := runAblationA6(cfg, *writers, *jsonOut); err != nil {
@@ -118,6 +131,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runAblationA7(cfg, *writers, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
+			os.Exit(1)
+		}
+		if err := runAblationA8(cfg, *writers, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rphash-bench:", err)
 			os.Exit(1)
 		}
@@ -375,6 +392,62 @@ func runAblationA7(cfg bench.Config, writers int, jsonOut bool) error {
 		return err
 	}
 	fmt.Printf("wrote BENCH_ablation7.json\n\n")
+	return nil
+}
+
+// ablation8JSON is BENCH_ablation8.json: the throughput rows in the
+// same points format as the figure trajectories (engine encodes
+// "engine/workload", threads is the goroutine count) so benchgate
+// auto-pairs and gates them like any figure series, plus the memory
+// rows, which benchgate ignores.
+type ablation8JSON struct {
+	Ablation int                      `json:"ablation"`
+	Title    string                   `json:"title"`
+	Points   []jsonPoint              `json:"points"`
+	Memory   []bench.FlatMemoryResult `json:"memory"`
+}
+
+// runAblationA8 runs the flat-vs-chain engine ablation (same threads
+// sweep as A7: powers of two up to -writers), printing tables and
+// optionally writing BENCH_ablation8.json.
+func runAblationA8(cfg bench.Config, threads int, jsonOut bool) error {
+	fmt.Println("== Ablation A8: flat vs chain bucket engine ==")
+	res := bench.AblationFlatEngine(cfg, a7Writers(threads))
+	fmt.Printf("%-14s %-8s %8s %16s\n", "workload", "engine", "threads", "ops/s")
+	for _, r := range res.Throughput {
+		fmt.Printf("%-14s %-8s %8d %16.0f\n", r.Workload, r.Engine, r.Threads, r.OpsPerS)
+	}
+	fmt.Println()
+	fmt.Printf("%-14s %10s %14s\n", "config", "keys", "bytes/elem")
+	for _, m := range res.Memory {
+		fmt.Printf("%-14s %10d %14.1f\n", m.Config, m.Keys, m.BytesPerElem)
+	}
+	fmt.Println()
+
+	if !jsonOut {
+		return nil
+	}
+	out := ablation8JSON{
+		Ablation: 8,
+		Title:    "Ablation A8: flat vs chain bucket engine (throughput + bytes/element)",
+		Memory:   res.Memory,
+	}
+	for _, r := range res.Throughput {
+		out.Points = append(out.Points, jsonPoint{
+			Engine:    r.Engine + "/" + r.Workload,
+			Threads:   r.Threads,
+			Batch:     1,
+			OpsPerSec: r.OpsPerS,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ablation8.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote BENCH_ablation8.json\n\n")
 	return nil
 }
 

@@ -101,6 +101,32 @@
 //	c.SetWith("k", payload, time.Hour, int64(len(payload))) // 0 TTL = never expire
 //	v, err := c.GetOrLoad("hot", loadFromBackend) // one load per storm
 //
+// # Engines
+//
+// The bucket representation is pluggable: WithEngine (WithMapEngine,
+// WithCacheEngine) selects between two layouts behind one seam, with
+// identical semantics on every operation above. EngineChain (the
+// default) is the paper's relativistic linked chains — lock-free
+// reads, CAS-insert write fast path, in-place unzip resize that
+// never copies a node. EngineFlat trades the pointer chase for
+// cache-line contiguity: each bucket is eight inline key/value cells
+// behind a packed word of eight 8-bit hash tags; a lookup loads the
+// tag word once, SWAR-scans it, and touches only matching cells (one
+// cache line for the common miss, two for the hit), spilling past
+// eight cells into an overflow chain. Cells publish and retire
+// through atomic tag-word stores ordered against a grace period, so
+// reads stay wait-free. Because inline cells cannot be relinked, the
+// flat engine resizes by relativistic per-bucket copying — publish
+// the new group array, migrate each bucket under its stripe (shared
+// value boxes, one grace period before and after the pass), readers
+// routing per bucket by a migrated flag the way chain readers route
+// by epoch — and consequently takes a stripe for every write: a
+// lock-free value CAS could be lost to a concurrent bucket copy.
+// Single-threaded reads run ~30-50% faster than chains and dense
+// tables spend ~35% fewer bytes per element; sparse tables invert
+// that, paying per group rather than per element (ablation A8,
+// README "Engines" for measured numbers).
+//
 // # Batched operations
 //
 // Readers are cheap but not free: each lookup pays a reader-section

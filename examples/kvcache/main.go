@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,11 +18,18 @@ import (
 )
 
 func main() {
+	// -engine selects the bucket layout underneath every shard table:
+	// "chain" (relativistic chains, the default) or "flat" (inline
+	// cell groups). The workload is identical either way — that is
+	// the point of the engine seam.
+	engine := flag.String("engine", rphash.EngineChain, "bucket engine: chain | flat")
+	flag.Parse()
 	cache := rphash.NewCacheString[string](
-		rphash.WithCacheTTL(time.Minute),          // default session TTL
-		rphash.WithCacheMaxCost(24_000),           // eviction pressure in phase 3
-		rphash.WithCacheInitialBuckets(128),       // start small: watch it grow
+		rphash.WithCacheTTL(time.Minute),    // default session TTL
+		rphash.WithCacheMaxCost(24_000),     // eviction pressure in phase 3
+		rphash.WithCacheInitialBuckets(128), // start small: watch it grow
 		rphash.WithCacheSweepInterval(25*time.Millisecond),
+		rphash.WithCacheEngine(*engine),
 	)
 	defer cache.Close()
 

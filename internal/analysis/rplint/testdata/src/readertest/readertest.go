@@ -219,3 +219,64 @@ func stripedFallbackInSection(d *rcu.Domain, mu *sync.Mutex) {
 	mu.Unlock()
 	r.Unlock()
 }
+
+// ---- flat-engine epoch-routed read shapes ----
+
+// flatView models the copy-based resize's routing state: a published
+// view whose per-unit migrated flags steer each read to the old or
+// new group array.
+type flatView struct {
+	mask     uint64
+	tags     []uint64 // one packed tag word per group (atomic in the engine)
+	migrated []uint32
+	prev     *flatView
+}
+
+var tagSink uint64
+
+// epochRoutedReadInSection is the flat engine's lookup: load the
+// routing flag, pick a view, load that group's tag word — all atomic
+// loads inside the section, so nothing blocks and nothing is flagged.
+// This is the shape the copy-based resize depends on: readers route,
+// they never migrate.
+func epochRoutedReadInSection(d *rcu.Domain, v *flatView, h uint64) {
+	r := d.Reader()
+	r.Lock()
+	g := v
+	if p := v.prev; p != nil && atomic.LoadUint32(&v.migrated[h&v.mask]) == 0 {
+		g = p
+	}
+	tagSink = atomic.LoadUint64(&g.tags[h&g.mask])
+	r.Unlock()
+}
+
+// routedRetryLoopInSection re-reads the routing flag until the view
+// settles, like a reader racing the migration pass; a bounded atomic
+// retry loop never blocks.
+func routedRetryLoopInSection(d *rcu.Domain, v *flatView, h uint64) {
+	r := d.Reader()
+	r.Lock()
+	defer r.Unlock()
+	for i := 0; i < 4; i++ {
+		if atomic.LoadUint32(&v.migrated[h&v.mask]) != 0 {
+			tagSink = atomic.LoadUint64(&v.tags[h&v.mask])
+			return
+		}
+	}
+}
+
+// migrateOnReadInSection is the forbidden variant: a reader that finds
+// an unmigrated unit and tries to migrate it itself must take the
+// unit's stripe — a mutex acquisition inside the section, flagged.
+// Migration belongs to writers (migrate-on-write runs before the
+// reader section opens) and to the resize pass.
+func migrateOnReadInSection(d *rcu.Domain, v *flatView, mu *sync.Mutex, h uint64) {
+	r := d.Reader()
+	r.Lock()
+	if atomic.LoadUint32(&v.migrated[h&v.mask]) == 0 {
+		mu.Lock() // want `acquires a mutex`
+		atomic.StoreUint32(&v.migrated[h&v.mask], 1)
+		mu.Unlock()
+	}
+	r.Unlock()
+}

@@ -1,0 +1,76 @@
+// Package flattag models the flat bucket engine's tag-word shapes for
+// the atomicmix analyzer: the packed 8-bit hash-tag word that the read
+// path scans with one atomic load, and the retiring bitmask that keeps
+// a cleared cell's value box alive across the grace period. Both words
+// carry function-style sync/atomic traffic from readers, writers, and
+// deferred reclaimers at once — the exact mixed-use surface where one
+// plain peek (a "quick" occupancy check, a non-atomic bit clear) is a
+// data race the schedule rarely exposes. Strictly-atomic access draws
+// no diagnostics; each plain touch is flagged.
+package flattag
+
+import "sync/atomic"
+
+// group mirrors the flat engine's per-bucket header on basic-typed
+// fields (the real engine uses atomic.Uint64 wrappers, which the type
+// system already keeps honest; these are the function-style
+// equivalents the analyzer has to police).
+type group struct {
+	tags     uint64 // packed nonzero tag bytes; 0 = empty cell
+	retiring uint64 // cleared-cell bits awaiting grace-period reclaim
+	probes   int64  // plain everywhere: stats, not the analyzer's business
+}
+
+// scan is the reader: one acquire load of the whole tag word, then a
+// SWAR candidate scan on the copy. The local word is plain data — only
+// the field access must be atomic.
+func (g *group) scan(tag byte) int {
+	tags := atomic.LoadUint64(&g.tags)
+	for i := 0; i < 8; i++ {
+		if byte(tags>>(8*uint(i))) == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// publish is the writer's release store: cell contents are written
+// first, then the new tag byte makes the cell visible.
+func (g *group) publish(tags uint64) { atomic.StoreUint64(&g.tags, tags) }
+
+// retire marks a cleared cell's bit so concurrent inserts will not
+// reuse the cell before its value box is reclaimed.
+func (g *group) retire(cell uint) { atomic.OrUint64(&g.retiring, 1<<cell) }
+
+// reclaim is the deferred half: the bit clears only after a grace
+// period, with release ordering against the value-box nil store.
+func (g *group) reclaim(cell uint) { atomic.AndUint64(&g.retiring, ^uint64(1<<cell)) }
+
+// quickEmpty short-circuits the occupancy check with a plain load:
+// a racing publish makes the read undefined, so it is flagged.
+func (g *group) quickEmpty() bool {
+	return g.tags == 0 // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// clearAll resets the tag word without atomics — the "it's under the
+// stripe lock anyway" shortcut that readers never see consistently.
+func (g *group) clearAll() {
+	g.tags = 0 // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// retiringPeek checks a retire bit plainly; racing Or/And traffic
+// makes it undefined, so it is flagged.
+func (g *group) retiringPeek(cell uint) bool {
+	return g.retiring&(1<<cell) != 0 // want `accessed with sync/atomic .* but accessed plainly here`
+}
+
+// bumpProbes never touches sync/atomic, so plain access is fine.
+func (g *group) bumpProbes() int64 {
+	g.probes++
+	return g.probes
+}
+
+// newGroup initializes by composite literal, exempt while unpublished.
+func newGroup() *group { return &group{tags: 0, retiring: 0} }
+
+var _ = newGroup

@@ -221,5 +221,25 @@ func AblationNodeMemory(keys int) []NodeMemoryResult {
 			return func(k uint64) { t.Set(k, 0) }, t.Close
 		}))
 	}
+	// The flat engine side by side (same keys, same striped-insert
+	// pinning — it has no CAS path to pin away): sparse is the fig5
+	// configuration (one 8-cell group per key, mostly empty cells),
+	// dense sizes groups for 100% inline occupancy. Chains pay per
+	// element; flat pays per group — the pair brackets the layout.
+	for _, cfgRow := range []struct {
+		name   string
+		groups uint64
+	}{
+		{"flat sparse (1 grp/key)", uint64(keys)},
+		{"flat dense (8 keys/grp)", uint64(keys) / 8},
+	} {
+		groups := cfgRow.groups
+		var t *core.Table[uint64, int]
+		out = append(out, measure(cfgRow.name, func() (func(uint64), func()) {
+			t = core.NewUint64[int](core.WithInitialBuckets(groups),
+				core.WithEngine(core.EngineFlat))
+			return func(k uint64) { t.Set(k, 0) }, t.Close
+		}))
+	}
 	return out
 }

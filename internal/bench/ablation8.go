@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"rphash/internal/core"
+	"rphash/internal/stats"
+	"rphash/internal/workload"
+)
+
+// Ablation A8: the flat bucket engine vs the chain engine.
+//
+// A8 is the head-to-head the engine seam exists to enable: the same
+// core.Table, the same RCU domain, the same striped writer model —
+// only the bucket representation differs. Three throughput workloads
+// at 1..N threads:
+//
+//   - read-uniform: pure lookups, uniform keys over 2x the preload
+//     (50% hit ratio). The single-thread point is the headline: a
+//     chain lookup is a pointer chase per probed node, a flat lookup
+//     is one tag-word scan over contiguous cells — the cache-locality
+//     win Maier et al. report for flat layouts, reproduced under a
+//     relativistic read side.
+//   - read-zipf: pure lookups, Zipf(1.1)-skewed keys. Skew
+//     concentrates probes on a few buckets, which keeps them resident
+//     in cache for BOTH engines — it bounds how much of the uniform
+//     gap is layout and how much is working-set size.
+//   - mixed: lookups and upserts concurrently (threads readers plus
+//     ceil(threads/2) writers); reported as combined ops/s. The flat
+//     engine has no lock-free write fast path (its copy-based
+//     migration makes stripe-serialized value publishes mandatory),
+//     so this is where its write-side cost shows.
+//
+// The memory rows reuse the A4 live-heap methodology (GC, insert,
+// GC, delta/keys) at load factor 1: the chain engine pays one
+// 48-byte node plus a bucket-head slot per element; the flat engine
+// pays its cell geometry — sparse (one 8-cell group per key, the
+// fig5 configuration) and dense (groups sized to 100% cell
+// occupancy) bracket the range.
+const AblationFlatEngineID = 8
+
+// FlatEngineResult is one throughput row of ablation A8 (JSON tags
+// match the BENCH_ablation8.json format).
+type FlatEngineResult struct {
+	Workload string  `json:"workload"` // read-uniform | read-zipf | mixed
+	Engine   string  `json:"engine"`   // chain | flat
+	Threads  int     `json:"threads"`
+	OpsPerS  float64 `json:"ops_per_sec"`
+}
+
+// FlatMemoryResult is one memory row of ablation A8.
+type FlatMemoryResult struct {
+	Config       string  `json:"config"` // chain | flat-sparse | flat-dense
+	Keys         int     `json:"keys"`
+	BytesPerElem float64 `json:"bytes_per_elem"`
+}
+
+// Ablation8Result is the complete A8 output.
+type Ablation8Result struct {
+	Throughput []FlatEngineResult `json:"throughput"`
+	Memory     []FlatMemoryResult `json:"memory"`
+}
+
+// AblationFlatEngine (A8) runs the chain-vs-flat sweep. threads
+// defaults to {1, 2, 4, 8}.
+func AblationFlatEngine(cfg Config, threads []int) Ablation8Result {
+	cfg.fillDefaults()
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4, 8}
+	}
+	engines := []struct {
+		name string
+		mk   func() Engine
+	}{
+		{"chain", func() Engine { return NewRP(cfg.SmallBuckets) }},
+		{"flat", func() Engine { return NewRPFlat(cfg.SmallBuckets) }},
+	}
+	var res Ablation8Result
+	for _, eng := range engines {
+		for _, n := range threads {
+			row := func(workload string, ops float64) {
+				res.Throughput = append(res.Throughput, FlatEngineResult{
+					Workload: workload, Engine: eng.name, Threads: n, OpsPerS: ops,
+				})
+			}
+			row("read-uniform", bestReads(eng.mk, n, cfg, 0))
+			row("read-zipf", bestReads(eng.mk, n, cfg, 1.1))
+			row("mixed", bestMixedOps(eng.mk, n, (n+1)/2, cfg))
+		}
+	}
+	res.Memory = flatEngineMemory(int(cfg.SmallBuckets) * 4)
+	return res
+}
+
+// bestReads is best-of-Repeats pure-lookup throughput at `readers`
+// goroutines; skew > 1 draws lookup keys from a Zipf distribution
+// with that exponent instead of uniformly.
+func bestReads(mk func() Engine, readers int, cfg Config, skew float64) float64 {
+	best := 0.0
+	for r := 0; r < cfg.Repeats; r++ {
+		e := mk()
+		Preload(e, cfg)
+		if ops := measureReadsSkewed(e, readers, cfg, skew); ops > best {
+			best = ops
+		}
+		e.Close()
+	}
+	return best
+}
+
+// measureReadsSkewed is MeasureLookups with a selectable key
+// distribution (the shared harness draws uniformly; A8's zipf arm
+// needs skew on the READ side, which no other figure sweeps).
+func measureReadsSkewed(e Engine, readers int, cfg Config, skew float64) float64 {
+	cfg.fillDefaults()
+	counters := stats.NewCounterSet(readers)
+	stopWarm := make(chan struct{})
+	stop := make(chan struct{})
+	start := make(chan struct{})
+	var ready, done sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			lookup, closeFn := e.NewLookup()
+			if closeFn != nil {
+				defer closeFn()
+			}
+			var gen interface{ Key() uint64 }
+			if skew > 1 {
+				gen = workload.NewZipf(cfg.KeySpace, skew, int64(id)*0x9e3779b9+1)
+			} else {
+				gen = workload.NewUniform(cfg.KeySpace, uint64(id)*0x9e3779b9+1)
+			}
+			ready.Done()
+			<-start
+			for {
+				select {
+				case <-stopWarm:
+					goto measured
+				default:
+				}
+				lookup(gen.Key())
+			}
+		measured:
+			slot := counters.Slot(id)
+			var local uint64
+			for {
+				select {
+				case <-stop:
+					slot.Add(local)
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					lookup(gen.Key())
+				}
+				local += 64
+			}
+		}(r)
+	}
+
+	ready.Wait()
+	close(start)
+	time.Sleep(cfg.WarmDuration)
+	close(stopWarm)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	done.Wait()
+	return float64(counters.Total()) / time.Since(t0).Seconds()
+}
+
+// bestMixedOps is best-of-Repeats combined (lookups + upserts)
+// throughput from the shared mixed harness.
+func bestMixedOps(mk func() Engine, readers, writers int, cfg Config) float64 {
+	best := 0.0
+	for r := 0; r < cfg.Repeats; r++ {
+		e := mk()
+		Preload(e, cfg)
+		m := MeasureMixed(e, readers, writers, cfg)
+		if ops := m.LookupsPerS + m.UpsertsPerS; ops > best {
+			best = ops
+		}
+		e.Close()
+	}
+	return best
+}
+
+// flatEngineMemory prices the layouts at load factor 1 with the A4
+// live-heap methodology. Inserts ride the striped path on every
+// configuration (the chain arm pins WithCASInsert(false), the flat
+// engine has no CAS path) so the rows compare storage, not write-path
+// machinery.
+func flatEngineMemory(keys int) []FlatMemoryResult {
+	if keys <= 0 {
+		keys = 1 << 18
+	}
+	measure := func(name string, opts ...core.Option) FlatMemoryResult {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t := core.NewUint64[int](opts...)
+		for i := 0; i < keys; i++ {
+			t.Set(uint64(i), 0)
+		}
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		res := FlatMemoryResult{
+			Config:       name,
+			Keys:         keys,
+			BytesPerElem: float64(after.HeapAlloc-before.HeapAlloc) / float64(keys),
+		}
+		t.Close()
+		return res
+	}
+	return []FlatMemoryResult{
+		measure("chain", core.WithInitialBuckets(uint64(keys)), core.WithCASInsert(false)),
+		measure("flat-sparse", core.WithInitialBuckets(uint64(keys)), core.WithEngine(core.EngineFlat)),
+		measure("flat-dense", core.WithInitialBuckets(uint64(keys/flatDenseCellsPerGroup)), core.WithEngine(core.EngineFlat)),
+	}
+}
+
+// flatDenseCellsPerGroup mirrors the flat engine's group geometry for
+// the dense memory row (groups = keys/8 → 100% inline occupancy).
+const flatDenseCellsPerGroup = 8

@@ -63,12 +63,21 @@ func TestAblationLoadFactor(t *testing.T) {
 
 func TestAblationNodeMemory(t *testing.T) {
 	rows := AblationNodeMemory(1 << 14)
-	if len(rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
 	}
 	rp, xuRow := rows[0], rows[1]
-	if rp.BytesPerElem <= 0 || xuRow.BytesPerElem <= 0 {
-		t.Fatalf("non-positive byte measurements: %+v", rows)
+	for _, r := range rows {
+		if r.BytesPerElem <= 0 {
+			t.Fatalf("non-positive byte measurement: %+v", rows)
+		}
+	}
+	// Flat rows: dense packs 8 keys per group, sparse burns a whole
+	// group per key — dense must come in well under sparse.
+	sparse, dense := rows[2], rows[3]
+	if dense.BytesPerElem >= sparse.BytesPerElem {
+		t.Fatalf("flat dense (%0.1f B/elem) not below flat sparse (%0.1f B/elem)",
+			dense.BytesPerElem, sparse.BytesPerElem)
 	}
 	// The Xu node carries an extra next pointer (and its table a
 	// second bucket array lifetime); it must not be smaller. The

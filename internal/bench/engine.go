@@ -90,6 +90,36 @@ func (e *rpEngine) Delete(k uint64)     { e.t.Delete(k) }
 func (e *rpEngine) Resize(n uint64)     { e.t.Resize(n) }
 func (e *rpEngine) Close()              { e.t.Close() }
 
+// ---- RP flat engine (cache-line-contiguous bucket groups) ----
+
+type rpFlatEngine struct{ t *core.Table[uint64, int] }
+
+// NewRPFlat builds the relativistic table on the flat engine
+// (core.EngineFlat): eight-cell inline bucket groups with a packed
+// hash-tag word, chain spill, and copy-based migration. `buckets` is
+// the GROUP count — the same number the chain engine gets as its
+// bucket count, so at the benchmark's ~1-2 elements/bucket load the
+// groups run sparse and the series isolates the lookup-locality win.
+// Ablation A8's memory rows price the sparsity (and a dense
+// configuration) against the chain engine's per-node overhead.
+func NewRPFlat(buckets uint64) Engine {
+	return &rpFlatEngine{t: core.NewUint64[int](
+		core.WithInitialBuckets(buckets), core.WithEngine(core.EngineFlat))}
+}
+
+func (e *rpFlatEngine) Name() string { return "rp-flat" }
+func (e *rpFlatEngine) NewLookup() (Lookup, func()) {
+	h := e.t.NewReadHandle()
+	return func(k uint64) bool {
+		_, ok := h.Get(k)
+		return ok
+	}, h.Close
+}
+func (e *rpFlatEngine) Set(k uint64, v int) { e.t.Set(k, v) }
+func (e *rpFlatEngine) Delete(k uint64)     { e.t.Delete(k) }
+func (e *rpFlatEngine) Resize(n uint64)     { e.t.Resize(n) }
+func (e *rpFlatEngine) Close()              { e.t.Close() }
+
 // ---- RP single-mutex (ablation baseline: the paper's writer model) ----
 
 type rpSingleLockEngine struct{ t *core.Table[uint64, int] }
@@ -188,7 +218,10 @@ func (e *rpAdaptEngine) Close()              { e.t.Close() }
 
 // ---- RP sharded (internal/shard: write scaling over the RP core) ----
 
-type rpShardedEngine struct{ m *shard.Map[uint64, int] }
+type rpShardedEngine struct {
+	name string
+	m    *shard.Map[uint64, int]
+}
 
 // NewRPSharded builds the sharded relativistic-map engine with the
 // default shard count (NextPowerOfTwo(GOMAXPROCS), overridable via
@@ -207,14 +240,27 @@ func NewRPShardedN(shards int, buckets uint64) Engine {
 	if shards > 0 {
 		opts = append(opts, shard.WithShards(shards))
 	}
-	return &rpShardedEngine{m: shard.NewUint64[int](opts...)}
+	return &rpShardedEngine{name: "rp-sharded", m: shard.NewUint64[int](opts...)}
+}
+
+// NewRPFlatSharded is NewRPSharded on the flat engine: every shard
+// table uses core.EngineFlat. The batch read path (figure 7) and the
+// whole shard.Map veneer are engine-agnostic — this engine exists to
+// prove it with numbers.
+func NewRPFlatSharded(buckets uint64) Engine {
+	opts := []shard.Option{shard.WithInitialBuckets(buckets), shard.WithAdapt(nil),
+		shard.WithEngine(core.EngineFlat)}
+	if DefaultShards > 0 {
+		opts = append(opts, shard.WithShards(DefaultShards))
+	}
+	return &rpShardedEngine{name: "rp-flat-sharded", m: shard.NewUint64[int](opts...)}
 }
 
 // DefaultShards is the shard count NewRPSharded uses; 0 means
 // NextPowerOfTwo(GOMAXPROCS). The CLI's -shards flag sets it.
 var DefaultShards int
 
-func (e *rpShardedEngine) Name() string { return "rp-sharded" }
+func (e *rpShardedEngine) Name() string { return e.name }
 func (e *rpShardedEngine) NewLookup() (Lookup, func()) {
 	h := e.m.NewReadHandle()
 	return func(k uint64) bool {
@@ -437,18 +483,20 @@ func (e *syncMapEngine) Close()              {}
 
 // Builders maps engine names to constructors, for the CLI.
 var Builders = map[string]func(buckets uint64) Engine{
-	"rp":             NewRP,
-	"rp-1lock":       NewRPSingleLock,
-	"rp-caswrite":    NewRPCASWrite,
-	"rp-lockedwrite": NewRPLockedWrite,
-	"rp-adapt":       NewRPAdaptive,
-	"rp-sharded":     NewRPSharded,
-	"rp-cache":       NewRPCache,
-	"rpqsbr":         NewRPQSBR,
-	"ddds":           NewDDDS,
-	"rwlock":         NewRWLock,
-	"mutex":          NewMutex,
-	"sharded":        NewSharded,
-	"xu":             NewXu,
-	"syncmap":        NewSyncMap,
+	"rp":              NewRP,
+	"rp-flat":         NewRPFlat,
+	"rp-flat-sharded": NewRPFlatSharded,
+	"rp-1lock":        NewRPSingleLock,
+	"rp-caswrite":     NewRPCASWrite,
+	"rp-lockedwrite":  NewRPLockedWrite,
+	"rp-adapt":        NewRPAdaptive,
+	"rp-sharded":      NewRPSharded,
+	"rp-cache":        NewRPCache,
+	"rpqsbr":          NewRPQSBR,
+	"ddds":            NewDDDS,
+	"rwlock":          NewRWLock,
+	"mutex":           NewMutex,
+	"sharded":         NewSharded,
+	"xu":              NewXu,
+	"syncmap":         NewSyncMap,
 }

@@ -163,6 +163,7 @@ func FigMultiGet(cfg Config) stats.Figure {
 		Series: []stats.Series{
 			measureBatchSeries("rp-sharded", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, true, cfg),
 			measureBatchSeries("rp-sharded-perkey", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, false, cfg),
+			measureBatchSeries("rp-flat-sharded", func() Engine { return NewRPFlatSharded(cfg.SmallBuckets) }, true, cfg),
 			measureBatchSeries("rp-cache", func() Engine { return NewRPCache(cfg.SmallBuckets) }, true, cfg),
 			measureBatchSeries("rp-cache-perkey", func() Engine { return NewRPCache(cfg.SmallBuckets) }, false, cfg),
 		},

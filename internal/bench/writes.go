@@ -204,6 +204,7 @@ func FigWriteScaling(cfg Config) stats.Figure {
 		Series: []stats.Series{
 			measureWriteSeries("RP", func() Engine { return NewRPLockedWrite(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("rp-caswrite", func() Engine { return NewRPCASWrite(cfg.SmallBuckets) }, cfg),
+			measureWriteSeries("rp-flat", func() Engine { return NewRPFlat(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("RP-1lock", func() Engine { return NewRPSingleLock(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("rp-sharded", func() Engine { return NewRPSharded(cfg.SmallBuckets) }, cfg),
 			measureWriteSeries("sharded-lock", func() Engine { return NewSharded(cfg.SmallBuckets) }, cfg),

@@ -106,6 +106,7 @@ type config struct {
 	maxCost   int64
 	shards    int
 	initial   uint64
+	engine    string
 	policy    core.Policy
 	hasPolicy bool
 	sweep     time.Duration
@@ -135,6 +136,11 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 // WithInitialBuckets sets the total initial bucket count across
 // shards.
 func WithInitialBuckets(n uint64) Option { return func(c *config) { c.initial = n } }
+
+// WithEngine selects the underlying tables' bucket representation
+// (see core.WithEngine): core.EngineChain (the default) or
+// core.EngineFlat.
+func WithEngine(name string) Option { return func(c *config) { c.engine = name } }
 
 // WithPolicy overrides the auto-resize policy (the default expands
 // beyond 2 elements/bucket and shrinks below 0.25). Pass the zero
@@ -194,6 +200,9 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Cache[K, V] 
 	}
 	if cfg.initial > 0 {
 		mopts = append(mopts, shard.WithInitialBuckets(cfg.initial))
+	}
+	if cfg.engine != "" {
+		mopts = append(mopts, shard.WithEngine(cfg.engine))
 	}
 	if !cfg.hasPolicy {
 		cfg.policy = core.Policy{MaxLoad: 2, MinLoad: 0.25, MinBuckets: max(cfg.initial, 64)}

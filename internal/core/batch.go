@@ -158,6 +158,12 @@ func (t *Table[K, V]) SetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int)
 	if len(ks) == 0 {
 		return 0
 	}
+	return t.eng.setBatchHashed(hs, ks, vs)
+}
+
+// chainSetBatchHashed is the chain engine's batched upsert; lengths
+// are validated by the dispatcher.
+func (t *Table[K, V]) chainSetBatchHashed(hs []uint64, ks []K, vs []V) (inserted int) {
 	sc := t.stripeOrder(hs)
 	w := batchWriter[K, V]{t: t}
 	for _, packed := range sc.ord {
@@ -205,6 +211,11 @@ func (t *Table[K, V]) DeleteBatchHashed(hs []uint64, ks []K) (removed int) {
 	if len(ks) == 0 {
 		return 0
 	}
+	return t.eng.deleteBatchHashed(hs, ks)
+}
+
+// chainDeleteBatchHashed is the chain engine's batched delete.
+func (t *Table[K, V]) chainDeleteBatchHashed(hs []uint64, ks []K) (removed int) {
 	sc := t.stripeOrder(hs)
 	w := batchWriter[K, V]{t: t}
 	var victims []*node[K, V]
@@ -269,6 +280,12 @@ func (t *Table[K, V]) RangeChunked(chunk int, fn func(K, V) bool) {
 	if chunk <= 0 {
 		chunk = DefaultRangeChunk
 	}
+	t.eng.rangeChunked(chunk, fn)
+}
+
+// chainRangeChunked is the chain engine's chunked traversal, with the
+// bucket-index cursor and proportional rescale described above.
+func (t *Table[K, V]) chainRangeChunked(chunk int, fn func(K, V) bool) {
 	keys := make([]K, 0, chunk)
 	vals := make([]V, 0, chunk)
 	var cursor, buckets uint64

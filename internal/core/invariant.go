@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // checkInvariants validates the table's structural invariants. It is
 // test infrastructure, callable at any point — including between
@@ -22,11 +25,18 @@ import "fmt"
 //     — so every chain, including zipped mid-resize chains spanning
 //     a parent and both children, is covered by exactly one stripe.
 //
-// It runs inside one read-side critical section.
+// It runs inside one read-side critical section. The structural
+// checks (1–4) are engine-specific and dispatch through the engine
+// seam; stripe coverage (5) is shared.
 func (t *Table[K, V]) checkInvariants() error {
 	if err := t.checkStripeInvariants(); err != nil {
 		return err
 	}
+	return t.eng.checkInvariants()
+}
+
+// chainCheckInvariants is the chain engine's structural validation.
+func (t *Table[K, V]) chainCheckInvariants() error {
 	var err error
 	t.dom.Read(func() {
 		ht := t.ht.Load()
@@ -92,6 +102,12 @@ func (t *Table[K, V]) checkInvariantsLive() error {
 	if err := t.checkStripeInvariants(); err != nil {
 		return err
 	}
+	return t.eng.checkInvariantsLive()
+}
+
+// chainCheckInvariantsLive is the chain engine's writer-concurrent
+// subset: chain termination and hash integrity.
+func (t *Table[K, V]) chainCheckInvariantsLive() error {
 	var err error
 	t.dom.Read(func() {
 		ht := t.ht.Load()
@@ -134,39 +150,37 @@ func (t *Table[K, V]) assertInvariantsLive() {
 // these are exactly the bounds that keep every chain covered by one
 // stripe.
 //
-// Load order matters for a checker racing background maintenance:
-// the bucket array is loaded BEFORE the mask. shrinkStep lowers the
-// mask and then publishes the halved array, so ht-then-mask can only
-// pair a bucket array with its own mask or a LOWER one (if we see
-// the new array, the mask store already happened; if we see the old
-// array, the mask we read is at most the old — larger-bucket —
-// bound). Reading mask first could pair the pre-shrink mask with the
-// post-shrink array and report a violation no writer can observe
-// (writers hold stripes, which freeze both). unzipParent is read
-// after the mask for the same reason: expandStep clears it before
-// raising the mask, both under all stripes. A stripe-array RETUNE
-// can still invalidate the snapshot mid-check (a retired array's
-// mask paired with a newer bucket array), so the whole read is
-// retried if the stripe or bucket array pointer moved — writers do
-// the same re-check after locking.
+// Snapshot consistency for a checker racing background maintenance:
+// every mutation of the stripe array, the effective mask, the bucket
+// storage, or the migration floor happens inside an all-stripes
+// critical section, and every such section brackets itself with the
+// resizeEpoch seqlock (odd on entry, even on exit). So the whole
+// read is retried until the epoch is even and unchanged across it —
+// then the fields read belong to one consistent published state,
+// exactly the state writers see after their own post-lock re-check.
 func (t *Table[K, V]) checkStripeInvariants() error {
 	for {
+		e1 := t.resizeEpoch.Load()
+		if e1&1 != 0 {
+			runtime.Gosched() // all-stripes section in progress; its window is microseconds
+			continue
+		}
 		a := t.stripes.arr.Load()
-		ht := t.ht.Load()
 		eff := a.mask.Load() + 1
 		phys := uint64(len(a.locks))
-		parent := t.unzipParent.Load()
-		if t.stripes.arr.Load() != a || t.ht.Load() != ht {
-			continue // retune or resize moved an array mid-snapshot
+		buckets := t.eng.bucketCount()
+		floor := t.eng.migrationFloor()
+		if t.resizeEpoch.Load() != e1 {
+			continue // an all-stripes section overlapped the snapshot
 		}
 		if eff > phys {
 			return fmt.Errorf("effective stripes %d > physical stripes %d", eff, phys)
 		}
-		if buckets := ht.size(); eff > buckets {
+		if eff > buckets {
 			return fmt.Errorf("effective stripes %d > buckets %d: chains would mix stripes", eff, buckets)
 		}
-		if parent != 0 && eff > parent {
-			return fmt.Errorf("effective stripes %d > parent buckets %d mid-unzip: a zipped chain would span stripes", eff, parent)
+		if floor != 0 && eff > floor {
+			return fmt.Errorf("effective stripes %d > migration granularity %d mid-resize: a migrating bucket group would span stripes", eff, floor)
 		}
 		return nil
 	}

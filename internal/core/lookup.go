@@ -42,8 +42,14 @@ func (t *Table[K, V]) LookupInReader(h uint64, k K) (V, bool) {
 	return t.lookupHashed(h, k)
 }
 
-// lookupHashed is lookup with the hash precomputed.
+// lookupHashed is lookup with the hash precomputed, dispatched to the
+// table's engine.
 func (t *Table[K, V]) lookupHashed(h uint64, k K) (V, bool) {
+	return t.eng.lookupHashed(h, k)
+}
+
+// chainLookupHashed is the chain engine's lookup.
+func (t *Table[K, V]) chainLookupHashed(h uint64, k K) (V, bool) {
 	ht := t.ht.Load()
 	for n := ht.bucketFor(h).Load(); n != nil; n = n.next.Load() {
 		// During resizes chains are imprecise supersets: foreign
@@ -72,6 +78,11 @@ func (t *Table[K, V]) lookupHashed(h uint64, k K) (V, bool) {
 // Moved is two distinct elements for this purpose and may appear
 // under both keys).
 func (t *Table[K, V]) Range(fn func(K, V) bool) {
+	t.eng.rangeAll(fn)
+}
+
+// chainRangeAll is the chain engine's full traversal.
+func (t *Table[K, V]) chainRangeAll(fn func(K, V) bool) {
 	t.dom.Read(func() {
 		ht := t.ht.Load()
 		for i := range ht.slot {

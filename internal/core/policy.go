@@ -33,7 +33,7 @@ func (t *Table[K, V]) maybeAutoResize() {
 		return
 	}
 	count := float64(t.count.Load())
-	nbuckets := float64(t.ht.Load().size())
+	nbuckets := float64(t.eng.bucketCount())
 
 	if p.MaxLoad > 0 && count > p.MaxLoad*nbuckets {
 		if t.grow.pending.CompareAndSwap(false, true) {
@@ -88,7 +88,7 @@ func (t *Table[K, V]) maybeAutoResizeBackpressure() {
 	p := t.policy
 	if p.MaxLoad > 0 {
 		count := float64(t.count.Load())
-		nbuckets := float64(t.ht.Load().size())
+		nbuckets := float64(t.eng.bucketCount())
 		if count > growBackpressureFactor*p.MaxLoad*nbuckets && t.grow.pending.Load() {
 			t.autoResizeTarget()
 			t.stats.autoGrows.Add(1)

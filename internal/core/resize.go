@@ -34,14 +34,14 @@ func (t *Table[K, V]) Resize(n uint64) {
 	t.resizeMu.Lock()
 	defer t.resizeMu.Unlock()
 	for {
-		cur := t.ht.Load().size()
+		cur := t.eng.bucketCount()
 		switch {
 		case cur < n:
 			//lint:allow rplint/gracewait resizeMu is the resize protocol's own serializer, never taken by readers or per-key writers, so holding it across the grace wait is deadlock-free by design
-			t.expandStep()
+			t.eng.expandStep()
 		case cur > n:
 			//lint:allow rplint/gracewait resizeMu is the resize protocol's own serializer, never taken by readers or per-key writers, so holding it across the grace wait is deadlock-free by design
-			t.shrinkStep()
+			t.eng.shrinkStep()
 		default:
 			return
 		}
@@ -93,7 +93,7 @@ func resizeTraceTask(name string) (context.Context, func()) {
 // the same critical section, because a merged chain spans two old
 // sibling buckets and is only stripe-homogeneous under the new,
 // smaller mask. The grace period waits with no stripes held.
-func (t *Table[K, V]) shrinkStep() {
+func (t *Table[K, V]) chainShrinkStep() {
 	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu
 	t.lockAll(sa)
 	old := t.ht.Load()
@@ -177,7 +177,7 @@ func (t *Table[K, V]) shrinkStep() {
 // batches across that many goroutines. All workers of a pass share
 // the single grace period that follows it; the grace-period count
 // and the cut schedule are exactly the sequential ones.
-func (t *Table[K, V]) expandStep() {
+func (t *Table[K, V]) chainExpandStep() {
 	start := time.Now()
 	ctx, endTask := resizeTraceTask("rphash.expand")
 	defer endTask()
@@ -541,7 +541,7 @@ func (t *Table[K, V]) ExpandOnce() {
 	t.resizeMu.Lock()
 	defer t.resizeMu.Unlock()
 	//lint:allow rplint/gracewait resizeMu is the resize protocol's own serializer, never taken by readers or per-key writers, so holding it across the grace wait is deadlock-free by design
-	t.expandStep()
+	t.eng.expandStep()
 }
 
 // ShrinkOnce halves the table once (no-op at the policy floor).
@@ -549,7 +549,7 @@ func (t *Table[K, V]) ShrinkOnce() {
 	t.resizeMu.Lock()
 	defer t.resizeMu.Unlock()
 	//lint:allow rplint/gracewait resizeMu is the resize protocol's own serializer, never taken by readers or per-key writers, so holding it across the grace wait is deadlock-free by design
-	t.shrinkStep()
+	t.eng.shrinkStep()
 }
 
 // String describes the table shape for debugging.

@@ -92,9 +92,20 @@ type Stats struct {
 
 // Stats gathers a snapshot. MaxChain walks every bucket inside one
 // read-side section; on huge tables prefer CounterStats (the metrics
-// export plane scrapes through it) or sampling via Buckets/Len.
+// export plane scrapes through it) or sampling via Buckets/Len. Under
+// the flat engine MaxChain reports the longest per-bucket probe
+// (occupied cells plus overflow-chain length).
 func (t *Table[K, V]) Stats() Stats {
 	s := t.CounterStats()
+	if p := t.eng.maxProbe(); p > s.MaxChain {
+		s.MaxChain = p
+	}
+	return s
+}
+
+// chainMaxProbe is the chain engine's longest-chain walk.
+func (t *Table[K, V]) chainMaxProbe() int {
+	maxLen := 0
 	t.dom.Read(func() {
 		ht := t.ht.Load()
 		for i := range ht.slot {
@@ -102,12 +113,12 @@ func (t *Table[K, V]) Stats() Stats {
 			for n := ht.slot[i].Load(); n != nil; n = n.next.Load() {
 				l++
 			}
-			if l > s.MaxChain {
-				s.MaxChain = l
+			if l > maxLen {
+				maxLen = l
 			}
 		}
 	})
-	return s
+	return maxLen
 }
 
 // CounterStats is Stats minus the MaxChain bucket walk: a pure

@@ -349,7 +349,7 @@ func (t *Table[K, V]) setStripesLocked(want uint64) bool {
 	}
 	t.stats.stripeAcquiresBase.Add(acq)
 	t.stats.stripeContendedBase.Add(con)
-	t.stripes.arr.Store(newStripeArray(want, t.ht.Load().size()))
+	t.stripes.arr.Store(newStripeArray(want, t.eng.bucketCount()))
 	t.stats.retuneSeq.Add(1)
 	t.resizeEpoch.Add(1) // even again: fast-path windows spanning the swap re-validate
 	t.unlockAll(old)

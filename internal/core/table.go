@@ -90,6 +90,14 @@ func (b *buckets[K, V]) size() uint64 { return b.mask + 1 }
 // Table is a resizable relativistic hash table. Create with New; the
 // zero value is not usable.
 type Table[K comparable, V any] struct {
+	// eng is the bucket representation behind the engine seam
+	// (engine.go): the relativistic chain engine by default, or the
+	// flat cell-group engine via WithEngine. Set once at construction.
+	eng engine[K, V]
+
+	// ht is the CHAIN engine's bucket array; it stays nil under other
+	// engines (their storage hangs off the engine value), so any
+	// chain-only code path reached on a non-chain table fails loudly.
 	ht   atomic.Pointer[buckets[K, V]]
 	dom  *rcu.Domain
 	hash func(K) uint64
@@ -208,6 +216,7 @@ type config struct {
 	obsv         *obs.Observer
 	shardID      int
 	noCASInsert  bool
+	engine       string
 }
 
 // Option configures a Table at construction.
@@ -329,7 +338,7 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Table[K, V] 
 		// a sharded map installs the same histogram pointer.
 		t.dom.ObserveGraceWaits(&cfg.obsv.GraceWait)
 	}
-	t.ht.Store(newBuckets[K, V](cfg.initial))
+	t.eng = newEngine(t, &cfg)
 	t.stripes.init(cfg.stripes, cfg.initial)
 	if cfg.unzipWorkers > 1 {
 		t.SetUnzipWorkers(cfg.unzipWorkers)
@@ -400,7 +409,7 @@ func (t *Table[K, V]) Len() int { return int(t.count.Load()) }
 
 // Buckets returns the current bucket count. It may change immediately
 // afterwards if a resize is in flight.
-func (t *Table[K, V]) Buckets() int { return int(t.ht.Load().size()) }
+func (t *Table[K, V]) Buckets() int { return int(t.eng.bucketCount()) }
 
 // Close stops the table's maintenance controller (if any) and
 // releases the domain if the table created it. The table must not be

@@ -37,6 +37,12 @@ func (t *Table[K, V]) Set(k K, v V) bool {
 // (internal/shard) hash once to route and pass the hash through
 // rather than paying a second hash inside the shard.
 func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
+	return t.eng.setHashed(h, k, v)
+}
+
+// chainSetHashed is the chain engine's upsert: hint-validated replace
+// fast path, CAS insert fast path, striped fallback.
+func (t *Table[K, V]) chainSetHashed(h uint64, k K, v V) bool {
 	if !t.noCASInsert {
 		// Replace fast path, open-coded so the common upsert-on-
 		// existing-key case pays no extra call frames: an unprotected
@@ -102,6 +108,11 @@ func (t *Table[K, V]) Swap(k K, v V) (old V, replaced bool) {
 // SwapHashed is Swap with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
+	return t.eng.swapHashed(h, k, v)
+}
+
+// chainSwapHashed is the chain engine's swap-upsert.
+func (t *Table[K, V]) chainSwapHashed(h uint64, k K, v V) (old V, replaced bool) {
 	if !t.noCASInsert {
 		// Mirrors SetHashed's open-coded replace fast path, with the
 		// displaced value read under the same stripe that validates
@@ -151,6 +162,11 @@ func (t *Table[K, V]) Insert(k K, v V) bool {
 // InsertHashed is Insert with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) InsertHashed(h uint64, k K, v V) bool {
+	return t.eng.insertHashed(h, k, v)
+}
+
+// chainInsertHashed is the chain engine's insert-if-absent.
+func (t *Table[K, V]) chainInsertHashed(h uint64, k K, v V) bool {
 	if !t.noCASInsert {
 		switch t.tryInsertCAS(h, k, &v) {
 		case casInsertDone:
@@ -182,6 +198,11 @@ func (t *Table[K, V]) Replace(k K, v V) bool {
 // ReplaceHashed is Replace with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) ReplaceHashed(h uint64, k K, v V) bool {
+	return t.eng.replaceHashed(h, k, v)
+}
+
+// chainReplaceHashed is the chain engine's replace-if-present.
+func (t *Table[K, V]) chainReplaceHashed(h uint64, k K, v V) bool {
 	s := t.lockHash(h)
 	defer s.mu.Unlock()
 	n := t.findLocked(h, k)
@@ -219,6 +240,11 @@ func (t *Table[K, V]) CompareAndDelete(k K, match func(V) bool) (V, bool) {
 // CompareAndDeleteHashed is CompareAndDelete with the key's table
 // hash precomputed (see SetHashed).
 func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
+	return t.eng.compareAndDeleteHashed(h, k, match)
+}
+
+// chainCompareAndDeleteHashed is the chain engine's guarded delete.
+func (t *Table[K, V]) chainCompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
 	s := t.lockHash(h)
 	victim, removed, ok := t.unlinkLocked(h, k, match)
 	s.mu.Unlock()
@@ -329,6 +355,11 @@ func (t *Table[K, V]) Move(oldKey, newKey K) bool {
 	if oldKey == newKey {
 		return t.Contains(oldKey)
 	}
+	return t.eng.move(oldKey, newKey)
+}
+
+// chainMove is the chain engine's rename; oldKey != newKey.
+func (t *Table[K, V]) chainMove(oldKey, newKey K) bool {
 	oh, nh := t.hash(oldKey), t.hash(newKey)
 	s1, s2 := t.lockHash2(oh, nh)
 	unlock := func() {
@@ -667,6 +698,11 @@ func (t *Table[K, V]) Update(k K, fn func(cur V, present bool) (V, bool)) (prev 
 // UpdateHashed is Update with the key's table hash precomputed (see
 // SetHashed).
 func (t *Table[K, V]) UpdateHashed(h uint64, k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
+	return t.eng.updateHashed(h, k, fn)
+}
+
+// chainUpdateHashed is the chain engine's striped read-modify-write.
+func (t *Table[K, V]) chainUpdateHashed(h uint64, k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
 	s := t.lockHash(h)
 	n := t.findLocked(h, k)
 	if n != nil {
@@ -715,6 +751,17 @@ func (t *Table[K, V]) CompareAndSwapValue(k K, match func(V) bool, v V) (swapped
 // CompareAndSwapValueHashed is CompareAndSwapValue with the key's
 // table hash precomputed (see SetHashed).
 func (t *Table[K, V]) CompareAndSwapValueHashed(h uint64, k K, match func(V) bool, v V) (swapped, present bool) {
+	return t.eng.compareAndSwapValueHashed(h, k, match, v)
+}
+
+// chainCompareAndSwapValueHashed is the chain engine's lock-free
+// value publish. It is the one value-plane primitive the two engines
+// implement differently: chain resizes relink the same nodes and
+// never copy them, so the node located here survives any concurrent
+// resize and the val-pointer CAS can run with no lock at all. The
+// flat engine's copy-based migration breaks exactly that property,
+// so its implementation rides the stripes instead (see flat.go).
+func (t *Table[K, V]) chainCompareAndSwapValueHashed(h uint64, k K, match func(V) bool, v V) (swapped, present bool) {
 	var n *node[K, V]
 	t.dom.Read(func() {
 		ht := t.ht.Load()

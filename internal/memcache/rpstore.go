@@ -37,8 +37,9 @@ import (
 // CAS sequencing, conditional stores, and value edits. See DESIGN.md
 // for what is simplified relative to stock memcached.
 type RPStore struct {
-	c   *cache.Cache[string, *Item]
-	clk *clock.Clock
+	c      *cache.Cache[string, *Item]
+	clk    *clock.Clock
+	engine string // stats name: "rp" (chain) or "rp-flat"
 
 	casSeq  atomic.Uint64
 	sets    atomic.Uint64
@@ -51,7 +52,8 @@ type RPStore struct {
 type StoreOption func(*rpConfig)
 
 type rpConfig struct {
-	obsv *obs.Observer
+	obsv   *obs.Observer
+	engine string
 }
 
 // WithStoreObserver threads an observability hub through the store
@@ -60,6 +62,14 @@ type rpConfig struct {
 // land in o. nil (the default) leaves every layer uninstrumented.
 func WithStoreObserver(o *obs.Observer) StoreOption {
 	return func(cfg *rpConfig) { cfg.obsv = o }
+}
+
+// WithStoreEngine selects the bucket engine for the tables underneath
+// (core.EngineChain or core.EngineFlat). The store's protocol
+// semantics are identical either way; only the per-bucket layout and
+// resize mechanism change. Empty (the default) keeps the chain engine.
+func WithStoreEngine(name string) StoreOption {
+	return func(cfg *rpConfig) { cfg.engine = name }
 }
 
 // rpSweepInterval is the cadence of the cache's incremental expiry
@@ -101,8 +111,15 @@ func NewRPStore(maxBytes int64, opts ...StoreOption) *RPStore {
 	if cfg.obsv != nil {
 		copts = append(copts, cache.WithObserver(cfg.obsv))
 	}
+	if cfg.engine != "" {
+		copts = append(copts, cache.WithEngine(cfg.engine))
+	}
+	name := "rp"
+	if cfg.engine == core.EngineFlat {
+		name = "rp-flat"
+	}
 	c := cache.NewString[*Item](copts...)
-	return &RPStore{c: c, clk: clk, obsv: cfg.obsv}
+	return &RPStore{c: c, clk: clk, engine: name, obsv: cfg.obsv}
 }
 
 // Observer returns the store's observability hub (nil when not
@@ -301,7 +318,7 @@ func (s *RPStore) Stats() StoreStats {
 	cs := s.c.Counters()
 	ms := s.c.MapCounters()
 	return StoreStats{
-		Engine:         "rp",
+		Engine:         s.engine,
 		CurrItems:      int64(cs.Entries),
 		Bytes:          cs.Cost,
 		GetHits:        cs.Hits,

@@ -63,6 +63,7 @@ type config struct {
 	shards   uint64
 	initial  uint64 // total across shards; 0 = core default per shard
 	stripes  int
+	engine   string
 	policy   core.Policy
 	dom      *rcu.Domain
 	adapt    *adapt.Config
@@ -98,6 +99,12 @@ func WithInitialBuckets(total uint64) Option { return func(c *config) { c.initia
 // watermarks are scale-free and apply to each shard as-is; MinBuckets
 // is interpreted as a map-wide floor and divided across shards.
 func WithPolicy(p core.Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithEngine selects every shard table's bucket representation (see
+// core.WithEngine): core.EngineChain (the default) or core.EngineFlat.
+// One engine serves the whole map; the choice is invisible above the
+// core API.
+func WithEngine(name string) Option { return func(c *config) { c.engine = name } }
 
 // WithTableStripes sets each shard table's physical writer-stripe
 // count (see core.WithStripes). The core default — a few stripes per
@@ -177,6 +184,9 @@ func New[K comparable, V any](hash func(K) uint64, opts ...Option) *Map[K, V] {
 	}
 	if cfg.stripes > 0 {
 		tblOpts = append(tblOpts, core.WithStripes(cfg.stripes))
+	}
+	if cfg.engine != "" {
+		tblOpts = append(tblOpts, core.WithEngine(cfg.engine))
 	}
 	p := cfg.policy
 	if p.MinBuckets > 0 {

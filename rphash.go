@@ -93,6 +93,23 @@ func WithInitialBuckets(n uint64) Option { return core.WithInitialBuckets(n) }
 // WithPolicy installs an automatic resize policy.
 func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
 
+// Engine names accepted by WithEngine, WithMapEngine, and
+// WithCacheEngine.
+const (
+	EngineChain = core.EngineChain
+	EngineFlat  = core.EngineFlat
+)
+
+// WithEngine selects the table's bucket representation: EngineChain
+// (the default) — the paper's relativistic chain layout with
+// unzip/zip resizing and the lock-free CAS write fast path — or
+// EngineFlat, cache-line-contiguous eight-cell bucket groups with a
+// packed hash-tag word, chain spill on overflow, and relativistic
+// copy-based migration. The public API and the synchronization-free
+// read side are identical either way; flat trades the chain engine's
+// lock-free write fast path for contiguous lookups.
+func WithEngine(name string) Option { return core.WithEngine(name) }
+
 // WithStripes sets a table's physical writer-stripe count (rounded
 // to a power of two, clamped to [1, 256]; default a few per core).
 // WithStripes(1) reproduces the paper's single writer mutex — the
@@ -189,6 +206,10 @@ func WithMapDomain(d *Domain) MapOption { return shard.WithDomain(d) }
 // divided across shards.
 func WithMapInitialBuckets(total uint64) MapOption { return shard.WithInitialBuckets(total) }
 
+// WithMapEngine selects every shard table's bucket representation
+// (EngineChain or EngineFlat; see WithEngine).
+func WithMapEngine(name string) MapOption { return shard.WithEngine(name) }
+
 // WithMapPolicy installs an automatic resize policy applied per
 // shard (MinBuckets is interpreted map-wide and divided across
 // shards).
@@ -261,6 +282,10 @@ func WithCacheShards(n int) CacheOption { return cache.WithShards(n) }
 // WithCacheInitialBuckets sets the cache's total initial bucket count
 // across shards.
 func WithCacheInitialBuckets(n uint64) CacheOption { return cache.WithInitialBuckets(n) }
+
+// WithCacheEngine selects the cache's table bucket representation
+// (EngineChain or EngineFlat; see WithEngine).
+func WithCacheEngine(name string) CacheOption { return cache.WithEngine(name) }
 
 // WithCachePolicy overrides the cache's auto-resize policy (the
 // default expands beyond 2 elements/bucket and shrinks below 0.25).
