@@ -1,7 +1,8 @@
 // Command benchgate compares two BENCH_fig<N>.json trajectory files
 // (see cmd/rphash-bench -json) and emits GitHub Actions warning
-// annotations for engines whose throughput dropped more than a
-// threshold at a given thread count. It ANNOTATES, never fails: the
+// annotations for engines whose throughput dropped — or whose p99
+// latency rose — more than a threshold at a given thread count. It
+// ANNOTATES, never fails: the
 // exit status is 0 whenever both files parse, so a noisy CI box
 // cannot block a merge — the warning shows up on the run summary for
 // a human to judge.
@@ -51,47 +52,65 @@ type seriesKey struct {
 }
 
 // regression is one series' old-vs-new comparison at the gated
-// thread count.
+// thread count. Metric is "ops/s" (throughput dropped) or "p99_ns"
+// (tail latency rose); Delta is the fractional change in the bad
+// direction — (old-new)/old for throughput, (new-old)/old for p99.
 type regression struct {
 	Engine   string
 	Batch    int
+	Metric   string
 	Old, New float64
-	Drop     float64 // fractional: (old-new)/old
+	Delta    float64
 }
 
 // compare pairs every (engine, batch) series present in both figures
 // at `threads` and returns those whose throughput dropped by more
-// than `maxDrop`, deterministically ordered.
-func compare(oldFig, newFig figure, threads int, maxDrop float64) []regression {
-	at := func(f figure) map[seriesKey]float64 {
-		m := make(map[seriesKey]float64)
+// than `maxDrop` or whose p99 rose by more than `maxRise`,
+// deterministically ordered. Series without p99 data on either side
+// (older trajectory files, or benchmarks that don't sample latency)
+// gate on throughput alone; maxRise <= 0 disables the latency gate.
+func compare(oldFig, newFig figure, threads int, maxDrop, maxRise float64) []regression {
+	at := func(f figure) map[seriesKey]point {
+		m := make(map[seriesKey]point)
 		for _, p := range f.Points {
 			if p.Threads == threads {
 				b := p.Batch
 				if b < 1 {
 					b = 1
 				}
-				m[seriesKey{p.Engine, b}] = p.OpsPerSec
+				m[seriesKey{p.Engine, b}] = p
 			}
 		}
 		return m
 	}
 	oldPts, newPts := at(oldFig), at(newFig)
 	var out []regression
-	for key, oldOps := range oldPts {
-		newOps, ok := newPts[key]
-		if !ok || oldOps <= 0 {
+	for key, oldPt := range oldPts {
+		newPt, ok := newPts[key]
+		if !ok {
 			continue // series renamed/removed: nothing to gate
 		}
-		if drop := (oldOps - newOps) / oldOps; drop > maxDrop {
-			out = append(out, regression{Engine: key.Engine, Batch: key.Batch, Old: oldOps, New: newOps, Drop: drop})
+		if oldPt.OpsPerSec > 0 {
+			if drop := (oldPt.OpsPerSec - newPt.OpsPerSec) / oldPt.OpsPerSec; drop > maxDrop {
+				out = append(out, regression{Engine: key.Engine, Batch: key.Batch,
+					Metric: "ops/s", Old: oldPt.OpsPerSec, New: newPt.OpsPerSec, Delta: drop})
+			}
+		}
+		if maxRise > 0 && oldPt.P99NS > 0 && newPt.P99NS > 0 {
+			if rise := (newPt.P99NS - oldPt.P99NS) / oldPt.P99NS; rise > maxRise {
+				out = append(out, regression{Engine: key.Engine, Batch: key.Batch,
+					Metric: "p99_ns", Old: oldPt.P99NS, New: newPt.P99NS, Delta: rise})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Engine != out[j].Engine {
 			return out[i].Engine < out[j].Engine
 		}
-		return out[i].Batch < out[j].Batch
+		if out[i].Batch != out[j].Batch {
+			return out[i].Batch < out[j].Batch
+		}
+		return out[i].Metric < out[j].Metric
 	})
 	return out
 }
@@ -114,6 +133,7 @@ func main() {
 		newPath = flag.String("new", "BENCH_fig5.json", "this run's BENCH_fig<N>.json")
 		threads = flag.Int("threads", 8, "thread count to gate on")
 		drop    = flag.Float64("drop", 0.15, "fractional throughput drop that triggers an annotation")
+		rise    = flag.Float64("p99-rise", 0.30, "fractional p99 latency rise that triggers an annotation (0 disables the latency gate)")
 	)
 	flag.Parse()
 	if *oldPath == "" {
@@ -131,10 +151,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	regs := compare(oldFig, newFig, *threads, *drop)
+	regs := compare(oldFig, newFig, *threads, *drop, *rise)
 	if len(regs) == 0 {
-		fmt.Printf("benchgate: no engine dropped more than %.0f%% at %d threads (fig %d)\n",
-			*drop*100, *threads, newFig.Figure)
+		fmt.Printf("benchgate: no engine dropped more than %.0f%% ops/s or rose more than %.0f%% p99 at %d threads (fig %d)\n",
+			*drop*100, *rise*100, *threads, newFig.Figure)
 		return
 	}
 	for _, r := range regs {
@@ -144,8 +164,13 @@ func main() {
 		if r.Batch > 1 {
 			series = fmt.Sprintf("%s batch=%d", r.Engine, r.Batch)
 		}
-		fmt.Printf("::warning title=fig%d throughput regression::engine %s at %d threads dropped %.1f%% (%.0f -> %.0f ops/s vs previous run)\n",
-			newFig.Figure, series, *threads, r.Drop*100, r.Old, r.New)
+		if r.Metric == "p99_ns" {
+			fmt.Printf("::warning title=fig%d latency regression::engine %s at %d threads p99 rose %.1f%% (%.0f -> %.0f ns vs previous run)\n",
+				newFig.Figure, series, *threads, r.Delta*100, r.Old, r.New)
+		} else {
+			fmt.Printf("::warning title=fig%d throughput regression::engine %s at %d threads dropped %.1f%% (%.0f -> %.0f ops/s vs previous run)\n",
+				newFig.Figure, series, *threads, r.Delta*100, r.Old, r.New)
+		}
 	}
 	// Annotate-only by design: exit 0.
 }

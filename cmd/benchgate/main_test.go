@@ -20,24 +20,24 @@ func TestCompare(t *testing.T) {
 		point{Engine: "mutex", Threads: 8, Batch: 1, OpsPerSec: 460}, // -8%: under threshold
 	)
 
-	regs := compare(oldFig, newFig, 8, 0.15)
+	regs := compare(oldFig, newFig, 8, 0.15, 0)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly the RP drop", regs)
 	}
 	r := regs[0]
-	if r.Engine != "RP" || r.Batch != 1 || r.Drop < 0.19 || r.Drop > 0.21 {
+	if r.Engine != "RP" || r.Batch != 1 || r.Delta < 0.19 || r.Delta > 0.21 {
 		t.Fatalf("regression = %+v, want RP batch 1 at ~20%%", r)
 	}
 
 	// Improvement never flags.
 	better := fig(point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 2000})
-	if regs := compare(oldFig, better, 8, 0.15); len(regs) != 0 {
+	if regs := compare(oldFig, better, 8, 0.15, 0); len(regs) != 0 {
 		t.Fatalf("improvement flagged: %+v", regs)
 	}
 
 	// Zero/absent old throughput never divides by zero.
 	zero := fig(point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 0})
-	if regs := compare(zero, newFig, 8, 0.15); len(regs) != 0 {
+	if regs := compare(zero, newFig, 8, 0.15, 0); len(regs) != 0 {
 		t.Fatalf("zero-baseline flagged: %+v", regs)
 	}
 }
@@ -59,7 +59,7 @@ func TestCompareBatchSeries(t *testing.T) {
 		point{Engine: "rp-cache", Threads: 8, Batch: 100, OpsPerSec: 4000},   // -50%: flagged
 	)
 
-	regs := compare(oldFig, newFig, 8, 0.15)
+	regs := compare(oldFig, newFig, 8, 0.15, 0)
 	if len(regs) != 2 {
 		t.Fatalf("regressions = %+v, want the two batch-100 drops", regs)
 	}
@@ -67,13 +67,58 @@ func TestCompareBatchSeries(t *testing.T) {
 	if regs[0].Engine != "rp-cache" || regs[0].Batch != 100 {
 		t.Fatalf("regs[0] = %+v, want rp-cache batch 100", regs[0])
 	}
-	if regs[1].Engine != "rp-sharded" || regs[1].Batch != 100 || regs[1].Drop < 0.32 || regs[1].Drop > 0.34 {
+	if regs[1].Engine != "rp-sharded" || regs[1].Batch != 100 || regs[1].Delta < 0.32 || regs[1].Delta > 0.34 {
 		t.Fatalf("regs[1] = %+v, want rp-sharded batch 100 at ~33%%", regs[1])
 	}
 
 	// A batch series missing on one side is skipped, not flagged.
 	partial := fig(point{Engine: "rp-sharded", Threads: 8, Batch: 1, OpsPerSec: 1000})
-	if regs := compare(oldFig, partial, 8, 0.15); len(regs) != 0 {
+	if regs := compare(oldFig, partial, 8, 0.15, 0); len(regs) != 0 {
 		t.Fatalf("missing series flagged: %+v", regs)
+	}
+}
+
+// TestCompareP99 pins the latency gate: a p99 rise over the threshold
+// flags even when throughput held; series missing p99 on either side
+// (older trajectory files) gate on throughput alone; maxRise 0
+// disables the gate entirely.
+func TestCompareP99(t *testing.T) {
+	oldFig := fig(
+		point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 1000, P99NS: 1000},
+		point{Engine: "mutex", Threads: 8, Batch: 1, OpsPerSec: 500, P99NS: 2000},
+		point{Engine: "legacy", Threads: 8, Batch: 1, OpsPerSec: 400}, // no p99 recorded
+	)
+	newFig := fig(
+		point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 1000, P99NS: 1500},   // +50% p99: flagged
+		point{Engine: "mutex", Threads: 8, Batch: 1, OpsPerSec: 500, P99NS: 2200}, // +10%: fine
+		point{Engine: "legacy", Threads: 8, Batch: 1, OpsPerSec: 390},             // no p99: skipped
+	)
+
+	regs := compare(oldFig, newFig, 8, 0.15, 0.30)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the RP p99 rise", regs)
+	}
+	r := regs[0]
+	if r.Engine != "RP" || r.Metric != "p99_ns" || r.Delta < 0.49 || r.Delta > 0.51 {
+		t.Fatalf("regression = %+v, want RP p99_ns at ~50%%", r)
+	}
+
+	// maxRise 0 turns the latency gate off.
+	if regs := compare(oldFig, newFig, 8, 0.15, 0); len(regs) != 0 {
+		t.Fatalf("latency gate fired with maxRise 0: %+v", regs)
+	}
+
+	// One series can trip both gates; both annotations surface, with
+	// deterministic metric ordering inside the series.
+	both := fig(point{Engine: "RP", Threads: 8, Batch: 1, OpsPerSec: 100, P99NS: 9000})
+	regs = compare(oldFig, both, 8, 0.15, 0.30)
+	var metrics []string
+	for _, r := range regs {
+		if r.Engine == "RP" {
+			metrics = append(metrics, r.Metric)
+		}
+	}
+	if len(metrics) != 2 || metrics[0] != "ops/s" || metrics[1] != "p99_ns" {
+		t.Fatalf("dual regression metrics = %v, want [ops/s p99_ns]", metrics)
 	}
 }

@@ -12,9 +12,14 @@
 //
 // With -debug-addr, a second HTTP listener exposes the observability
 // plane: /metrics (Prometheus text), /debug/vars (expvar-style JSON),
-// /debug/events (resize/retune lifecycle timeline), and /debug/pprof.
-// The rp engine additionally records grace-period waits, stripe-lock
-// waits, and per-command service latency into the same plane.
+// /debug/events (resize/retune lifecycle timeline), /debug/ops (the
+// flight recorder's sampled per-operation path/latency summary, when
+// -flight-sample is on), and /debug/pprof. The rp engine additionally
+// records grace-period waits, stripe-lock waits, and per-command
+// service latency into the same plane, and can run an anomaly
+// watchdog (-watchdog-interval) that detects grace-period stalls,
+// stripe convoys, stuck resizes, and eviction storms, dumping a
+// first-trigger diagnostic bundle per class to -watchdog-bundle-dir.
 package main
 
 import (
@@ -37,7 +42,14 @@ func main() {
 		maxBytes  = flag.Int64("max-bytes", 64<<20, "memory budget in bytes (0 = unlimited)")
 		sweep     = flag.Duration("sweep", time.Second, "expired-item sweep interval for engines that expose an external sweep pass (the rp engine sweeps itself incrementally; lock expires lazily)")
 		quiet     = flag.Bool("quiet", false, "suppress connection error logs")
-		debugAddr = flag.String("debug-addr", "", "HTTP listen address for /metrics, /debug/vars, /debug/events and /debug/pprof (empty = observability off)")
+		debugAddr = flag.String("debug-addr", "", "HTTP listen address for /metrics, /debug/vars, /debug/events, /debug/ops and /debug/pprof (empty = observability off)")
+
+		flightSample = flag.Int("flight-sample", 0, "flight-recorder sampling: record 1-in-N table writes to /debug/ops (0 = recorder off; requires -debug-addr)")
+
+		wdInterval   = flag.Duration("watchdog-interval", 0, "anomaly watchdog tick cadence (0 = watchdog off; requires -debug-addr; rp engines only)")
+		wdGraceStall = flag.Duration("watchdog-grace-stall", 0, "grace-period wait that counts as a stall (0 = watchdog default)")
+		wdEvictStorm = flag.Uint64("watchdog-evict-storm", 0, "per-tick eviction count that counts as a storm (0 = watchdog default)")
+		wdBundleDir  = flag.String("watchdog-bundle-dir", "", "directory for first-trigger diagnostic bundles (empty = no bundles)")
 	)
 	flag.Parse()
 
@@ -48,7 +60,11 @@ func main() {
 	// checks.
 	var o *obs.Observer
 	if *debugAddr != "" {
-		o = obs.NewObserver()
+		var oopts []obs.ObserverOption
+		if *flightSample > 0 {
+			oopts = append(oopts, obs.WithFlightRecorder(*flightSample, 0))
+		}
+		o = obs.NewObserver(oopts...)
 	}
 
 	var store memcache.Store
@@ -78,6 +94,15 @@ func main() {
 		reg := obs.NewRegistry()
 		if rp, ok := store.(*memcache.RPStore); ok {
 			rp.RegisterMetrics(reg)
+			if *wdInterval > 0 {
+				rp.StartWatchdog(reg, obs.WatchdogConfig{
+					Interval:      *wdInterval,
+					GraceStall:    *wdGraceStall,
+					EvictionStorm: *wdEvictStorm,
+					BundleDir:     *wdBundleDir,
+				})
+				log.Printf("memcached: watchdog on (interval=%s bundles=%q)", *wdInterval, *wdBundleDir)
+			}
 		} else {
 			o.Register(reg)
 		}

@@ -201,6 +201,7 @@ type Stats struct {
 	StripeShrinks uint64  // retunes that halved it
 	WorkerRetunes uint64  // unzip fan-out adjustments applied
 	LastRate      float64 // most recent sampled contention rate
+	LastBacklog   int     // unzip backlog at the most recent worker retune check
 	Stripes       int     // current physical stripe count
 	UnzipWorkers  int     // current fan-out setting
 }
@@ -218,6 +219,7 @@ func (s *Stats) Accumulate(o Stats) {
 	if o.LastRate > s.LastRate {
 		s.LastRate = o.LastRate
 	}
+	s.LastBacklog += o.LastBacklog
 }
 
 // Controller is one table's maintenance goroutine. Create with Start;
@@ -236,6 +238,7 @@ type Controller struct {
 	shrinks       atomic.Uint64
 	workerRetunes atomic.Uint64
 	lastRateBits  atomic.Uint64
+	lastBacklog   atomic.Int64
 	// baseWorkers is the table's fan-out when the controller
 	// attached — a caller-pinned WithUnzipWorkers value acts as the
 	// floor the backlog-driven setting never drops below.
@@ -278,6 +281,7 @@ func (c *Controller) Stats() Stats {
 		StripeShrinks: c.shrinks.Load(),
 		WorkerRetunes: c.workerRetunes.Load(),
 		LastRate:      math.Float64frombits(c.lastRateBits.Load()),
+		LastBacklog:   int(c.lastBacklog.Load()),
 		Stripes:       c.t.Stripes(),
 		UnzipWorkers:  int(c.lastWorkers.Load()),
 	}
@@ -360,10 +364,12 @@ func (c *Controller) run() {
 // fan-out the table was configured with when the controller attached
 // (a pinned WithUnzipWorkers is a floor, not a suggestion).
 func (c *Controller) retuneWorkers() {
+	backlog := c.t.UnzipBacklog()
+	c.lastBacklog.Store(int64(backlog))
 	if c.cfg.MaxUnzipWorkers <= 1 {
 		return
 	}
-	want := 1 + c.t.UnzipBacklog()/c.cfg.BacklogPerWorker
+	want := 1 + backlog/c.cfg.BacklogPerWorker
 	if want < c.baseWorkers {
 		want = c.baseWorkers
 	}

@@ -1,0 +1,41 @@
+package cache
+
+import (
+	"rphash/internal/obs"
+)
+
+// WatchdogSample assembles the health snapshot the anomaly watchdog
+// inspects each tick: grace-period progress and in-flight waiting
+// from the RCU domain, cumulative stripe contention and the live
+// resize backlog from the sharded map, and the cache's eviction
+// counter. Bounded cost (no bucket walks), so a 1s cadence is free.
+func (c *Cache[K, V]) WatchdogSample() obs.WatchdogSample {
+	dom := c.m.Domain()
+	ms := c.m.CounterStats()
+	return obs.WatchdogSample{
+		GracePeriods:    dom.Stats().GracePeriods,
+		GraceWaiting:    dom.GPWaiting(),
+		StripeAcquires:  ms.StripeAcquires,
+		StripeContended: ms.StripeContended,
+		ResizeBacklog:   ms.UnzipBacklog,
+		Evictions:       c.evictions.Load(),
+	}
+}
+
+// StartWatchdog attaches a running anomaly watchdog fed by
+// WatchdogSample. A nil cfg.Clock inherits the cache's coarse clock
+// (so a manually clocked cache gets a deterministic watchdog for
+// free); detections land in the cache's observer ring and, when reg
+// is non-nil, in per-class trip counters. The caller owns the
+// returned watchdog's Stop — the cache's Close does not stop it.
+func (c *Cache[K, V]) StartWatchdog(reg *obs.Registry, cfg obs.WatchdogConfig) *obs.Watchdog {
+	if cfg.Clock == nil {
+		cfg.Clock = c.clk
+	}
+	w := obs.NewWatchdog(c.obsv, reg, func() obs.WatchdogSample { return c.WatchdogSample() }, cfg)
+	if reg != nil {
+		w.Register(reg)
+	}
+	w.Start()
+	return w
+}

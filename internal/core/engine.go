@@ -71,6 +71,12 @@ type engine[K comparable, V any] interface {
 	expandStep()
 	shrinkStep()
 
+	// introspect reports layout telemetry (occupancy, spill, migration
+	// progress — see EngineIntro). Bounded cost regardless of table
+	// size: the flat engine samples at most flatIntroSampleGroups
+	// groups, the chain engine reads two counters.
+	introspect() EngineIntro
+
 	// Structural checking (tests and -tags=invariants builds).
 	checkInvariants() error
 	checkInvariantsLive() error
@@ -165,6 +171,23 @@ func (e *chainEngine[K, V]) bucketCount() uint64    { return e.t.ht.Load().size(
 func (e *chainEngine[K, V]) migrationFloor() uint64 { return e.t.unzipParent.Load() }
 func (e *chainEngine[K, V]) expandStep()            { e.t.chainExpandStep() }
 func (e *chainEngine[K, V]) shrinkStep()            { e.t.chainShrinkStep() }
+
+// introspect maps the chain engine's unzip state onto the shared
+// migration-progress vocabulary: units are the expansion's parent
+// chains, done is parents already fully unzipped. The flat occupancy
+// fields stay zero — chains have no fixed-cell groups to fill.
+func (e *chainEngine[K, V]) introspect() EngineIntro {
+	var in EngineIntro
+	if units := e.t.unzipParent.Load(); units > 0 {
+		in.MigrationUnits = units
+		if backlog := e.t.unzipBacklog.Load(); backlog > 0 && uint64(backlog) <= units {
+			in.MigrationDone = units - uint64(backlog)
+		} else if backlog <= 0 {
+			in.MigrationDone = units
+		}
+	}
+	return in
+}
 
 func (e *chainEngine[K, V]) checkInvariants() error     { return e.t.chainCheckInvariants() }
 func (e *chainEngine[K, V]) checkInvariantsLive() error { return e.t.chainCheckInvariantsLive() }

@@ -53,6 +53,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sync/atomic"
+
+	"rphash/internal/obs"
 )
 
 // flatGroupCells is the inline cell count per bucket group: eight
@@ -126,6 +128,12 @@ type flatView[K comparable, V any] struct {
 	prev     *flatView[K, V]
 	migrated []atomic.Uint32
 	unitMask uint64
+
+	// done counts migrated units — flags flipped by the resize pass or
+	// by assisting writers alike (each unit flips exactly once: the
+	// flip happens under the stripe covering the unit). Introspection
+	// only; the routing correctness story never reads it.
+	done atomic.Uint64
 }
 
 func newFlatView[K comparable, V any](n uint64, prev *flatView[K, V]) *flatView[K, V] {
@@ -214,13 +222,22 @@ func (e *flatEngine[K, V]) lookupHashed(h uint64, k K) (V, bool) {
 // because the effective stripe mask never exceeds the unit count
 // during a migration — also covers the whole unit.
 func (e *flatEngine[K, V]) writeGroup(h uint64) *flatGroup[K, V] {
+	g, _ := e.writeGroupAssist(h)
+	return g
+}
+
+// writeGroupAssist is writeGroup plus the flight recorder's path
+// signal: assisted reports whether THIS writer migrated the key's
+// unit (the migration-assist path class).
+func (e *flatEngine[K, V]) writeGroupAssist(h uint64) (g *flatGroup[K, V], assisted bool) {
 	v := e.view.Load()
 	if v.prev != nil {
 		if u := h & v.unitMask; v.migrated[u].Load() == 0 {
 			e.migrateUnit(v, u)
+			assisted = true
 		}
 	}
-	return &v.groups[h&v.mask]
+	return &v.groups[h&v.mask], assisted
 }
 
 // find locates (h, k) in group g under the stripe: a non-negative
@@ -334,52 +351,66 @@ func (e *flatEngine[K, V]) upsertLocked(g *flatGroup[K, V], h uint64, k K, vp *V
 
 func (e *flatEngine[K, V]) setHashed(h uint64, k K, v V) bool {
 	t := e.t
+	pr := t.opStart(h)
 	s := t.lockHash(h)
-	g := e.writeGroup(h)
+	g, assisted := e.writeGroupAssist(h)
 	inserted := e.upsertLocked(g, h, k, &v)
+	spilled := g.overflow.Load() != nil
 	s.mu.Unlock()
 	if inserted {
 		t.maybeAutoResizeBackpressure()
 	}
+	t.opRecord(pr, h, obs.OpSet, flatOpPath(assisted, spilled), outIf(inserted))
 	return inserted
 }
 
 func (e *flatEngine[K, V]) swapHashed(h uint64, k K, v V) (old V, replaced bool) {
 	t := e.t
+	pr := t.opStart(h)
 	s := t.lockHash(h)
-	g := e.writeGroup(h)
+	g, assisted := e.writeGroupAssist(h)
 	if ci, n := g.find(h, k); ci >= 0 {
 		old = *g.cells[ci].val.Load()
 		g.cells[ci].val.Store(&v)
+		spilled := g.overflow.Load() != nil
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpSwap, flatOpPath(assisted, spilled), obs.OutReplaced)
 		return old, true
 	} else if n != nil {
 		old = *n.val.Load()
 		n.val.Store(&v)
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpSwap, flatOpPath(assisted, true), obs.OutReplaced)
 		return old, true
 	}
 	e.putLocked(g, h, k, &v)
 	t.count.Add(1)
 	t.stats.inserts.Add(1)
+	spilled := g.overflow.Load() != nil
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpSwap, flatOpPath(assisted, spilled), obs.OutInserted)
 	return old, false
 }
 
 func (e *flatEngine[K, V]) insertHashed(h uint64, k K, v V) bool {
 	t := e.t
+	pr := t.opStart(h)
 	s := t.lockHash(h)
-	g := e.writeGroup(h)
+	g, assisted := e.writeGroupAssist(h)
 	if ci, n := g.find(h, k); ci >= 0 || n != nil {
+		spilled := g.overflow.Load() != nil
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpInsert, flatOpPath(assisted, spilled), obs.OutNoop)
 		return false
 	}
 	e.putLocked(g, h, k, &v)
 	t.count.Add(1)
 	t.stats.inserts.Add(1)
+	spilled := g.overflow.Load() != nil
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpInsert, flatOpPath(assisted, spilled), obs.OutInserted)
 	return true
 }
 
@@ -400,8 +431,9 @@ func (e *flatEngine[K, V]) replaceHashed(h uint64, k K, v V) bool {
 
 func (e *flatEngine[K, V]) updateHashed(h uint64, k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
 	t := e.t
+	pr := t.opStart(h)
 	s := t.lockHash(h)
-	g := e.writeGroup(h)
+	g, assisted := e.writeGroupAssist(h)
 	var slot *atomic.Pointer[V]
 	if ci, n := g.find(h, k); ci >= 0 {
 		slot = &g.cells[ci].val
@@ -414,30 +446,39 @@ func (e *flatEngine[K, V]) updateHashed(h uint64, k K, fn func(cur V, present bo
 	}
 	v, store := fn(prev, hadPrev)
 	if !store {
+		spilled := g.overflow.Load() != nil
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpUpdate, flatOpPath(assisted, spilled), obs.OutNoop)
 		return prev, hadPrev, false
 	}
 	if slot != nil {
 		slot.Store(&v)
+		spilled := g.overflow.Load() != nil
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpUpdate, flatOpPath(assisted, spilled), obs.OutReplaced)
 		return prev, hadPrev, true
 	}
 	e.putLocked(g, h, k, &v)
 	t.count.Add(1)
 	t.stats.inserts.Add(1)
+	spilled := g.overflow.Load() != nil
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpUpdate, flatOpPath(assisted, spilled), obs.OutInserted)
 	return prev, false, true
 }
 
 func (e *flatEngine[K, V]) compareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
 	t := e.t
+	pr := t.opStart(h)
 	s := t.lockHash(h)
-	g := e.writeGroup(h)
+	g, assisted := e.writeGroupAssist(h)
 	ci, n := g.find(h, k)
 	if ci < 0 && n == nil {
+		spilled := g.overflow.Load() != nil
 		s.mu.Unlock()
 		var zero V
+		t.opRecord(pr, h, obs.OpDelete, flatOpPath(assisted, spilled), obs.OutMiss)
 		return zero, false
 	}
 	var removed V
@@ -447,16 +488,20 @@ func (e *flatEngine[K, V]) compareAndDeleteHashed(h uint64, k K, match func(V) b
 		removed = *n.val.Load()
 	}
 	if match != nil && !match(removed) {
+		spilled := g.overflow.Load() != nil
 		s.mu.Unlock()
 		var zero V
+		t.opRecord(pr, h, obs.OpDelete, flatOpPath(assisted, spilled), obs.OutNoop)
 		return zero, false
 	}
 	rt := e.removeLocked(g, ci, n)
 	t.count.Add(-1)
 	t.stats.deletes.Add(1)
+	spilled := g.overflow.Load() != nil || n != nil
 	s.mu.Unlock()
 	t.dom.Defer(rt.retire)
 	t.maybeAutoResize()
+	t.opRecord(pr, h, obs.OpDelete, flatOpPath(assisted, spilled), obs.OutDeleted)
 	return removed, true
 }
 
@@ -466,25 +511,30 @@ func (e *flatEngine[K, V]) compareAndDeleteHashed(h uint64, k K, match func(V) b
 // every other writer on the key.
 func (e *flatEngine[K, V]) compareAndSwapValueHashed(h uint64, k K, match func(V) bool, v V) (swapped, present bool) {
 	t := e.t
+	pr := t.opStart(h)
 	s := t.lockHash(h)
-	g := e.writeGroup(h)
+	g, assisted := e.writeGroupAssist(h)
 	var slot *atomic.Pointer[V]
 	if ci, n := g.find(h, k); ci >= 0 {
 		slot = &g.cells[ci].val
 	} else if n != nil {
 		slot = &n.val
 	}
+	spilled := g.overflow.Load() != nil
 	if slot == nil {
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpValueCAS, flatOpPath(assisted, spilled), obs.OutMiss)
 		return false, false
 	}
 	if match != nil && !match(*slot.Load()) {
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpValueCAS, flatOpPath(assisted, spilled), obs.OutNoop)
 		return false, true
 	}
 	slot.Store(&v)
 	t.stats.valueCASSwaps.Add(1)
 	s.mu.Unlock()
+	t.opRecord(pr, h, obs.OpValueCAS, flatOpPath(assisted, spilled), obs.OutReplaced)
 	return true, true
 }
 

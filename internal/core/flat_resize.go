@@ -62,6 +62,8 @@ func (e *flatEngine[K, V]) shrinkStep() { e.migrateStep(false) }
 func (e *flatEngine[K, V]) migrateStep(grow bool) {
 	t := e.t
 	start := time.Now()
+	t.migrateStartNS.Store(start.UnixNano())
+	defer t.migrateStartNS.Store(0)
 	ctx, endTask := resizeTraceTask("rphash.flatmigrate")
 	defer endTask()
 	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu
@@ -201,6 +203,7 @@ func (e *flatEngine[K, V]) migrateUnit(v *flatView[K, V], u uint64) {
 		e.copyGroup(v, &old.groups[u+v.unitMask+1])
 	}
 	v.migrated[u].Store(1) // release: readers now route to the new groups
+	v.done.Add(1)          // introspection only: units migrated so far
 }
 
 // copyGroup re-publishes every element of src into its new home

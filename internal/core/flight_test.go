@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rphash/internal/obs"
+)
+
+// recorderTable builds a table with a sample-everything flight
+// recorder so path-classification tests see every operation.
+func recorderTable(t *testing.T, opts ...Option) (*Table[uint64, int], *obs.Observer) {
+	t.Helper()
+	o := obs.NewObserver(obs.WithFlightRecorder(1, 1024))
+	tbl := New[uint64, int](func(k uint64) uint64 { return k },
+		append([]Option{WithObserver(o), WithInitialBuckets(8)}, opts...)...)
+	t.Cleanup(tbl.Close)
+	return tbl, o
+}
+
+func pathCounts(o *obs.Observer) map[obs.OpPath]int {
+	m := map[obs.OpPath]int{}
+	for _, r := range o.Ops.Snapshot() {
+		m[r.Path]++
+	}
+	return m
+}
+
+// TestFlightPathsChain drives each chain write path and asserts the
+// recorder classifies it: CAS insert for a fresh key, hint-validated
+// replace for an upsert on an existing key, value CAS for
+// CompareAndSwapValue, striped for deletes.
+func TestFlightPathsChain(t *testing.T) {
+	tbl, o := recorderTable(t)
+	if tbl.Set(1, 10) != true { // fresh key: CAS insert fast path
+		t.Fatal("first Set should insert")
+	}
+	if tbl.Set(1, 11) != false { // existing key: hint replace
+		t.Fatal("second Set should replace")
+	}
+	if sw, _ := tbl.CompareAndSwapValue(1, nil, 12); !sw {
+		t.Fatal("value CAS failed")
+	}
+	if !tbl.Delete(1) {
+		t.Fatal("delete missed")
+	}
+	got := pathCounts(o)
+	for _, want := range []obs.OpPath{obs.PathCASInsert, obs.PathHintReplace, obs.PathValueCAS, obs.PathStriped} {
+		if got[want] == 0 {
+			t.Fatalf("no %v record; paths: %v", want, got)
+		}
+	}
+	for _, r := range o.Ops.Snapshot() {
+		if r.Flat {
+			t.Fatalf("chain-engine record flagged flat: %+v", r)
+		}
+		if r.LatencyNS < 0 {
+			t.Fatalf("negative latency: %+v", r)
+		}
+	}
+}
+
+// TestFlightPathsFlat drives the flat engine's striped and spill
+// paths: nine same-bucket keys overflow the eight inline cells, so
+// the ninth op's group has a populated spill chain.
+func TestFlightPathsFlat(t *testing.T) {
+	o := obs.NewObserver(obs.WithFlightRecorder(1, 1024))
+	// Constant low bits pin every key to bucket 0; distinct high bits
+	// keep the tags distinct.
+	tbl := New[uint64, int](func(k uint64) uint64 { return k << 56 },
+		WithObserver(o), WithInitialBuckets(8), WithEngine(EngineFlat),
+		WithPolicy(Policy{})) // no auto-resize: keep the spill in place
+	defer tbl.Close()
+	for k := uint64(1); k <= flatGroupCells+1; k++ {
+		tbl.Set(k, int(k))
+	}
+	tbl.Set(flatGroupCells+1, 99) // replace on a spilled group
+	got := pathCounts(o)
+	if got[obs.PathStriped] == 0 || got[obs.PathSpill] == 0 {
+		t.Fatalf("want striped and spill paths, got %v", got)
+	}
+	for _, r := range o.Ops.Snapshot() {
+		if !r.Flat {
+			t.Fatalf("flat-engine record not flagged flat: %+v", r)
+		}
+	}
+}
+
+// TestFlatIntrospection asserts the sampled occupancy histogram and
+// spill telemetry reach Stats on the flat engine, and that migration
+// progress reads zero once a resize completes.
+func TestFlatIntrospection(t *testing.T) {
+	tbl := New[uint64, int](func(k uint64) uint64 { return k<<56 | k>>8 },
+		WithInitialBuckets(8), WithEngine(EngineFlat), WithPolicy(Policy{}))
+	defer tbl.Close()
+	// Bucket 0 gets 9 elements (spill of 1); buckets get low-bit keys.
+	for k := uint64(1); k <= flatGroupCells+1; k++ {
+		tbl.Set(k, int(k)) // hash low bits 0 for k<256: all bucket 0
+	}
+	s := tbl.Stats()
+	if s.FlatSampledGroups != 8 {
+		t.Fatalf("FlatSampledGroups = %d, want 8", s.FlatSampledGroups)
+	}
+	if s.FlatOccupancy[flatGroupCells] != 1 || s.FlatOccupancy[0] != 7 {
+		t.Fatalf("occupancy histogram: %v", s.FlatOccupancy)
+	}
+	if s.FlatSpilledGroups != 1 || s.FlatSpillEntries != 1 || s.FlatMaxSpill != 1 {
+		t.Fatalf("spill telemetry: groups=%d entries=%d max=%d",
+			s.FlatSpilledGroups, s.FlatSpillEntries, s.FlatMaxSpill)
+	}
+	if r := s.FlatSpillRatio(); r != 0.125 {
+		t.Fatalf("FlatSpillRatio = %v, want 0.125", r)
+	}
+	tbl.ExpandOnce()
+	s = tbl.Stats()
+	if s.MigrationUnits != 0 || s.MigrationDone != 0 || s.MigrationRate != 0 {
+		t.Fatalf("finished resize still reports migration: %+v", s)
+	}
+	if s.UnzipBacklog != 0 {
+		t.Fatalf("UnzipBacklog = %d after resize", s.UnzipBacklog)
+	}
+}
+
+// TestChainMigrationProgress observes unzip progress mid-expansion
+// through the test hook: with the resize paused between passes,
+// MigrationUnits must be the parent count and progress in [0,1].
+func TestChainMigrationProgress(t *testing.T) {
+	tbl := New[uint64, int](func(k uint64) uint64 { return k }, WithInitialBuckets(8))
+	defer tbl.Close()
+	for k := uint64(0); k < 128; k++ {
+		tbl.Set(k, int(k))
+	}
+	var sawUnits, sawRate bool
+	tbl.testHookAfterUnzipPass = func(int) {
+		s := tbl.CounterStats()
+		if s.MigrationUnits == 8 {
+			sawUnits = true
+			if p := s.MigrationProgress(); p < 0 || p > 1 {
+				t.Errorf("MigrationProgress = %v", p)
+			}
+			if s.MigrationRate > 0 {
+				sawRate = true
+			}
+		}
+	}
+	tbl.ExpandOnce()
+	if !sawUnits {
+		t.Fatal("no mid-unzip CounterStats observed MigrationUnits")
+	}
+	_ = sawRate // rate can legitimately be 0 on a too-fast pass
+	if s := tbl.CounterStats(); s.MigrationUnits != 0 {
+		t.Fatalf("post-resize MigrationUnits = %d", s.MigrationUnits)
+	}
+}
+
+// TestFlatMigrationDoneCount checks the flat view's done counter
+// covers every unit exactly once across resize passes and assisting
+// writers.
+func TestFlatMigrationDoneCount(t *testing.T) {
+	tbl := New[uint64, int](func(k uint64) uint64 { return k<<56 | k },
+		WithInitialBuckets(64), WithEngine(EngineFlat), WithPolicy(Policy{}))
+	defer tbl.Close()
+	for k := uint64(0); k < 256; k++ {
+		tbl.Set(k, int(k))
+	}
+	tbl.ExpandOnce()
+	tbl.ShrinkOnce()
+	if got, want := tbl.Len(), 256; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+// TestFlightRecorderTorture is the -race guard for the recorder's
+// core wiring: Set/Get/Delete churn on both engines, concurrent
+// resizes, and snapshot polls must neither race nor decode torn
+// records.
+func TestFlightRecorderTorture(t *testing.T) {
+	for _, eng := range []string{EngineChain, EngineFlat} {
+		t.Run(eng, func(t *testing.T) {
+			o := obs.NewObserver(obs.WithFlightRecorder(4, 256))
+			tbl := New[uint64, int](func(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 },
+				WithObserver(o), WithInitialBuckets(64), WithEngine(eng))
+			defer tbl.Close()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := uint64(0); ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := i & 1023
+						switch i % 4 {
+						case 0, 1:
+							tbl.Set(k, int(i))
+						case 2:
+							tbl.Get(k)
+						case 3:
+							tbl.Delete(k)
+						}
+					}
+				}(g)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					tbl.ExpandOnce()
+					tbl.ShrinkOnce()
+				}
+			}()
+			deadline := time.Now().Add(10 * time.Second)
+			for i := 0; i < 50 || o.Ops.Sampled() == 0; i++ {
+				if time.Now().After(deadline) {
+					t.Fatal("recorder sampled nothing under churn")
+				}
+				for _, r := range o.Ops.Snapshot() {
+					if r.Class >= obs.NumOpClasses || r.Path >= obs.NumOpPaths {
+						t.Errorf("torn record: %+v", r)
+					}
+				}
+				tbl.CounterStats() // introspection races the churn too
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

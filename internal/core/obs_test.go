@@ -209,3 +209,11 @@ func benchObsSet(b *testing.B, o *obs.Observer) {
 func BenchmarkObsOverheadSetOff(b *testing.B) { benchObsSet(b, nil) }
 
 func BenchmarkObsOverheadSetOn(b *testing.B) { benchObsSet(b, obs.NewObserver()) }
+
+// BenchmarkObsOverheadSetRecorder adds the flight recorder at the
+// default 1-in-1024 sampling: the delta over SetOn is the recorder's
+// cost (one sampling ticket per write; a seqlock publish on the
+// sampled 1/1024).
+func BenchmarkObsOverheadSetRecorder(b *testing.B) {
+	benchObsSet(b, obs.NewObserver(obs.WithFlightRecorder(0, 0)))
+}

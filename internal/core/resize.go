@@ -179,6 +179,8 @@ func (t *Table[K, V]) chainShrinkStep() {
 // and the cut schedule are exactly the sequential ones.
 func (t *Table[K, V]) chainExpandStep() {
 	start := time.Now()
+	t.migrateStartNS.Store(start.UnixNano())
+	defer t.migrateStartNS.Store(0)
 	ctx, endTask := resizeTraceTask("rphash.expand")
 	defer endTask()
 	sa := t.stripes.arr.Load() // stable: retunes serialize on resizeMu

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // tableStats holds the table's internal counters.
@@ -88,6 +89,117 @@ type Stats struct {
 	CASFallbacks   uint64
 	CASUndos       uint64
 	ValueCASSwaps  uint64
+
+	// UnzipBacklog is the in-flight resize's remaining migration work
+	// (parent chains still zipped for the chain engine, units not yet
+	// copied for the flat engine); 0 when no resize is running. A
+	// gauge, not a counter: aggregation sums the instantaneous values.
+	UnzipBacklog int64
+
+	// MigrationUnits / MigrationDone describe the in-flight bucket
+	// migration — unzip parents (chain) or copy units (flat) — both 0
+	// when idle. MigrationRate is the migration's observed progress in
+	// units per second since the resize step began (0 when idle or too
+	// young to measure).
+	MigrationUnits uint64
+	MigrationDone  uint64
+	MigrationRate  float64
+
+	// Flat-engine layout telemetry, all zero under the chain engine.
+	// FlatOccupancy[i] counts sampled groups with exactly i occupied
+	// inline cells (at most FlatIntroSampleGroups groups are scanned,
+	// spread across the array); FlatSpilledGroups / FlatSpillEntries
+	// count sampled groups with a non-empty overflow chain and their
+	// total chained entries; FlatMaxSpill is the longest sampled
+	// chain.
+	FlatSampledGroups uint64
+	FlatOccupancy     [flatGroupCells + 1]uint64
+	FlatSpilledGroups uint64
+	FlatSpillEntries  uint64
+	FlatMaxSpill      int
+}
+
+// FlatSpillRatio is the fraction of sampled flat groups whose inline
+// cells overflowed into a spill chain (0 when unsampled or chain
+// engine).
+func (s Stats) FlatSpillRatio() float64 {
+	if s.FlatSampledGroups == 0 {
+		return 0
+	}
+	return float64(s.FlatSpilledGroups) / float64(s.FlatSampledGroups)
+}
+
+// MigrationProgress is MigrationDone/MigrationUnits in [0,1], or 0
+// when no migration is in flight.
+func (s Stats) MigrationProgress() float64 {
+	if s.MigrationUnits == 0 {
+		return 0
+	}
+	return float64(s.MigrationDone) / float64(s.MigrationUnits)
+}
+
+// EngineIntro is the engine seam's layout-telemetry report (see
+// engine.introspect); its fields land verbatim in Stats.
+type EngineIntro struct {
+	MigrationUnits    uint64
+	MigrationDone     uint64
+	FlatSampledGroups uint64
+	FlatOccupancy     [flatGroupCells + 1]uint64
+	FlatSpilledGroups uint64
+	FlatSpillEntries  uint64
+	FlatMaxSpill      int
+}
+
+// FlatIntroSampleGroups bounds the flat engine's introspection scan:
+// tables at or under this many groups are scanned exactly; larger
+// tables are strided so introspection stays O(1) in table size (the
+// CounterStats contract metrics scrapes rely on).
+const FlatIntroSampleGroups = 1024
+
+// introspect samples the flat layout inside one read-side section:
+// per-group inline occupancy (from the tag word alone), spill-chain
+// presence and length, and copy-migration progress when a resize is
+// in flight.
+func (e *flatEngine[K, V]) introspect() EngineIntro {
+	var in EngineIntro
+	e.t.dom.Read(func() {
+		v := e.view.Load()
+		n := v.mask + 1
+		sample := n
+		stride := uint64(1)
+		if sample > FlatIntroSampleGroups {
+			sample = FlatIntroSampleGroups
+			stride = n / sample
+		}
+		for i := uint64(0); i < sample; i++ {
+			g := &v.groups[i*stride]
+			tags := g.tags.Load()
+			occ := 0
+			for b := 0; b < flatGroupCells; b++ {
+				if byte(tags>>(8*uint(b))) != 0 {
+					occ++
+				}
+			}
+			in.FlatOccupancy[occ]++
+			sp := 0
+			for nd := g.overflow.Load(); nd != nil; nd = nd.next.Load() {
+				sp++
+			}
+			if sp > 0 {
+				in.FlatSpilledGroups++
+				in.FlatSpillEntries += uint64(sp)
+				if sp > in.FlatMaxSpill {
+					in.FlatMaxSpill = sp
+				}
+			}
+		}
+		in.FlatSampledGroups = sample
+		if v.prev != nil {
+			in.MigrationUnits = v.unitMask + 1
+			in.MigrationDone = v.done.Load()
+		}
+	})
+	return in
 }
 
 // Stats gathers a snapshot. MaxChain walks every bucket inside one
@@ -149,6 +261,22 @@ func (t *Table[K, V]) CounterStats() Stats {
 		CASFallbacks:        t.stats.casFallbacks.Load(),
 		CASUndos:            t.stats.casUndos.Load(),
 		ValueCASSwaps:       t.stats.valueCASSwaps.Load(),
+		UnzipBacklog:        t.unzipBacklog.Load(),
+	}
+	in := t.eng.introspect()
+	s.MigrationUnits = in.MigrationUnits
+	s.MigrationDone = in.MigrationDone
+	s.FlatSampledGroups = in.FlatSampledGroups
+	s.FlatOccupancy = in.FlatOccupancy
+	s.FlatSpilledGroups = in.FlatSpilledGroups
+	s.FlatSpillEntries = in.FlatSpillEntries
+	s.FlatMaxSpill = in.FlatMaxSpill
+	if s.MigrationUnits > 0 {
+		if start := t.migrateStartNS.Load(); start > 0 {
+			if el := time.Now().UnixNano() - start; el > 0 {
+				s.MigrationRate = float64(s.MigrationDone) * float64(time.Second) / float64(el)
+			}
+		}
 	}
 	if s.Buckets > 0 {
 		s.LoadFactor = float64(s.Len) / float64(s.Buckets)

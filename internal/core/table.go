@@ -180,6 +180,12 @@ type Table[K comparable, V any] struct {
 	obsv     *obs.Observer
 	obsShard int
 
+	// migrateStartNS is the wall-clock start (UnixNano) of the
+	// in-flight bucket migration, 0 when idle. Stamped by the resize
+	// steps under resizeMu; read lock-free by CounterStats to derive
+	// the migration's units/sec rate.
+	migrateStartNS atomic.Int64
+
 	// testHookAfterUnzipPass, when set (tests only), runs after each
 	// unzip pass's grace period, with resizeMu held but no stripes,
 	// so tests can assert the mid-resize reachability invariant in

@@ -43,6 +43,7 @@ func (t *Table[K, V]) SetHashed(h uint64, k K, v V) bool {
 // chainSetHashed is the chain engine's upsert: hint-validated replace
 // fast path, CAS insert fast path, striped fallback.
 func (t *Table[K, V]) chainSetHashed(h uint64, k K, v V) bool {
+	pr := t.opStart(h)
 	if !t.noCASInsert {
 		// Replace fast path, open-coded so the common upsert-on-
 		// existing-key case pays no extra call frames: an unprotected
@@ -64,6 +65,7 @@ func (t *Table[K, V]) chainSetHashed(h uint64, k K, v V) bool {
 						// complete new value.
 						c.val.Store(&v)
 						s.mu.Unlock()
+						t.opRecord(pr, h, obs.OpSet, obs.PathHintReplace, obs.OutReplaced)
 						return false
 					}
 					s.mu.Unlock()
@@ -73,6 +75,7 @@ func (t *Table[K, V]) chainSetHashed(h uint64, k K, v V) bool {
 			switch t.tryInsertCAS(h, k, &v) {
 			case casInsertDone:
 				t.maybeAutoResizeBackpressure()
+				t.opRecord(pr, h, obs.OpSet, obs.PathCASInsert, obs.OutInserted)
 				return true
 			case casInsertKeyPresent, casInsertFallback:
 				// The sectioned walk saw the key after all (the hint
@@ -86,11 +89,13 @@ striped:
 	if n := t.findLocked(h, k); n != nil {
 		n.val.Store(&v)
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpSet, obs.PathStriped, obs.OutReplaced)
 		return false
 	}
 	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpSet, obs.PathStriped, obs.OutInserted)
 	return true
 }
 
@@ -113,6 +118,7 @@ func (t *Table[K, V]) SwapHashed(h uint64, k K, v V) (old V, replaced bool) {
 
 // chainSwapHashed is the chain engine's swap-upsert.
 func (t *Table[K, V]) chainSwapHashed(h uint64, k K, v V) (old V, replaced bool) {
+	pr := t.opStart(h)
 	if !t.noCASInsert {
 		// Mirrors SetHashed's open-coded replace fast path, with the
 		// displaced value read under the same stripe that validates
@@ -128,6 +134,7 @@ func (t *Table[K, V]) chainSwapHashed(h uint64, k K, v V) (old V, replaced bool)
 						old = *c.val.Load()
 						c.val.Store(&v)
 						s.mu.Unlock()
+						t.opRecord(pr, h, obs.OpSwap, obs.PathHintReplace, obs.OutReplaced)
 						return old, true
 					}
 					s.mu.Unlock()
@@ -136,6 +143,7 @@ func (t *Table[K, V]) chainSwapHashed(h uint64, k K, v V) (old V, replaced bool)
 			}
 			if t.tryInsertCAS(h, k, &v) == casInsertDone {
 				t.maybeAutoResizeBackpressure()
+				t.opRecord(pr, h, obs.OpSwap, obs.PathCASInsert, obs.OutInserted)
 				return old, false
 			}
 		}
@@ -146,11 +154,13 @@ striped:
 		old = *n.val.Load()
 		n.val.Store(&v)
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpSwap, obs.PathStriped, obs.OutReplaced)
 		return old, true
 	}
 	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpSwap, obs.PathStriped, obs.OutInserted)
 	return old, false
 }
 
@@ -167,25 +177,30 @@ func (t *Table[K, V]) InsertHashed(h uint64, k K, v V) bool {
 
 // chainInsertHashed is the chain engine's insert-if-absent.
 func (t *Table[K, V]) chainInsertHashed(h uint64, k K, v V) bool {
+	pr := t.opStart(h)
 	if !t.noCASInsert {
 		switch t.tryInsertCAS(h, k, &v) {
 		case casInsertDone:
 			t.maybeAutoResizeBackpressure()
+			t.opRecord(pr, h, obs.OpInsert, obs.PathCASInsert, obs.OutInserted)
 			return true
 		case casInsertKeyPresent:
 			// The in-section walk observed the key: the insert
 			// linearizes at that observation and fails.
+			t.opRecord(pr, h, obs.OpInsert, obs.PathCASInsert, obs.OutNoop)
 			return false
 		}
 	}
 	s := t.lockHash(h)
 	if t.findLocked(h, k) != nil {
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpInsert, obs.PathStriped, obs.OutNoop)
 		return false
 	}
 	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpInsert, obs.PathStriped, obs.OutInserted)
 	return true
 }
 
@@ -245,11 +260,13 @@ func (t *Table[K, V]) CompareAndDeleteHashed(h uint64, k K, match func(V) bool) 
 
 // chainCompareAndDeleteHashed is the chain engine's guarded delete.
 func (t *Table[K, V]) chainCompareAndDeleteHashed(h uint64, k K, match func(V) bool) (V, bool) {
+	pr := t.opStart(h)
 	s := t.lockHash(h)
 	victim, removed, ok := t.unlinkLocked(h, k, match)
 	s.mu.Unlock()
 	if !ok {
 		var zero V
+		t.opRecord(pr, h, obs.OpDelete, obs.PathStriped, obs.OutMiss)
 		return zero, false
 	}
 	t.dom.Defer(func() {
@@ -258,6 +275,7 @@ func (t *Table[K, V]) chainCompareAndDeleteHashed(h uint64, k K, match func(V) b
 		victim.next.Store(nil)
 	})
 	t.maybeAutoResize()
+	t.opRecord(pr, h, obs.OpDelete, obs.PathStriped, obs.OutDeleted)
 	return removed, true
 }
 
@@ -703,6 +721,7 @@ func (t *Table[K, V]) UpdateHashed(h uint64, k K, fn func(cur V, present bool) (
 
 // chainUpdateHashed is the chain engine's striped read-modify-write.
 func (t *Table[K, V]) chainUpdateHashed(h uint64, k K, fn func(cur V, present bool) (V, bool)) (prev V, hadPrev, stored bool) {
+	pr := t.opStart(h)
 	s := t.lockHash(h)
 	n := t.findLocked(h, k)
 	if n != nil {
@@ -712,16 +731,19 @@ func (t *Table[K, V]) chainUpdateHashed(h uint64, k K, fn func(cur V, present bo
 	v, store := fn(prev, hadPrev)
 	if !store {
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpUpdate, obs.PathStriped, obs.OutNoop)
 		return prev, hadPrev, false
 	}
 	if n != nil {
 		n.val.Store(&v)
 		s.mu.Unlock()
+		t.opRecord(pr, h, obs.OpUpdate, obs.PathStriped, obs.OutReplaced)
 		return prev, hadPrev, true
 	}
 	t.insertLocked(h, k, &v)
 	s.mu.Unlock()
 	t.maybeAutoResizeBackpressure()
+	t.opRecord(pr, h, obs.OpUpdate, obs.PathStriped, obs.OutInserted)
 	return prev, false, true
 }
 
@@ -762,6 +784,7 @@ func (t *Table[K, V]) CompareAndSwapValueHashed(h uint64, k K, match func(V) boo
 // flat engine's copy-based migration breaks exactly that property,
 // so its implementation rides the stripes instead (see flat.go).
 func (t *Table[K, V]) chainCompareAndSwapValueHashed(h uint64, k K, match func(V) bool, v V) (swapped, present bool) {
+	pr := t.opStart(h)
 	var n *node[K, V]
 	t.dom.Read(func() {
 		ht := t.ht.Load()
@@ -773,6 +796,7 @@ func (t *Table[K, V]) chainCompareAndSwapValueHashed(h uint64, k K, match func(V
 		}
 	})
 	if n == nil {
+		t.opRecord(pr, h, obs.OpValueCAS, obs.PathValueCAS, obs.OutMiss)
 		return false, false
 	}
 	// The node outlives the section (Go GC); publishing into it after
@@ -780,10 +804,12 @@ func (t *Table[K, V]) chainCompareAndSwapValueHashed(h uint64, k K, match func(V
 	for {
 		p := n.val.Load()
 		if match != nil && !match(*p) {
+			t.opRecord(pr, h, obs.OpValueCAS, obs.PathValueCAS, obs.OutNoop)
 			return false, true
 		}
 		if n.val.CompareAndSwap(p, &v) {
 			t.stats.valueCASSwaps.Add(1)
+			t.opRecord(pr, h, obs.OpValueCAS, obs.PathValueCAS, obs.OutReplaced)
 			return true, true
 		}
 	}

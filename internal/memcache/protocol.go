@@ -431,7 +431,32 @@ func (c *conn) handleStats() error {
 		{"cas_fallbacks", strconv.FormatUint(st.CASFallbacks, 10)},
 		{"cas_undos", strconv.FormatUint(st.CASUndos, 10)},
 		{"value_cas_swaps", strconv.FormatUint(st.ValueCASSwaps, 10)},
+		{"resize_backlog", strconv.FormatInt(st.UnzipBacklog, 10)},
+		{"migration_units", strconv.FormatUint(st.MigrationUnits, 10)},
+		{"migration_done", strconv.FormatUint(st.MigrationDone, 10)},
 		{"uptime", strconv.FormatInt(int64(time.Since(c.srv.started)/time.Second), 10)},
+	}
+	if st.MigrationUnits > 0 {
+		progress := float64(st.MigrationDone) / float64(st.MigrationUnits)
+		stats = append(stats,
+			struct{ k, v string }{"migration_progress", strconv.FormatFloat(progress, 'f', 3, 64)},
+			struct{ k, v string }{"migration_rate_units_per_s", strconv.FormatFloat(st.MigrationRate, 'f', 1, 64)},
+		)
+	}
+	// Flat-engine introspection appears only when the engine actually
+	// sampled groups, so chain-engine responses carry no flat_* keys.
+	if st.FlatSampledGroups > 0 {
+		stats = append(stats,
+			struct{ k, v string }{"flat_sampled_groups", strconv.FormatUint(st.FlatSampledGroups, 10)},
+			struct{ k, v string }{"flat_spilled_groups", strconv.FormatUint(st.FlatSpilledGroups, 10)},
+			struct{ k, v string }{"flat_spill_entries", strconv.FormatUint(st.FlatSpillEntries, 10)},
+			struct{ k, v string }{"flat_max_spill", strconv.Itoa(st.FlatMaxSpill)},
+			struct{ k, v string }{"flat_spill_ratio", strconv.FormatFloat(st.FlatSpillRatio, 'f', 3, 64)},
+		)
+		for i, n := range st.FlatOccupancy {
+			stats = append(stats, struct{ k, v string }{
+				"flat_occupancy_" + strconv.Itoa(i), strconv.FormatUint(n, 10)})
+		}
 	}
 	for _, kv := range stats {
 		if _, err := fmt.Fprintf(c.rw, "STAT %s %s\r\n", kv.k, kv.v); err != nil {

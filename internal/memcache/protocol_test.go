@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"rphash/internal/core"
 )
 
 // startTestServer returns a connected client and cleanup for a server
@@ -288,4 +291,107 @@ func TestProtocolOversizedValueRejected(t *testing.T) {
 	c := startTestServer(t, "lock")
 	c.send(fmt.Sprintf("set big 0 0 %d", maxValueLen+1))
 	c.expect("CLIENT_ERROR bad command line format")
+}
+
+// startRPEngineServer is startTestServer for a specific rp bucket
+// engine (core.EngineChain or core.EngineFlat).
+func startRPEngineServer(t *testing.T, engine string) *testClient {
+	t.Helper()
+	srv := NewServer(NewRPStore(0, WithStoreEngine(engine)), 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	return &testClient{t: t, w: bufio.NewWriter(nc), r: bufio.NewReader(nc)}
+}
+
+// statMap drives one stats command and returns the STAT key/value
+// pairs.
+func statMap(t *testing.T, c *testClient) map[string]string {
+	t.Helper()
+	c.send("stats")
+	out := make(map[string]string)
+	for {
+		line := c.recv()
+		if line == "END" {
+			return out
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 || f[0] != "STAT" {
+			t.Fatalf("malformed stats line %q", line)
+		}
+		out[f[1]] = f[2]
+	}
+}
+
+// TestProtocolStatsIntrospection exercises the resize/flat
+// introspection keys at the wire level on both rp engines: migration
+// counters appear on both (zero at rest), flat_* occupancy and spill
+// keys appear exactly when the flat engine is running.
+func TestProtocolStatsIntrospection(t *testing.T) {
+	t.Run("chain", func(t *testing.T) {
+		c := startRPEngineServer(t, core.EngineChain)
+		c.send("set k 0 0 1", "v")
+		c.expect("STORED")
+		got := statMap(t, c)
+		for _, k := range []string{"resize_backlog", "migration_units", "migration_done"} {
+			if got[k] != "0" {
+				t.Errorf("stats %s = %q, want 0 at rest", k, got[k])
+			}
+		}
+		for k := range got {
+			if strings.HasPrefix(k, "flat_") {
+				t.Errorf("chain engine leaked flat introspection key %q", k)
+			}
+		}
+		if got["engine"] != "rp" {
+			t.Errorf("engine = %q, want rp", got["engine"])
+		}
+	})
+	t.Run("flat", func(t *testing.T) {
+		c := startRPEngineServer(t, core.EngineFlat)
+		for i := 0; i < 64; i++ {
+			c.send(fmt.Sprintf("set key%d 0 0 1", i), "v")
+			c.expect("STORED")
+		}
+		got := statMap(t, c)
+		if got["engine"] != "rp-flat" {
+			t.Fatalf("engine = %q, want rp-flat", got["engine"])
+		}
+		sampled, err := strconv.ParseUint(got["flat_sampled_groups"], 10, 64)
+		if err != nil || sampled == 0 {
+			t.Fatalf("flat_sampled_groups = %q, want > 0", got["flat_sampled_groups"])
+		}
+		var occSum uint64
+		for i := 0; i <= 8; i++ {
+			k := fmt.Sprintf("flat_occupancy_%d", i)
+			n, err := strconv.ParseUint(got[k], 10, 64)
+			if err != nil {
+				t.Fatalf("stats missing %s (got %q)", k, got[k])
+			}
+			occSum += n
+		}
+		if occSum != sampled {
+			t.Errorf("occupancy bins sum to %d, want %d sampled groups", occSum, sampled)
+		}
+		if occSum == 0 || got["flat_occupancy_0"] == got["flat_sampled_groups"] {
+			t.Errorf("no occupied groups sampled after 64 sets: %v", got)
+		}
+		for _, k := range []string{"flat_spilled_groups", "flat_spill_entries", "flat_max_spill", "flat_spill_ratio"} {
+			if _, ok := got[k]; !ok {
+				t.Errorf("stats missing %q", k)
+			}
+		}
+		if got["migration_units"] != "0" {
+			t.Errorf("migration_units = %q, want 0 at rest", got["migration_units"])
+		}
+	})
 }

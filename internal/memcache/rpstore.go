@@ -1,6 +1,7 @@
 package memcache
 
 import (
+	"fmt"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,7 @@ type RPStore struct {
 	deletes atomic.Uint64
 
 	obsv *obs.Observer
+	wd   *obs.Watchdog
 }
 
 // StoreOption configures NewRPStore.
@@ -317,7 +319,7 @@ func (s *RPStore) Bytes() int64 { return s.c.Cost() }
 func (s *RPStore) Stats() StoreStats {
 	cs := s.c.Counters()
 	ms := s.c.MapCounters()
-	return StoreStats{
+	st := StoreStats{
 		Engine:         s.engine,
 		CurrItems:      int64(cs.Entries),
 		Bytes:          cs.Cost,
@@ -332,7 +334,21 @@ func (s *RPStore) Stats() StoreStats {
 		CASFallbacks:   ms.CASFallbacks,
 		CASUndos:       ms.CASUndos,
 		ValueCASSwaps:  ms.ValueCASSwaps,
+
+		UnzipBacklog:      ms.UnzipBacklog,
+		MigrationUnits:    ms.MigrationUnits,
+		MigrationDone:     ms.MigrationDone,
+		MigrationRate:     ms.MigrationRate,
+		FlatSampledGroups: ms.FlatSampledGroups,
+		FlatSpilledGroups: ms.FlatSpilledGroups,
+		FlatSpillEntries:  ms.FlatSpillEntries,
+		FlatMaxSpill:      ms.FlatMaxSpill,
+		FlatSpillRatio:    ms.FlatSpillRatio(),
 	}
+	if st.FlatSampledGroups > 0 {
+		st.FlatOccupancy = append([]uint64(nil), ms.FlatOccupancy[:]...)
+	}
+	return st
 }
 
 // RegisterMetrics publishes the store's full metric surface into reg:
@@ -390,6 +406,36 @@ func (s *RPStore) RegisterMetrics(reg *obs.Registry) {
 	reg.Counter("rphash_value_cas_total", "Successful lock-free value compare-and-publishes.",
 		func() uint64 { return s.c.MapCounters().ValueCASSwaps })
 
+	reg.Gauge("rphash_unzip_backlog", "Active parent buckets in the in-flight unzip (0 when idle).",
+		func() float64 { return float64(s.c.MapCounters().UnzipBacklog) })
+	reg.Gauge("rphash_migration_units", "Units in the in-flight resize migration (0 when idle).",
+		func() float64 { return float64(s.c.MapCounters().MigrationUnits) })
+	reg.Gauge("rphash_migration_done", "Units already migrated by the in-flight resize.",
+		func() float64 { return float64(s.c.MapCounters().MigrationDone) })
+	reg.Gauge("rphash_migration_progress", "Fraction of the in-flight migration completed (0..1).",
+		func() float64 { return s.c.MapCounters().MigrationProgress() })
+	reg.Gauge("rphash_migration_rate_units_per_s", "Migration throughput of the in-flight resize.",
+		func() float64 { return s.c.MapCounters().MigrationRate })
+	reg.Gauge("rphash_flat_sampled_groups", "Groups sampled by the flat engine's occupancy scan (0 on chain).",
+		func() float64 { return float64(s.c.MapCounters().FlatSampledGroups) })
+	reg.Gauge("rphash_flat_spilled_groups", "Sampled flat groups with a populated overflow chain.",
+		func() float64 { return float64(s.c.MapCounters().FlatSpilledGroups) })
+	reg.Gauge("rphash_flat_spill_entries", "Overflow entries behind the sampled flat groups.",
+		func() float64 { return float64(s.c.MapCounters().FlatSpillEntries) })
+	reg.Gauge("rphash_flat_max_spill", "Longest overflow chain behind a sampled flat group.",
+		func() float64 { return float64(s.c.MapCounters().FlatMaxSpill) })
+	reg.Gauge("rphash_flat_spill_ratio", "Spilled/sampled flat-group ratio.",
+		func() float64 { return s.c.MapCounters().FlatSpillRatio() })
+	// The registry has no label support, so the 9-bin occupancy
+	// histogram (0..8 cells used) becomes 9 named gauges.
+	var zeroStats core.Stats
+	for i := range zeroStats.FlatOccupancy {
+		i := i
+		reg.Gauge(fmt.Sprintf("rphash_flat_occupancy_%d", i),
+			fmt.Sprintf("Sampled flat groups with exactly %d of 8 tag cells occupied.", i),
+			func() float64 { return float64(s.c.MapCounters().FlatOccupancy[i]) })
+	}
+
 	reg.Counter("rphash_rcu_grace_periods_total", "Completed Synchronize calls.",
 		func() uint64 { return s.c.Domain().Stats().GracePeriods })
 	reg.Counter("rphash_rcu_deferred_total", "Callbacks queued via Defer.",
@@ -415,9 +461,24 @@ func (s *RPStore) RegisterMetrics(reg *obs.Registry) {
 	s.obsv.Register(reg)
 }
 
-// Close releases the cache (stopping its background sweeper and RCU
-// domain) and stops the coarse clock's ticker goroutine.
+// StartWatchdog attaches the anomaly watchdog to the store's cache,
+// sampling grace-period progress, stripe contention, resize backlog,
+// and evictions each cfg.Interval. A nil cfg.Clock inherits the
+// store's coarse clock; detections land in the store's observer ring
+// (when configured) and, with a non-nil reg, in per-class trip
+// counters. The store stops the watchdog in Close.
+func (s *RPStore) StartWatchdog(reg *obs.Registry, cfg obs.WatchdogConfig) *obs.Watchdog {
+	s.wd = s.c.StartWatchdog(reg, cfg)
+	return s.wd
+}
+
+// Close stops the watchdog (when started), releases the cache
+// (stopping its background sweeper and RCU domain), and stops the
+// coarse clock's ticker goroutine.
 func (s *RPStore) Close() {
+	if s.wd != nil {
+		s.wd.Stop()
+	}
 	s.c.Close()
 	s.clk.Stop()
 }

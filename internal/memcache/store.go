@@ -73,4 +73,24 @@ type StoreStats struct {
 	CASFallbacks   uint64
 	CASUndos       uint64
 	ValueCASSwaps  uint64
+	// Resize/migration introspection (both engines). UnzipBacklog is
+	// the chain engine's active-parent count for the in-flight unzip;
+	// MigrationUnits/Done/Rate track the current incremental migration
+	// (chain unzip passes or flat per-unit copies), all zero when no
+	// resize is running.
+	UnzipBacklog   int64
+	MigrationUnits uint64
+	MigrationDone  uint64
+	// MigrationRate is migrated units per second for the in-flight
+	// resize (0 when idle).
+	MigrationRate float64
+	// Flat-engine introspection (zero/nil on the chain engine).
+	// FlatOccupancy[i] counts sampled groups with exactly i of their 8
+	// tag cells occupied; FlatSpillRatio is spilled/sampled groups.
+	FlatSampledGroups uint64
+	FlatOccupancy     []uint64
+	FlatSpilledGroups uint64
+	FlatSpillEntries  uint64
+	FlatMaxSpill      int
+	FlatSpillRatio    float64
 }

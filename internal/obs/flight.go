@@ -1,0 +1,430 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// The flight recorder is the per-operation layer of the obs plane:
+// where the histograms say how fast the system is on average, the
+// recorder says what individual writes are actually doing — which
+// path each one took (CAS fast path, hint replace, stripe fallback,
+// migration assist, spill chain), on which shard and stripe, with
+// what outcome and latency. Recording every operation would be
+// absurd on a path measured in tens of nanoseconds, so the recorder
+// samples 1-in-N per stripe and stores the samples in the same
+// seqlock-slot rings the event log uses: writers never block, never
+// allocate, and a reader that catches a slot mid-write skips it.
+//
+// The off switch is structural: a Table guards every record with a
+// single pointer compare on its observer, and an Observer without a
+// Recorder adds one more. Only when both are wired does an operation
+// pay the sampling counter (one striped atomic add), and only the
+// 1-in-N winners pay the clock reads and the slot write.
+
+// OpClass says which table operation a flight record describes.
+type OpClass uint8
+
+const (
+	OpSet      OpClass = iota // Set (upsert)
+	OpSwap                    // Swap (upsert returning previous)
+	OpInsert                  // Insert (add-if-absent)
+	OpUpdate                  // Update (read-modify-write)
+	OpDelete                  // CompareAndDelete / Delete
+	OpValueCAS                // CompareAndSwapValue
+	NumOpClasses
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case OpSet:
+		return "set"
+	case OpSwap:
+		return "swap"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpValueCAS:
+		return "value_cas"
+	}
+	return "op?"
+}
+
+// OpPath says which write path served the operation.
+type OpPath uint8
+
+const (
+	// PathStriped: the classic striped-lock path (the fallback on the
+	// chain engine; the only write path on the flat engine when no
+	// migration or spill was involved).
+	PathStriped OpPath = iota
+	// PathCASInsert: lock-free head-CAS insert (chain engine).
+	PathCASInsert
+	// PathHintReplace: lock-free hint walk revalidated under the
+	// stripe, replacing in place (chain engine upserts).
+	PathHintReplace
+	// PathValueCAS: lock-free value-plane CAS (chain engine RMW).
+	PathValueCAS
+	// PathMigrationAssist: the write found its unit unmigrated during
+	// a flat copy-resize and did the migration itself first.
+	PathMigrationAssist
+	// PathSpill: the write landed in (or walked) a flat group's
+	// overflow spill chain rather than the eight inline cells.
+	PathSpill
+	NumOpPaths
+)
+
+func (p OpPath) String() string {
+	switch p {
+	case PathStriped:
+		return "striped"
+	case PathCASInsert:
+		return "cas_insert"
+	case PathHintReplace:
+		return "hint_replace"
+	case PathValueCAS:
+		return "value_cas"
+	case PathMigrationAssist:
+		return "migration_assist"
+	case PathSpill:
+		return "spill"
+	}
+	return "path?"
+}
+
+// OpOutcome says what the operation did to the table.
+type OpOutcome uint8
+
+const (
+	OutInserted OpOutcome = iota
+	OutReplaced
+	OutDeleted
+	OutMiss // target key absent (failed delete/update/CAS)
+	OutNoop // nothing changed (failed insert: key already present)
+	NumOpOutcomes
+)
+
+func (o OpOutcome) String() string {
+	switch o {
+	case OutInserted:
+		return "inserted"
+	case OutReplaced:
+		return "replaced"
+	case OutDeleted:
+		return "deleted"
+	case OutMiss:
+		return "miss"
+	case OutNoop:
+		return "noop"
+	}
+	return "out?"
+}
+
+// OpRecord is one decoded flight-recorder sample.
+type OpRecord struct {
+	Seq       uint64 // per-stripe record order
+	Class     OpClass
+	Path      OpPath
+	Outcome   OpOutcome
+	Flat      bool // true when the flat engine served the op
+	Shard     int32
+	Stripe    int32
+	LatencyNS int64
+}
+
+const (
+	// recStripes spreads the sampling tickets and slot rings across
+	// independent banks keyed by the op's key hash, so concurrent
+	// writers rarely meet on a counter cache line.
+	recStripes = 4
+	// DefaultSampleEvery is the 1-in-N sampling rate used when
+	// NewRecorder is given n <= 0. At ~10M writes/s it still yields
+	// ~10k samples/s — plenty for path shares and tail percentiles.
+	DefaultSampleEvery = 1024
+	// DefaultRecorderSlots is the per-stripe slot count used when
+	// NewRecorder is given cap <= 0.
+	DefaultRecorderSlots = 1024
+)
+
+// opSlot is one seqlock-protected sample; same marker protocol as
+// ringSlot (0 empty, 2*seq+1 writing, 2*seq+2 stable).
+type opSlot struct {
+	marker atomic.Uint64
+	word   atomic.Uint64 // packed class/path/outcome/engine/shard/stripe
+	lat    atomic.Int64
+}
+
+func packOp(class OpClass, path OpPath, out OpOutcome, flat bool, shard, stripe int) uint64 {
+	w := uint64(class)<<56 | uint64(path)<<48 | uint64(out)<<40
+	if flat {
+		w |= 1 << 39
+	}
+	return w | uint64(uint16(shard))<<16 | uint64(uint16(stripe))
+}
+
+func unpackOp(w uint64, r *OpRecord) {
+	r.Class = OpClass(w >> 56)
+	r.Path = OpPath(w >> 48 & 0xff)
+	r.Outcome = OpOutcome(w >> 40 & 0xff)
+	r.Flat = w&(1<<39) != 0
+	r.Shard = int32(int16(w >> 16 & 0xffff))
+	r.Stripe = int32(int16(w & 0xffff))
+}
+
+// recRing is one stripe's sampling ticket plus slot ring. The pad
+// keeps the hot ticket counter of the next stripe on its own line.
+type recRing struct {
+	ticket atomic.Uint64 // operations seen by this stripe
+	head   atomic.Uint64 // samples recorded by this stripe
+	_      [48]byte
+	slots  []opSlot
+}
+
+// Recorder is the sampled per-operation flight recorder. All methods
+// are nil-safe; a nil Recorder records nothing and costs one pointer
+// compare at the call site.
+type Recorder struct {
+	sampleMask uint64 // sample when ticket & mask == 0 (power of two - 1)
+	slotMask   uint64
+	rings      [recStripes]recRing
+}
+
+// NewRecorder returns a recorder sampling 1 in sampleEvery operations
+// (rounded up to a power of two; DefaultSampleEvery if <= 0) into
+// perStripe slots per stripe (DefaultRecorderSlots if <= 0).
+func NewRecorder(sampleEvery, perStripe int) *Recorder {
+	n := 1
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	for n < sampleEvery {
+		n <<= 1
+	}
+	if perStripe <= 0 {
+		perStripe = DefaultRecorderSlots
+	}
+	capacity := 1
+	for capacity < perStripe {
+		capacity <<= 1
+	}
+	r := &Recorder{sampleMask: uint64(n - 1), slotMask: uint64(capacity - 1)}
+	for i := range r.rings {
+		r.rings[i].slots = make([]opSlot, capacity)
+	}
+	return r
+}
+
+// SampleEvery reports the effective 1-in-N sampling rate.
+func (r *Recorder) SampleEvery() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.sampleMask + 1
+}
+
+// Sample draws this operation's sampling ticket: true means the
+// caller should time the op and Record it. h is the op's key hash,
+// used only to pick a counter stripe. One atomic add.
+func (r *Recorder) Sample(h uint64) bool {
+	if r == nil {
+		return false
+	}
+	return r.rings[h&(recStripes-1)].ticket.Add(1)&r.sampleMask == 0
+}
+
+// Record stores one sampled operation. Never blocks, never
+// allocates. h must be the same hash passed to Sample.
+func (r *Recorder) Record(h uint64, class OpClass, path OpPath, out OpOutcome, flat bool, shard, stripe int, latNS int64) {
+	if r == nil {
+		return
+	}
+	ring := &r.rings[h&(recStripes-1)]
+	seq := ring.head.Add(1) - 1
+	s := &ring.slots[seq&r.slotMask]
+	s.marker.Store(2*seq + 1)
+	s.word.Store(packOp(class, path, out, flat, shard, stripe))
+	s.lat.Store(latNS)
+	s.marker.Store(2*seq + 2)
+}
+
+// Sampled returns the number of operations recorded so far across all
+// stripes (monotone; may exceed retained capacity).
+func (r *Recorder) Sampled() uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for i := range r.rings {
+		n += r.rings[i].head.Load()
+	}
+	return n
+}
+
+// Overwritten returns how many samples have been rotated out of the
+// rings — nonzero means the rings are too small for the scrape
+// interval.
+func (r *Recorder) Overwritten() uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for i := range r.rings {
+		if h := r.rings[i].head.Load(); h > r.slotMask+1 {
+			n += h - (r.slotMask + 1)
+		}
+	}
+	return n
+}
+
+// Snapshot decodes every stable slot across all stripes. Slots caught
+// mid-write are skipped. Order is per-stripe oldest-first.
+func (r *Recorder) Snapshot() []OpRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]OpRecord, 0, recStripes*int(r.slotMask+1))
+	for i := range r.rings {
+		ring := &r.rings[i]
+		for j := range ring.slots {
+			s := &ring.slots[j]
+			m1 := s.marker.Load()
+			if m1 == 0 || m1%2 == 1 {
+				continue
+			}
+			var rec OpRecord
+			rec.Seq = m1/2 - 1
+			unpackOp(s.word.Load(), &rec)
+			rec.LatencyNS = s.lat.Load()
+			if s.marker.Load() != m1 {
+				continue
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// OpPathStats aggregates the retained samples for one (class, path)
+// pair. Percentiles are exact over the retained samples, not bucket
+// estimates.
+type OpPathStats struct {
+	Class    OpClass
+	Path     OpPath
+	Count    int
+	P50NS    int64
+	P99NS    int64
+	MaxNS    int64
+	Outcomes [NumOpOutcomes]int
+}
+
+// AggregateOps folds a snapshot into per-(class, path) rows sorted by
+// descending count.
+func AggregateOps(recs []OpRecord) []OpPathStats {
+	type key struct {
+		c OpClass
+		p OpPath
+	}
+	lats := make(map[key][]int64)
+	outs := make(map[key]*[NumOpOutcomes]int)
+	for _, r := range recs {
+		k := key{r.Class, r.Path}
+		lats[k] = append(lats[k], r.LatencyNS)
+		o := outs[k]
+		if o == nil {
+			o = new([NumOpOutcomes]int)
+			outs[k] = o
+		}
+		if r.Outcome < NumOpOutcomes {
+			o[r.Outcome]++
+		}
+	}
+	rows := make([]OpPathStats, 0, len(lats))
+	for k, l := range lats {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		row := OpPathStats{Class: k.c, Path: k.p, Count: len(l),
+			P50NS: l[len(l)/2], P99NS: l[len(l)*99/100], MaxNS: l[len(l)-1],
+			Outcomes: *outs[k]}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		if rows[i].Class != rows[j].Class {
+			return rows[i].Class < rows[j].Class
+		}
+		return rows[i].Path < rows[j].Path
+	})
+	return rows
+}
+
+// WriteSummary renders the /debug/ops document: per-(class, path)
+// sample counts, shares, exact p50/p99 over the retained samples, and
+// per-class fallback ratios (striped-path share of the class).
+func (r *Recorder) WriteSummary(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "(flight recorder off)")
+		return
+	}
+	recs := r.Snapshot()
+	fmt.Fprintf(w, "flight recorder: 1-in-%d sampling, %d sampled, %d retained, %d overwritten\n",
+		r.SampleEvery(), r.Sampled(), len(recs), r.Overwritten())
+	if len(recs) == 0 {
+		return
+	}
+	rows := AggregateOps(recs)
+	total := len(recs)
+	fmt.Fprintf(w, "\n%-9s %-16s %7s %6s %10s %10s %10s\n",
+		"class", "path", "count", "share", "p50", "p99", "max")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-9s %-16s %7d %5.1f%% %8dns %8dns %8dns",
+			row.Class, row.Path, row.Count,
+			100*float64(row.Count)/float64(total), row.P50NS, row.P99NS, row.MaxNS)
+		sep := "  "
+		for o := OpOutcome(0); o < NumOpOutcomes; o++ {
+			if n := row.Outcomes[o]; n > 0 {
+				fmt.Fprintf(w, "%s%s=%d", sep, o, n)
+				sep = " "
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Fallback ratio per class: how often the lock-free fast paths
+	// gave up and the op went through its stripe.
+	var classTotal, classStriped [NumOpClasses]int
+	for _, row := range rows {
+		classTotal[row.Class] += row.Count
+		if row.Path == PathStriped {
+			classStriped[row.Class] += row.Count
+		}
+	}
+	fmt.Fprintln(w)
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if classTotal[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s fallback ratio: %.3f (%d/%d striped)\n",
+			c, float64(classStriped[c])/float64(classTotal[c]), classStriped[c], classTotal[c])
+	}
+}
+
+// Register adds the recorder's meters to a Registry.
+func (r *Recorder) Register(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.Counter("rphash_flight_sampled_total",
+		"Operations sampled by the flight recorder.", r.Sampled)
+	reg.Counter("rphash_flight_overwritten_total",
+		"Flight-recorder samples rotated out of the rings before a scrape.",
+		r.Overwritten)
+	reg.Gauge("rphash_flight_sample_every",
+		"Flight recorder 1-in-N sampling rate.",
+		func() float64 { return float64(r.SampleEvery()) })
+}

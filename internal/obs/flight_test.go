@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderSamplingRate(t *testing.T) {
+	r := NewRecorder(4, 64)
+	if got := r.SampleEvery(); got != 4 {
+		t.Fatalf("SampleEvery = %d, want 4", got)
+	}
+	hits := 0
+	for i := 0; i < 64; i++ {
+		if r.Sample(7) { // one stripe, deterministic ticket sequence
+			hits++
+		}
+	}
+	if hits != 16 {
+		t.Fatalf("64 tickets at 1-in-4 sampled %d, want 16", hits)
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(1, 16)
+	r.Record(0, OpSet, PathCASInsert, OutInserted, false, 3, 12, 450)
+	r.Record(1, OpDelete, PathSpill, OutDeleted, true, 7, 5, 900)
+	recs := r.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("snapshot returned %d records, want 2", len(recs))
+	}
+	byClass := map[OpClass]OpRecord{}
+	for _, rec := range recs {
+		byClass[rec.Class] = rec
+	}
+	set := byClass[OpSet]
+	if set.Path != PathCASInsert || set.Outcome != OutInserted || set.Flat ||
+		set.Shard != 3 || set.Stripe != 12 || set.LatencyNS != 450 {
+		t.Fatalf("set record corrupted: %+v", set)
+	}
+	del := byClass[OpDelete]
+	if del.Path != PathSpill || del.Outcome != OutDeleted || !del.Flat ||
+		del.Shard != 7 || del.Stripe != 5 || del.LatencyNS != 900 {
+		t.Fatalf("delete record corrupted: %+v", del)
+	}
+}
+
+func TestRecorderOverwritten(t *testing.T) {
+	r := NewRecorder(1, 1) // one slot per stripe
+	for i := 0; i < 5; i++ {
+		r.Record(2, OpSet, PathStriped, OutReplaced, false, 0, 0, int64(i))
+	}
+	if got := r.Sampled(); got != 5 {
+		t.Fatalf("Sampled = %d, want 5", got)
+	}
+	if got := r.Overwritten(); got != 4 {
+		t.Fatalf("Overwritten = %d, want 4", got)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 1 || recs[0].LatencyNS != 4 {
+		t.Fatalf("retained %v, want only the last record", recs)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.Sample(1) {
+		t.Fatal("nil recorder sampled")
+	}
+	r.Record(0, OpSet, PathStriped, OutInserted, false, 0, 0, 1)
+	if r.Snapshot() != nil || r.Sampled() != 0 || r.Overwritten() != 0 || r.SampleEvery() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	if !strings.Contains(sb.String(), "off") {
+		t.Fatalf("nil WriteSummary = %q", sb.String())
+	}
+	r.Register(NewRegistry())
+}
+
+func TestWriteSummaryAggregation(t *testing.T) {
+	r := NewRecorder(1, 256)
+	for i := 0; i < 30; i++ {
+		r.Record(uint64(i), OpSet, PathCASInsert, OutInserted, false, 0, 1, 100)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(uint64(i), OpSet, PathStriped, OutReplaced, false, 0, 2, 500)
+	}
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	out := sb.String()
+	for _, want := range []string{"cas_insert", "striped", "set fallback ratio: 0.250", "inserted=30", "replaced=10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	rows := AggregateOps(r.Snapshot())
+	if len(rows) != 2 || rows[0].Path != PathCASInsert || rows[0].Count != 30 {
+		t.Fatalf("aggregate rows: %+v", rows)
+	}
+	if rows[0].P50NS != 100 || rows[1].P50NS != 500 {
+		t.Fatalf("percentiles: %+v", rows)
+	}
+}
+
+func TestRecorderRegister(t *testing.T) {
+	r := NewRecorder(2, 8)
+	r.Record(0, OpSet, PathStriped, OutInserted, false, 0, 0, 10)
+	reg := NewRegistry()
+	r.Register(reg)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{"rphash_flight_sampled_total 1", "rphash_flight_overwritten_total 0", "rphash_flight_sample_every 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRecorderConcurrent is the -race guard for the sampling tickets
+// and seqlock slots: records from many goroutines racing snapshots
+// must neither trip the race detector nor decode to torn values.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(2, 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := uint64(g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r.Sample(h) {
+					r.Record(h, OpSet, OpPath(i%int(NumOpPaths)), OutInserted, g%2 == 0, g, i%16, int64(i))
+				}
+				h += 0x9e3779b97f4a7c15
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		for _, rec := range r.Snapshot() {
+			if rec.Class != OpSet || rec.Path >= NumOpPaths || rec.Outcome != OutInserted {
+				t.Errorf("torn record decoded: %+v", rec)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -42,9 +42,12 @@ func (r *Registry) PublishExpvar(name string) {
 //	/metrics       Prometheus text exposition of reg
 //	/debug/vars    expvar-style JSON of reg (standalone document)
 //	/debug/events  human-readable lifecycle timeline from o.Events
+//	/debug/ops     flight-recorder aggregation (paths, p50/p99, ratios)
 //	/debug/pprof/  the standard pprof index and profiles
 //
-// Any of reg, o may be nil; their endpoints are skipped.
+// Any of reg, o may be nil; their endpoints are skipped. /debug/ops
+// is mounted whenever o is wired and reports "off" when no flight
+// recorder is attached.
 func Mount(mux *http.ServeMux, reg *Registry, o *Observer) {
 	if reg != nil {
 		mux.Handle("/metrics", reg.MetricsHandler())
@@ -57,6 +60,12 @@ func Mount(mux *http.ServeMux, reg *Registry, o *Observer) {
 		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			o.Events.Dump(w)
+		})
+	}
+	if o != nil {
+		mux.HandleFunc("/debug/ops", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			o.Ops.WriteSummary(w)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

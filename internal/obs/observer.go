@@ -53,11 +53,29 @@ type Observer struct {
 	Cmd [NumCmdClasses]Histogram
 	// Events is the resize/retune lifecycle ring.
 	Events *Ring
+	// Ops is the sampled per-operation flight recorder; nil (the
+	// default) disables it at the cost of one pointer compare per
+	// write.
+	Ops *Recorder
+}
+
+// ObserverOption customizes NewObserver.
+type ObserverOption func(*Observer)
+
+// WithFlightRecorder attaches a flight recorder sampling 1 in
+// sampleEvery write operations into perStripe retained slots per ring
+// stripe (<= 0 picks the defaults for either).
+func WithFlightRecorder(sampleEvery, perStripe int) ObserverOption {
+	return func(o *Observer) { o.Ops = NewRecorder(sampleEvery, perStripe) }
 }
 
 // NewObserver returns an Observer with a default-capacity event ring.
-func NewObserver() *Observer {
-	return &Observer{Events: NewRing(0)}
+func NewObserver(opts ...ObserverOption) *Observer {
+	o := &Observer{Events: NewRing(0)}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
 }
 
 // ObserverSnapshot is a point-in-time copy of every Observer metric.
@@ -67,6 +85,7 @@ type ObserverSnapshot struct {
 	CacheLoad  HistogramSnapshot
 	Cmd        [NumCmdClasses]HistogramSnapshot
 	Events     []Event
+	Ops        []OpRecord
 }
 
 // Snapshot captures all histograms and the event ring.
@@ -82,6 +101,7 @@ func (o *Observer) Snapshot() ObserverSnapshot {
 		s.Cmd[i] = o.Cmd[i].Snapshot()
 	}
 	s.Events = o.Events.Snapshot()
+	s.Ops = o.Ops.Snapshot()
 	return s
 }
 
@@ -105,4 +125,9 @@ func (o *Observer) Register(r *Registry) {
 	r.Gauge("rphash_events_total",
 		"Lifecycle events recorded (monotone; ring retains the last "+
 			"capacity of them).", func() float64 { return float64(o.Events.Len()) })
+	r.Counter("rphash_events_overwritten_total",
+		"Lifecycle events rotated out of the ring before being read; "+
+			"nonzero means the ring is too small for the scrape interval.",
+		o.Events.Overwritten)
+	o.Ops.Register(r)
 }

@@ -51,6 +51,9 @@ const (
 	// itself under its stripe). Rare by construction — it needs a
 	// head CAS inside an all-stripes capture window.
 	EvCASUndo
+	// EvWatchdog: the anomaly watchdog tripped. A=anomaly class
+	// (AnomalyClass), B and C are per-class detail (see Watchdog).
+	EvWatchdog
 )
 
 func (t EventType) String() string {
@@ -79,6 +82,8 @@ func (t EventType) String() string {
 		return "auto_shrink"
 	case EvCASUndo:
 		return "cas_undo"
+	case EvWatchdog:
+		return "watchdog"
 	}
 	return "none"
 }
@@ -121,6 +126,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("shard %d: auto-shrink trigger (len=%d buckets=%d)", e.Shard, e.A, e.B)
 	case EvCASUndo:
 		return fmt.Sprintf("shard %d: cas fast-path insert undone (lost to resize capture)", e.Shard)
+	case EvWatchdog:
+		return fmt.Sprintf("watchdog: %s anomaly (detail %d, %d)", AnomalyClass(e.A), e.B, e.C)
 	}
 	return fmt.Sprintf("shard %d: event %d a=%d b=%d c=%d", e.Shard, e.Type, e.A, e.B, e.C)
 }
@@ -200,6 +207,26 @@ func (r *Ring) Len() uint64 {
 		return 0
 	}
 	return r.head.Load()
+}
+
+// Capacity returns the number of slots the ring retains.
+func (r *Ring) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Overwritten returns how many events have been rotated out of the
+// ring — nonzero means history is being lost to a too-small ring.
+func (r *Ring) Overwritten() uint64 {
+	if r == nil {
+		return 0
+	}
+	if h := r.head.Load(); h > r.mask+1 {
+		return h - (r.mask + 1)
+	}
+	return 0
 }
 
 // Snapshot decodes the stable slots into events sorted by sequence

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rphash/internal/clock"
+)
+
+// The watchdog is the obs plane's anomaly detector: a periodic
+// self-check over cheap counters the system already maintains, built
+// to answer "why did it get slow" after the fact. It watches for four
+// pathological states — grace-period stalls, stripe convoys, stuck
+// resizes, eviction storms — and on each detection emits a ring event
+// and bumps a counter; the first detection per class also captures a
+// diagnostic bundle (goroutine profile, event-ring dump, histogram
+// snapshots, registry snapshot) to a directory, so the black-box data
+// for a postmortem exists even if nobody was watching the live
+// endpoints.
+//
+// All timing decisions go through an injected *clock.Clock, so a
+// manual clock scripts the exact tick sequence in tests: Tick runs
+// one check synchronously, and the optional Start goroutine does
+// nothing but call Tick on an interval.
+
+// AnomalyClass identifies a watchdog detection category.
+type AnomalyClass uint8
+
+const (
+	// AnomalyGraceStall: an rcu Synchronize has been waiting longer
+	// than the threshold — some reader section is stuck or leaked.
+	AnomalyGraceStall AnomalyClass = iota
+	// AnomalyStripeConvoy: the per-tick contended/total stripe
+	// acquisition ratio spiked over both the absolute threshold and
+	// the trailing baseline — writers are convoying on few stripes.
+	AnomalyStripeConvoy
+	// AnomalyStuckResize: an in-flight resize's migration backlog has
+	// not drained for k consecutive ticks.
+	AnomalyStuckResize
+	// AnomalyEvictionStorm: cache evictions per tick exceeded the
+	// threshold — the working set no longer fits.
+	AnomalyEvictionStorm
+	NumAnomalyClasses
+)
+
+func (c AnomalyClass) String() string {
+	switch c {
+	case AnomalyGraceStall:
+		return "grace_stall"
+	case AnomalyStripeConvoy:
+		return "stripe_convoy"
+	case AnomalyStuckResize:
+		return "stuck_resize"
+	case AnomalyEvictionStorm:
+		return "eviction_storm"
+	}
+	return "anomaly?"
+}
+
+// WatchdogSample is the counter snapshot a Watchdog checks each tick.
+// The source closure is wired by the integration layer (the cache or
+// store owning the tables), which keeps this package free of upward
+// dependencies.
+type WatchdogSample struct {
+	// GracePeriods is the cumulative completed Synchronize count.
+	GracePeriods uint64
+	// GraceWaiting reports whether a Synchronize is in flight.
+	GraceWaiting bool
+	// StripeAcquires / StripeContended are the cumulative stripe-lock
+	// telemetry counters.
+	StripeAcquires  uint64
+	StripeContended uint64
+	// ResizeBacklog is the in-flight resize's unmigrated unit count
+	// (parent chains for the chain engine, copy units for the flat
+	// engine); 0 when idle.
+	ResizeBacklog int64
+	// Evictions is the cumulative cache eviction count.
+	Evictions uint64
+}
+
+// WatchdogConfig tunes a Watchdog. Zero-valued fields take the
+// defaults noted on each.
+type WatchdogConfig struct {
+	// Clock supplies all timestamps; required (use clock.NewManual in
+	// tests, or share the store's coarse clock).
+	Clock *clock.Clock
+	// Interval is the Start goroutine's tick cadence (default 1s).
+	// Tick may also be called directly regardless.
+	Interval time.Duration
+	// GraceStall is how long a single Synchronize may wait before the
+	// stall trips (default 1s).
+	GraceStall time.Duration
+	// ConvoyRatio is the per-tick contended/total acquisition ratio
+	// at which a convoy trips (default 0.5). The ratio must also
+	// exceed 4x the trailing EWMA baseline, so a steadily-contended
+	// table does not page every tick.
+	ConvoyRatio float64
+	// ConvoyMinAcquires is the minimum per-tick acquisition delta for
+	// the convoy check to apply (default 1000).
+	ConvoyMinAcquires uint64
+	// StuckResizeTicks is how many consecutive non-draining ticks an
+	// in-flight resize backlog survives before tripping (default 5).
+	StuckResizeTicks int
+	// EvictionStorm is the per-tick eviction delta that trips the
+	// storm (default 100000).
+	EvictionStorm uint64
+	// BundleDir is where first-trigger diagnostic bundles are
+	// written; empty disables bundle capture.
+	BundleDir string
+}
+
+// Anomaly is one watchdog detection.
+type Anomaly struct {
+	Class  AnomalyClass
+	Detail string
+	// A, B are the class-specific payload also carried by the ring
+	// event: stall age ns / grace periods; contended delta / acquire
+	// delta; backlog / stuck ticks; evictions delta / threshold.
+	A, B int64
+}
+
+// Watchdog runs the periodic anomaly checks. Create with NewWatchdog;
+// a nil Watchdog is inert.
+type Watchdog struct {
+	cfg    WatchdogConfig
+	o      *Observer
+	reg    *Registry
+	sample func() WatchdogSample
+
+	mu   sync.Mutex // serializes Tick (Start goroutine vs manual calls)
+	prev WatchdogSample
+	seen bool
+	// grace-stall tracking: when the in-flight wait was first
+	// observed, and at which completed-GP count.
+	graceSinceNS int64
+	graceGP      uint64
+	// convoy baseline: EWMA of the per-tick contention ratio.
+	convoyEWMA float64
+	// stuck-resize tracking.
+	stuckTicks  int
+	lastBacklog int64
+
+	ticks   atomic.Uint64
+	trips   [NumAnomalyClasses]atomic.Uint64
+	bundled [NumAnomalyClasses]atomic.Bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewWatchdog builds a watchdog over the given sample source. o
+// receives ring events (may be nil); reg, if non-nil, is included in
+// diagnostic bundles. Panics if cfg.Clock is nil — timing policy is
+// the caller's decision, not a hidden default.
+func NewWatchdog(o *Observer, reg *Registry, sample func() WatchdogSample, cfg WatchdogConfig) *Watchdog {
+	if cfg.Clock == nil {
+		panic("obs: WatchdogConfig.Clock is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.GraceStall <= 0 {
+		cfg.GraceStall = time.Second
+	}
+	if cfg.ConvoyRatio <= 0 {
+		cfg.ConvoyRatio = 0.5
+	}
+	if cfg.ConvoyMinAcquires == 0 {
+		cfg.ConvoyMinAcquires = 1000
+	}
+	if cfg.StuckResizeTicks <= 0 {
+		cfg.StuckResizeTicks = 5
+	}
+	if cfg.EvictionStorm == 0 {
+		cfg.EvictionStorm = 100000
+	}
+	return &Watchdog{cfg: cfg, o: o, reg: reg, sample: sample,
+		stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the background tick loop. Safe to call once; Stop
+// ends it. Tests that script time with a manual clock skip Start and
+// call Tick directly.
+func (w *Watchdog) Start() {
+	if w == nil {
+		return
+	}
+	w.startOnce.Do(func() {
+		go func() {
+			defer close(w.done)
+			t := time.NewTicker(w.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-t.C:
+					w.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the background loop (if started) and waits for it.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.startOnce.Do(func() { close(w.done) }) // never started: nothing to wait for
+	<-w.done
+}
+
+// Ticks returns how many checks have run.
+func (w *Watchdog) Ticks() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.ticks.Load()
+}
+
+// Trips returns how many times class has been detected.
+func (w *Watchdog) Trips(c AnomalyClass) uint64 {
+	if w == nil || c >= NumAnomalyClasses {
+		return 0
+	}
+	return w.trips[c].Load()
+}
+
+// Tick runs one anomaly check against a fresh sample and returns any
+// detections. Exported so deterministic tests (and the Start loop)
+// drive the exact same code path.
+func (w *Watchdog) Tick() []Anomaly {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ticks.Add(1)
+	s := w.sample()
+	now := w.cfg.Clock.Nanos()
+	var out []Anomaly
+
+	// Grace stall: a Synchronize observed waiting across ticks with
+	// no completed grace period in between. The age is measured on
+	// the watchdog's own clock from the first tick that saw the wait,
+	// so a manual clock scripts it exactly.
+	if s.GraceWaiting {
+		if w.graceSinceNS == 0 || s.GracePeriods != w.graceGP {
+			w.graceSinceNS = now
+			w.graceGP = s.GracePeriods
+		} else if age := now - w.graceSinceNS; age >= w.cfg.GraceStall.Nanoseconds() {
+			out = append(out, Anomaly{Class: AnomalyGraceStall,
+				Detail: fmt.Sprintf("Synchronize waiting >= %v (gp=%d)", time.Duration(age), s.GracePeriods),
+				A:      age, B: int64(s.GracePeriods)})
+			w.graceSinceNS = now // re-arm: re-trip once per further threshold
+		}
+	} else {
+		w.graceSinceNS = 0
+	}
+
+	if w.seen {
+		// Stripe convoy: per-tick contention ratio over both the
+		// absolute threshold and 4x the trailing baseline.
+		dAcq := s.StripeAcquires - w.prev.StripeAcquires
+		dCon := s.StripeContended - w.prev.StripeContended
+		if dAcq >= w.cfg.ConvoyMinAcquires {
+			ratio := float64(dCon) / float64(dAcq)
+			if ratio >= w.cfg.ConvoyRatio && ratio >= 4*w.convoyEWMA {
+				out = append(out, Anomaly{Class: AnomalyStripeConvoy,
+					Detail: fmt.Sprintf("stripe contention ratio %.2f (%d/%d this tick)", ratio, dCon, dAcq),
+					A:      int64(dCon), B: int64(dAcq)})
+			} else {
+				w.convoyEWMA = 0.8*w.convoyEWMA + 0.2*ratio
+			}
+		}
+
+		// Stuck resize: an in-flight backlog that did not shrink for
+		// k consecutive ticks.
+		if s.ResizeBacklog > 0 && s.ResizeBacklog >= w.lastBacklog && w.lastBacklog > 0 {
+			w.stuckTicks++
+			if w.stuckTicks >= w.cfg.StuckResizeTicks {
+				out = append(out, Anomaly{Class: AnomalyStuckResize,
+					Detail: fmt.Sprintf("resize backlog %d not draining for %d ticks", s.ResizeBacklog, w.stuckTicks),
+					A:      s.ResizeBacklog, B: int64(w.stuckTicks)})
+				w.stuckTicks = 0 // re-arm
+			}
+		} else {
+			w.stuckTicks = 0
+		}
+
+		// Eviction storm.
+		if dEv := s.Evictions - w.prev.Evictions; dEv >= w.cfg.EvictionStorm {
+			out = append(out, Anomaly{Class: AnomalyEvictionStorm,
+				Detail: fmt.Sprintf("%d evictions in one tick (threshold %d)", dEv, w.cfg.EvictionStorm),
+				A:      int64(dEv), B: int64(w.cfg.EvictionStorm)})
+		}
+	}
+	w.lastBacklog = s.ResizeBacklog
+	w.prev = s
+	w.seen = true
+
+	for _, a := range out {
+		w.trips[a.Class].Add(1)
+		if w.o != nil {
+			w.o.Events.Record(EvWatchdog, 0, int64(a.Class), a.A, a.B)
+		}
+		if w.cfg.BundleDir != "" && w.bundled[a.Class].CompareAndSwap(false, true) {
+			w.writeBundle(a)
+		}
+	}
+	return out
+}
+
+// Register adds the watchdog's meters to a Registry.
+func (w *Watchdog) Register(r *Registry) {
+	if w == nil || r == nil {
+		return
+	}
+	r.Counter("rphash_watchdog_ticks_total", "Watchdog checks run.", w.Ticks)
+	for c := AnomalyClass(0); c < NumAnomalyClasses; c++ {
+		c := c
+		r.Counter("rphash_watchdog_"+c.String()+"_total",
+			"Watchdog "+c.String()+" detections.",
+			func() uint64 { return w.trips[c].Load() })
+	}
+}
+
+// writeBundle captures the diagnostic bundle for a first-trigger
+// anomaly: goroutine profile, event-ring dump, histogram snapshots,
+// and registry snapshot, under BundleDir/watchdog-<class>/.
+func (w *Watchdog) writeBundle(a Anomaly) {
+	dir := filepath.Join(w.cfg.BundleDir, "watchdog-"+a.Class.String())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	writeFile := func(name string, fill func(f *os.File)) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		fill(f)
+	}
+	writeFile("anomaly.txt", func(f *os.File) {
+		fmt.Fprintf(f, "class: %s\ndetail: %s\na: %d\nb: %d\nwall: %s\nticks: %d\n",
+			a.Class, a.Detail, a.A, a.B, time.Now().Format(time.RFC3339Nano), w.Ticks())
+	})
+	writeFile("goroutines.txt", func(f *os.File) {
+		pprof.Lookup("goroutine").WriteTo(f, 2)
+	})
+	if w.o != nil {
+		writeFile("events.txt", func(f *os.File) { w.o.Events.Dump(f) })
+		writeFile("histograms.txt", func(f *os.File) {
+			snap := w.o.Snapshot()
+			dump := func(name string, h HistogramSnapshot) {
+				fmt.Fprintf(f, "%-24s count=%d p50=%dns p99=%dns max=%dns\n",
+					name, h.Count, h.P50(), h.P99(), h.MaxNS)
+			}
+			dump("grace_wait", snap.GraceWait)
+			dump("stripe_wait", snap.StripeWait)
+			dump("cache_load", snap.CacheLoad)
+			for i := CmdClass(0); i < NumCmdClasses; i++ {
+				dump("cmd_"+i.String(), snap.Cmd[i])
+			}
+		})
+		if w.o.Ops != nil {
+			writeFile("ops.txt", func(f *os.File) { w.o.Ops.WriteSummary(f) })
+		}
+	}
+	if w.reg != nil {
+		writeFile("metrics.prom", func(f *os.File) { w.reg.WritePrometheus(f) })
+		writeFile("metrics.json", func(f *os.File) { w.reg.WriteJSON(f) })
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rphash/internal/clock"
+)
+
+// scriptedSource is a mutable sample the tests edit between ticks.
+type scriptedSource struct {
+	mu sync.Mutex
+	s  WatchdogSample
+}
+
+func (src *scriptedSource) set(f func(*WatchdogSample)) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	f(&src.s)
+}
+
+func (src *scriptedSource) sample() WatchdogSample {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	return src.s
+}
+
+func newTestWatchdog(t *testing.T, cfg WatchdogConfig) (*Watchdog, *scriptedSource, *Observer, string) {
+	t.Helper()
+	src := &scriptedSource{}
+	o := NewObserver()
+	reg := NewRegistry()
+	o.Register(reg)
+	dir := t.TempDir()
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewManual(time.Unix(1000, 0))
+	}
+	if cfg.BundleDir == "" {
+		cfg.BundleDir = dir
+	}
+	w := NewWatchdog(o, reg, src.sample, cfg)
+	return w, src, o, cfg.BundleDir
+}
+
+// TestWatchdogGraceStallDeterministic scripts a stalled Synchronize
+// on a manual clock and asserts the exact detection sequence: arm
+// tick, no trip under threshold, trip at threshold, ring event, and
+// a diagnostic bundle on first trigger only.
+func TestWatchdogGraceStallDeterministic(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	w, src, o, dir := newTestWatchdog(t, WatchdogConfig{
+		Clock: clk, GraceStall: time.Second,
+	})
+
+	// Nothing waiting: no anomalies, stall tracking disarmed.
+	if got := w.Tick(); len(got) != 0 {
+		t.Fatalf("idle tick tripped: %+v", got)
+	}
+
+	// A Synchronize starts waiting: the first observing tick arms.
+	src.set(func(s *WatchdogSample) { s.GraceWaiting = true; s.GracePeriods = 7 })
+	if got := w.Tick(); len(got) != 0 {
+		t.Fatalf("arming tick tripped early: %+v", got)
+	}
+
+	// Under threshold: still quiet.
+	clk.Advance(500 * time.Millisecond)
+	if got := w.Tick(); len(got) != 0 {
+		t.Fatalf("sub-threshold tick tripped: %+v", got)
+	}
+
+	// Over threshold with the same completed-GP count: trip.
+	clk.Advance(600 * time.Millisecond)
+	got := w.Tick()
+	if len(got) != 1 || got[0].Class != AnomalyGraceStall {
+		t.Fatalf("expected one grace stall, got %+v", got)
+	}
+	if age := time.Duration(got[0].A); age < time.Second {
+		t.Fatalf("stall age %v below threshold", age)
+	}
+	if w.Trips(AnomalyGraceStall) != 1 {
+		t.Fatalf("Trips = %d, want 1", w.Trips(AnomalyGraceStall))
+	}
+
+	// Ring event with the class in A.
+	var found bool
+	for _, e := range o.Events.Snapshot() {
+		if e.Type == EvWatchdog && AnomalyClass(e.A) == AnomalyGraceStall {
+			found = true
+			if !strings.Contains(e.String(), "grace_stall") {
+				t.Fatalf("event renders %q", e.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no EvWatchdog event in the ring")
+	}
+
+	// First trigger captured a bundle.
+	bdir := filepath.Join(dir, "watchdog-grace_stall")
+	for _, f := range []string{"anomaly.txt", "goroutines.txt", "events.txt", "histograms.txt", "metrics.prom", "metrics.json"} {
+		if _, err := os.Stat(filepath.Join(bdir, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+	body, _ := os.ReadFile(filepath.Join(bdir, "anomaly.txt"))
+	if !strings.Contains(string(body), "class: grace_stall") {
+		t.Fatalf("anomaly.txt = %q", body)
+	}
+
+	// A completed grace period re-arms the tracker: no immediate
+	// re-trip even past the threshold.
+	src.set(func(s *WatchdogSample) { s.GracePeriods = 8 })
+	clk.Advance(2 * time.Second)
+	if got := w.Tick(); len(got) != 0 {
+		t.Fatalf("advancing GP count should re-arm, got %+v", got)
+	}
+}
+
+func TestWatchdogStripeConvoy(t *testing.T) {
+	w, src, _, _ := newTestWatchdog(t, WatchdogConfig{
+		ConvoyRatio: 0.5, ConvoyMinAcquires: 100,
+	})
+	w.Tick() // baseline sample
+
+	// Low contention establishes the EWMA baseline.
+	src.set(func(s *WatchdogSample) { s.StripeAcquires = 10000; s.StripeContended = 100 })
+	if got := w.Tick(); len(got) != 0 {
+		t.Fatalf("1%% contention tripped: %+v", got)
+	}
+
+	// A convoy: 80% of this tick's acquisitions blocked.
+	src.set(func(s *WatchdogSample) { s.StripeAcquires = 20000; s.StripeContended = 8100 })
+	got := w.Tick()
+	if len(got) != 1 || got[0].Class != AnomalyStripeConvoy {
+		t.Fatalf("expected convoy, got %+v", got)
+	}
+	if got[0].A != 8000 || got[0].B != 10000 {
+		t.Fatalf("convoy payload: %+v", got[0])
+	}
+}
+
+func TestWatchdogStuckResize(t *testing.T) {
+	w, src, _, _ := newTestWatchdog(t, WatchdogConfig{StuckResizeTicks: 3})
+	src.set(func(s *WatchdogSample) { s.ResizeBacklog = 64 })
+	w.Tick() // baseline
+
+	// A draining backlog never trips.
+	for i, b := range []int64{50, 40, 30, 20, 10} {
+		src.set(func(s *WatchdogSample) { s.ResizeBacklog = b })
+		if got := w.Tick(); len(got) != 0 {
+			t.Fatalf("draining tick %d tripped: %+v", i, got)
+		}
+	}
+
+	// A frozen backlog trips after exactly StuckResizeTicks ticks.
+	src.set(func(s *WatchdogSample) { s.ResizeBacklog = 10 })
+	for i := 0; i < 2; i++ {
+		if got := w.Tick(); len(got) != 0 {
+			t.Fatalf("stuck tick %d tripped early: %+v", i, got)
+		}
+	}
+	got := w.Tick()
+	if len(got) != 1 || got[0].Class != AnomalyStuckResize || got[0].A != 10 {
+		t.Fatalf("expected stuck resize, got %+v", got)
+	}
+}
+
+func TestWatchdogEvictionStormAndBundleOnce(t *testing.T) {
+	w, src, _, dir := newTestWatchdog(t, WatchdogConfig{EvictionStorm: 50})
+	w.Tick() // baseline
+
+	src.set(func(s *WatchdogSample) { s.Evictions = 100 })
+	if got := w.Tick(); len(got) != 1 || got[0].Class != AnomalyEvictionStorm {
+		t.Fatalf("expected eviction storm, got %+v", got)
+	}
+	bdir := filepath.Join(dir, "watchdog-eviction_storm")
+	st1, err := os.Stat(filepath.Join(bdir, "anomaly.txt"))
+	if err != nil {
+		t.Fatalf("bundle missing: %v", err)
+	}
+
+	// Second storm trips again but does not rewrite the bundle.
+	src.set(func(s *WatchdogSample) { s.Evictions = 300 })
+	if got := w.Tick(); len(got) != 1 {
+		t.Fatalf("second storm: %+v", got)
+	}
+	if w.Trips(AnomalyEvictionStorm) != 2 {
+		t.Fatalf("Trips = %d, want 2", w.Trips(AnomalyEvictionStorm))
+	}
+	st2, _ := os.Stat(filepath.Join(bdir, "anomaly.txt"))
+	if !st1.ModTime().Equal(st2.ModTime()) || st1.Size() != st2.Size() {
+		t.Fatal("bundle rewritten on second trigger")
+	}
+}
+
+func TestWatchdogRegisterAndLoop(t *testing.T) {
+	w, src, _, _ := newTestWatchdog(t, WatchdogConfig{
+		Interval: time.Millisecond, EvictionStorm: 10,
+	})
+	reg := NewRegistry()
+	w.Register(reg)
+
+	w.Tick() // baseline before the loop starts
+	w.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Trips(AnomalyEvictionStorm) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never detected the storm")
+		}
+		// Keep the eviction counter climbing so some tick sees a
+		// over-threshold delta no matter how the first ticks
+		// interleaved with the baseline.
+		src.set(func(s *WatchdogSample) { s.Evictions += 100 })
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{"rphash_watchdog_ticks_total", "rphash_watchdog_eviction_storm_total", "rphash_watchdog_grace_stall_total 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry missing %q:\n%s", want, out)
+		}
+	}
+
+	// A never-started watchdog stops cleanly too.
+	w2 := NewWatchdog(nil, nil, func() WatchdogSample { return WatchdogSample{} },
+		WatchdogConfig{Clock: clock.NewManual(time.Unix(1, 0))})
+	w2.Stop()
+}

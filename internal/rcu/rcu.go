@@ -84,6 +84,12 @@ type Domain struct {
 	// writer is stalled on them.
 	gpWaiters atomic.Int32
 
+	// graceWaitNS is the UnixNano stamp of the moment the OLDEST
+	// currently-waiting Synchronize arrived (0 when none is waiting).
+	// Telemetry only: the anomaly watchdog reads it to age a stalled
+	// grace period; no protocol decision ever depends on it.
+	graceWaitNS atomic.Int64
+
 	// Statistics (atomic; exposed via Stats).
 	nSync     atomic.Uint64
 	nDeferred atomic.Uint64
@@ -258,10 +264,16 @@ func (d *Domain) Synchronize() {
 	if gobs != nil {
 		t0 = time.Now()
 	}
+	if d.gpWaiters.Add(1) == 1 {
+		d.graceWaitNS.Store(time.Now().UnixNano())
+	}
+	defer func() {
+		if d.gpWaiters.Add(-1) == 0 {
+			d.graceWaitNS.Store(0)
+		}
+	}()
 	d.syncMu.Lock()
 	defer d.syncMu.Unlock()
-	d.gpWaiters.Add(1)
-	defer d.gpWaiters.Add(-1)
 	target := d.epoch.Add(2) // new, even epoch
 
 	// Snapshot the registries. Readers registered after the snapshot
@@ -307,6 +319,13 @@ func (d *Domain) Synchronize() {
 // readers. QSBR readers use it to quiesce eagerly: checking costs one
 // load of a line that only changes when a Synchronize starts or ends.
 func (d *Domain) GPWaiting() bool { return d.gpWaiters.Load() != 0 }
+
+// GraceWaitingSinceNanos returns the UnixNano timestamp at which the
+// oldest currently-waiting Synchronize began waiting, or 0 when no
+// grace period is in flight. The anomaly watchdog exports it so a
+// stalled reader (a section that never ends) shows up with its age
+// rather than as a mute hung writer.
+func (d *Domain) GraceWaitingSinceNanos() int64 { return d.graceWaitNS.Load() }
 
 // waitFor spins (yielding, then sleeping) until the reader state is
 // quiescent or newer than the target epoch.

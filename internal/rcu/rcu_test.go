@@ -437,3 +437,47 @@ func TestEpochMonotoneUnderConcurrency(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestGraceWaitingSinceNanos checks the in-flight wait stamp the
+// anomaly watchdog ages: zero when idle, the oldest waiter's arrival
+// time while a grace period is blocked on an open section, zero again
+// once the waiter drains.
+func TestGraceWaitingSinceNanos(t *testing.T) {
+	d := NewDomain()
+	defer d.Close()
+	if got := d.GraceWaitingSinceNanos(); got != 0 {
+		t.Fatalf("idle stamp = %d, want 0", got)
+	}
+
+	r := d.Register()
+	r.Lock() // pin the grace period open
+	before := time.Now().UnixNano()
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.GraceWaitingSinceNanos() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stamp never set while Synchronize waits")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if stamp := d.GraceWaitingSinceNanos(); stamp < before || stamp > time.Now().UnixNano() {
+		t.Fatalf("stamp %d outside [%d, now]", stamp, before)
+	}
+	if !d.GPWaiting() {
+		t.Fatal("GPWaiting false while stamped")
+	}
+
+	r.Unlock()
+	<-done
+	r.Close()
+	for d.GraceWaitingSinceNanos() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stamp never cleared after the waiter drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

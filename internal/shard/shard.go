@@ -487,6 +487,19 @@ func accumulate(agg *core.Stats, st core.Stats) {
 	agg.CASFallbacks += st.CASFallbacks
 	agg.CASUndos += st.CASUndos
 	agg.ValueCASSwaps += st.ValueCASSwaps
+	agg.UnzipBacklog += st.UnzipBacklog
+	agg.MigrationUnits += st.MigrationUnits
+	agg.MigrationDone += st.MigrationDone
+	agg.MigrationRate += st.MigrationRate
+	agg.FlatSampledGroups += st.FlatSampledGroups
+	for i := range agg.FlatOccupancy {
+		agg.FlatOccupancy[i] += st.FlatOccupancy[i]
+	}
+	agg.FlatSpilledGroups += st.FlatSpilledGroups
+	agg.FlatSpillEntries += st.FlatSpillEntries
+	if st.FlatMaxSpill > agg.FlatMaxSpill {
+		agg.FlatMaxSpill = st.FlatMaxSpill
+	}
 	if st.UnzipWorkers > agg.UnzipWorkers {
 		agg.UnzipWorkers = st.UnzipWorkers
 	}

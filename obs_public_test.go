@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"rphash"
 )
@@ -62,5 +63,40 @@ func TestPublicObserve(t *testing.T) {
 	}
 	if body := get("/debug/events"); !strings.Contains(body, "expand") {
 		t.Fatalf("/debug/events missing expand timeline:\n%s", body)
+	}
+}
+
+// TestPublicFlightRecorderAndWatchdog wires the new introspection
+// surface through the veneer: a recorder sampling every write, the
+// /debug/ops endpoint, and a cache watchdog driven through its public
+// Tick.
+func TestPublicFlightRecorderAndWatchdog(t *testing.T) {
+	o := rphash.NewObserver(rphash.WithFlightRecorder(1, 0))
+	c := rphash.NewCacheString[int](
+		rphash.WithCacheObserver(o),
+		rphash.WithCacheInitialBuckets(64),
+	)
+	defer c.Close()
+
+	for i := 0; i < 32; i++ {
+		c.Set(string(rune('a'+i)), i)
+	}
+	if o.Ops == nil || o.Ops.Sampled() == 0 {
+		t.Fatal("flight recorder sampled no writes at 1-in-1")
+	}
+
+	mux := http.NewServeMux()
+	rphash.Observe(mux, nil, o)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/ops", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "sampled") {
+		t.Fatalf("/debug/ops: status %d body:\n%s", rec.Code, rec.Body.String())
+	}
+
+	w := c.StartWatchdog(nil, rphash.WatchdogConfig{Interval: time.Hour})
+	defer w.Stop()
+	w.Tick() // baseline
+	if got := w.Tick(); len(got) != 0 {
+		t.Fatalf("healthy cache tripped the watchdog: %+v", got)
 	}
 }

@@ -328,8 +328,64 @@ type Event = obs.Event
 // ready to use.
 type Registry = obs.Registry
 
+// ObserverOption configures NewObserver.
+type ObserverOption = obs.ObserverOption
+
+// FlightRecorder is the sampled per-operation record stream: 1-in-N
+// table writes record their op class, path taken (CAS insert, hint
+// replace, striped fallback, migration assist, spill), outcome, shard,
+// stripe, and latency into striped lock-free rings. Aggregate its
+// Snapshot with AggregateOps or serve the rendered summary at
+// /debug/ops (Observe).
+type FlightRecorder = obs.Recorder
+
+// OpRecord is one sampled operation from the flight recorder;
+// OpPathStats is one (class, path) aggregation row.
+type (
+	OpRecord    = obs.OpRecord
+	OpPathStats = obs.OpPathStats
+)
+
+// AggregateOps folds flight-recorder records into per-(class, path)
+// rows with exact count, outcome tallies, and p50/p99/max latency,
+// sorted by descending count.
+func AggregateOps(recs []OpRecord) []OpPathStats { return obs.AggregateOps(recs) }
+
 // NewObserver returns an Observer with a default-capacity event ring.
-func NewObserver() *Observer { return obs.NewObserver() }
+func NewObserver(opts ...ObserverOption) *Observer { return obs.NewObserver(opts...) }
+
+// WithFlightRecorder attaches a flight recorder to the observer,
+// sampling one in sampleEvery instrumented table writes (0 = 1024)
+// into rings of perStripe slots (0 = default). The unsampled
+// majority of writes pay one atomic ticket; reads are never
+// instrumented.
+func WithFlightRecorder(sampleEvery, perStripe int) ObserverOption {
+	return obs.WithFlightRecorder(sampleEvery, perStripe)
+}
+
+// Watchdog is the periodic anomaly self-check: each tick it samples
+// table health (grace-period progress, stripe contention, resize
+// backlog, evictions) and detects grace-period stalls, stripe
+// convoys, stuck resizes, and eviction storms. Detections land in the
+// observer's event ring and per-class counters; the first trigger per
+// class writes a diagnostic bundle. Start one over a Cache with
+// Cache.StartWatchdog, or build a custom sampler with obs.NewWatchdog.
+type Watchdog = obs.Watchdog
+
+// WatchdogConfig holds the watchdog's clock, cadence, detection
+// thresholds, and bundle directory; zero fields take documented
+// defaults (Cache.StartWatchdog fills Clock from the cache).
+type WatchdogConfig = obs.WatchdogConfig
+
+// WatchdogSample is one health snapshot the watchdog inspects.
+type WatchdogSample = obs.WatchdogSample
+
+// Anomaly is one watchdog detection; AnomalyClass names the four
+// detector classes.
+type (
+	Anomaly      = obs.Anomaly
+	AnomalyClass = obs.AnomalyClass
+)
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
@@ -337,8 +393,9 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // Observe mounts the observability export plane onto mux: /metrics
 // (Prometheus text over every metric in reg), /debug/vars
 // (expvar-style JSON), /debug/events (the observer's event-ring
-// timeline), and /debug/pprof. reg and o may each be nil to skip
-// their endpoints. Typical wiring:
+// timeline), /debug/ops (the flight recorder's sampled path/latency
+// summary, when the observer has one), and /debug/pprof. reg and o
+// may each be nil to skip their endpoints. Typical wiring:
 //
 //	o := rphash.NewObserver()
 //	c := rphash.NewCacheString[V](rphash.WithCacheObserver(o))
